@@ -1,0 +1,310 @@
+// Benchmarks regenerating every figure of the SOAR paper's evaluation.
+//
+// One BenchmarkFigN per paper figure runs the corresponding experiment
+// harness end to end (at reduced "quick" scale so the full suite stays
+// tractable; run `soarctl exp <fig>` for paper-scale output). The paper's
+// Fig. 9 is itself a runtime study, so BenchmarkGather and BenchmarkColor
+// reproduce its (network size × budget) grid as native Go benchmarks —
+// the numbers recorded in EXPERIMENTS.md come from these.
+//
+// Ablation benches at the bottom quantify the design choices called out
+// in DESIGN.md: the DP versus the greedy/brute-force alternatives, the
+// serial versus distributed versus TCP engines, and the byte-complexity
+// engines for both use cases.
+package soar
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"soar/internal/cluster"
+	"soar/internal/core"
+	"soar/internal/experiments"
+	"soar/internal/load"
+	"soar/internal/paramserver"
+	"soar/internal/placement"
+	"soar/internal/reduce"
+	"soar/internal/timesim"
+	"soar/internal/topology"
+	"soar/internal/wordcount"
+	"soar/internal/workload"
+)
+
+// --- One bench per evaluation figure ---------------------------------
+
+func BenchmarkFig6StrategyComparison(b *testing.B) {
+	cfg := experiments.QuickFig6()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig6(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig7OnlineWorkloads(b *testing.B) {
+	cfg := experiments.QuickFig7()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig7(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig8UseCases(b *testing.B) {
+	cfg := experiments.QuickFig8()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig8(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig9Runtime(b *testing.B) {
+	cfg := experiments.QuickFig9()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig9(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig10Scaling(b *testing.B) {
+	cfg := experiments.QuickFig10()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig10(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig11ScaleFree(b *testing.B) {
+	cfg := experiments.QuickFig11()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig11(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- The paper's Fig. 9 grid as native benchmarks --------------------
+
+func fig9Instance(b *testing.B, n int) (*topology.Tree, []int) {
+	b.Helper()
+	tr, err := topology.BT(n)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	loads := load.Generate(tr, load.PaperPowerLaw(), load.LeavesOnly, rng)
+	return tr, loads
+}
+
+// BenchmarkGather is the paper's Fig. 9: SOAR-Gather across network
+// sizes 256..2048 and budgets 4..128. The paper's claims — quadratic in
+// k, near-linear in n — read directly off the sub-benchmark times.
+func BenchmarkGather(b *testing.B) {
+	for _, n := range []int{256, 512, 1024, 2048} {
+		for _, k := range []int{4, 8, 16, 32, 64, 128} {
+			b.Run(fmt.Sprintf("n=%d/k=%d", n, k), func(b *testing.B) {
+				tr, loads := fig9Instance(b, n)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					core.Gather(tr, loads, nil, k)
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkColor is the companion measurement: the paper reports
+// SOAR-Color to be orders of magnitude cheaper than SOAR-Gather.
+func BenchmarkColor(b *testing.B) {
+	for _, n := range []int{256, 2048} {
+		for _, k := range []int{4, 128} {
+			b.Run(fmt.Sprintf("n=%d/k=%d", n, k), func(b *testing.B) {
+				tr, loads := fig9Instance(b, n)
+				tb := core.Gather(tr, loads, nil, k)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					core.ColorPhase(tb)
+				}
+			})
+		}
+	}
+}
+
+// --- Ablations --------------------------------------------------------
+
+// BenchmarkSolveEngines compares the three deployments of the same
+// algorithm: serial, goroutine message-passing, and loopback TCP.
+func BenchmarkSolveEngines(b *testing.B) {
+	tr, loads := fig9Instance(b, 256)
+	const k = 16
+	b.Run("serial", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			core.Solve(tr, loads, nil, k)
+		}
+	})
+	b.Run("goroutines", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			core.SolveDistributed(tr, loads, nil, k)
+		}
+	})
+	b.Run("compact", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			core.SolveCompact(tr, loads, nil, k)
+		}
+	})
+	b.Run("parallel", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			core.SolveParallel(tr, loads, nil, k, 0)
+		}
+	})
+	b.Run("tcp", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+			if _, err := cluster.Run(ctx, tr, loads, nil, k); err != nil {
+				cancel()
+				b.Fatal(err)
+			}
+			cancel()
+		}
+	})
+}
+
+// BenchmarkStrategies compares placement costs of SOAR against the
+// baselines on the paper's standard instance (BT(256), k=16).
+func BenchmarkStrategies(b *testing.B) {
+	tr, loads := fig9Instance(b, 256)
+	const k = 16
+	for _, s := range []placement.Strategy{
+		core.Strategy{}, placement.Top{}, placement.Max{}, placement.Level{}, placement.Greedy{},
+	} {
+		b.Run(s.Name(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				s.Place(tr, loads, nil, k)
+			}
+		})
+	}
+}
+
+// BenchmarkReduceCounting measures the analytic Reduce engine that every
+// experiment leans on.
+func BenchmarkReduceCounting(b *testing.B) {
+	tr, loads := fig9Instance(b, 2048)
+	blue := core.Solve(tr, loads, nil, 64).Blue
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		reduce.Utilization(tr, loads, blue)
+	}
+}
+
+// BenchmarkByteComplexity measures the payload engines behind Fig. 8.
+func BenchmarkByteComplexity(b *testing.B) {
+	tr, loads := fig9Instance(b, 64)
+	blue := core.Solve(tr, loads, nil, 8).Blue
+	servers := int(load.Total(loads))
+	b.Run("wordcount", func(b *testing.B) {
+		agg := wordcount.NewAggregator(wordcount.TestConfig(), servers, 1)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			reduce.ByteComplexity(tr, loads, blue, agg)
+		}
+	})
+	b.Run("paramserver", func(b *testing.B) {
+		agg := paramserver.NewAggregator(paramserver.TestConfig(), 1)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			reduce.ByteComplexity(tr, loads, blue, agg)
+		}
+	})
+}
+
+// BenchmarkGatherMemory contrasts the breadcrumb-storing Gather (fast
+// Color, more memory) with the compact engine (minimal tables, Color
+// recomputes splits) — the memory/time design choice in DESIGN.md.
+func BenchmarkGatherMemory(b *testing.B) {
+	tr, loads := fig9Instance(b, 512)
+	b.Run("breadcrumbs", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			core.Gather(tr, loads, nil, 32)
+		}
+	})
+	b.Run("compact", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			core.GatherCompact(tr, loads, nil, 32)
+		}
+	})
+}
+
+// BenchmarkGatherParallel measures the parallel leaf-to-root sweep the
+// paper leaves as future work (Sec. 5.4), at the Fig. 9 grid's largest
+// cell. Speedup is only observable on multi-core machines; on a
+// single-core runner the variants coincide (the engines are verified
+// identical in TestAllEnginesAgree either way).
+func BenchmarkGatherParallel(b *testing.B) {
+	tr, loads := fig9Instance(b, 2048)
+	const k = 64
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				core.GatherParallel(tr, loads, nil, k, workers)
+			}
+		})
+	}
+}
+
+// BenchmarkExtObjectives regenerates the Sec. 8 extension experiment
+// (utilization vs completion time vs bottleneck).
+func BenchmarkExtObjectives(b *testing.B) {
+	cfg := experiments.QuickExtObjectives()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.ExtObjectives(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExtTopologies regenerates the robustness extension across
+// tree families.
+func BenchmarkExtTopologies(b *testing.B) {
+	cfg := experiments.QuickExtTopologies()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.ExtTopologies(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTimedReduce measures the discrete-event simulator behind the
+// completion-time metric.
+func BenchmarkTimedReduce(b *testing.B) {
+	tr, loads := fig9Instance(b, 1024)
+	blue := core.Solve(tr, loads, nil, 32).Blue
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		timesim.Run(tr, loads, blue)
+	}
+}
+
+// BenchmarkOnlineAllocation measures one full online sequence (32
+// workloads, capacity 4) as in Fig. 7.
+func BenchmarkOnlineAllocation(b *testing.B) {
+	tr, _ := fig9Instance(b, 256)
+	rng := rand.New(rand.NewSource(2))
+	seq := workload.NewSequence(tr, rng)
+	arrivals := make([][]int, 32)
+	for i := range arrivals {
+		arrivals[i] = seq.Next()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		alloc := workload.NewAllocator(tr, core.Strategy{}, 16, 4)
+		workload.Run(alloc, arrivals)
+	}
+}

@@ -1,0 +1,87 @@
+// Command soar-naasd runs the SOAR Network-as-a-Service control plane:
+// an HTTP daemon that leases in-network aggregation switches to tenants
+// on a shared tree network (the NaaS offering the paper's introduction
+// sketches).
+//
+//	soar-naasd -addr 127.0.0.1:7070 -topo bt -n 256 -capacity 4
+//
+// API (JSON):
+//
+//	POST   /v1/tenants    {"load": [...], "k": 4} → lease
+//	GET    /v1/tenants/{id}
+//	DELETE /v1/tenants/{id}
+//	GET    /v1/stats
+//	GET    /v1/residual
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"net/http"
+	"os"
+	"os/signal"
+	"time"
+
+	"soar/internal/naas"
+	"soar/internal/topology"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7070", "listen address")
+	topo := flag.String("topo", "bt", "topology: bt or sf")
+	topoFile := flag.String("topo-file", "", "load the network from a JSON file (overrides -topo; see topology.Encode)")
+	n := flag.Int("n", 256, "network size")
+	capacity := flag.Int("capacity", 4, "per-switch aggregation capacity (0 = unlimited)")
+	seed := flag.Int64("seed", 1, "seed for random topologies")
+	flag.Parse()
+
+	var tr *topology.Tree
+	switch {
+	case *topoFile != "":
+		f, err := os.Open(*topoFile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tr, err = topology.Decode(f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+	case *topo == "bt":
+		t, err := topology.BT(*n)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tr = t
+	case *topo == "sf":
+		tr = topology.ScaleFree(*n, rand.New(rand.NewSource(*seed)))
+	default:
+		log.Fatalf("unknown -topo %q", *topo)
+	}
+
+	svc := naas.NewService(tr, *capacity)
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           svc.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(shutdownCtx)
+	}()
+
+	fmt.Printf("soar-naasd: %d switches (%s), capacity %d, listening on %s\n",
+		tr.N(), *topo, *capacity, *addr)
+	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,96 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunDemo(t *testing.T) {
+	if err := runDemo(nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunPlaceBT(t *testing.T) {
+	dot := filepath.Join(t.TempDir(), "out.dot")
+	err := runPlace([]string{"-topo", "bt", "-n", "32", "-k", "4", "-dist", "uniform", "-rates", "linear", "-dot", dot})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(dot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "digraph") {
+		t.Fatal("dot file missing digraph header")
+	}
+}
+
+func TestRunPlaceScaleFree(t *testing.T) {
+	if err := runPlace([]string{"-topo", "sf", "-n", "60", "-k", "4", "-dist", "one", "-rates", "exp"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunPlaceRejectsBadFlags(t *testing.T) {
+	for _, args := range [][]string{
+		{"-topo", "mesh"},
+		{"-topo", "bt", "-n", "31"},
+		{"-dist", "gaussian"},
+		{"-rates", "quadratic"},
+	} {
+		if err := runPlace(args); err == nil {
+			t.Fatalf("runPlace(%v) succeeded, want error", args)
+		}
+	}
+}
+
+func TestRunExpQuickAll(t *testing.T) {
+	if testing.Short() {
+		t.Skip("quick figures still take a few seconds")
+	}
+	dir := t.TempDir()
+	if err := runExp([]string{"all", "-quick", "-csv", dir}); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 8 { // fig6..fig11 + 2 extensions
+		t.Fatalf("wrote %d csv files, want 8", len(entries))
+	}
+}
+
+func TestRunExpFlagOrder(t *testing.T) {
+	// Both `exp fig6 -quick` and `exp -quick fig6` must work.
+	if err := runExp([]string{"fig6", "-quick", "-reps", "1"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := runExp([]string{"-quick", "-reps", "1", "fig6"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunExpUnknownFigure(t *testing.T) {
+	if err := runExp([]string{"fig99", "-quick"}); err == nil {
+		t.Fatal("unknown figure accepted")
+	}
+	if err := runExp([]string{"-quick"}); err == nil {
+		t.Fatal("missing figure accepted")
+	}
+}
+
+func TestRunClusterSmall(t *testing.T) {
+	if err := runCluster([]string{"-n", "16", "-k", "3"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunVerifySmall(t *testing.T) {
+	if err := runVerify([]string{"-trials", "25", "-max-n", "9", "-max-k", "3"}); err != nil {
+		t.Fatal(err)
+	}
+}

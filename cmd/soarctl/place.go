@@ -1,0 +1,96 @@
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+
+	"soar/internal/core"
+	"soar/internal/load"
+	"soar/internal/placement"
+	"soar/internal/reduce"
+	"soar/internal/topology"
+)
+
+// runPlace builds one instance and prints every strategy's placement and
+// normalized utilization.
+func runPlace(args []string) error {
+	fs := newFlagSet("place")
+	topo := fs.String("topo", "bt", "topology: bt (complete binary) or sf (scale-free)")
+	n := fs.Int("n", 256, "network size (bt: including destination, power of two; sf: switches)")
+	k := fs.Int("k", 16, "aggregation switch budget")
+	dist := fs.String("dist", "powerlaw", "load distribution: uniform, powerlaw or one (unit)")
+	rates := fs.String("rates", "constant", "link rates: constant, linear or exp")
+	seed := fs.Int64("seed", 1, "random seed")
+	dot := fs.String("dot", "", "write the SOAR placement as Graphviz DOT to this file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	rng := rand.New(rand.NewSource(*seed))
+	var tr *topology.Tree
+	var where load.Placement
+	switch *topo {
+	case "bt":
+		t, err := topology.BT(*n)
+		if err != nil {
+			return err
+		}
+		tr, where = t, load.LeavesOnly
+	case "sf":
+		tr, where = topology.ScaleFree(*n, rng), load.AllNodes
+	default:
+		return fmt.Errorf("unknown -topo %q", *topo)
+	}
+	switch *rates {
+	case "constant":
+	case "linear":
+		tr = topology.ApplyRates(tr, topology.RatesLinear())
+	case "exp":
+		tr = topology.ApplyRates(tr, topology.RatesExponential())
+	default:
+		return fmt.Errorf("unknown -rates %q", *rates)
+	}
+	var d load.Distribution
+	switch *dist {
+	case "uniform":
+		d = load.PaperUniform()
+	case "powerlaw":
+		d = load.PaperPowerLaw()
+	case "one":
+		d = load.Constant{V: 1}
+	default:
+		return fmt.Errorf("unknown -dist %q", *dist)
+	}
+	loads := load.Generate(tr, d, where, rng)
+
+	allRed := reduce.Utilization(tr, loads, make([]bool, tr.N()))
+	fmt.Printf("instance: %s n=%d switches=%d height=%d totalLoad=%d rates=%s dist=%s k=%d\n",
+		*topo, *n, tr.N(), tr.Height(), load.Total(loads), *rates, *dist, *k)
+	fmt.Printf("%-12s %12s %12s  %s\n", "strategy", "phi", "vs all-red", "")
+	strategies := []placement.Strategy{
+		placement.AllRed{}, placement.Top{}, placement.Max{}, placement.MaxDegree{},
+		placement.Level{}, placement.Greedy{}, core.Strategy{}, placement.AllBlue{},
+	}
+	var soarBlue []bool
+	for _, s := range strategies {
+		blue := s.Place(tr, loads, nil, *k)
+		phi := reduce.Utilization(tr, loads, blue)
+		fmt.Printf("%-12s %12.2f %12.4f\n", s.Name(), phi, phi/allRed)
+		if _, ok := s.(core.Strategy); ok {
+			soarBlue = blue
+		}
+	}
+	if *dot != "" {
+		f, err := os.Create(*dot)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := tr.WriteDOT(f, loads, soarBlue); err != nil {
+			return err
+		}
+		fmt.Printf("wrote SOAR placement to %s\n", *dot)
+	}
+	return nil
+}

@@ -1,0 +1,70 @@
+// Multi-tenant online allocation (the paper's Sec. 5.2): workloads
+// arrive one at a time, every switch can aggregate for at most a few
+// workloads (bounded capacity), and each arrival gets its aggregation
+// switches before the next is seen. SOAR applied online degrades
+// gracefully as capacity fills, and stays ahead of the baselines.
+//
+//	go run ./examples/multitenant
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"soar/internal/core"
+	"soar/internal/placement"
+	"soar/internal/topology"
+	"soar/internal/workload"
+)
+
+func main() {
+	t, err := topology.BT(128)
+	if err != nil {
+		log.Fatal(err)
+	}
+	const (
+		budget   = 8  // aggregation switches per workload
+		capacity = 3  // workloads a switch can serve
+		arrivals = 24 // tenants arriving online
+	)
+
+	// One shared arrival sequence makes the comparison paired.
+	seq := workload.NewSequence(t, rand.New(rand.NewSource(3)))
+	tenants := make([][]int, arrivals)
+	for i := range tenants {
+		tenants[i] = seq.Next()
+	}
+
+	strategies := []placement.Strategy{
+		core.Strategy{}, placement.Top{}, placement.Max{}, placement.Level{},
+	}
+	fmt.Printf("%d tenants arriving online, k=%d per tenant, switch capacity %d\n\n",
+		arrivals, budget, capacity)
+	fmt.Printf("%-10s", "tenant")
+	for _, s := range strategies {
+		fmt.Printf(" %10s", s.Name())
+	}
+	fmt.Println(" (cumulative utilization vs all-red)")
+
+	results := make([]workload.RunResult, len(strategies))
+	for si, s := range strategies {
+		alloc := workload.NewAllocator(t, s, budget, capacity)
+		results[si] = workload.Run(alloc, tenants)
+	}
+	for i := 0; i < arrivals; i += 4 {
+		fmt.Printf("%-10d", i+1)
+		for si := range strategies {
+			fmt.Printf(" %10.3f", results[si].CumulativeRatio[i])
+		}
+		fmt.Println()
+	}
+	fmt.Printf("%-10s", "final")
+	for si := range strategies {
+		fmt.Printf(" %10.3f", results[si].CumulativeRatio[arrivals-1])
+	}
+	fmt.Println()
+
+	fmt.Println("\nEarly tenants enjoy deep savings; once capacities fill, later tenants")
+	fmt.Println("run closer to all-red and the cumulative ratio climbs (paper Fig. 7).")
+}

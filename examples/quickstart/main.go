@@ -1,0 +1,57 @@
+// Quickstart: place a bounded number of in-network aggregation switches
+// optimally with SOAR and compare against the paper's baseline
+// strategies, using only the public facade (package soar).
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"soar"
+)
+
+func main() {
+	// A small datacenter aggregation tree: BT(64) is a complete binary
+	// tree of 63 switches whose 32 leaves are top-of-rack switches.
+	t, err := soar.BT(64)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Racks hold a heavy-tailed number of servers, as in the paper's
+	// power-law workload (mean 5, up to 63 servers per rack).
+	loads := soar.PowerLawLoads(t, 42)
+
+	allRed := soar.Utilization(t, loads, make([]bool, t.N()))
+	fmt.Printf("network: %d switches, height %d\n", t.N(), t.Height())
+	fmt.Printf("all-red Reduce utilization: %.0f\n\n", allRed)
+
+	fmt.Printf("%-6s %-10s %12s %10s\n", "k", "strategy", "utilization", "vs all-red")
+	for _, k := range []int{1, 2, 4, 8, 16} {
+		// SOAR: the provably optimal placement.
+		res := soar.Solve(t, loads, k)
+		fmt.Printf("%-6d %-10s %12.0f %10.3f\n", k, "soar", res.Cost, res.Cost/allRed)
+		// The natural heuristics it beats (paper Sec. 3).
+		for _, s := range soar.Baselines() {
+			blue := s.Place(t, loads, nil, k)
+			phi := soar.Utilization(t, loads, blue)
+			fmt.Printf("%-6s %-10s %12.0f %10.3f\n", "", s.Name(), phi, phi/allRed)
+		}
+	}
+
+	// The placement itself: which switches should aggregate at k = 8?
+	res := soar.Solve(t, loads, 8)
+	fmt.Println("\noptimal aggregation switches at k=8:")
+	for v, b := range res.Blue {
+		if b {
+			fmt.Printf("  switch %d (depth %d, subtree load %d)\n",
+				v, t.Depth(v), t.SubtreeLoads(loads)[v])
+		}
+	}
+
+	// The distributed solver produces the identical answer via
+	// message passing (one goroutine per switch).
+	dist := soar.SolveDistributed(t, loads, 8)
+	fmt.Printf("\ndistributed solver agrees: φ=%.0f (serial %.0f)\n", dist.Cost, res.Cost)
+}

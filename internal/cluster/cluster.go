@@ -1,0 +1,331 @@
+// Package cluster deploys SOAR over a real transport: every switch is a
+// node with its own TCP listener on the loopback interface, every tree
+// edge is a TCP connection, and the SOAR-Gather tables, SOAR-Color
+// assignments and Reduce results travel as binary frames (internal/wire).
+//
+// The paper describes SOAR-Gather and SOAR-Color as distributed
+// asynchronous algorithms synchronized purely by message arrival
+// (Sec. 4.2); this package is that description made concrete. A run
+// performs, in order, on every edge's single connection:
+//
+//	child → parent   Hello      (identify the edge)
+//	child → parent   Gather     (the child's X table)
+//	parent → child   Color      (budget and barrier distance ℓ)
+//	child → parent   ReduceDone (messages crossed + subtree φ)
+//
+// The destination d is played by the coordinator, which accepts the
+// root's connection, reads the optimal cost from the root's table, sends
+// the budget k down, and receives the final Reduce result.
+package cluster
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"net"
+	"sync"
+
+	"soar/internal/core"
+	"soar/internal/topology"
+	"soar/internal/wire"
+)
+
+// Result is the outcome of a cluster run.
+type Result struct {
+	// Blue is the placement decided by the distributed SOAR-Color.
+	Blue []bool
+	// Cost is the optimal φ the destination read from the root's table.
+	Cost float64
+	// ReduceMessages is the number of messages the destination received
+	// over the (r, d) edge during the distributed Reduce.
+	ReduceMessages int64
+	// ReducePhi is the utilization Σ msg_e·ρ(e) accumulated hop by hop
+	// during the distributed Reduce; it must equal Cost.
+	ReducePhi float64
+}
+
+// Run executes SOAR and a Reduce over a loopback TCP mesh and returns the
+// placement, the DP cost, and the measured Reduce cost. It honors ctx
+// cancellation and deadlines; on any node error the whole run is torn
+// down and the first error returned.
+func Run(ctx context.Context, t *topology.Tree, load []int, avail []bool, k int) (*Result, error) {
+	if len(load) != t.N() {
+		return nil, fmt.Errorf("cluster: load has %d entries for %d switches", len(load), t.N())
+	}
+	if k < 0 {
+		k = 0
+	}
+	n := t.N()
+	subLoad := t.SubtreeLoads(load)
+
+	// One listener per switch plus one for the destination, all created
+	// up front so that children always find their parent listening.
+	listeners := make([]net.Listener, n+1)
+	var lc net.ListenConfig
+	for i := range listeners {
+		ln, err := lc.Listen(ctx, "tcp", "127.0.0.1:0")
+		if err != nil {
+			for _, l := range listeners[:i] {
+				l.Close()
+			}
+			return nil, fmt.Errorf("cluster: listen: %w", err)
+		}
+		listeners[i] = ln
+	}
+	defer func() {
+		for _, l := range listeners {
+			l.Close()
+		}
+	}()
+	if testListenerHook != nil {
+		testListenerHook(listeners)
+	}
+	addrOf := func(v int) string { return listeners[v].Addr().String() }
+	destListener := listeners[n]
+
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	res := &Result{Blue: make([]bool, n)}
+	errCh := make(chan error, n+1)
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for v := 0; v < n; v++ {
+		go func(v int) {
+			defer wg.Done()
+			if err := runNode(runCtx, t, v, load[v], subLoad[v] > 0, avail, k,
+				listeners[v], addrOf, res.Blue); err != nil {
+				errCh <- fmt.Errorf("switch %d: %w", v, err)
+				cancel()
+			}
+		}(v)
+	}
+
+	// Play the destination.
+	destErr := make(chan error, 1)
+	go func() {
+		err := runDestination(runCtx, destListener, k, res)
+		if err != nil {
+			cancel() // unblock the switches before Run waits on them
+		}
+		destErr <- err
+	}()
+
+	// Tear down listeners if the context dies so Accept calls unblock.
+	go func() {
+		<-runCtx.Done()
+		for _, l := range listeners {
+			l.Close()
+		}
+	}()
+
+	wg.Wait()
+	if err := <-destErr; err != nil {
+		select {
+		case nodeErr := <-errCh:
+			return nil, nodeErr // a node failure is the root cause
+		default:
+			return nil, err
+		}
+	}
+	select {
+	case err := <-errCh:
+		return nil, err
+	default:
+	}
+	return res, nil
+}
+
+// testListenerHook, when non-nil, receives the freshly created listeners
+// (switch 0..n-1, destination last) before any node starts. Failure-
+// injection tests use it to attack the protocol from outside.
+var testListenerHook func([]net.Listener)
+
+// edge wraps one tree-edge connection with buffered framing.
+type edge struct {
+	conn net.Conn
+	r    *bufio.Reader
+	w    *bufio.Writer
+}
+
+func newEdge(conn net.Conn) *edge {
+	return &edge{conn: conn, r: bufio.NewReader(conn), w: bufio.NewWriter(conn)}
+}
+
+func (e *edge) send(m wire.Message) error {
+	if err := wire.Write(e.w, m); err != nil {
+		return err
+	}
+	return e.w.Flush()
+}
+
+func (e *edge) close() {
+	if e != nil {
+		e.conn.Close()
+	}
+}
+
+// runNode is the full lifecycle of one switch.
+func runNode(ctx context.Context, t *topology.Tree, v, loadV int, hasLoad bool,
+	avail []bool, k int, ln net.Listener, addrOf func(int) string, blueOut []bool) error {
+
+	children := t.Children(v)
+
+	// Accept one connection per child; Hello identifies which child.
+	childEdge := make(map[int]*edge, len(children))
+	defer func() {
+		for _, e := range childEdge {
+			e.close()
+		}
+	}()
+	for range children {
+		conn, err := ln.Accept()
+		if err != nil {
+			return fmt.Errorf("accept: %w", err)
+		}
+		applyDeadline(ctx, conn)
+		e := newEdge(conn)
+		hello, err := wire.ReadTyped[*wire.Hello](e.r)
+		if err != nil {
+			conn.Close()
+			return fmt.Errorf("hello: %w", err)
+		}
+		c := int(hello.Child)
+		if c < 0 || c >= t.N() || t.Parent(c) != v {
+			conn.Close()
+			return fmt.Errorf("hello from %d, which is not a child", c)
+		}
+		if _, dup := childEdge[c]; dup {
+			conn.Close()
+			return fmt.Errorf("duplicate hello from child %d", c)
+		}
+		childEdge[c] = e
+	}
+
+	// SOAR-Gather: collect the children's X tables, in child order.
+	childX := make([][]float64, len(children))
+	for i, c := range children {
+		g, err := wire.ReadTyped[*wire.Gather](childEdge[c].r)
+		if err != nil {
+			return fmt.Errorf("gather from %d: %w", c, err)
+		}
+		if int(g.Child) != c || int(g.Rows) != t.Depth(c)+1 || int(g.Cols) != k+1 {
+			return fmt.Errorf("gather from %d has shape %dx%d for child %d", g.Child, g.Rows, g.Cols, c)
+		}
+		childX[i] = g.X
+	}
+	ns, err := core.NewNodeState(t, v, loadV, hasLoad, isAvail(avail, v), k, childX)
+	if err != nil {
+		return err
+	}
+
+	// Dial the parent (or the destination, for the root) and ship our table.
+	parentAddr := addrOf(t.N()) // destination
+	if p := t.Parent(v); p != topology.NoParent {
+		parentAddr = addrOf(p)
+	}
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", parentAddr)
+	if err != nil {
+		return fmt.Errorf("dial parent: %w", err)
+	}
+	applyDeadline(ctx, conn)
+	up := newEdge(conn)
+	defer up.close()
+	if err := up.send(&wire.Hello{Child: uint32(v)}); err != nil {
+		return err
+	}
+	x := ns.XTable()
+	if err := up.send(&wire.Gather{
+		Child: uint32(v),
+		Rows:  uint32(t.Depth(v) + 1),
+		Cols:  uint32(k + 1),
+		X:     x,
+	}); err != nil {
+		return err
+	}
+
+	// SOAR-Color: receive our assignment, decide, forward the splits.
+	cm, err := wire.ReadTyped[*wire.Color](up.r)
+	if err != nil {
+		return fmt.Errorf("color: %w", err)
+	}
+	isBlue, childBudget, childL, err := ns.Decide(int(cm.Budget), int(cm.L))
+	if err != nil {
+		return err
+	}
+	blueOut[v] = isBlue // distinct index per goroutine
+	for i, c := range children {
+		if err := childEdge[c].send(&wire.Color{Budget: uint32(childBudget[i]), L: uint32(childL)}); err != nil {
+			return fmt.Errorf("color to %d: %w", c, err)
+		}
+	}
+
+	// Reduce: wait for the children's results, apply Algorithm 1 locally,
+	// report upward.
+	var inMsgs int64
+	var phi float64
+	for _, c := range children {
+		rd, err := wire.ReadTyped[*wire.ReduceDone](childEdge[c].r)
+		if err != nil {
+			return fmt.Errorf("reduce from %d: %w", c, err)
+		}
+		inMsgs += int64(rd.Messages)
+		phi += rd.Phi()
+	}
+	out := inMsgs + int64(loadV)
+	if isBlue && out > 1 {
+		out = 1
+	}
+	phi += float64(out) * t.Rho(v)
+	done := &wire.ReduceDone{Child: uint32(v), Messages: uint64(out)}
+	done.SetPhi(phi)
+	return up.send(done)
+}
+
+// runDestination plays d: accept the root, read the optimum, start the
+// color phase with budget k, and collect the Reduce result.
+func runDestination(ctx context.Context, ln net.Listener, k int, res *Result) error {
+	conn, err := ln.Accept()
+	if err != nil {
+		return fmt.Errorf("destination accept: %w", err)
+	}
+	applyDeadline(ctx, conn)
+	e := newEdge(conn)
+	defer e.close()
+	if _, err := wire.ReadTyped[*wire.Hello](e.r); err != nil {
+		return fmt.Errorf("destination hello: %w", err)
+	}
+	g, err := wire.ReadTyped[*wire.Gather](e.r)
+	if err != nil {
+		return fmt.Errorf("destination gather: %w", err)
+	}
+	if g.Rows < 2 || g.Cols != uint32(k+1) {
+		return fmt.Errorf("root table has shape %dx%d", g.Rows, g.Cols)
+	}
+	res.Cost = g.X[1*(k+1)+k] // X_r(1, k), paper Eq. 6
+	if err := e.send(&wire.Color{Budget: uint32(k), L: 1}); err != nil {
+		return err
+	}
+	rd, err := wire.ReadTyped[*wire.ReduceDone](e.r)
+	if err != nil {
+		return fmt.Errorf("destination reduce: %w", err)
+	}
+	res.ReduceMessages = int64(rd.Messages)
+	res.ReducePhi = rd.Phi()
+	return nil
+}
+
+// applyDeadline binds a connection's lifetime to the context: any context
+// deadline becomes the socket deadline, and cancellation closes the
+// socket so blocked reads and writes unwind promptly. The registration is
+// released when the run's context is canceled (Run always cancels on
+// exit), so nothing leaks.
+func applyDeadline(ctx context.Context, conn net.Conn) {
+	if dl, ok := ctx.Deadline(); ok {
+		conn.SetDeadline(dl)
+	}
+	context.AfterFunc(ctx, func() { conn.Close() })
+}
+
+func isAvail(avail []bool, v int) bool { return avail == nil || avail[v] }

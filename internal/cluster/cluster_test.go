@@ -1,0 +1,166 @@
+package cluster
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"soar/internal/core"
+	"soar/internal/paper"
+	"soar/internal/reduce"
+	"soar/internal/topology"
+)
+
+func testCtx(t *testing.T) context.Context {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	t.Cleanup(cancel)
+	return ctx
+}
+
+func TestClusterPaperExample(t *testing.T) {
+	tr, loads := paper.Figure2()
+	res, err := Run(testCtx(t), tr, loads, nil, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cost != 20 {
+		t.Fatalf("TCP cluster φ=%v, want 20", res.Cost)
+	}
+	want := []bool{false, false, true, false, true, false, false}
+	for v := range want {
+		if res.Blue[v] != want[v] {
+			t.Fatalf("blue[%d]=%v, want %v", v, res.Blue[v], want[v])
+		}
+	}
+	// The distributed Reduce must measure the same φ the DP predicted,
+	// and d hears exactly the root's outgoing messages.
+	if res.ReducePhi != 20 {
+		t.Fatalf("measured Reduce φ=%v, want 20", res.ReducePhi)
+	}
+	counts := reduce.MessageCounts(tr, loads, res.Blue)
+	if res.ReduceMessages != counts[tr.Root()] {
+		t.Fatalf("destination saw %d messages, want %d", res.ReduceMessages, counts[tr.Root()])
+	}
+}
+
+func TestClusterMatchesSerialRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 8; trial++ {
+		n := 1 + rng.Intn(30)
+		tr := topology.RandomRecursive(n, rng)
+		loads := make([]int, n)
+		avail := make([]bool, n)
+		for v := 0; v < n; v++ {
+			loads[v] = rng.Intn(5)
+			avail[v] = rng.Intn(4) != 0
+		}
+		k := rng.Intn(5)
+		serial := core.Solve(tr, loads, avail, k)
+		res, err := Run(testCtx(t), tr, loads, avail, k)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if math.Abs(res.Cost-serial.Cost) > 1e-9 {
+			t.Fatalf("trial %d: cluster φ=%v, serial φ=%v", trial, res.Cost, serial.Cost)
+		}
+		if math.Abs(res.ReducePhi-serial.Cost) > 1e-9 {
+			t.Fatalf("trial %d: measured φ=%v, serial φ=%v", trial, res.ReducePhi, serial.Cost)
+		}
+		for v := range serial.Blue {
+			if res.Blue[v] != serial.Blue[v] {
+				t.Fatalf("trial %d: placements differ at %d", trial, v)
+			}
+		}
+	}
+}
+
+func TestClusterBinaryTree(t *testing.T) {
+	tr := topology.MustBT(64) // 63 switches, 63 sockets
+	rng := rand.New(rand.NewSource(5))
+	loads := make([]int, tr.N())
+	for _, v := range tr.Leaves() {
+		loads[v] = 1 + rng.Intn(8)
+	}
+	serial := core.Solve(tr, loads, nil, 8)
+	res, err := Run(testCtx(t), tr, loads, nil, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Cost-serial.Cost) > 1e-9 || math.Abs(res.ReducePhi-serial.Cost) > 1e-9 {
+		t.Fatalf("cluster φ=%v measured=%v, serial=%v", res.Cost, res.ReducePhi, serial.Cost)
+	}
+}
+
+func TestClusterHeterogeneousRates(t *testing.T) {
+	tr := topology.ApplyRates(topology.MustBT(32), topology.RatesExponential())
+	loads := make([]int, tr.N())
+	for i, v := range tr.Leaves() {
+		loads[v] = 2 + i%5
+	}
+	serial := core.Solve(tr, loads, nil, 4)
+	res, err := Run(testCtx(t), tr, loads, nil, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.ReducePhi-serial.Cost) > 1e-9 {
+		t.Fatalf("measured φ=%v, want %v", res.ReducePhi, serial.Cost)
+	}
+}
+
+func TestClusterSingleSwitch(t *testing.T) {
+	tr := topology.MustNew([]int{topology.NoParent}, []float64{1})
+	res, err := Run(testCtx(t), tr, []int{5}, nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cost != 1 || !res.Blue[0] || res.ReduceMessages != 1 {
+		t.Fatalf("got %+v", res)
+	}
+}
+
+func TestClusterRejectsBadLoad(t *testing.T) {
+	tr := topology.Path(3)
+	if _, err := Run(testCtx(t), tr, []int{1}, nil, 1); err == nil {
+		t.Fatal("expected error for short load vector")
+	}
+}
+
+func TestClusterCanceledContext(t *testing.T) {
+	tr := topology.MustBT(16)
+	loads := make([]int, tr.N())
+	for _, v := range tr.Leaves() {
+		loads[v] = 3
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // cancel before starting
+	_, err := Run(ctx, tr, loads, nil, 2)
+	if err == nil {
+		t.Fatal("expected error from pre-canceled context")
+	}
+}
+
+func TestClusterTimeout(t *testing.T) {
+	// A context that expires mid-run must unwind every goroutine instead
+	// of deadlocking. Use a tiny deadline; whether the run manages to
+	// finish first or errors, it must return promptly either way.
+	tr := topology.MustBT(32)
+	loads := make([]int, tr.N())
+	for _, v := range tr.Leaves() {
+		loads[v] = 2
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Microsecond)
+	defer cancel()
+	done := make(chan struct{})
+	go func() {
+		Run(ctx, tr, loads, nil, 2)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("cluster run did not unwind after context expiry")
+	}
+}

@@ -1,0 +1,31 @@
+package core
+
+// ColorPhase runs SOAR-Color (paper Alg. 4): it walks the tree top-down
+// along the argmin breadcrumbs recorded by Gather and returns the optimal
+// blue set together with its cost φ = X_r(1, k).
+//
+// The destination conceptually sends (k, ℓ=1) to the root; every switch
+// then determines its color from its table at its actual (ℓ*, i) and
+// forwards to each child the number of blue switches to place in that
+// child's subtree, exactly as in the paper. Unlike Gather, this phase
+// performs no arithmetic — only table lookups — which is why it is orders
+// of magnitude faster (paper Sec. 5.4).
+func ColorPhase(tb *Tables) ([]bool, float64) {
+	t := tb.t
+	blue := make([]bool, t.N())
+
+	type frame struct {
+		v, i, l int
+	}
+	stack := []frame{{t.Root(), tb.k, 1}}
+	for len(stack) > 0 {
+		f := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		isBlue, childBudget, childL := decide(t, &tb.nodes[f.v], tb.k, f.v, f.i, f.l)
+		blue[f.v] = isBlue
+		for m, c := range t.Children(f.v) {
+			stack = append(stack, frame{c, childBudget[m], childL})
+		}
+	}
+	return blue, tb.Optimum()
+}

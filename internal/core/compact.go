@@ -1,0 +1,136 @@
+package core
+
+import (
+	"math"
+
+	"soar/internal/topology"
+)
+
+// SolveCompact is the low-memory variant of Solve: SOAR-Gather stores
+// only the X tables (no per-child argmin breadcrumbs), and SOAR-Color
+// re-derives each visited node's budget splits for the single ℓ* it is
+// assigned. This trades O(Σ_v C(v)·h·k) split storage for an extra
+// O(C(v)·k²) of arithmetic per *visited* node during coloring — the
+// memory/time design choice recorded in DESIGN.md and measured by
+// BenchmarkEngineMemory. Results are identical to Solve.
+func SolveCompact(t *topology.Tree, load []int, avail []bool, k int) Result {
+	tb := GatherCompact(t, load, avail, k)
+	blue, cost := ColorPhaseCompact(tb, load, avail)
+	return Result{Blue: blue, Cost: cost}
+}
+
+// GatherCompact runs SOAR-Gather without recording split breadcrumbs.
+// The returned tables support X, Blue and Optimum, but ColorPhase
+// requires breadcrumbs — use ColorPhaseCompact instead.
+func GatherCompact(t *topology.Tree, load []int, avail []bool, k int) *Tables {
+	validate(t, load, avail)
+	if k < 0 {
+		k = 0
+	}
+	tb := &Tables{
+		t:     t,
+		load:  load,
+		k:     k,
+		nodes: make([]nodeTables, t.N()),
+	}
+	subLoad := t.SubtreeLoads(load)
+	for _, v := range t.PostOrder() {
+		tb.nodes[v] = computeNode(t, v, load[v], subLoad[v] > 0, isAvail(avail, v), k, childTables(tb, v), false)
+	}
+	return tb
+}
+
+// ColorPhaseCompact assigns colors from breadcrumb-free tables: at every
+// visited node it recomputes the Y merge rows for its single assigned ℓ*
+// and walks them backwards exactly as the paper's mSplit does.
+func ColorPhaseCompact(tb *Tables, load []int, avail []bool) ([]bool, float64) {
+	t := tb.t
+	k := tb.k
+	stride := k + 1
+	subLoad := t.SubtreeLoads(load)
+	blue := make([]bool, t.N())
+
+	type frame struct {
+		v, i, l int
+	}
+	stack := []frame{{t.Root(), k, 1}}
+	for len(stack) > 0 {
+		f := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		v := f.v
+		children := t.Children(v)
+		isBlue := tb.nodes[v].isBlue[f.l*stride+f.i]
+		blue[v] = isBlue
+		if len(children) == 0 {
+			continue
+		}
+
+		// Rebuild Y^m rows for this node's (ℓ*, color), m = 1..C.
+		rho := t.RhoUp(v, f.l)
+		bsend := 0.0
+		if subLoad[v] > 0 {
+			bsend = 1
+		}
+		rows := make([][]float64, len(children)) // rows[m-1][i] = Y^m for v's color
+		childXRow := func(m int) []float64 {
+			c := children[m]
+			if isBlue {
+				return tb.nodes[c].x[1*stride : 1*stride+stride]
+			}
+			return tb.nodes[c].x[(f.l+1)*stride : (f.l+1)*stride+stride]
+		}
+		first := make([]float64, stride)
+		x1 := childXRow(0)
+		for i := 0; i <= k; i++ {
+			if isBlue {
+				if i >= 1 {
+					first[i] = x1[i-1] + rho*bsend
+				} else {
+					first[i] = math.Inf(1)
+				}
+			} else {
+				first[i] = x1[i] + rho*float64(load[v])
+			}
+		}
+		rows[0] = first
+		for m := 1; m < len(children); m++ {
+			prev := rows[m-1]
+			xm := childXRow(m)
+			row := make([]float64, stride)
+			for i := 0; i <= k; i++ {
+				best := math.Inf(1)
+				for j := 0; j <= i; j++ {
+					if c := prev[i-j] + xm[j]; c < best {
+						best = c
+					}
+				}
+				row[i] = best
+			}
+			rows[m] = row
+		}
+
+		// mSplit (paper Alg. 4 lines 18-22), children in reverse order.
+		remaining := f.i
+		childL := f.l + 1
+		if isBlue {
+			childL = 1
+		}
+		for m := len(children) - 1; m >= 1; m-- {
+			prev := rows[m-1]
+			xm := childXRow(m)
+			bestJ, bestC := 0, math.Inf(1)
+			for j := 0; j <= remaining; j++ {
+				if c := prev[remaining-j] + xm[j]; c < bestC {
+					bestC, bestJ = c, j
+				}
+			}
+			stack = append(stack, frame{children[m], bestJ, childL})
+			remaining -= bestJ
+		}
+		if isBlue {
+			remaining--
+		}
+		stack = append(stack, frame{children[0], remaining, childL})
+	}
+	return blue, tb.Optimum()
+}

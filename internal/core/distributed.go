@@ -1,0 +1,83 @@
+package core
+
+import (
+	"sync"
+
+	"soar/internal/topology"
+)
+
+// SolveDistributed runs SOAR as the paper describes it operationally
+// (Sec. 4.2): as a distributed, asynchronous message-passing protocol.
+// One goroutine per switch; SOAR-Gather information flows leaf-to-root
+// over per-switch channels (a switch proceeds once it has heard from all
+// of its children), then the destination injects (k, ℓ=1) and SOAR-Color
+// assignments flow root-to-leaf. The placement and cost are identical to
+// the serial Solve; the tests assert this on randomized instances.
+func SolveDistributed(t *topology.Tree, load []int, avail []bool, k int) Result {
+	validate(t, load, avail)
+	if k < 0 {
+		k = 0
+	}
+	n := t.N()
+	subLoad := t.SubtreeLoads(load)
+
+	type gatherMsg struct {
+		child  int
+		tables *nodeTables
+	}
+	type colorMsg struct {
+		i, l int
+	}
+	upstream := make([]chan gatherMsg, n)
+	downstream := make([]chan colorMsg, n)
+	for v := 0; v < n; v++ {
+		upstream[v] = make(chan gatherMsg, t.NumChildren(v))
+		downstream[v] = make(chan colorMsg, 1)
+	}
+	// The destination's inbox receives the root's table, then kicks off
+	// coloring by sending the budget to the root (paper Alg. 4 line 2).
+	destInbox := make(chan gatherMsg, 1)
+
+	blue := make([]bool, n)
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for v := 0; v < n; v++ {
+		go func(v int) {
+			defer wg.Done()
+			// --- SOAR-Gather at v: wait for all children, compute, send up.
+			children := t.Children(v)
+			byChild := make(map[int]*nodeTables, len(children))
+			for range children {
+				m := <-upstream[v]
+				byChild[m.child] = m.tables
+			}
+			ordered := make([]*nodeTables, len(children))
+			for i, c := range children {
+				ordered[i] = byChild[c]
+			}
+			nt := computeNode(t, v, load[v], subLoad[v] > 0, isAvail(avail, v), k, ordered, true)
+			if p := t.Parent(v); p == topology.NoParent {
+				destInbox <- gatherMsg{child: v, tables: &nt}
+			} else {
+				upstream[p] <- gatherMsg{child: v, tables: &nt}
+			}
+
+			// --- SOAR-Color at v: wait for (i, ℓ*) from the parent,
+			// decide the color, split the budget among the children.
+			cm := <-downstream[v]
+			isBlue, childBudget, childL := decide(t, &nt, k, v, cm.i, cm.l)
+			blue[v] = isBlue // distinct index per goroutine; no race
+			for m, c := range children {
+				downstream[c] <- colorMsg{i: childBudget[m], l: childL}
+			}
+		}(v)
+	}
+
+	// The destination: receive the root's table, read off the optimum,
+	// and start the color phase.
+	rootMsg := <-destInbox
+	cost := rootMsg.tables.x[1*(k+1)+k]
+	downstream[t.Root()] <- colorMsg{i: k, l: 1}
+	wg.Wait()
+	return Result{Blue: blue, Cost: cost}
+}

@@ -1,0 +1,126 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"soar/internal/paper"
+	"soar/internal/reduce"
+	"soar/internal/topology"
+)
+
+// TestAllEnginesAgree drives every engine — serial, parallel,
+// goroutine-distributed, compact — over randomized instances and
+// requires identical costs and (for the deterministic engines)
+// identical placements.
+func TestAllEnginesAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	for trial := 0; trial < 60; trial++ {
+		n := 1 + rng.Intn(60)
+		tr := topology.RandomRecursive(n, rng)
+		loads := make([]int, n)
+		avail := make([]bool, n)
+		for v := 0; v < n; v++ {
+			loads[v] = rng.Intn(6)
+			avail[v] = rng.Intn(4) != 0
+		}
+		k := rng.Intn(8)
+
+		serial := Solve(tr, loads, avail, k)
+		parallel := SolveParallel(tr, loads, avail, k, 4)
+		dist := SolveDistributed(tr, loads, avail, k)
+		compact := SolveCompact(tr, loads, avail, k)
+
+		for name, res := range map[string]Result{
+			"parallel": parallel, "distributed": dist, "compact": compact,
+		} {
+			if math.Abs(res.Cost-serial.Cost) > 1e-9 {
+				t.Fatalf("trial %d: %s φ=%v, serial φ=%v", trial, name, res.Cost, serial.Cost)
+			}
+			if sim := reduce.Utilization(tr, loads, res.Blue); math.Abs(sim-res.Cost) > 1e-9 {
+				t.Fatalf("trial %d: %s placement costs %v, reported %v", trial, name, sim, res.Cost)
+			}
+			for v, b := range res.Blue {
+				if b && !avail[v] {
+					t.Fatalf("trial %d: %s colored unavailable switch %d", trial, name, v)
+				}
+			}
+		}
+		// Serial and parallel build identical tables, so identical sets.
+		for v := range serial.Blue {
+			if serial.Blue[v] != parallel.Blue[v] {
+				t.Fatalf("trial %d: parallel placement differs at %d", trial, v)
+			}
+		}
+	}
+}
+
+func TestParallelPaperExample(t *testing.T) {
+	tr, loads := paper.Figure2()
+	for _, workers := range []int{0, 1, 2, 8, 64} {
+		res := SolveParallel(tr, loads, nil, 2, workers)
+		if res.Cost != 20 {
+			t.Fatalf("workers=%d: φ=%v, want 20", workers, res.Cost)
+		}
+	}
+}
+
+func TestCompactPaperExample(t *testing.T) {
+	tr, loads := paper.Figure2()
+	res := SolveCompact(tr, loads, nil, 2)
+	if res.Cost != 20 {
+		t.Fatalf("compact φ=%v, want 20", res.Cost)
+	}
+	want := []bool{false, false, true, false, true, false, false}
+	for v := range want {
+		if res.Blue[v] != want[v] {
+			t.Fatalf("compact placement differs at %d", v)
+		}
+	}
+}
+
+func TestCompactTablesMatchStandard(t *testing.T) {
+	tr, loads := paper.Figure2()
+	full := Gather(tr, loads, nil, 3)
+	compact := GatherCompact(tr, loads, nil, 3)
+	for v := 0; v < tr.N(); v++ {
+		for l := 0; l <= tr.Depth(v); l++ {
+			for i := 0; i <= 3; i++ {
+				if full.X(v, l, i) != compact.X(v, l, i) {
+					t.Fatalf("X_%d(%d,%d): full %v, compact %v",
+						v, l, i, full.X(v, l, i), compact.X(v, l, i))
+				}
+			}
+		}
+	}
+}
+
+func TestParallelBigTree(t *testing.T) {
+	tr := topology.MustBT(1024)
+	rng := rand.New(rand.NewSource(5))
+	loads := make([]int, tr.N())
+	for _, v := range tr.Leaves() {
+		loads[v] = 1 + rng.Intn(10)
+	}
+	serial := Solve(tr, loads, nil, 32)
+	par := SolveParallel(tr, loads, nil, 32, 0)
+	if serial.Cost != par.Cost {
+		t.Fatalf("parallel φ=%v, serial φ=%v", par.Cost, serial.Cost)
+	}
+}
+
+func TestParallelStarHighFanIn(t *testing.T) {
+	// A star maximizes contention on the single parent's dependency
+	// counter.
+	tr := topology.Star(500)
+	loads := make([]int, 500)
+	for v := 1; v < 500; v++ {
+		loads[v] = v % 5
+	}
+	serial := Solve(tr, loads, nil, 12)
+	par := SolveParallel(tr, loads, nil, 12, 16)
+	if serial.Cost != par.Cost {
+		t.Fatalf("parallel φ=%v, serial φ=%v", par.Cost, serial.Cost)
+	}
+}

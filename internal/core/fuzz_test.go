@@ -1,0 +1,37 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"soar/internal/reduce"
+)
+
+// FuzzSolveMatchesReference drives the table engine against the
+// independent recursive reference on fuzzer-chosen instances. Run the
+// corpus as a normal test with `go test`, or explore with
+// `go test -fuzz FuzzSolveMatchesReference ./internal/core`.
+func FuzzSolveMatchesReference(f *testing.F) {
+	f.Add(int64(1))
+	f.Add(int64(42))
+	f.Add(int64(-7))
+	f.Add(int64(1 << 40))
+	f.Fuzz(func(t *testing.T, seed int64) {
+		tr, loads, avail, k := randomInstance(seed, 25, 6)
+		res := Solve(tr, loads, avail, k)
+		want := referenceCost(tr, loads, avail, k)
+		if math.Abs(res.Cost-want) > 1e-9 {
+			t.Fatalf("seed %d: Solve φ=%v, reference φ=%v", seed, res.Cost, want)
+		}
+		if sim := reduce.Utilization(tr, loads, res.Blue); math.Abs(sim-res.Cost) > 1e-9 {
+			t.Fatalf("seed %d: reported φ=%v but placement costs %v", seed, res.Cost, sim)
+		}
+		if got := reduce.CountBlue(res.Blue); got > k {
+			t.Fatalf("seed %d: %d blue switches exceed k=%d", seed, got, k)
+		}
+		dist := SolveDistributed(tr, loads, avail, k)
+		if math.Abs(dist.Cost-res.Cost) > 1e-9 {
+			t.Fatalf("seed %d: distributed φ=%v, serial φ=%v", seed, dist.Cost, res.Cost)
+		}
+	})
+}

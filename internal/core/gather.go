@@ -1,0 +1,158 @@
+package core
+
+import (
+	"math"
+
+	"soar/internal/topology"
+)
+
+// nodeTables holds the DP state of one switch.
+type nodeTables struct {
+	// x[l*(k+1)+i] = X_v(ℓ=l, i): minimal potential over colorings of T_v
+	// with at most i blue switches, given the nearest blue ancestor (or
+	// d) is l hops above v. Non-increasing in i.
+	x []float64
+	// isBlue mirrors x and records whether the minimum colors v blue
+	// (strictly better than red; ties resolve to red, as in the paper's
+	// Alg. 4 line 6).
+	isBlue []bool
+	// splits[m-2] records, for the merge of child m (m = 2..C(v)), the
+	// optimal number of blue switches assigned to that child's subtree.
+	// Layout: color (0 red, 1 blue) major, then l, then i:
+	// splits[m-2][(color*(depth+1)+l)*(k+1)+i].
+	splits [][]int32
+}
+
+// Gather runs SOAR-Gather (paper Alg. 3) serially in post-order and
+// returns the full DP state. avail == nil means every switch may be blue.
+// A negative k is treated as 0.
+func Gather(t *topology.Tree, load []int, avail []bool, k int) *Tables {
+	validate(t, load, avail)
+	if k < 0 {
+		k = 0
+	}
+	tb := &Tables{
+		t:     t,
+		load:  load,
+		k:     k,
+		nodes: make([]nodeTables, t.N()),
+	}
+	subLoad := t.SubtreeLoads(load)
+	for _, v := range t.PostOrder() {
+		tb.nodes[v] = computeNode(t, v, load[v], subLoad[v] > 0, isAvail(avail, v), k, childTables(tb, v), true)
+	}
+	return tb
+}
+
+func isAvail(avail []bool, v int) bool { return avail == nil || avail[v] }
+
+func childTables(tb *Tables, v int) []*nodeTables {
+	cs := tb.t.Children(v)
+	out := make([]*nodeTables, len(cs))
+	for i, c := range cs {
+		out[i] = &tb.nodes[c]
+	}
+	return out
+}
+
+// computeNode fills the DP tables of one switch from its children's
+// tables. It is shared by the serial, distributed and TCP engines.
+//
+// Parameters: load is L(v); hasLoad is whether T_v's total load is
+// positive (a blue v sends min(1, subtree load) messages upward — see the
+// package comment of internal/reduce); avail is v ∈ Λ.
+func computeNode(t *topology.Tree, v, load int, hasLoad, avail bool, k int, children []*nodeTables, recordSplits bool) nodeTables {
+	depth := t.Depth(v)
+	stride := k + 1
+	nt := nodeTables{
+		x:      make([]float64, (depth+1)*stride),
+		isBlue: make([]bool, (depth+1)*stride),
+	}
+	bsend := 0.0
+	if hasLoad {
+		bsend = 1.0
+	}
+	if len(children) == 0 {
+		// Leaf (paper Alg. 3 lines 1-9, with the min() refinement so the
+		// table stays optimal under "at most i" semantics and zero loads).
+		for l := 0; l <= depth; l++ {
+			rho := t.RhoUp(v, l)
+			red := rho * float64(load)
+			blue := rho * bsend
+			nt.x[l*stride] = red
+			for i := 1; i <= k; i++ {
+				idx := l*stride + i
+				if avail && blue < red {
+					nt.x[idx] = blue
+					nt.isBlue[idx] = true
+				} else {
+					nt.x[idx] = red
+				}
+			}
+		}
+		return nt
+	}
+
+	if recordSplits {
+		nt.splits = make([][]int32, len(children)-1)
+		for m := range nt.splits {
+			nt.splits[m] = make([]int32, 2*(depth+1)*stride)
+		}
+	}
+	yr := make([]float64, stride)
+	yb := make([]float64, stride)
+	newYR := make([]float64, stride)
+	newYB := make([]float64, stride)
+	for l := 0; l <= depth; l++ {
+		rho := t.RhoUp(v, l)
+		// m = 1 (paper Alg. 3 lines 14-19): fold in the first child.
+		c1 := children[0]
+		for i := 0; i <= k; i++ {
+			yr[i] = c1.x[(l+1)*stride+i] + rho*float64(load)
+			if avail && i >= 1 {
+				yb[i] = c1.x[1*stride+(i-1)] + rho*bsend
+			} else {
+				yb[i] = math.Inf(1)
+			}
+		}
+		// m ≥ 2 (paper Alg. 3 lines 20-25): min-plus merge per child,
+		// recording the argmin split for the traceback (unless the caller
+		// chose the low-memory engine, which re-derives argmins on demand).
+		for m := 1; m < len(children); m++ {
+			cm := children[m]
+			xBlue := cm.x[1*stride : 1*stride+stride]        // child sees ℓ = 1 below a blue v
+			xRed := cm.x[(l+1)*stride : (l+1)*stride+stride] // child sees ℓ+1 below a red v
+			for i := 0; i <= k; i++ {
+				bestR, argR := math.Inf(1), 0
+				bestB, argB := math.Inf(1), 0
+				for j := 0; j <= i; j++ {
+					if c := yr[i-j] + xRed[j]; c < bestR {
+						bestR, argR = c, j
+					}
+					if c := yb[i-j] + xBlue[j]; c < bestB {
+						bestB, argB = c, j
+					}
+				}
+				newYR[i], newYB[i] = bestR, bestB
+				if recordSplits {
+					sp := nt.splits[m-1]
+					sp[(0*(depth+1)+l)*stride+i] = int32(argR)
+					sp[(1*(depth+1)+l)*stride+i] = int32(argB)
+				}
+			}
+			yr, newYR = newYR, yr
+			yb, newYB = newYB, yb
+		}
+		// X_v(ℓ, i) = min over v's color (paper Alg. 3 line 28).
+		for i := 0; i <= k; i++ {
+			idx := l*stride + i
+			if yb[i] < yr[i] {
+				nt.x[idx] = yb[i]
+				nt.isBlue[idx] = true
+			} else {
+				nt.x[idx] = yr[i]
+			}
+		}
+	}
+	return nt
+}

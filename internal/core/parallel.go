@@ -1,0 +1,72 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"soar/internal/topology"
+)
+
+// GatherParallel is the parallel SOAR-Gather the paper leaves as future
+// work (Sec. 5.4: "SOAR-Gather can also be implemented in a parallel or
+// distributed manner, along a parallel DFS-scan from leaves to the
+// root, which would result in a significant speedup"). Nodes become
+// ready when all their children are done (dependency counting); a fixed
+// worker pool drains the ready set bottom-up. Tables are identical to
+// the serial Gather. workers ≤ 0 selects GOMAXPROCS.
+func GatherParallel(t *topology.Tree, load []int, avail []bool, k, workers int) *Tables {
+	validate(t, load, avail)
+	if k < 0 {
+		k = 0
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	n := t.N()
+	tb := &Tables{
+		t:     t,
+		load:  load,
+		k:     k,
+		nodes: make([]nodeTables, n),
+	}
+	subLoad := t.SubtreeLoads(load)
+
+	pending := make([]int32, n)
+	ready := make(chan int, n)
+	for v := 0; v < n; v++ {
+		pending[v] = int32(t.NumChildren(v))
+		if pending[v] == 0 {
+			ready <- v
+		}
+	}
+	var processed int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for v := range ready {
+				tb.nodes[v] = computeNode(t, v, load[v], subLoad[v] > 0, isAvail(avail, v), k, childTables(tb, v), true)
+				if p := t.Parent(v); p != topology.NoParent {
+					if atomic.AddInt32(&pending[p], -1) == 0 {
+						ready <- p
+					}
+				}
+				if atomic.AddInt64(&processed, 1) == int64(n) {
+					close(ready) // root done; release all workers
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return tb
+}
+
+// SolveParallel runs the parallel Gather followed by the (serial, cheap)
+// Color phase. The result is identical to Solve.
+func SolveParallel(t *topology.Tree, load []int, avail []bool, k, workers int) Result {
+	tb := GatherParallel(t, load, avail, k, workers)
+	blue, cost := ColorPhase(tb)
+	return Result{Blue: blue, Cost: cost}
+}

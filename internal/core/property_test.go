@@ -1,0 +1,174 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"soar/internal/reduce"
+	"soar/internal/topology"
+)
+
+// randomInstance decodes an arbitrary quick-generated seed into a
+// well-formed φ-BIC instance.
+func randomInstance(seed int64, maxN, maxK int) (*topology.Tree, []int, []bool, int) {
+	rng := rand.New(rand.NewSource(seed))
+	n := 1 + rng.Intn(maxN)
+	parent := make([]int, n)
+	omega := make([]float64, n)
+	parent[0] = topology.NoParent
+	for v := 1; v < n; v++ {
+		parent[v] = rng.Intn(v)
+	}
+	for v := 0; v < n; v++ {
+		omega[v] = []float64{0.5, 1, 2, 4}[rng.Intn(4)]
+	}
+	t := topology.MustNew(parent, omega)
+	loads := make([]int, n)
+	avail := make([]bool, n)
+	for v := 0; v < n; v++ {
+		loads[v] = rng.Intn(6)
+		avail[v] = rng.Intn(5) != 0
+	}
+	return t, loads, avail, rng.Intn(maxK + 1)
+}
+
+func TestQuickSOARMatchesReference(t *testing.T) {
+	// Mid-size cross-check: the table engine agrees with the independent
+	// recursive-memoized reference on instances far beyond brute force.
+	f := func(seed int64) bool {
+		tr, loads, avail, k := randomInstance(seed, 60, 10)
+		got := Solve(tr, loads, avail, k).Cost
+		want := referenceCost(tr, loads, avail, k)
+		return math.Abs(got-want) <= 1e-9
+	}
+	cfg := &quick.Config{MaxCount: 150}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickReportedCostMatchesSimulation(t *testing.T) {
+	// The cost SOAR reports is always exactly what its placement costs.
+	f := func(seed int64) bool {
+		tr, loads, avail, k := randomInstance(seed, 50, 8)
+		res := Solve(tr, loads, avail, k)
+		return math.Abs(res.Cost-reduce.Utilization(tr, loads, res.Blue)) <= 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickTableMonotoneInBudget(t *testing.T) {
+	// X_v(ℓ, i) is non-increasing in i for every switch and every ℓ: a
+	// larger budget can never hurt a subtree ("at most i" semantics).
+	f := func(seed int64) bool {
+		tr, loads, avail, k := randomInstance(seed, 40, 8)
+		tb := Gather(tr, loads, avail, k)
+		for v := 0; v < tr.N(); v++ {
+			for l := 0; l <= tr.Depth(v); l++ {
+				for i := 1; i <= k; i++ {
+					if tb.X(v, l, i) > tb.X(v, l, i-1)+1e-9 {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickTableMonotoneInDistance(t *testing.T) {
+	// X_v(ℓ, i) is non-decreasing in ℓ: being farther from the barrier
+	// can only add upstream cost (every ρ is positive).
+	f := func(seed int64) bool {
+		tr, loads, avail, k := randomInstance(seed, 40, 6)
+		tb := Gather(tr, loads, avail, k)
+		for v := 0; v < tr.N(); v++ {
+			for i := 0; i <= k; i++ {
+				for l := 1; l <= tr.Depth(v); l++ {
+					if tb.X(v, l, i) < tb.X(v, l-1, i)-1e-9 {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickChildOrderIrrelevant(t *testing.T) {
+	// The optimum cannot depend on the order in which a switch's children
+	// are folded into the DP. Relabeling the switches (which permutes
+	// child order) must preserve the optimal cost.
+	f := func(seed int64) bool {
+		tr, loads, _, k := randomInstance(seed, 30, 6)
+		base := Solve(tr, loads, nil, k).Cost
+
+		// Relabel by reversing ids: new id = n-1-old. Children orders flip.
+		n := tr.N()
+		parent := make([]int, n)
+		omega := make([]float64, n)
+		loads2 := make([]int, n)
+		for v := 0; v < n; v++ {
+			nv := n - 1 - v
+			if p := tr.Parent(v); p == topology.NoParent {
+				parent[nv] = topology.NoParent
+			} else {
+				parent[nv] = n - 1 - p
+			}
+			omega[nv] = 1 / tr.Rho(v)
+			loads2[nv] = loads[v]
+		}
+		tr2 := topology.MustNew(parent, omega)
+		relabeled := Solve(tr2, loads2, nil, k).Cost
+		return math.Abs(base-relabeled) <= 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickAvailabilityMonotone(t *testing.T) {
+	// Enlarging Λ can only improve the optimum.
+	f := func(seed int64) bool {
+		tr, loads, avail, k := randomInstance(seed, 35, 6)
+		restricted := Solve(tr, loads, avail, k).Cost
+		full := Solve(tr, loads, nil, k).Cost
+		return full <= restricted+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickRateScalingScalesCost(t *testing.T) {
+	// Multiplying every rate by c divides the optimal cost by c, and the
+	// optimal placement remains optimal.
+	f := func(seed int64, scale uint8) bool {
+		c := float64(scale%7) + 2
+		tr, loads, _, k := randomInstance(seed, 30, 5)
+		n := tr.N()
+		omega := make([]float64, n)
+		parent := make([]int, n)
+		for v := 0; v < n; v++ {
+			parent[v] = tr.Parent(v)
+			omega[v] = c / tr.Rho(v)
+		}
+		scaled := topology.MustNew(parent, omega)
+		a := Solve(tr, loads, nil, k).Cost
+		b := Solve(scaled, loads, nil, k).Cost
+		return math.Abs(a-b*c) <= 1e-6*(1+a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,101 @@
+package core
+
+import (
+	"fmt"
+
+	"soar/internal/topology"
+)
+
+// decide performs one switch's SOAR-Color step: given the budget i and
+// barrier distance l received from the parent, it returns the switch's
+// color and, for each child in order, the (budget, l) pair to forward.
+// Shared by ColorPhase, SolveDistributed and the TCP cluster engine.
+func decide(t *topology.Tree, nt *nodeTables, k, v, budget, l int) (isBlue bool, childBudget []int, childL int) {
+	stride := k + 1
+	isBlue = nt.isBlue[l*stride+budget]
+	children := t.Children(v)
+	if len(children) == 0 {
+		return isBlue, nil, 0
+	}
+	colorIdx := 0
+	childL = l + 1
+	if isBlue {
+		colorIdx, childL = 1, 1
+	}
+	depth := t.Depth(v)
+	childBudget = make([]int, len(children))
+	remaining := budget
+	for m := len(children) - 1; m >= 1; m-- {
+		j := int(nt.splits[m-1][(colorIdx*(depth+1)+l)*stride+remaining])
+		childBudget[m] = j
+		remaining -= j
+	}
+	if isBlue {
+		remaining--
+	}
+	childBudget[0] = remaining
+	return isBlue, childBudget, childL
+}
+
+// NodeState is the per-switch protocol engine behind the message-passing
+// deployments of SOAR (the goroutine engine and the TCP cluster). A
+// switch constructs its state from the X tables its children sent, ships
+// XTable() to its parent, and later answers the parent's (budget, ℓ)
+// assignment with Decide.
+type NodeState struct {
+	t  *topology.Tree
+	v  int
+	k  int
+	nt nodeTables
+}
+
+// NewNodeState runs the SOAR-Gather step of switch v. childX must hold
+// one flattened X table per child, in child order, each of length
+// (Depth(child)+1)·(k+1) as produced by XTable on the child.
+func NewNodeState(t *topology.Tree, v int, loadV int, hasLoad, avail bool, k int, childX [][]float64) (*NodeState, error) {
+	children := t.Children(v)
+	if len(childX) != len(children) {
+		return nil, fmt.Errorf("core: switch %d has %d children but got %d tables", v, len(children), len(childX))
+	}
+	tables := make([]*nodeTables, len(children))
+	for i, c := range children {
+		want := (t.Depth(c) + 1) * (k + 1)
+		if len(childX[i]) != want {
+			return nil, fmt.Errorf("core: child %d table has %d entries, want %d", c, len(childX[i]), want)
+		}
+		tables[i] = &nodeTables{x: childX[i]}
+	}
+	return &NodeState{
+		t:  t,
+		v:  v,
+		k:  k,
+		nt: computeNode(t, v, loadV, hasLoad, avail, k, tables, true),
+	}, nil
+}
+
+// XTable returns the flattened X table to send to the parent, of length
+// (Depth(v)+1)·(k+1), row-major in ℓ.
+func (ns *NodeState) XTable() []float64 {
+	out := make([]float64, len(ns.nt.x))
+	copy(out, ns.nt.x)
+	return out
+}
+
+// Optimum returns X_v(1, k); meaningful at the root, where it is the
+// optimal φ the destination reads off (paper Eq. 6).
+func (ns *NodeState) Optimum() float64 {
+	return ns.nt.x[1*(ns.k+1)+ns.k]
+}
+
+// Decide answers the parent's SOAR-Color assignment: it returns whether v
+// is blue and the (budget, ℓ) to forward to each child in child order.
+func (ns *NodeState) Decide(budget, l int) (isBlue bool, childBudget []int, childL int, err error) {
+	if budget < 0 || budget > ns.k {
+		return false, nil, 0, fmt.Errorf("core: switch %d got budget %d outside [0,%d]", ns.v, budget, ns.k)
+	}
+	if l < 0 || l > ns.t.Depth(ns.v) {
+		return false, nil, 0, fmt.Errorf("core: switch %d got ℓ=%d outside [0,%d]", ns.v, l, ns.t.Depth(ns.v))
+	}
+	isBlue, childBudget, childL = decide(ns.t, &ns.nt, ns.k, ns.v, budget, l)
+	return isBlue, childBudget, childL, nil
+}

@@ -1,0 +1,101 @@
+package core
+
+import (
+	"math"
+
+	"soar/internal/topology"
+)
+
+// referenceCost is an independent implementation of the φ-BIC optimum:
+// a direct recursive-memoized evaluation of the paper's potential
+// recursion (Lemma 6.1 / Eqs. 12-13), written with maps and explicit
+// recursion instead of flat tables, argmin breadcrumbs or traversal
+// orders. It returns only the cost. Brute force certifies tiny
+// instances; this reference extends the cross-check to mid-size trees
+// (n ≈ 60, k ≈ 10) where 2^n enumeration is impossible.
+func referenceCost(t *topology.Tree, load []int, avail []bool, k int) float64 {
+	if k < 0 {
+		k = 0
+	}
+	subLoad := t.SubtreeLoads(load)
+	bsend := func(v int) float64 {
+		if subLoad[v] > 0 {
+			return 1
+		}
+		return 0
+	}
+	ok := func(v int) bool { return avail == nil || avail[v] }
+
+	type xKey struct{ v, l, i int }
+	type yKey struct {
+		v, m, l, i int
+		blue       bool
+	}
+	xMemo := make(map[xKey]float64)
+	yMemo := make(map[yKey]float64)
+
+	var x func(v, l, i int) float64
+	var y func(v, m, l, i int, blue bool) float64
+
+	y = func(v, m, l, i int, blue bool) float64 {
+		if blue && !ok(v) {
+			return math.Inf(1)
+		}
+		key := yKey{v, m, l, i, blue}
+		if c, hit := yMemo[key]; hit {
+			return c
+		}
+		children := t.Children(v)
+		var cost float64
+		if m == 1 {
+			if blue {
+				if i < 1 {
+					cost = math.Inf(1)
+				} else {
+					cost = x(children[0], 1, i-1) + t.RhoUp(v, l)*bsend(v)
+				}
+			} else {
+				cost = x(children[0], l+1, i) + t.RhoUp(v, l)*float64(load[v])
+			}
+		} else {
+			cost = math.Inf(1)
+			childL := l + 1
+			if blue {
+				childL = 1
+			}
+			for j := 0; j <= i; j++ {
+				if c := y(v, m-1, l, i-j, blue) + x(children[m-1], childL, j); c < cost {
+					cost = c
+				}
+			}
+		}
+		yMemo[key] = cost
+		return cost
+	}
+
+	x = func(v, l, i int) float64 {
+		key := xKey{v, l, i}
+		if c, hit := xMemo[key]; hit {
+			return c
+		}
+		var cost float64
+		if t.IsLeaf(v) {
+			cost = t.RhoUp(v, l) * float64(load[v])
+			if i >= 1 && ok(v) {
+				if blue := t.RhoUp(v, l) * bsend(v); blue < cost {
+					cost = blue
+				}
+			}
+		} else {
+			c := t.NumChildren(v)
+			cost = y(v, c, l, i, false)
+			if b := y(v, c, l, i, true); b < cost {
+				cost = b
+			}
+		}
+		xMemo[key] = cost
+		return cost
+	}
+
+	return x(t.Root(), 1, k)
+}

@@ -1,0 +1,115 @@
+// Package core implements SOAR, the optimal dynamic-programming algorithm
+// for the Bounded In-network Computing problem (φ-BIC) of
+//
+//	Segal, Avin, Scalosub: "SOAR: Minimizing Network Utilization with
+//	Bounded In-network Computing", CoNEXT 2021.
+//
+// Given a weighted tree network T, a load vector L, an availability set
+// Λ and a budget k, SOAR finds a set U ⊆ Λ of at most k aggregating
+// ("blue") switches minimizing the network utilization cost
+// φ(T, L, U) = Σ_e msg_e·ρ(e), in time O(n·h(T)·k²) (paper Thm. 4.1).
+//
+// The implementation follows the paper's two phases:
+//
+//   - SOAR-Gather (paper Alg. 3) sweeps the tree bottom-up and fills, for
+//     every switch v, a table X_v(ℓ, i): the minimal potential π of the
+//     subtree T_v when i blue switches are placed inside it and the
+//     nearest blue ancestor (or the destination d) is ℓ hops above v. The
+//     potential (paper Eq. 4) charges T_v's internal edges plus the cost
+//     its outgoing message(s) will incur on the ℓ links above.
+//   - SOAR-Color (paper Alg. 4) walks top-down along the recorded argmin
+//     "breadcrumbs" and assigns the colors.
+//
+// Both a serial engine (this file, gather.go, color.go) and a distributed
+// message-passing engine (distributed.go) are provided; they produce
+// identical placements.
+package core
+
+import (
+	"fmt"
+
+	"soar/internal/reduce"
+	"soar/internal/topology"
+)
+
+// Result is an optimal φ-BIC solution.
+type Result struct {
+	// Blue[v] reports whether switch v aggregates.
+	Blue []bool
+	// Cost is φ(T, L, Blue), as computed by the DP. It always equals
+	// reduce.Utilization(t, load, Blue).
+	Cost float64
+}
+
+// Solve runs both SOAR phases and returns an optimal placement of at most
+// k blue switches chosen from avail (nil means all switches available).
+func Solve(t *topology.Tree, load []int, avail []bool, k int) Result {
+	tb := Gather(t, load, avail, k)
+	blue, cost := ColorPhase(tb)
+	return Result{Blue: blue, Cost: cost}
+}
+
+// Strategy adapts SOAR to the placement.Strategy interface so that
+// experiments can treat it uniformly with the baselines.
+type Strategy struct{}
+
+// Name implements placement.Strategy.
+func (Strategy) Name() string { return "soar" }
+
+// Place implements placement.Strategy.
+func (Strategy) Place(t *topology.Tree, load []int, avail []bool, k int) []bool {
+	return Solve(t, load, avail, k).Blue
+}
+
+// Tables is the dynamic-programming state produced by Gather and
+// consumed by ColorPhase. It retains, per switch, the X table, the
+// color choice at each (ℓ, i), and the budget-split breadcrumbs used by
+// the traceback.
+type Tables struct {
+	t     *topology.Tree
+	load  []int
+	k     int
+	nodes []nodeTables
+}
+
+// K returns the budget the tables were computed for.
+func (tb *Tables) K() int { return tb.k }
+
+// Tree returns the tree the tables were computed on.
+func (tb *Tables) Tree() *topology.Tree { return tb.t }
+
+// X returns X_v(ℓ, i): the minimal subtree potential for switch v with i
+// blue switches in T_v and the nearest blue ancestor (or d) ℓ hops up.
+// ℓ must be in [0, Depth(v)] and i in [0, k].
+func (tb *Tables) X(v, l, i int) float64 {
+	return tb.nodes[v].x[l*(tb.k+1)+i]
+}
+
+// Blue reports whether the optimum at X_v(ℓ, i) colors v blue.
+func (tb *Tables) Blue(v, l, i int) bool {
+	return tb.nodes[v].isBlue[l*(tb.k+1)+i]
+}
+
+// Optimum returns the optimal utilization cost φ-BIC(T, L, Λ, k), which
+// is X_r(1, k) for the root r (paper Eq. 6).
+func (tb *Tables) Optimum() float64 {
+	return tb.X(tb.t.Root(), 1, tb.k)
+}
+
+func validate(t *topology.Tree, load []int, avail []bool) {
+	if len(load) != t.N() {
+		panic(fmt.Sprintf("core: tree has %d switches but load has %d entries", t.N(), len(load)))
+	}
+	if avail != nil && len(avail) != t.N() {
+		panic(fmt.Sprintf("core: tree has %d switches but avail has %d entries", t.N(), len(avail)))
+	}
+	for v, l := range load {
+		if l < 0 {
+			panic(fmt.Sprintf("core: switch %d has negative load %d", v, l))
+		}
+	}
+}
+
+// sanity check that the DP cost of a placement matches the simulator;
+// used by tests via ColorPhase's return contract.
+var _ = reduce.Utilization

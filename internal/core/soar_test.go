@@ -1,0 +1,317 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"soar/internal/paper"
+	"soar/internal/placement"
+	"soar/internal/reduce"
+	"soar/internal/topology"
+)
+
+func TestFigure2SOAROptimum(t *testing.T) {
+	tr, loads := paper.Figure2()
+	res := Solve(tr, loads, nil, 2)
+	if res.Cost != 20 {
+		t.Fatalf("SOAR k=2 φ = %v, want 20 (Fig. 2d)", res.Cost)
+	}
+	// The unique optimum is {2, 4}: the right mid switch and the load-6 leaf.
+	want := []bool{false, false, true, false, true, false, false}
+	for v := range want {
+		if res.Blue[v] != want[v] {
+			t.Fatalf("SOAR k=2 blue set %s, want {2,4}", placement.String(res.Blue))
+		}
+	}
+}
+
+func TestFigure3OptimaAllK(t *testing.T) {
+	tr, loads := paper.Figure2()
+	want := map[int]float64{0: 51, 1: 35, 2: 20, 3: 15, 4: 11, 5: 9, 7: 7}
+	for k, w := range want {
+		res := Solve(tr, loads, nil, k)
+		if res.Cost != w {
+			t.Errorf("SOAR k=%d: φ = %v, want %v", k, res.Cost, w)
+		}
+		if sim := reduce.Utilization(tr, loads, res.Blue); sim != res.Cost {
+			t.Errorf("k=%d: reported %v but placement simulates to %v", k, res.Cost, sim)
+		}
+		if got := reduce.CountBlue(res.Blue); got > k {
+			t.Errorf("k=%d: placed %d blue switches", k, got)
+		}
+	}
+}
+
+func TestFigure3UniqueSetK3(t *testing.T) {
+	tr, loads := paper.Figure2()
+	res := Solve(tr, loads, nil, 3)
+	want := []bool{false, false, false, false, true, true, true}
+	for v := range want {
+		if res.Blue[v] != want[v] {
+			t.Fatalf("SOAR k=3 blue set %s, want {4,5,6} (unique per Fig. 3c)",
+				placement.String(res.Blue))
+		}
+	}
+}
+
+func TestFigure5GatherTables(t *testing.T) {
+	// Sec. 4.3 walkthrough: values hand-recomputed from the paper's text
+	// (the root's ℓ=0 row matches the figure; the figure's ℓ=1 row in the
+	// arXiv scan is corrupted, but the text pins X_r(1,2)=20 and Fig. 3
+	// pins X_r(1,1)=35 and X_r(1,0)=51 = all-red φ).
+	tr, loads := paper.Figure2()
+	tb := Gather(tr, loads, nil, 2)
+
+	root := tr.Root()
+	wantRoot := map[[2]int]float64{
+		{0, 0}: 34, {0, 1}: 24, {0, 2}: 16,
+		{1, 0}: 51, {1, 1}: 35, {1, 2}: 20,
+	}
+	for li, w := range wantRoot {
+		if got := tb.X(root, li[0], li[1]); got != w {
+			t.Errorf("X_r(%d,%d) = %v, want %v", li[0], li[1], got, w)
+		}
+	}
+
+	// Left mid switch (children loads 2, 6), paper Fig. 5a (min over colors).
+	wantLeft := [][]float64{
+		{8, 3, 2},
+		{16, 6, 4},
+		{24, 9, 5},
+	}
+	for l, row := range wantLeft {
+		for i, w := range row {
+			if got := tb.X(1, l, i); got != w {
+				t.Errorf("X_left(%d,%d) = %v, want %v", l, i, got, w)
+			}
+		}
+	}
+
+	// Right mid switch (children loads 5, 4).
+	wantRight := [][]float64{
+		{9, 5, 2},
+		{18, 10, 4},
+		{27, 11, 6},
+	}
+	for l, row := range wantRight {
+		for i, w := range row {
+			if got := tb.X(2, l, i); got != w {
+				t.Errorf("X_right(%d,%d) = %v, want %v", l, i, got, w)
+			}
+		}
+	}
+
+	// Load-2 leaf (switch 3): X(ℓ,0) = 2ℓ, X(ℓ,i≥1) = ℓ.
+	for l := 0; l <= 3; l++ {
+		if got := tb.X(3, l, 0); got != float64(2*l) {
+			t.Errorf("X_leaf2(%d,0) = %v, want %v", l, got, 2*l)
+		}
+		if got := tb.X(3, l, 1); got != float64(l) {
+			t.Errorf("X_leaf2(%d,1) = %v, want %v", l, got, l)
+		}
+	}
+
+	if got := tb.Optimum(); got != 20 {
+		t.Errorf("Optimum() = %v, want 20", got)
+	}
+
+	// The Sec. 4.3 text: at (ℓ=1, i=2) the root's red configuration (20)
+	// beats its blue one (25), so r is colored red.
+	if tb.Blue(root, 1, 2) {
+		t.Error("root should be red at (ℓ=1, i=2)")
+	}
+}
+
+func TestSOARMatchesBruteForceRandomized(t *testing.T) {
+	// The central optimality check: on hundreds of random instances
+	// (random shape, loads including zeros, heterogeneous rates, partial
+	// availability, varying k), SOAR must match exhaustive search and its
+	// reported cost must match the Reduce simulator.
+	rng := rand.New(rand.NewSource(77))
+	bf := placement.BruteForce{}
+	for trial := 0; trial < 400; trial++ {
+		n := 1 + rng.Intn(11)
+		parent := make([]int, n)
+		omega := make([]float64, n)
+		parent[0] = topology.NoParent
+		for v := 1; v < n; v++ {
+			parent[v] = rng.Intn(v)
+		}
+		for v := 0; v < n; v++ {
+			omega[v] = []float64{0.5, 1, 2, 4}[rng.Intn(4)]
+		}
+		tr := topology.MustNew(parent, omega)
+		loads := make([]int, n)
+		for v := range loads {
+			loads[v] = rng.Intn(5) // includes zeros
+		}
+		avail := make([]bool, n)
+		anyAvail := false
+		for v := range avail {
+			avail[v] = rng.Intn(5) != 0
+			anyAvail = anyAvail || avail[v]
+		}
+		_ = anyAvail
+		k := rng.Intn(5)
+
+		res := Solve(tr, loads, avail, k)
+		_, bfCost := bf.Search(tr, loads, avail, k)
+		if math.Abs(res.Cost-bfCost) > 1e-9 {
+			t.Fatalf("trial %d: SOAR φ=%v, brute force φ=%v\nn=%d parents=%v omega=%v loads=%v avail=%v k=%d",
+				trial, res.Cost, bfCost, n, parent, omega, loads, avail, k)
+		}
+		if sim := reduce.Utilization(tr, loads, res.Blue); math.Abs(sim-res.Cost) > 1e-9 {
+			t.Fatalf("trial %d: reported φ=%v but placement simulates to %v (blue %s)",
+				trial, res.Cost, sim, placement.String(res.Blue))
+		}
+		if got := reduce.CountBlue(res.Blue); got > k {
+			t.Fatalf("trial %d: %d blue > k=%d", trial, got, k)
+		}
+		for v, b := range res.Blue {
+			if b && !avail[v] {
+				t.Fatalf("trial %d: unavailable switch %d colored blue", trial, v)
+			}
+		}
+	}
+}
+
+func TestSOARDominatesBaselines(t *testing.T) {
+	// Optimality implies SOAR ≤ every strategy on every instance.
+	rng := rand.New(rand.NewSource(99))
+	strategies := []placement.Strategy{
+		placement.Top{}, placement.Max{}, placement.Level{},
+		placement.Greedy{}, placement.Random{Rng: rng},
+	}
+	for trial := 0; trial < 60; trial++ {
+		tr := topology.RandomRecursive(2+rng.Intn(40), rng)
+		loads := make([]int, tr.N())
+		for v := range loads {
+			loads[v] = rng.Intn(8)
+		}
+		k := 1 + rng.Intn(6)
+		opt := Solve(tr, loads, nil, k).Cost
+		for _, s := range strategies {
+			c := placement.Evaluate(s, tr, loads, nil, k)
+			if opt > c+1e-9 {
+				t.Fatalf("trial %d: SOAR φ=%v beats %s φ=%v the wrong way (k=%d)",
+					trial, opt, s.Name(), c, k)
+			}
+		}
+	}
+}
+
+func TestCostMonotoneInK(t *testing.T) {
+	rng := rand.New(rand.NewSource(123))
+	for trial := 0; trial < 30; trial++ {
+		tr := topology.RandomRecursive(2+rng.Intn(30), rng)
+		loads := make([]int, tr.N())
+		for v := range loads {
+			loads[v] = rng.Intn(6)
+		}
+		prev := math.Inf(1)
+		for k := 0; k <= 8; k++ {
+			c := Solve(tr, loads, nil, k).Cost
+			if c > prev+1e-9 {
+				t.Fatalf("trial %d: φ increased from %v (k=%d) to %v (k=%d)", trial, prev, k-1, c, k)
+			}
+			prev = c
+		}
+	}
+}
+
+func TestKZeroIsAllRed(t *testing.T) {
+	tr, loads := paper.Figure2()
+	res := Solve(tr, loads, nil, 0)
+	if res.Cost != 51 || reduce.CountBlue(res.Blue) != 0 {
+		t.Fatalf("k=0: φ=%v blue=%d, want 51, 0", res.Cost, reduce.CountBlue(res.Blue))
+	}
+	neg := Solve(tr, loads, nil, -3)
+	if neg.Cost != 51 {
+		t.Fatalf("negative k: φ=%v, want 51", neg.Cost)
+	}
+}
+
+func TestLargeKEqualsAllBlue(t *testing.T) {
+	tr, loads := paper.Figure2()
+	res := Solve(tr, loads, nil, tr.N()+5)
+	allBlue := make([]bool, tr.N())
+	for i := range allBlue {
+		allBlue[i] = true
+	}
+	if want := reduce.Utilization(tr, loads, allBlue); res.Cost != want {
+		t.Fatalf("k=n: φ=%v, want all-blue %v", res.Cost, want)
+	}
+}
+
+func TestEmptyAvailability(t *testing.T) {
+	tr, loads := paper.Figure2()
+	avail := make([]bool, tr.N())
+	res := Solve(tr, loads, avail, 4)
+	if res.Cost != 51 || reduce.CountBlue(res.Blue) != 0 {
+		t.Fatalf("Λ=∅: φ=%v blue=%d, want all-red 51", res.Cost, reduce.CountBlue(res.Blue))
+	}
+}
+
+func TestHeterogeneousRatesChangeTheOptimum(t *testing.T) {
+	// Under exponentially increasing rates toward the root, aggregating
+	// near the root is cheap to skip; the optimum placement moves down.
+	tr, loads := paper.Figure2()
+	exp := topology.ApplyRates(tr, topology.RatesExponential())
+	resConst := Solve(tr, loads, nil, 1)
+	resExp := Solve(exp, loads, nil, 1)
+	if resConst.Cost <= resExp.Cost {
+		// Expected: higher rates near the root shrink total cost.
+		t.Fatalf("exp-rate φ=%v should be below const-rate φ=%v", resExp.Cost, resConst.Cost)
+	}
+}
+
+func TestSingleSwitch(t *testing.T) {
+	tr := topology.MustNew([]int{topology.NoParent}, []float64{1})
+	res := Solve(tr, []int{5}, nil, 1)
+	if res.Cost != 1 || !res.Blue[0] {
+		t.Fatalf("single switch k=1: φ=%v blue=%v, want 1, true", res.Cost, res.Blue[0])
+	}
+	res0 := Solve(tr, []int{5}, nil, 0)
+	if res0.Cost != 5 {
+		t.Fatalf("single switch k=0: φ=%v, want 5", res0.Cost)
+	}
+}
+
+func TestPathTreeDeepDependencies(t *testing.T) {
+	// On a path with load only at the bottom, a single blue switch should
+	// sit at the deepest loaded switch.
+	tr := topology.Path(6)
+	loads := []int{0, 0, 0, 0, 0, 7}
+	res := Solve(tr, loads, nil, 1)
+	if !res.Blue[5] {
+		t.Fatalf("blue set %s, want {5}", placement.String(res.Blue))
+	}
+	// 7 messages over the bottom edge... no: blue at 5 → 1 message over
+	// each of the 6 edges.
+	if res.Cost != 6 {
+		t.Fatalf("φ=%v, want 6", res.Cost)
+	}
+}
+
+func TestValidatePanics(t *testing.T) {
+	tr := topology.Path(3)
+	for _, tc := range []struct {
+		name  string
+		load  []int
+		avail []bool
+	}{
+		{"short load", []int{1}, nil},
+		{"short avail", []int{1, 1, 1}, []bool{true}},
+		{"negative load", []int{1, -1, 1}, nil},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			Solve(tr, tc.load, tc.avail, 1)
+		})
+	}
+}

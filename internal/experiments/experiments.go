@@ -1,0 +1,134 @@
+// Package experiments regenerates every figure of the SOAR paper's
+// evaluation (Sec. 5 and Appendices A-B). Each FigN function returns a
+// Figure holding the same series the paper plots; the CLI
+// (cmd/soarctl exp ...) renders them as tables or CSV, and
+// EXPERIMENTS.md records representative output against the paper's
+// claims.
+//
+// Every generator takes a Config with paper-faithful defaults and a
+// Quick variant small enough for unit tests and benchmarks.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"soar/internal/core"
+	"soar/internal/placement"
+	"soar/internal/topology"
+)
+
+// Series is one plotted line: a label and aligned x/y points, with
+// optional per-point standard errors.
+type Series struct {
+	Label string
+	X     []float64
+	Y     []float64
+	Err   []float64
+}
+
+// Subplot is one panel of a figure.
+type Subplot struct {
+	Name   string
+	XLabel string
+	YLabel string
+	Series []Series
+}
+
+// Figure is the regenerated counterpart of one paper figure.
+type Figure struct {
+	ID       string
+	Title    string
+	Subplots []Subplot
+}
+
+// WriteCSV emits the figure in long form:
+// figure,subplot,series,x,y,stderr — one row per point.
+func (f *Figure) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "figure,subplot,series,x,y,stderr"); err != nil {
+		return err
+	}
+	for _, sp := range f.Subplots {
+		for _, s := range sp.Series {
+			for i := range s.X {
+				e := 0.0
+				if i < len(s.Err) {
+					e = s.Err[i]
+				}
+				if _, err := fmt.Fprintf(w, "%s,%s,%s,%g,%g,%g\n",
+					f.ID, csvEscape(sp.Name), csvEscape(s.Label), s.X[i], s.Y[i], e); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Render writes a human-readable per-subplot table: the x values as the
+// first column and one column per series, mirroring how the paper's plot
+// data reads.
+func (f *Figure) Render(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "== %s: %s ==\n", f.ID, f.Title); err != nil {
+		return err
+	}
+	for _, sp := range f.Subplots {
+		fmt.Fprintf(w, "\n-- %s --\n", sp.Name)
+		fmt.Fprintf(w, "%-12s", sp.XLabel)
+		for _, s := range sp.Series {
+			fmt.Fprintf(w, " %14s", s.Label)
+		}
+		fmt.Fprintln(w)
+		if len(sp.Series) == 0 {
+			continue
+		}
+		for i := range sp.Series[0].X {
+			fmt.Fprintf(w, "%-12g", sp.Series[0].X[i])
+			for _, s := range sp.Series {
+				if i < len(s.Y) {
+					fmt.Fprintf(w, " %14.4f", s.Y[i])
+				} else {
+					fmt.Fprintf(w, " %14s", "-")
+				}
+			}
+			fmt.Fprintln(w)
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+func csvEscape(s string) string {
+	if strings.ContainsAny(s, ",\"\n") {
+		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+	}
+	return s
+}
+
+// RateSchemes returns the paper's three link-rate regimes in display
+// order: constant, linearly increasing, exponentially increasing.
+func RateSchemes() []struct {
+	Name   string
+	Scheme topology.RateScheme
+} {
+	return []struct {
+		Name   string
+		Scheme topology.RateScheme
+	}{
+		{"constant (w=1)", topology.RatesConstant(1)},
+		{"linear (w=i)", topology.RatesLinear()},
+		{"exponential (w=2^i)", topology.RatesExponential()},
+	}
+}
+
+// CompareStrategies returns the strategy line-up of the paper's Figs. 6
+// and 7: SOAR against Top, Max and Level.
+func CompareStrategies() []placement.Strategy {
+	return []placement.Strategy{
+		core.Strategy{},
+		placement.Top{},
+		placement.Max{},
+		placement.Level{},
+	}
+}

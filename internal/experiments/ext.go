@@ -1,0 +1,207 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"soar/internal/core"
+	"soar/internal/load"
+	"soar/internal/placement"
+	"soar/internal/reduce"
+	"soar/internal/stats"
+	"soar/internal/timesim"
+	"soar/internal/topology"
+)
+
+// ExtObjectivesConfig parameterizes the extension experiment probing the
+// paper's Sec. 8 conjecture: that a placement minimizing the utilization
+// complexity φ also performs well for the Reduce completion time
+// (makespan) and for the bottleneck-link load. Neither quantity is
+// plotted in the paper; this experiment makes the conjecture measurable
+// using the discrete-event simulator (internal/timesim).
+type ExtObjectivesConfig struct {
+	// N is the BT network size.
+	N int
+	// Ks are the budgets to sweep.
+	Ks []int
+	// Reps averages over workloads.
+	Reps int
+	Seed int64
+}
+
+// DefaultExtObjectives mirrors the Fig. 6 setup.
+func DefaultExtObjectives() ExtObjectivesConfig {
+	return ExtObjectivesConfig{N: 256, Ks: []int{1, 2, 4, 8, 16, 32}, Reps: 10, Seed: 8}
+}
+
+// QuickExtObjectives is a reduced instance for tests.
+func QuickExtObjectives() ExtObjectivesConfig {
+	return ExtObjectivesConfig{N: 64, Ks: []int{1, 4, 8}, Reps: 2, Seed: 8}
+}
+
+// ExtObjectives compares SOAR against Top/Max/Level on three metrics —
+// φ (what SOAR provably minimizes), Reduce completion time, and
+// bottleneck-link time — each normalized to the all-red run.
+func ExtObjectives(cfg ExtObjectivesConfig) (*Figure, error) {
+	base, err := topology.BT(cfg.N)
+	if err != nil {
+		return nil, err
+	}
+	tr := base
+	strategies := CompareStrategies()
+	metrics := []struct {
+		name string
+		eval func(blue []bool, loads []int) float64
+	}{
+		{"utilization", func(blue []bool, loads []int) float64 {
+			return reduce.Utilization(tr, loads, blue)
+		}},
+		{"completion time", func(blue []bool, loads []int) float64 {
+			return timesim.Run(tr, loads, blue).Completion
+		}},
+		{"bottleneck link", func(blue []bool, loads []int) float64 {
+			return reduce.BottleneckUtilization(tr, loads, blue)
+		}},
+	}
+
+	fig := &Figure{
+		ID:    "ext-objectives",
+		Title: "Extension: does minimizing φ also minimize completion time and bottleneck load? (Sec. 8 conjecture)",
+	}
+	xs := make([]float64, len(cfg.Ks))
+	for i, k := range cfg.Ks {
+		xs[i] = float64(k)
+	}
+	for _, metric := range metrics {
+		accs := make([]*stats.Accumulator, len(strategies))
+		for i := range accs {
+			accs[i] = stats.NewAccumulator(len(cfg.Ks))
+		}
+		rng := rand.New(rand.NewSource(cfg.Seed))
+		for rep := 0; rep < cfg.Reps; rep++ {
+			loads := load.Generate(tr, load.PaperPowerLaw(), load.LeavesOnly, rng)
+			allRed := metric.eval(make([]bool, tr.N()), loads)
+			for si, s := range strategies {
+				row := make([]float64, len(cfg.Ks))
+				for ki, k := range cfg.Ks {
+					blue := s.Place(tr, loads, nil, k)
+					row[ki] = metric.eval(blue, loads) / allRed
+				}
+				accs[si].Add(row)
+			}
+		}
+		sp := Subplot{Name: metric.name + " (vs all-red)", XLabel: "k", YLabel: "normalized " + metric.name}
+		for si, s := range strategies {
+			sp.Series = append(sp.Series, Series{Label: s.Name(), X: xs, Y: accs[si].Mean(), Err: accs[si].StdErr()})
+		}
+		fig.Subplots = append(fig.Subplots, sp)
+	}
+	return fig, nil
+}
+
+// ExtTopologiesConfig parameterizes the robustness extension: SOAR's
+// advantage over the best baseline across tree families beyond the
+// paper's complete binary trees.
+type ExtTopologiesConfig struct {
+	// Switches is the approximate network size per family.
+	Switches int
+	// K is the aggregation budget.
+	K int
+	// Reps averages over random workloads (and random trees where the
+	// family is random).
+	Reps int
+	Seed int64
+}
+
+// DefaultExtTopologies uses paper-comparable sizes.
+func DefaultExtTopologies() ExtTopologiesConfig {
+	return ExtTopologiesConfig{Switches: 255, K: 16, Reps: 10, Seed: 9}
+}
+
+// QuickExtTopologies is a reduced instance for tests.
+func QuickExtTopologies() ExtTopologiesConfig {
+	return ExtTopologiesConfig{Switches: 40, K: 4, Reps: 2, Seed: 9}
+}
+
+// ExtTopologies runs SOAR and the baselines over binary, 4-ary, path,
+// star, random-recursive and scale-free trees with power-law loads,
+// reporting each strategy's mean normalized utilization. It demonstrates
+// that SOAR's dominance is structural, not an artifact of balanced
+// binary trees.
+func ExtTopologies(cfg ExtTopologiesConfig) (*Figure, error) {
+	type family struct {
+		name  string
+		build func(rng *rand.Rand) *topology.Tree
+		place load.Placement
+	}
+	families := []family{
+		{"binary tree", func(*rand.Rand) *topology.Tree {
+			lv := 1
+			for (1<<lv)-1 < cfg.Switches {
+				lv++
+			}
+			return topology.CompleteBinary(lv)
+		}, load.LeavesOnly},
+		{"4-ary tree", func(*rand.Rand) *topology.Tree {
+			lv, n := 1, 1
+			for n < cfg.Switches {
+				lv++
+				n = n*4 + 1
+			}
+			return topology.CompleteKAry(4, lv)
+		}, load.LeavesOnly},
+		{"path", func(*rand.Rand) *topology.Tree {
+			return topology.Path(cfg.Switches)
+		}, load.AllNodes},
+		{"star", func(*rand.Rand) *topology.Tree {
+			return topology.Star(cfg.Switches)
+		}, load.AllNodes},
+		{"random recursive", func(rng *rand.Rand) *topology.Tree {
+			return topology.RandomRecursive(cfg.Switches, rng)
+		}, load.AllNodes},
+		{"scale-free", func(rng *rand.Rand) *topology.Tree {
+			return topology.ScaleFree(cfg.Switches, rng)
+		}, load.AllNodes},
+	}
+	strategies := []placement.Strategy{
+		core.Strategy{}, placement.Top{}, placement.Max{},
+		placement.MaxDegree{}, placement.Greedy{},
+	}
+	fig := &Figure{
+		ID:    "ext-topologies",
+		Title: fmt.Sprintf("Extension: strategy robustness across tree families (k=%d)", cfg.K),
+	}
+	sp := Subplot{Name: "normalized utilization by family", XLabel: "family index", YLabel: "utilization (vs all-red)"}
+	xs := make([]float64, len(families))
+	for i := range xs {
+		xs[i] = float64(i)
+	}
+	accs := make([]*stats.Accumulator, len(strategies))
+	for i := range accs {
+		accs[i] = stats.NewAccumulator(len(families))
+	}
+	for rep := 0; rep < cfg.Reps; rep++ {
+		rows := make([][]float64, len(strategies))
+		for i := range rows {
+			rows[i] = make([]float64, len(families))
+		}
+		for fi, fam := range families {
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(rep)*31 + int64(fi)))
+			tr := fam.build(rng)
+			loads := load.Generate(tr, load.PaperPowerLaw(), fam.place, rng)
+			allRed := reduce.Utilization(tr, loads, make([]bool, tr.N()))
+			for si, s := range strategies {
+				rows[si][fi] = placement.Evaluate(s, tr, loads, nil, cfg.K) / allRed
+			}
+		}
+		for si := range strategies {
+			accs[si].Add(rows[si])
+		}
+	}
+	for si, s := range strategies {
+		sp.Series = append(sp.Series, Series{Label: s.Name(), X: xs, Y: accs[si].Mean(), Err: accs[si].StdErr()})
+	}
+	sp.Name += " (0=binary, 1=4-ary, 2=path, 3=star, 4=random, 5=scale-free)"
+	fig.Subplots = append(fig.Subplots, sp)
+	return fig, nil
+}

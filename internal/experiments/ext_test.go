@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"testing"
+)
+
+func TestExtObjectivesShapes(t *testing.T) {
+	fig, err := ExtObjectives(QuickExtObjectives())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Subplots) != 3 {
+		t.Fatalf("got %d subplots, want 3 (utilization, completion, bottleneck)", len(fig.Subplots))
+	}
+	// On the utilization metric SOAR must dominate outright.
+	util := fig.Subplots[0]
+	soar := findSeries(t, util, "soar")
+	for _, s := range util.Series {
+		for i := range s.Y {
+			if s.Y[i] < soar.Y[i]-1e-9 {
+				t.Fatalf("%s beats SOAR on φ at k=%v", s.Label, s.X[i])
+			}
+		}
+	}
+	// On the other metrics SOAR is a heuristic (the paper's conjecture):
+	// sanity-check only that ratios are positive and ≤ a loose bound, and
+	// that completion time improves from k=min to k=max.
+	for _, sp := range fig.Subplots[1:] {
+		soar := findSeries(t, sp, "soar")
+		for i, y := range soar.Y {
+			if y <= 0 || y > 1.5 {
+				t.Fatalf("%s: SOAR ratio %v at k=%v implausible", sp.Name, y, soar.X[i])
+			}
+		}
+		if last := soar.Y[len(soar.Y)-1]; last > soar.Y[0]+1e-9 {
+			t.Fatalf("%s: SOAR ratio worsened with k: %v -> %v", sp.Name, soar.Y[0], last)
+		}
+	}
+}
+
+func TestExtTopologiesShapes(t *testing.T) {
+	fig, err := ExtTopologies(QuickExtTopologies())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := fig.Subplots[0]
+	soar := findSeries(t, sp, "soar")
+	if len(soar.Y) != 6 {
+		t.Fatalf("got %d families, want 6", len(soar.Y))
+	}
+	for _, s := range sp.Series {
+		for i := range s.Y {
+			if s.Y[i] < soar.Y[i]-1e-9 {
+				t.Fatalf("%s beats SOAR on family %v: %v < %v", s.Label, s.X[i], s.Y[i], soar.Y[i])
+			}
+			if s.Y[i] <= 0 || s.Y[i] > 1+1e-9 {
+				t.Fatalf("%s ratio %v out of range on family %v", s.Label, s.Y[i], s.X[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,187 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"soar/internal/core"
+	"soar/internal/load"
+	"soar/internal/reduce"
+	"soar/internal/stats"
+	"soar/internal/topology"
+)
+
+// Fig10Config parameterizes the paper's Appendix A scaling study on
+// binary trees with power-law loads.
+type Fig10Config struct {
+	// Sizes are BT network sizes (paper: 2^8 .. 2^12).
+	Sizes []int
+	// Reps averages over workloads (paper: 10).
+	Reps int
+	// Targets are the cost-reduction levels of Fig. 10b (paper: 30, 50,
+	// 70 percent).
+	Targets []float64
+	// MaxBlueFrac caps the budget fraction explored when searching for a
+	// target reduction (the paper's answers stay below 5%).
+	MaxBlueFrac float64
+	Seed        int64
+}
+
+// DefaultFig10 reproduces the paper's setup.
+func DefaultFig10() Fig10Config {
+	return Fig10Config{
+		Sizes:       []int{256, 512, 1024, 2048, 4096},
+		Reps:        5,
+		Targets:     []float64{0.30, 0.50, 0.70},
+		MaxBlueFrac: 0.10,
+		Seed:        5,
+	}
+}
+
+// QuickFig10 is a reduced instance for tests.
+func QuickFig10() Fig10Config {
+	return Fig10Config{
+		Sizes:       []int{64, 128},
+		Reps:        2,
+		Targets:     []float64{0.30, 0.50},
+		MaxBlueFrac: 0.25,
+		Seed:        5,
+	}
+}
+
+// budgetRules returns the paper's three k(n) scaling laws.
+func budgetRules() []struct {
+	Name string
+	K    func(n int) int
+} {
+	return []struct {
+		Name string
+		K    func(n int) int
+	}{
+		{"1% of n", func(n int) int { return maxInt(1, n/100) }},
+		{"log2(n)", func(n int) int { return maxInt(1, int(math.Log2(float64(n)))) }},
+		{"sqrt(n)", func(n int) int { return maxInt(1, int(math.Sqrt(float64(n)))) }},
+	}
+}
+
+// Fig10 regenerates the paper's Fig. 10: (a) normalized utilization when
+// k scales as 1%·n, log n and √n; (b) the fraction of blue switches
+// needed to reach each target cost reduction. A single SOAR-Gather at
+// the largest budget yields φ*(i) for every i ≤ k at once (X_r(1, i)),
+// which both subplots read off directly.
+func Fig10(cfg Fig10Config) (*Figure, error) {
+	rules := budgetRules()
+	spA := Subplot{Name: "utilization for scaled budgets", XLabel: "network size", YLabel: "normalized utilization"}
+	spB := Subplot{Name: "% blue switches for target savings", XLabel: "network size", YLabel: "% blue switches"}
+
+	sizeX := make([]float64, len(cfg.Sizes))
+	for i, n := range cfg.Sizes {
+		sizeX[i] = float64(n)
+	}
+	ruleAcc := make([]*stats.Accumulator, len(rules))
+	for i := range ruleAcc {
+		ruleAcc[i] = stats.NewAccumulator(len(cfg.Sizes))
+	}
+	targetAcc := make([]*stats.Accumulator, len(cfg.Targets))
+	for i := range targetAcc {
+		targetAcc[i] = stats.NewAccumulator(len(cfg.Sizes))
+	}
+	allBlueAcc := stats.NewAccumulator(len(cfg.Sizes))
+
+	ruleRows := make([][]float64, len(rules))
+	for i := range ruleRows {
+		ruleRows[i] = make([]float64, len(cfg.Sizes))
+	}
+	targetRows := make([][]float64, len(cfg.Targets))
+	for i := range targetRows {
+		targetRows[i] = make([]float64, len(cfg.Sizes))
+	}
+	allBlueRow := make([]float64, len(cfg.Sizes))
+
+	for rep := 0; rep < cfg.Reps; rep++ {
+		for si, n := range cfg.Sizes {
+			tr, err := topology.BT(n)
+			if err != nil {
+				return nil, err
+			}
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(rep)*104729 + int64(n)))
+			loads := load.Generate(tr, load.PaperPowerLaw(), load.LeavesOnly, rng)
+			allRed := reduce.Utilization(tr, loads, make([]bool, tr.N()))
+
+			maxK := 0
+			for _, r := range rules {
+				if k := r.K(n); k > maxK {
+					maxK = k
+				}
+			}
+			if frac := int(cfg.MaxBlueFrac * float64(n)); frac > maxK {
+				maxK = frac
+			}
+			tb := core.Gather(tr, loads, nil, maxK)
+			costAt := func(k int) float64 {
+				if k > maxK {
+					k = maxK
+				}
+				return tb.X(tr.Root(), 1, k)
+			}
+
+			for ri, r := range rules {
+				ruleRows[ri][si] = costAt(r.K(n)) / allRed
+			}
+			allBlue := make([]bool, tr.N())
+			for i := range allBlue {
+				allBlue[i] = true
+			}
+			allBlueRow[si] = reduce.Utilization(tr, loads, allBlue) / allRed
+
+			// Fig. 10b: φ*(k) is non-increasing in k, so the minimal k
+			// reaching each target is a scan over the table row.
+			for ti, target := range cfg.Targets {
+				want := (1 - target) * allRed
+				found := -1
+				for k := 0; k <= maxK; k++ {
+					if costAt(k) <= want+1e-9 {
+						found = k
+						break
+					}
+				}
+				if found < 0 {
+					targetRows[ti][si] = math.NaN() // unreachable within cap
+				} else {
+					targetRows[ti][si] = 100 * float64(found) / float64(n)
+				}
+			}
+		}
+		for ri := range rules {
+			ruleAcc[ri].Add(ruleRows[ri])
+		}
+		for ti := range cfg.Targets {
+			targetAcc[ti].Add(targetRows[ti])
+		}
+		allBlueAcc.Add(allBlueRow)
+	}
+
+	for ri, r := range rules {
+		spA.Series = append(spA.Series, Series{Label: r.Name, X: sizeX, Y: ruleAcc[ri].Mean(), Err: ruleAcc[ri].StdErr()})
+	}
+	spA.Series = append(spA.Series, Series{Label: "all-blue", X: sizeX, Y: allBlueAcc.Mean(), Err: allBlueAcc.StdErr()})
+	for ti, target := range cfg.Targets {
+		spB.Series = append(spB.Series, Series{
+			Label: fmt.Sprintf("%.0f%% saving", target*100),
+			X:     sizeX, Y: targetAcc[ti].Mean(), Err: targetAcc[ti].StdErr(),
+		})
+	}
+	return &Figure{
+		ID:       "fig10",
+		Title:    "Scaling of SOAR on binary trees (power-law loads)",
+		Subplots: []Subplot{spA, spB},
+	}, nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,115 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"soar/internal/core"
+	"soar/internal/load"
+	"soar/internal/placement"
+	"soar/internal/reduce"
+	"soar/internal/stats"
+	"soar/internal/topology"
+)
+
+// Fig6Config parameterizes the paper's Fig. 6: SOAR against Top, Max and
+// Level (plus the all-blue reference) on BT(N), normalized to all-red,
+// across the three rate schemes and the two load distributions.
+type Fig6Config struct {
+	// N is the BT network size including the destination (paper: 256).
+	N int
+	// Ks are the budgets to sweep (paper: 1, 2, 4, 8, 16, 32).
+	Ks []int
+	// Reps is the number of random workloads averaged (paper: 10).
+	Reps int
+	// Seed makes the whole figure reproducible.
+	Seed int64
+}
+
+// DefaultFig6 reproduces the paper's setup.
+func DefaultFig6() Fig6Config {
+	return Fig6Config{N: 256, Ks: []int{1, 2, 4, 8, 16, 32}, Reps: 10, Seed: 1}
+}
+
+// QuickFig6 is a reduced instance for tests and benchmarks.
+func QuickFig6() Fig6Config {
+	return Fig6Config{N: 64, Ks: []int{1, 2, 4, 8}, Reps: 3, Seed: 1}
+}
+
+// Fig6 regenerates the paper's Fig. 6. Subplots are rate scheme × load
+// distribution; each series is one strategy's normalized utilization
+// versus k.
+func Fig6(cfg Fig6Config) (*Figure, error) {
+	base, err := topology.BT(cfg.N)
+	if err != nil {
+		return nil, err
+	}
+	dists := []struct {
+		name string
+		dist load.Distribution
+	}{
+		{"power-law load", load.PaperPowerLaw()},
+		{"uniform load", load.PaperUniform()},
+	}
+	fig := &Figure{ID: "fig6", Title: "SOAR vs. other strategies (normalized to all-red)"}
+	strategies := CompareStrategies()
+	for _, rs := range RateSchemes() {
+		tr := topology.ApplyRates(base, rs.Scheme)
+		for _, d := range dists {
+			rng := rand.New(rand.NewSource(cfg.Seed))
+			// accumulators: one per strategy plus the all-blue reference.
+			accs := make([]*stats.Accumulator, len(strategies))
+			for i := range accs {
+				accs[i] = stats.NewAccumulator(len(cfg.Ks))
+			}
+			blueAcc := stats.NewAccumulator(len(cfg.Ks))
+
+			for rep := 0; rep < cfg.Reps; rep++ {
+				loads := load.Generate(tr, d.dist, load.LeavesOnly, rng)
+				allRed := reduce.Utilization(tr, loads, make([]bool, tr.N()))
+				blueRatio := placement.Evaluate(placement.AllBlue{}, tr, loads, nil, 0) / allRed
+				row := make([]float64, len(cfg.Ks))
+				for i := range cfg.Ks {
+					row[i] = blueRatio
+				}
+				blueAcc.Add(row)
+				for si, s := range strategies {
+					row := make([]float64, len(cfg.Ks))
+					if soar, ok := s.(core.Strategy); ok {
+						// One Gather at max k yields the optimum for every
+						// budget i ≤ k at once: φ*(i) = X_r(1, i).
+						_ = soar
+						maxK := cfg.Ks[len(cfg.Ks)-1]
+						tb := core.Gather(tr, loads, nil, maxK)
+						for ki, k := range cfg.Ks {
+							row[ki] = tb.X(tr.Root(), 1, k) / allRed
+						}
+					} else {
+						for ki, k := range cfg.Ks {
+							row[ki] = placement.Evaluate(s, tr, loads, nil, k) / allRed
+						}
+					}
+					accs[si].Add(row)
+				}
+			}
+
+			sp := Subplot{
+				Name:   fmt.Sprintf("%s, %s", rs.Name, d.name),
+				XLabel: "k",
+				YLabel: "network utilization (vs all-red)",
+			}
+			xs := make([]float64, len(cfg.Ks))
+			for i, k := range cfg.Ks {
+				xs[i] = float64(k)
+			}
+			for si, s := range strategies {
+				sp.Series = append(sp.Series, Series{
+					Label: s.Name(), X: xs, Y: accs[si].Mean(), Err: accs[si].StdErr(),
+				})
+			}
+			sp.Series = append(sp.Series, Series{Label: "all-blue", X: xs, Y: blueAcc.Mean(), Err: blueAcc.StdErr()})
+			fig.Subplots = append(fig.Subplots, sp)
+		}
+	}
+	return fig, nil
+}

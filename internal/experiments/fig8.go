@@ -1,0 +1,143 @@
+package experiments
+
+import (
+	"math/rand"
+
+	"soar/internal/core"
+	"soar/internal/load"
+	"soar/internal/paramserver"
+	"soar/internal/reduce"
+	"soar/internal/stats"
+	"soar/internal/topology"
+	"soar/internal/wordcount"
+)
+
+// Fig8Config parameterizes the paper's Fig. 8: the word-count (WC) and
+// parameter-server (PS) use cases on BT(N) with constant rates,
+// comparing utilization complexity with byte complexity.
+type Fig8Config struct {
+	// N is the BT network size (paper: 256).
+	N int
+	// Ks are the budgets to sweep (paper plots up to 64).
+	Ks []int
+	// Reps averages over workloads (byte simulations dominate runtime).
+	Reps int
+	// WC is the synthetic corpus configuration.
+	WC wordcount.Config
+	// PS is the gradient configuration.
+	PS   paramserver.Config
+	Seed int64
+}
+
+// DefaultFig8 reproduces the paper's setup with the scaled corpus
+// documented in DESIGN.md.
+func DefaultFig8() Fig8Config {
+	return Fig8Config{
+		N:    256,
+		Ks:   []int{1, 2, 4, 8, 16, 32, 64},
+		Reps: 3,
+		WC:   wordcount.DefaultConfig(),
+		PS:   paramserver.DefaultConfig(),
+		Seed: 3,
+	}
+}
+
+// QuickFig8 is a reduced instance for tests and benchmarks.
+func QuickFig8() Fig8Config {
+	return Fig8Config{
+		N:    32,
+		Ks:   []int{1, 2, 4, 8},
+		Reps: 1,
+		WC:   wordcount.TestConfig(),
+		PS:   paramserver.TestConfig(),
+		Seed: 3,
+	}
+}
+
+// Fig8 regenerates the paper's Fig. 8: (a) normalized utilization, (b)
+// byte complexity normalized to all-red, (c) byte complexity normalized
+// to all-blue — for WC and PS under both load distributions. SOAR places
+// the blue switches; the byte engines replay the Reduce with real
+// payloads over those placements.
+func Fig8(cfg Fig8Config) (*Figure, error) {
+	base, err := topology.BT(cfg.N)
+	if err != nil {
+		return nil, err
+	}
+	tr := topology.ApplyRates(base, topology.RatesConstant(1))
+	type useCase struct {
+		name string
+		dist load.Distribution
+		// distSeed keys the load stream by distribution only, so WC and
+		// PS see identical workloads per distribution and their
+		// utilization curves coincide exactly, as in the paper's Fig. 8a.
+		distSeed int64
+		agg      func(servers int, seed int64) reduce.Aggregator
+	}
+	cases := []useCase{
+		{"WC-uniform", load.PaperUniform(), 1, func(s int, seed int64) reduce.Aggregator {
+			return wordcount.NewAggregator(cfg.WC, s, seed)
+		}},
+		{"WC-powerlaw", load.PaperPowerLaw(), 2, func(s int, seed int64) reduce.Aggregator {
+			return wordcount.NewAggregator(cfg.WC, s, seed)
+		}},
+		{"PS-uniform", load.PaperUniform(), 1, func(_ int, seed int64) reduce.Aggregator {
+			return paramserver.NewAggregator(cfg.PS, seed)
+		}},
+		{"PS-powerlaw", load.PaperPowerLaw(), 2, func(_ int, seed int64) reduce.Aggregator {
+			return paramserver.NewAggregator(cfg.PS, seed)
+		}},
+	}
+
+	xs := make([]float64, len(cfg.Ks))
+	for i, k := range cfg.Ks {
+		xs[i] = float64(k)
+	}
+	util := Subplot{Name: "utilization (vs all-red)", XLabel: "k", YLabel: "normalized utilization"}
+	bytesRed := Subplot{Name: "bytes (vs all-red)", XLabel: "k", YLabel: "normalized bytes"}
+	bytesBlue := Subplot{Name: "bytes (vs all-blue)", XLabel: "k", YLabel: "bytes / all-blue bytes"}
+
+	for _, uc := range cases {
+		utilAcc := stats.NewAccumulator(len(cfg.Ks))
+		redAcc := stats.NewAccumulator(len(cfg.Ks))
+		blueAcc := stats.NewAccumulator(len(cfg.Ks))
+		rng := rand.New(rand.NewSource(cfg.Seed + uc.distSeed*7919))
+		for rep := 0; rep < cfg.Reps; rep++ {
+			loads := load.Generate(tr, uc.dist, load.LeavesOnly, rng)
+			servers := int(load.Total(loads))
+			agg := uc.agg(servers, cfg.Seed+int64(rep))
+
+			allRed := make([]bool, tr.N())
+			allBlue := make([]bool, tr.N())
+			for i := range allBlue {
+				allBlue[i] = true
+			}
+			utilRed := reduce.Utilization(tr, loads, allRed)
+			bytesAllRed := reduce.ByteComplexity(tr, loads, allRed, agg).TotalBytes
+			bytesAllBlue := reduce.ByteComplexity(tr, loads, allBlue, agg).TotalBytes
+
+			utilRow := make([]float64, len(cfg.Ks))
+			redRow := make([]float64, len(cfg.Ks))
+			blueRow := make([]float64, len(cfg.Ks))
+			for ki, k := range cfg.Ks {
+				res := core.Solve(tr, loads, nil, k)
+				utilRow[ki] = res.Cost / utilRed
+				b := reduce.ByteComplexity(tr, loads, res.Blue, agg).TotalBytes
+				redRow[ki] = float64(b) / float64(bytesAllRed)
+				blueRow[ki] = float64(b) / float64(bytesAllBlue)
+			}
+			utilAcc.Add(utilRow)
+			redAcc.Add(redRow)
+			blueAcc.Add(blueRow)
+		}
+		util.Series = append(util.Series, Series{Label: uc.name, X: xs, Y: utilAcc.Mean(), Err: utilAcc.StdErr()})
+		bytesRed.Series = append(bytesRed.Series, Series{Label: uc.name, X: xs, Y: redAcc.Mean(), Err: redAcc.StdErr()})
+		bytesBlue.Series = append(bytesBlue.Series, Series{Label: uc.name, X: xs, Y: blueAcc.Mean(), Err: blueAcc.StdErr()})
+	}
+
+	return &Figure{
+		ID:       "fig8",
+		Title:    "WC and PS use cases: utilization vs byte complexity",
+		Subplots: []Subplot{util, bytesRed, bytesBlue},
+	}, nil
+}

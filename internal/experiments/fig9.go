@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"soar/internal/core"
+	"soar/internal/load"
+	"soar/internal/stats"
+	"soar/internal/topology"
+)
+
+// Fig9Config parameterizes the paper's Fig. 9: the running time of
+// SOAR-Gather (and, per Sec. 5.4, the orders-faster SOAR-Color) across
+// network sizes and budgets.
+type Fig9Config struct {
+	// Sizes are BT network sizes (paper: 256, 512, 1024, 2048).
+	Sizes []int
+	// Ks are the budgets (paper: 4, 8, 16, 32, 64, 128).
+	Ks []int
+	// Reps averages wall-clock times (paper: 10).
+	Reps int
+	Seed int64
+}
+
+// DefaultFig9 reproduces the paper's grid.
+func DefaultFig9() Fig9Config {
+	return Fig9Config{
+		Sizes: []int{256, 512, 1024, 2048},
+		Ks:    []int{4, 8, 16, 32, 64, 128},
+		Reps:  10,
+		Seed:  4,
+	}
+}
+
+// QuickFig9 is a reduced instance for tests.
+func QuickFig9() Fig9Config {
+	return Fig9Config{Sizes: []int{64, 128}, Ks: []int{4, 8}, Reps: 2, Seed: 4}
+}
+
+// Fig9 regenerates the paper's Fig. 9: mean SOAR-Gather seconds per
+// (size, k) plus a companion subplot for SOAR-Color, which the paper
+// reports as roughly three orders of magnitude faster. Absolute values
+// differ from the paper (Go vs Python); the scaling shape — quadratic in
+// k, near-linear in n — is the reproduced claim.
+func Fig9(cfg Fig9Config) (*Figure, error) {
+	gather := Subplot{Name: "SOAR-Gather time", XLabel: "k", YLabel: "seconds"}
+	color := Subplot{Name: "SOAR-Color time", XLabel: "k", YLabel: "seconds"}
+	xs := make([]float64, len(cfg.Ks))
+	for i, k := range cfg.Ks {
+		xs[i] = float64(k)
+	}
+	for _, n := range cfg.Sizes {
+		tr, err := topology.BT(n)
+		if err != nil {
+			return nil, err
+		}
+		rng := rand.New(rand.NewSource(cfg.Seed))
+		gAcc := stats.NewAccumulator(len(cfg.Ks))
+		cAcc := stats.NewAccumulator(len(cfg.Ks))
+		for rep := 0; rep < cfg.Reps; rep++ {
+			loads := load.Generate(tr, load.PaperPowerLaw(), load.LeavesOnly, rng)
+			gRow := make([]float64, len(cfg.Ks))
+			cRow := make([]float64, len(cfg.Ks))
+			for ki, k := range cfg.Ks {
+				start := time.Now()
+				tb := core.Gather(tr, loads, nil, k)
+				gRow[ki] = time.Since(start).Seconds()
+				start = time.Now()
+				core.ColorPhase(tb)
+				cRow[ki] = time.Since(start).Seconds()
+			}
+			gAcc.Add(gRow)
+			cAcc.Add(cRow)
+		}
+		gather.Series = append(gather.Series, Series{
+			Label: fmt.Sprintf("size %d", n), X: xs, Y: gAcc.Mean(), Err: gAcc.StdErr(),
+		})
+		color.Series = append(color.Series, Series{
+			Label: fmt.Sprintf("size %d", n), X: xs, Y: cAcc.Mean(), Err: cAcc.StdErr(),
+		})
+	}
+	return &Figure{
+		ID:       "fig9",
+		Title:    "SOAR running time (log-log in the paper)",
+		Subplots: []Subplot{gather, color},
+	}, nil
+}

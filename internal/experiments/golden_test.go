@@ -1,0 +1,36 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+)
+
+// TestFig6GoldenValues pins the quick Fig. 6 output for its fixed seed.
+// Every quantity in the harness is seeded and deterministically ordered,
+// so a change here means an algorithm, distribution or harness change —
+// which should be a conscious decision, not an accident.
+func TestFig6GoldenValues(t *testing.T) {
+	fig, err := Fig6(QuickFig6())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := fig.Subplots[0] // constant rates, power-law load
+	want := map[string][]float64{
+		"soar":     {0.785237, 0.594477, 0.390667, 0.233909},
+		"top":      {0.834570, 0.736517, 0.608934, 0.461219},
+		"max":      {0.785497, 0.626075, 0.457050, 0.317579},
+		"level":    {0.834570, 0.671614, 0.514843, 0.372915},
+		"all-blue": {0.077926, 0.077926, 0.077926, 0.077926},
+	}
+	for _, s := range sp.Series {
+		w, ok := want[s.Label]
+		if !ok {
+			t.Fatalf("unexpected series %q", s.Label)
+		}
+		for i := range w {
+			if math.Abs(s.Y[i]-w[i]) > 1e-6 {
+				t.Errorf("%s[%d] = %.6f, want %.6f", s.Label, i, s.Y[i], w[i])
+			}
+		}
+	}
+}

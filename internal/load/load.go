@@ -1,0 +1,182 @@
+// Package load generates the per-switch workloads used throughout the
+// SOAR evaluation (Sec. 5 of the paper).
+//
+// The paper uses two distributions for the number of servers attached to
+// each leaf switch: a uniform integer distribution with mean 5 and small
+// variance (range [4, 6]), and a heavy-tailed power-law distribution with
+// mean 5 and variance ≈ 97 (range [1, 63]). Both are reproduced here,
+// calibrated numerically rather than hard-coded, so other means and
+// supports can be requested too.
+package load
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"soar/internal/topology"
+)
+
+// Distribution samples a non-negative integer load.
+type Distribution interface {
+	Sample(rng *rand.Rand) int
+	String() string
+}
+
+// Uniform samples integers uniformly at random from [Min, Max].
+type Uniform struct {
+	Min, Max int
+}
+
+// PaperUniform is the paper's uniform load distribution: u.a.r. on
+// {4, 5, 6}, mean 5.
+func PaperUniform() Uniform { return Uniform{Min: 4, Max: 6} }
+
+// Sample implements Distribution.
+func (u Uniform) Sample(rng *rand.Rand) int {
+	if u.Max < u.Min {
+		panic(fmt.Sprintf("load: Uniform[%d,%d] has Max < Min", u.Min, u.Max))
+	}
+	return u.Min + rng.Intn(u.Max-u.Min+1)
+}
+
+func (u Uniform) String() string { return fmt.Sprintf("uniform[%d,%d]", u.Min, u.Max) }
+
+// Constant always samples the same value.
+type Constant struct{ V int }
+
+// Sample implements Distribution.
+func (c Constant) Sample(*rand.Rand) int { return c.V }
+
+func (c Constant) String() string { return fmt.Sprintf("const(%d)", c.V) }
+
+// PowerLaw samples from a bounded discrete power law:
+// P(x) ∝ x^(−Alpha) for x in [Min, Max]. Construct with NewPowerLaw or
+// CalibratePowerLaw.
+type PowerLaw struct {
+	Alpha    float64
+	Min, Max int
+	cdf      []float64
+}
+
+// NewPowerLaw precomputes the CDF for the given exponent and support.
+func NewPowerLaw(alpha float64, min, max int) *PowerLaw {
+	if min < 1 || max < min {
+		panic(fmt.Sprintf("load: PowerLaw support [%d,%d] invalid", min, max))
+	}
+	p := &PowerLaw{Alpha: alpha, Min: min, Max: max}
+	p.cdf = make([]float64, max-min+1)
+	sum := 0.0
+	for x := min; x <= max; x++ {
+		sum += math.Pow(float64(x), -alpha)
+		p.cdf[x-min] = sum
+	}
+	for i := range p.cdf {
+		p.cdf[i] /= sum
+	}
+	return p
+}
+
+// PaperPowerLaw is the paper's power-law load distribution: support
+// [1, 63], exponent calibrated so the mean is 5 (the paper reports
+// mean 5, variance 97.1).
+func PaperPowerLaw() *PowerLaw { return CalibratePowerLaw(5, 1, 63) }
+
+// CalibratePowerLaw finds, by bisection, the exponent α for which the
+// bounded power law on [min, max] has the requested mean, and returns the
+// calibrated distribution. The mean is strictly decreasing in α, so the
+// bisection always converges; it panics if the target mean is outside the
+// achievable range (min, (min+max)/2-ish).
+func CalibratePowerLaw(mean float64, min, max int) *PowerLaw {
+	lo, hi := -10.0, 20.0
+	if m := NewPowerLaw(lo, min, max).Mean(); m < mean {
+		panic(fmt.Sprintf("load: target mean %v above achievable %v", mean, m))
+	}
+	if m := NewPowerLaw(hi, min, max).Mean(); m > mean {
+		panic(fmt.Sprintf("load: target mean %v below achievable %v", mean, m))
+	}
+	for i := 0; i < 200 && hi-lo > 1e-12; i++ {
+		mid := (lo + hi) / 2
+		if NewPowerLaw(mid, min, max).Mean() > mean {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return NewPowerLaw((lo+hi)/2, min, max)
+}
+
+// Sample implements Distribution.
+func (p *PowerLaw) Sample(rng *rand.Rand) int {
+	u := rng.Float64()
+	i := sort.SearchFloat64s(p.cdf, u)
+	if i >= len(p.cdf) {
+		i = len(p.cdf) - 1
+	}
+	return p.Min + i
+}
+
+// Mean returns the exact mean of the distribution.
+func (p *PowerLaw) Mean() float64 {
+	m := 0.0
+	prev := 0.0
+	for x := p.Min; x <= p.Max; x++ {
+		pr := p.cdf[x-p.Min] - prev
+		prev = p.cdf[x-p.Min]
+		m += pr * float64(x)
+	}
+	return m
+}
+
+// Variance returns the exact variance of the distribution.
+func (p *PowerLaw) Variance() float64 {
+	mean := p.Mean()
+	v := 0.0
+	prev := 0.0
+	for x := p.Min; x <= p.Max; x++ {
+		pr := p.cdf[x-p.Min] - prev
+		prev = p.cdf[x-p.Min]
+		d := float64(x) - mean
+		v += pr * d * d
+	}
+	return v
+}
+
+func (p *PowerLaw) String() string {
+	return fmt.Sprintf("powerlaw(α=%.3f)[%d,%d]", p.Alpha, p.Min, p.Max)
+}
+
+// Placement selects which switches receive load.
+type Placement int
+
+const (
+	// LeavesOnly attaches servers only to leaf switches, the paper's
+	// default for complete binary trees ("these leaves serve as
+	// top-of-rack switches").
+	LeavesOnly Placement = iota
+	// AllNodes attaches servers to every switch, used for scale-free
+	// trees in the paper's Appendix B.
+	AllNodes
+)
+
+// Generate draws a load vector for tree t: every selected switch gets an
+// independent sample from d, every other switch gets 0.
+func Generate(t *topology.Tree, d Distribution, where Placement, rng *rand.Rand) []int {
+	l := make([]int, t.N())
+	for v := 0; v < t.N(); v++ {
+		if where == AllNodes || t.IsLeaf(v) {
+			l[v] = d.Sample(rng)
+		}
+	}
+	return l
+}
+
+// Total returns the sum of a load vector.
+func Total(l []int) int64 {
+	var s int64
+	for _, x := range l {
+		s += int64(x)
+	}
+	return s
+}

@@ -1,0 +1,176 @@
+package load
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"soar/internal/topology"
+)
+
+func TestUniformBoundsAndMean(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	u := PaperUniform()
+	sum := 0
+	const trials = 20000
+	for i := 0; i < trials; i++ {
+		x := u.Sample(rng)
+		if x < 4 || x > 6 {
+			t.Fatalf("sample %d outside [4,6]", x)
+		}
+		sum += x
+	}
+	mean := float64(sum) / trials
+	if math.Abs(mean-5) > 0.05 {
+		t.Fatalf("uniform mean %v, want ≈5", mean)
+	}
+}
+
+func TestPowerLawCalibration(t *testing.T) {
+	p := PaperPowerLaw()
+	if math.Abs(p.Mean()-5) > 1e-6 {
+		t.Fatalf("calibrated mean %v, want 5", p.Mean())
+	}
+	// The paper reports variance 97.1 for its power-law load; a bounded
+	// power law on [1,63] with mean 5 has variance in that region.
+	if v := p.Variance(); v < 60 || v > 140 {
+		t.Fatalf("variance %v far from the paper's ≈97", v)
+	}
+}
+
+func TestPowerLawBounds(t *testing.T) {
+	p := PaperPowerLaw()
+	rng := rand.New(rand.NewSource(2))
+	seen1, seenBig := false, false
+	for i := 0; i < 50000; i++ {
+		x := p.Sample(rng)
+		if x < 1 || x > 63 {
+			t.Fatalf("sample %d outside [1,63]", x)
+		}
+		if x == 1 {
+			seen1 = true
+		}
+		if x > 30 {
+			seenBig = true
+		}
+	}
+	if !seen1 || !seenBig {
+		t.Fatalf("power law not heavy-tailed: seen1=%v seenBig=%v", seen1, seenBig)
+	}
+}
+
+func TestPowerLawEmpiricalMean(t *testing.T) {
+	p := PaperPowerLaw()
+	rng := rand.New(rand.NewSource(3))
+	sum := 0
+	const trials = 200000
+	for i := 0; i < trials; i++ {
+		sum += p.Sample(rng)
+	}
+	mean := float64(sum) / trials
+	if math.Abs(mean-5) > 0.2 {
+		t.Fatalf("empirical mean %v, want ≈5", mean)
+	}
+}
+
+func TestCalibrateArbitraryTargets(t *testing.T) {
+	for _, mean := range []float64{2, 5, 10, 20} {
+		p := CalibratePowerLaw(mean, 1, 63)
+		if math.Abs(p.Mean()-mean) > 1e-6 {
+			t.Fatalf("target %v: got mean %v", mean, p.Mean())
+		}
+	}
+}
+
+func TestCalibratePanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for unachievable mean")
+		}
+	}()
+	CalibratePowerLaw(100, 1, 10)
+}
+
+func TestGeneratePlacement(t *testing.T) {
+	tr := topology.CompleteBinary(4)
+	rng := rand.New(rand.NewSource(4))
+	l := Generate(tr, Constant{V: 3}, LeavesOnly, rng)
+	for v := 0; v < tr.N(); v++ {
+		if tr.IsLeaf(v) && l[v] != 3 {
+			t.Fatalf("leaf %d load %d, want 3", v, l[v])
+		}
+		if !tr.IsLeaf(v) && l[v] != 0 {
+			t.Fatalf("internal %d load %d, want 0", v, l[v])
+		}
+	}
+	all := Generate(tr, Constant{V: 1}, AllNodes, rng)
+	if Total(all) != int64(tr.N()) {
+		t.Fatalf("AllNodes total %d, want %d", Total(all), tr.N())
+	}
+}
+
+func TestGenerateDeterministicBySeed(t *testing.T) {
+	tr := topology.CompleteBinary(5)
+	a := Generate(tr, PaperPowerLaw(), LeavesOnly, rand.New(rand.NewSource(42)))
+	b := Generate(tr, PaperPowerLaw(), LeavesOnly, rand.New(rand.NewSource(42)))
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestQuickUniformWithinBounds(t *testing.T) {
+	f := func(seed int64, lo uint8, span uint8) bool {
+		min := int(lo % 50)
+		max := min + int(span%50)
+		u := Uniform{Min: min, Max: max}
+		rng := rand.New(rand.NewSource(seed))
+		for i := 0; i < 50; i++ {
+			x := u.Sample(rng)
+			if x < min || x > max {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickPowerLawCDFMonotone(t *testing.T) {
+	f := func(a uint8) bool {
+		alpha := float64(a%40)/10 - 1 // [-1.0, 2.9]
+		p := NewPowerLaw(alpha, 1, 63)
+		prev := 0.0
+		for _, c := range p.cdf {
+			if c < prev {
+				return false
+			}
+			prev = c
+		}
+		return math.Abs(prev-1) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTotal(t *testing.T) {
+	if got := Total([]int{1, 2, 3}); got != 6 {
+		t.Fatalf("Total = %d, want 6", got)
+	}
+	if got := Total(nil); got != 0 {
+		t.Fatalf("Total(nil) = %d, want 0", got)
+	}
+}
+
+func TestDistributionStrings(t *testing.T) {
+	for _, d := range []Distribution{PaperUniform(), PaperPowerLaw(), Constant{V: 2}} {
+		if d.String() == "" {
+			t.Fatalf("%T has empty String()", d)
+		}
+	}
+}

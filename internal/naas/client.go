@@ -1,0 +1,130 @@
+package naas
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+)
+
+// Client consumes the NaaS HTTP API from Go.
+type Client struct {
+	base string
+	http *http.Client
+}
+
+// NewClient targets a service at baseURL (e.g. "http://127.0.0.1:7070").
+// httpClient may be nil for http.DefaultClient.
+func NewClient(baseURL string, httpClient *http.Client) *Client {
+	if httpClient == nil {
+		httpClient = http.DefaultClient
+	}
+	return &Client{base: baseURL, http: httpClient}
+}
+
+// ClientLease is the client-side view of a lease.
+type ClientLease struct {
+	ID     int64   `json:"id"`
+	Blue   []int   `json:"blue"`
+	K      int     `json:"k"`
+	Phi    float64 `json:"phi"`
+	AllRed float64 `json:"all_red"`
+	Ratio  float64 `json:"ratio"`
+}
+
+// Place admits a tenant with the given load vector and budget.
+func (c *Client) Place(ctx context.Context, load []int, k int) (*ClientLease, error) {
+	body, err := json.Marshal(placeRequest{Load: load, K: k})
+	if err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/tenants", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	var lease ClientLease
+	if err := c.do(req, http.StatusCreated, &lease); err != nil {
+		return nil, err
+	}
+	return &lease, nil
+}
+
+// Lookup fetches a lease by id.
+func (c *Client) Lookup(ctx context.Context, id int64) (*ClientLease, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		fmt.Sprintf("%s/v1/tenants/%d", c.base, id), nil)
+	if err != nil {
+		return nil, err
+	}
+	var lease ClientLease
+	if err := c.do(req, http.StatusOK, &lease); err != nil {
+		return nil, err
+	}
+	return &lease, nil
+}
+
+// Release ends a lease.
+func (c *Client) Release(ctx context.Context, id int64) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodDelete,
+		fmt.Sprintf("%s/v1/tenants/%d", c.base, id), nil)
+	if err != nil {
+		return err
+	}
+	return c.do(req, http.StatusNoContent, nil)
+}
+
+// Stats fetches the service summary.
+func (c *Client) Stats(ctx context.Context) (*Stats, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/stats", nil)
+	if err != nil {
+		return nil, err
+	}
+	var st Stats
+	if err := c.do(req, http.StatusOK, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// Residual fetches the per-switch residual capacities.
+func (c *Client) Residual(ctx context.Context) ([]int, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/residual", nil)
+	if err != nil {
+		return nil, err
+	}
+	var out struct {
+		Residual []int `json:"residual"`
+	}
+	if err := c.do(req, http.StatusOK, &out); err != nil {
+		return nil, err
+	}
+	return out.Residual, nil
+}
+
+func (c *Client) do(req *http.Request, wantStatus int, out interface{}) error {
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != wantStatus {
+		var apiErr struct {
+			Error string `json:"error"`
+		}
+		data, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		if json.Unmarshal(data, &apiErr) == nil && apiErr.Error != "" {
+			return fmt.Errorf("naas: %s (HTTP %d)", apiErr.Error, resp.StatusCode)
+		}
+		return fmt.Errorf("naas: HTTP %d", resp.StatusCode)
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("naas: decode response: %w", err)
+	}
+	return nil
+}

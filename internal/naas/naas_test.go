@@ -1,0 +1,264 @@
+package naas
+
+import (
+	"context"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"soar/internal/load"
+	"soar/internal/paper"
+	"soar/internal/reduce"
+	"soar/internal/topology"
+)
+
+func TestPlaceAndRelease(t *testing.T) {
+	tr, loads := paper.Figure2()
+	s := NewService(tr, 1)
+	lease, err := s.Place(loads, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lease.Phi != 20 || lease.AllRed != 51 {
+		t.Fatalf("lease φ=%v all-red=%v, want 20, 51", lease.Phi, lease.AllRed)
+	}
+	if len(lease.Blue) != 2 {
+		t.Fatalf("leased %d switches, want 2", len(lease.Blue))
+	}
+	// Capacity 1: the second identical tenant cannot reuse switches 2, 4.
+	lease2, err := s.Place(loads, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lease2.Phi <= lease.Phi {
+		t.Fatalf("second tenant φ=%v should be worse than first %v", lease2.Phi, lease.Phi)
+	}
+	// Release the first tenant; a third tenant recovers the optimum.
+	if err := s.Release(lease.ID); err != nil {
+		t.Fatal(err)
+	}
+	lease3, err := s.Place(loads, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lease3.Phi != 20 {
+		t.Fatalf("after release φ=%v, want 20", lease3.Phi)
+	}
+}
+
+func TestReleaseUnknown(t *testing.T) {
+	tr, _ := paper.Figure2()
+	s := NewService(tr, 1)
+	if err := s.Release(42); err != ErrNotFound {
+		t.Fatalf("err = %v, want ErrNotFound", err)
+	}
+}
+
+func TestPlaceValidation(t *testing.T) {
+	tr, loads := paper.Figure2()
+	s := NewService(tr, 1)
+	if _, err := s.Place([]int{1}, 2); err == nil {
+		t.Fatal("short load accepted")
+	}
+	if _, err := s.Place([]int{-1, 0, 0, 0, 0, 0, 0}, 2); err == nil {
+		t.Fatal("negative load accepted")
+	}
+	if _, err := s.Place(loads, -1); err == nil {
+		t.Fatal("negative k accepted")
+	}
+}
+
+func TestSnapshot(t *testing.T) {
+	tr, loads := paper.Figure2()
+	s := NewService(tr, 2)
+	st := s.Snapshot()
+	if st.Tenants != 0 || st.CapacityUsed != 0 || st.MeanRatio != 1 {
+		t.Fatalf("fresh stats %+v", st)
+	}
+	lease, _ := s.Place(loads, 2)
+	st = s.Snapshot()
+	if st.Tenants != 1 || st.CapacityUsed != 2 || st.SwitchesInUse != 2 {
+		t.Fatalf("stats %+v", st)
+	}
+	if got, want := st.MeanRatio, lease.Ratio(); got != want {
+		t.Fatalf("mean ratio %v, want %v", got, want)
+	}
+	if st.CapacityTotal != int64(2*tr.N()) {
+		t.Fatalf("capacity total %d", st.CapacityTotal)
+	}
+}
+
+func TestConcurrentTenantsNeverOversubscribe(t *testing.T) {
+	tr := topology.MustBT(64)
+	s := NewService(tr, 2)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			for i := 0; i < 10; i++ {
+				loads := load.Generate(tr, load.PaperUniform(), load.LeavesOnly, rng)
+				lease, err := s.Place(loads, 4)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if rng.Intn(2) == 0 {
+					if err := s.Release(lease.ID); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	for v, c := range s.Residual() {
+		if c < 0 {
+			t.Fatalf("switch %d oversubscribed: residual %d", v, c)
+		}
+	}
+}
+
+// --- HTTP round trips -------------------------------------------------
+
+func newTestServer(t *testing.T) (*Service, *Client) {
+	t.Helper()
+	tr, _ := paper.Figure2()
+	svc := NewService(tr, 2)
+	ts := httptest.NewServer(svc.Handler())
+	t.Cleanup(ts.Close)
+	return svc, NewClient(ts.URL, ts.Client())
+}
+
+func TestHTTPLifecycle(t *testing.T) {
+	_, c := newTestServer(t)
+	ctx := context.Background()
+	loads := []int{0, 0, 0, 2, 6, 5, 4}
+
+	lease, err := c.Place(ctx, loads, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lease.Phi != 20 || lease.Ratio != 20.0/51 {
+		t.Fatalf("lease %+v", lease)
+	}
+	got, err := c.Lookup(ctx, lease.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Phi != lease.Phi || len(got.Blue) != len(lease.Blue) {
+		t.Fatalf("lookup %+v vs %+v", got, lease)
+	}
+	st, err := c.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Tenants != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+	res, err := c.Residual(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	used := 0
+	for _, r := range res {
+		if r == 1 {
+			used++
+		}
+	}
+	if used != 2 {
+		t.Fatalf("%d switches show one slot used, want 2", used)
+	}
+	if err := c.Release(ctx, lease.ID); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Lookup(ctx, lease.ID); err == nil {
+		t.Fatal("lookup after release succeeded")
+	}
+}
+
+func TestHTTPErrors(t *testing.T) {
+	_, c := newTestServer(t)
+	ctx := context.Background()
+	if _, err := c.Place(ctx, []int{1, 2}, 1); err == nil || !strings.Contains(err.Error(), "naas:") {
+		t.Fatalf("short load over HTTP: err=%v", err)
+	}
+	if err := c.Release(ctx, 999); err == nil {
+		t.Fatal("release of unknown tenant succeeded")
+	}
+	if _, err := c.Lookup(ctx, 999); err == nil {
+		t.Fatal("lookup of unknown tenant succeeded")
+	}
+}
+
+func TestHTTPMethodGuards(t *testing.T) {
+	tr, _ := paper.Figure2()
+	svc := NewService(tr, 1)
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+	cases := []struct {
+		method, path string
+		wantStatus   int
+	}{
+		{http.MethodGet, "/v1/tenants", http.StatusMethodNotAllowed},
+		{http.MethodPost, "/v1/stats", http.StatusMethodNotAllowed},
+		{http.MethodPost, "/v1/residual", http.StatusMethodNotAllowed},
+		{http.MethodPut, "/v1/tenants/1", http.StatusMethodNotAllowed},
+		{http.MethodGet, "/v1/tenants/abc", http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		req, err := http.NewRequest(tc.method, ts.URL+tc.path, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := ts.Client().Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != tc.wantStatus {
+			t.Errorf("%s %s: status %d, want %d", tc.method, tc.path, resp.StatusCode, tc.wantStatus)
+		}
+	}
+}
+
+func TestHTTPRejectsUnknownFields(t *testing.T) {
+	tr, _ := paper.Figure2()
+	svc := NewService(tr, 1)
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+	resp, err := ts.Client().Post(ts.URL+"/v1/tenants", "application/json",
+		strings.NewReader(`{"load":[0,0,0,1,1,1,1],"k":1,"surprise":true}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown field accepted: status %d", resp.StatusCode)
+	}
+}
+
+func TestCapacityExhaustionDegradesGracefully(t *testing.T) {
+	// When every switch is leased out, new tenants still get (all-red)
+	// placements rather than errors — mirroring the paper's online model.
+	tr, loads := paper.Figure2()
+	s := NewService(tr, 1)
+	if _, err := s.Place(loads, 7); err != nil { // takes everything useful
+		t.Fatal(err)
+	}
+	lease, err := s.Place(loads, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lease.Ratio() != 1 || len(lease.Blue) != 0 {
+		t.Fatalf("exhausted service gave ratio %v with %d switches", lease.Ratio(), len(lease.Blue))
+	}
+	if lease.Phi != reduce.Utilization(tr, loads, make([]bool, tr.N())) {
+		t.Fatalf("exhausted lease φ=%v, want the all-red cost", lease.Phi)
+	}
+}

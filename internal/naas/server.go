@@ -1,0 +1,130 @@
+package naas
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// HTTP API
+//
+//	POST   /v1/tenants        {"load": [...], "k": 4}      → Lease JSON
+//	GET    /v1/tenants/{id}                                 → Lease JSON
+//	DELETE /v1/tenants/{id}                                 → 204
+//	GET    /v1/stats                                        → Stats JSON
+//	GET    /v1/residual                                     → {"residual": [...]}
+//
+// All request and response bodies are JSON; errors come back as
+// {"error": "..."} with an appropriate status code.
+
+// placeRequest is the admission request body.
+type placeRequest struct {
+	Load []int `json:"load"`
+	K    int   `json:"k"`
+}
+
+// leaseJSON is the wire form of a Lease.
+type leaseJSON struct {
+	ID     int64   `json:"id"`
+	Blue   []int   `json:"blue"`
+	K      int     `json:"k"`
+	Phi    float64 `json:"phi"`
+	AllRed float64 `json:"all_red"`
+	Ratio  float64 `json:"ratio"`
+}
+
+func toLeaseJSON(l *Lease) leaseJSON {
+	blue := l.Blue
+	if blue == nil {
+		blue = []int{}
+	}
+	return leaseJSON{
+		ID: l.ID, Blue: blue, K: l.K, Phi: l.Phi, AllRed: l.AllRed, Ratio: l.Ratio(),
+	}
+}
+
+// Handler returns the service's HTTP control plane.
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/tenants", s.handleTenants)
+	mux.HandleFunc("/v1/tenants/", s.handleTenantByID)
+	mux.HandleFunc("/v1/stats", s.handleStats)
+	mux.HandleFunc("/v1/residual", s.handleResidual)
+	return mux
+}
+
+func (s *Service) handleTenants(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, errors.New("POST only"))
+		return
+	}
+	var req placeRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 4<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+		return
+	}
+	lease, err := s.Place(req.Load, req.K)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, toLeaseJSON(lease))
+}
+
+func (s *Service) handleTenantByID(w http.ResponseWriter, r *http.Request) {
+	idStr := strings.TrimPrefix(r.URL.Path, "/v1/tenants/")
+	id, err := strconv.ParseInt(idStr, 10, 64)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("bad tenant id %q", idStr))
+		return
+	}
+	switch r.Method {
+	case http.MethodGet:
+		lease, err := s.Lookup(id)
+		if err != nil {
+			httpError(w, http.StatusNotFound, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, toLeaseJSON(lease))
+	case http.MethodDelete:
+		if err := s.Release(id); err != nil {
+			httpError(w, http.StatusNotFound, err)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	default:
+		httpError(w, http.StatusMethodNotAllowed, errors.New("GET or DELETE only"))
+	}
+}
+
+func (s *Service) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, errors.New("GET only"))
+		return
+	}
+	writeJSON(w, http.StatusOK, s.Snapshot())
+}
+
+func (s *Service) handleResidual(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, errors.New("GET only"))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string][]int{"residual": s.Residual()})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.Encode(v) // best effort; the status line is already out
+}
+
+func httpError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,39 @@
+// Package paper provides the concrete example instances used in the SOAR
+// paper's figures, shared by tests, the CLI demo and the quickstart
+// example. All values referenced in doc comments were hand-verified
+// against the paper's Figs. 1-5 and the Sec. 4.3 walkthrough.
+package paper
+
+import "soar/internal/topology"
+
+// Figure1 returns the 5-switch tree of the paper's Fig. 1, in which six
+// servers send values x1..x6 to the destination. The all-red Reduce
+// sends 14 messages (edge counts 2, 3, 1, 2 and 6 on the (r,d) edge);
+// the all-blue Reduce sends 5 (one per edge).
+//
+// Layout: switch 0 is the root r holding x4; switch 1 holds x1, x2;
+// switch 2 is empty; its children 3 (x3) and 4 (x5, x6).
+func Figure1() (*topology.Tree, []int) {
+	t := topology.MustNew(
+		[]int{topology.NoParent, 0, 0, 2, 2},
+		[]float64{1, 1, 1, 1, 1},
+	)
+	return t, []int{1, 2, 0, 1, 2}
+}
+
+// Figure2 returns the 7-switch complete binary tree of the paper's
+// Figs. 2, 3 and 5: root r = 0, internal switches 1 (left) and 2 (right),
+// and leaf ToR switches 3, 4, 5, 6 with rack loads 2, 6, 5, 4. All link
+// rates are 1 and every switch may aggregate.
+//
+// Ground truth (paper):
+//   - Fig. 2, k = 2: Top = 27, Max = 24, Level = 21, SOAR (optimal) = 20.
+//   - Fig. 3: optimal φ = 35, 20, 15, 11 for k = 1, 2, 3, 4; the optima
+//     for k = 2 ({2, 4}) and k = 3 ({4, 5, 6}) are unique.
+//   - Fig. 5 (Sec. 4.3): X_r(0, ·) = (34, 24, 16) and
+//     X_r(1, ·) = (51, 35, 20); the destination reads the optimum 20 at
+//     X_r(1, 2).
+func Figure2() (*topology.Tree, []int) {
+	t := topology.CompleteBinary(3)
+	return t, []int{0, 0, 0, 2, 6, 5, 4}
+}

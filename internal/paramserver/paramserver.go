@@ -1,0 +1,106 @@
+// Package paramserver models the paper's distributed-ML use case
+// (Sec. 5, "PS"): workers train locally and send sparse gradient updates
+// to a parameter server, with in-network switches summing gradients.
+//
+// Following the paper (and its footnote 4), no neural network is actually
+// trained — only the messages matter. Each worker's gradient covers a
+// 10K-dimensional feature space with dropout 0.5: every coordinate is
+// present independently with probability 0.5. Aggregation is the
+// coordinate-wise sum over the union of present coordinates, so message
+// sizes grow only mildly toward the root — which is exactly why the
+// paper finds PS byte complexity to track utilization closely.
+package paramserver
+
+import (
+	"math/rand"
+
+	"soar/internal/reduce"
+)
+
+// Config describes the gradient messages.
+type Config struct {
+	// Features is the dimension of the feature space (paper: 10_000).
+	Features int
+	// Dropout is the probability a coordinate is absent (paper: 0.5).
+	Dropout float64
+	// EntryBytes is the wire size of one (index, value) pair (default 8:
+	// a 4-byte index and a float32).
+	EntryBytes int
+}
+
+// DefaultConfig is the paper's setup: 10K features, dropout 0.5.
+func DefaultConfig() Config {
+	return Config{Features: 10_000, Dropout: 0.5, EntryBytes: 8}
+}
+
+// TestConfig is a small space for unit tests.
+func TestConfig() Config {
+	return Config{Features: 400, Dropout: 0.5, EntryBytes: 8}
+}
+
+// Gradient is a sparse gradient payload.
+type Gradient struct {
+	Values     map[int32]float32
+	entryBytes int64
+}
+
+// SizeBytes implements reduce.Payload: nnz × EntryBytes.
+func (g *Gradient) SizeBytes() int64 {
+	return int64(len(g.Values)) * g.entryBytes
+}
+
+// NNZ returns the number of present coordinates.
+func (g *Gradient) NNZ() int { return len(g.Values) }
+
+// Sum returns the total of all coordinate values; it is conserved by
+// Merge, which the tests exploit.
+func (g *Gradient) Sum() float64 {
+	var s float64
+	for _, v := range g.Values {
+		s += float64(v)
+	}
+	return s
+}
+
+// Aggregator produces per-worker sparse gradients and sums them. It
+// implements reduce.Aggregator. Gradients are regenerated
+// deterministically from (seed, worker index).
+type Aggregator struct {
+	cfg  Config
+	seed int64
+}
+
+// NewAggregator builds a gradient source for any number of workers.
+func NewAggregator(cfg Config, seed int64) *Aggregator {
+	if cfg.EntryBytes == 0 {
+		cfg.EntryBytes = 8
+	}
+	return &Aggregator{cfg: cfg, seed: seed}
+}
+
+// Produce implements reduce.Aggregator: worker i's sparse gradient.
+func (a *Aggregator) Produce(i int) reduce.Payload {
+	rng := rand.New(rand.NewSource(a.seed ^ (int64(i)+1)*0x5851F42D4C957F2D))
+	g := &Gradient{
+		Values:     make(map[int32]float32, int(float64(a.cfg.Features)*(1-a.cfg.Dropout))),
+		entryBytes: int64(a.cfg.EntryBytes),
+	}
+	for f := 0; f < a.cfg.Features; f++ {
+		if rng.Float64() >= a.cfg.Dropout {
+			g.Values[int32(f)] = float32(rng.NormFloat64())
+		}
+	}
+	return g
+}
+
+// Merge implements reduce.Aggregator: coordinate-wise sum over the union
+// of present coordinates.
+func (a *Aggregator) Merge(p, q reduce.Payload) reduce.Payload {
+	dst, src := p.(*Gradient), q.(*Gradient)
+	for f, v := range src.Values {
+		dst.Values[f] += v
+	}
+	return dst
+}
+
+var _ reduce.Aggregator = (*Aggregator)(nil)

@@ -1,0 +1,105 @@
+package paramserver
+
+import (
+	"math"
+	"testing"
+
+	"soar/internal/paper"
+	"soar/internal/reduce"
+)
+
+func TestDropoutDensity(t *testing.T) {
+	a := NewAggregator(DefaultConfig(), 1)
+	g := a.Produce(0).(*Gradient)
+	density := float64(g.NNZ()) / 10_000
+	if math.Abs(density-0.5) > 0.03 {
+		t.Fatalf("density %v, want ≈0.5", density)
+	}
+}
+
+func TestProduceDeterministic(t *testing.T) {
+	a := NewAggregator(TestConfig(), 8)
+	g1 := a.Produce(3).(*Gradient)
+	g2 := a.Produce(3).(*Gradient)
+	if g1.NNZ() != g2.NNZ() || g1.Sum() != g2.Sum() {
+		t.Fatalf("Produce not deterministic: %d/%v vs %d/%v", g1.NNZ(), g1.Sum(), g2.NNZ(), g2.Sum())
+	}
+}
+
+func TestWorkersDiffer(t *testing.T) {
+	a := NewAggregator(TestConfig(), 8)
+	g1 := a.Produce(0).(*Gradient)
+	g2 := a.Produce(1).(*Gradient)
+	if g1.Sum() == g2.Sum() && g1.NNZ() == g2.NNZ() {
+		t.Fatal("two workers produced identical gradients")
+	}
+}
+
+func TestMergeSumsValues(t *testing.T) {
+	a := NewAggregator(TestConfig(), 8)
+	g1 := a.Produce(0).(*Gradient)
+	g2 := a.Produce(1).(*Gradient)
+	s1, s2 := g1.Sum(), g2.Sum()
+	n1, n2 := g1.NNZ(), g2.NNZ()
+	m := a.Merge(g1, g2).(*Gradient)
+	if math.Abs(m.Sum()-(s1+s2)) > 1e-3 {
+		t.Fatalf("merged sum %v, want %v", m.Sum(), s1+s2)
+	}
+	// Union bound: max(n1,n2) ≤ nnz ≤ n1+n2, strictly between for
+	// overlapping dropout masks.
+	if m.NNZ() < n1 || m.NNZ() < n2 || m.NNZ() > n1+n2 {
+		t.Fatalf("merged nnz %d outside [%d, %d]", m.NNZ(), maxInt(n1, n2), n1+n2)
+	}
+	if m.NNZ() == n1+n2 {
+		t.Fatal("no coordinate overlap at dropout 0.5 is vanishingly unlikely")
+	}
+}
+
+func TestSizeBytes(t *testing.T) {
+	a := NewAggregator(TestConfig(), 1)
+	g := a.Produce(0).(*Gradient)
+	if g.SizeBytes() != int64(g.NNZ())*8 {
+		t.Fatalf("size %d, want %d", g.SizeBytes(), g.NNZ()*8)
+	}
+}
+
+func TestUnionSaturates(t *testing.T) {
+	// Merging many workers approaches the full feature space: size growth
+	// is mild, the property the paper leans on in Sec. 5.3.
+	cfg := TestConfig()
+	a := NewAggregator(cfg, 1)
+	m := a.Produce(0).(*Gradient)
+	for i := 1; i < 10; i++ {
+		m = a.Merge(m, a.Produce(i)).(*Gradient)
+	}
+	if m.NNZ() < cfg.Features*99/100 {
+		t.Fatalf("after 10 merges nnz=%d, want ≈%d", m.NNZ(), cfg.Features)
+	}
+	if m.NNZ() > cfg.Features {
+		t.Fatalf("nnz %d exceeds the feature space %d", m.NNZ(), cfg.Features)
+	}
+}
+
+func TestEndToEndPSBytesTrackUtilization(t *testing.T) {
+	// With near-constant message sizes (dropout keeps sizes within 2× of
+	// each other), normalized byte complexity should sit close to
+	// normalized utilization (paper Sec. 5.3).
+	tr, loads := paper.Figure2()
+	a := NewAggregator(TestConfig(), 1)
+	allRed := make([]bool, tr.N())
+	opt := []bool{false, false, true, false, true, false, false}
+	redB := reduce.ByteComplexity(tr, loads, allRed, a).TotalBytes
+	optB := reduce.ByteComplexity(tr, loads, opt, a).TotalBytes
+	byteRatio := float64(optB) / float64(redB)
+	utilRatio := reduce.Utilization(tr, loads, opt) / reduce.Utilization(tr, loads, allRed)
+	if math.Abs(byteRatio-utilRatio) > 0.25 {
+		t.Fatalf("PS byte ratio %v far from utilization ratio %v", byteRatio, utilRatio)
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

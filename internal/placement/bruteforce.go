@@ -1,0 +1,80 @@
+package placement
+
+import (
+	"math"
+
+	"soar/internal/reduce"
+	"soar/internal/topology"
+)
+
+// BruteForce enumerates every subset U ⊆ Λ with |U| ≤ k and returns a
+// minimizer of φ. It is exponential and guarded by MaxNodes; it exists to
+// certify SOAR's optimality on small random instances in tests and to
+// check the uniqueness claims of the paper's Fig. 3.
+type BruteForce struct {
+	// MaxNodes caps |Λ|; Place panics beyond it (default 20).
+	MaxNodes int
+}
+
+// Name implements Strategy.
+func (BruteForce) Name() string { return "brute-force" }
+
+// Place implements Strategy.
+func (b BruteForce) Place(t *topology.Tree, load []int, avail []bool, k int) []bool {
+	blue, _ := b.Search(t, load, avail, k)
+	return blue
+}
+
+// Search returns an optimal blue set and its φ.
+func (b BruteForce) Search(t *topology.Tree, load []int, avail []bool, k int) ([]bool, float64) {
+	best := make([]bool, t.N())
+	bestCost := math.Inf(1)
+	b.enumerate(t, load, avail, k, func(cur []bool, cost float64) {
+		if cost < bestCost {
+			bestCost = cost
+			copy(best, cur)
+		}
+	})
+	return best, bestCost
+}
+
+// AllOptima returns every subset U ⊆ Λ with |U| ≤ k achieving the optimal
+// φ (within tolerance eps), each subset exactly once. Used to verify the
+// paper's uniqueness claims for Fig. 3 (k = 2, 3).
+func (b BruteForce) AllOptima(t *topology.Tree, load []int, avail []bool, k int, eps float64) ([][]bool, float64) {
+	_, bestCost := b.Search(t, load, avail, k)
+	var optima [][]bool
+	b.enumerate(t, load, avail, k, func(cur []bool, cost float64) {
+		if math.Abs(cost-bestCost) <= eps {
+			optima = append(optima, append([]bool(nil), cur...))
+		}
+	})
+	return optima, bestCost
+}
+
+// enumerate visits every subset of the available switches of size ≤ k
+// exactly once and reports its φ.
+func (b BruteForce) enumerate(t *topology.Tree, load []int, avail []bool, k int, visit func(cur []bool, cost float64)) {
+	max := b.MaxNodes
+	if max == 0 {
+		max = 20
+	}
+	a := availOrAll(t, avail)
+	cand := candidateIDs(t, a)
+	if len(cand) > max {
+		panic("placement: BruteForce beyond MaxNodes")
+	}
+	cur := make([]bool, t.N())
+	var rec func(idx, budget int)
+	rec = func(idx, budget int) {
+		if idx == len(cand) || budget == 0 {
+			visit(cur, reduce.Utilization(t, load, cur))
+			return
+		}
+		cur[cand[idx]] = true
+		rec(idx+1, budget-1)
+		cur[cand[idx]] = false
+		rec(idx+1, budget)
+	}
+	rec(0, k)
+}

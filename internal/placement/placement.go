@@ -1,0 +1,257 @@
+// Package placement implements the baseline blue-switch allocation
+// strategies that the SOAR paper compares against (Sec. 3), plus an
+// exhaustive brute-force oracle used to verify optimality in tests.
+//
+// Every strategy is availability-aware: it only selects switches from the
+// availability set Λ and never selects more than k, which is what the
+// online multiple-workload setting of Sec. 5.2 requires.
+package placement
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"soar/internal/reduce"
+	"soar/internal/topology"
+)
+
+// Strategy computes a set of blue (aggregating) switches.
+type Strategy interface {
+	// Name identifies the strategy in experiment output.
+	Name() string
+	// Place returns a boolean blue vector with at most k true entries,
+	// all within avail. A nil avail means every switch is available.
+	Place(t *topology.Tree, load []int, avail []bool, k int) []bool
+}
+
+// AllAvailable returns an availability vector with every switch in Λ.
+func AllAvailable(n int) []bool {
+	a := make([]bool, n)
+	for i := range a {
+		a[i] = true
+	}
+	return a
+}
+
+func availOrAll(t *topology.Tree, avail []bool) []bool {
+	if avail == nil {
+		return AllAvailable(t.N())
+	}
+	return avail
+}
+
+// AllRed is the k = 0 baseline: no aggregation anywhere.
+type AllRed struct{}
+
+// Name implements Strategy.
+func (AllRed) Name() string { return "all-red" }
+
+// Place implements Strategy.
+func (AllRed) Place(t *topology.Tree, _ []int, _ []bool, _ int) []bool {
+	return make([]bool, t.N())
+}
+
+// AllBlue ignores the budget and makes every available switch an
+// aggregator; it lower-bounds the utilization of any bounded solution.
+type AllBlue struct{}
+
+// Name implements Strategy.
+func (AllBlue) Name() string { return "all-blue" }
+
+// Place implements Strategy.
+func (AllBlue) Place(t *topology.Tree, _ []int, avail []bool, _ int) []bool {
+	a := availOrAll(t, avail)
+	blue := make([]bool, t.N())
+	copy(blue, a)
+	return blue
+}
+
+// Top picks the k available switches closest to the root (paper Sec. 3
+// strategy (i)). Ties within a level are broken toward the switch with
+// the larger subtree load (aggregating where more traffic passes), then
+// by switch id, which reproduces the paper's Fig. 2a outcome.
+type Top struct{}
+
+// Name implements Strategy.
+func (Top) Name() string { return "top" }
+
+// Place implements Strategy.
+func (Top) Place(t *topology.Tree, load []int, avail []bool, k int) []bool {
+	a := availOrAll(t, avail)
+	sub := t.SubtreeLoads(load)
+	order := candidateIDs(t, a)
+	sort.SliceStable(order, func(i, j int) bool {
+		vi, vj := order[i], order[j]
+		if t.Depth(vi) != t.Depth(vj) {
+			return t.Depth(vi) < t.Depth(vj)
+		}
+		if sub[vi] != sub[vj] {
+			return sub[vi] > sub[vj]
+		}
+		return vi < vj
+	})
+	return takeFirst(t.N(), order, k)
+}
+
+// Max picks the k available switches with the largest local load (paper
+// Sec. 3 strategy (ii)). Ties are broken by switch id.
+type Max struct{}
+
+// Name implements Strategy.
+func (Max) Name() string { return "max" }
+
+// Place implements Strategy.
+func (Max) Place(t *topology.Tree, load []int, avail []bool, k int) []bool {
+	a := availOrAll(t, avail)
+	order := candidateIDs(t, a)
+	sort.SliceStable(order, func(i, j int) bool {
+		vi, vj := order[i], order[j]
+		if load[vi] != load[vj] {
+			return load[vi] > load[vj]
+		}
+		return vi < vj
+	})
+	return takeFirst(t.N(), order, k)
+}
+
+// MaxDegree picks the k available switches with the highest degree, the
+// "natural" strategy for scale-free networks in the paper's Appendix B.
+type MaxDegree struct{}
+
+// Name implements Strategy.
+func (MaxDegree) Name() string { return "max-degree" }
+
+// Place implements Strategy.
+func (MaxDegree) Place(t *topology.Tree, _ []int, avail []bool, k int) []bool {
+	a := availOrAll(t, avail)
+	order := candidateIDs(t, a)
+	sort.SliceStable(order, func(i, j int) bool {
+		vi, vj := order[i], order[j]
+		if t.Degree(vi) != t.Degree(vj) {
+			return t.Degree(vi) > t.Degree(vj)
+		}
+		return vi < vj
+	})
+	return takeFirst(t.N(), order, k)
+}
+
+// Level picks whole levels of a (complete binary) tree as blue (paper
+// Sec. 3 strategy (iii)): level j = ⌊log₂ k⌋ is taken entirely (2^j ≤ k
+// nodes); any remaining budget is filled from level j+1 in id order. For
+// the paper's powers-of-two budgets this is exactly one whole level.
+type Level struct{}
+
+// Name implements Strategy.
+func (Level) Name() string { return "level" }
+
+// Place implements Strategy.
+func (Level) Place(t *topology.Tree, _ []int, avail []bool, k int) []bool {
+	a := availOrAll(t, avail)
+	if k <= 0 {
+		return make([]bool, t.N())
+	}
+	j := 0
+	for (1 << (j + 1)) <= k {
+		j++
+	}
+	if j > t.Height() {
+		j = t.Height()
+	}
+	order := make([]int, 0, k)
+	for lvl := j; lvl <= t.Height() && len(order) < k; lvl++ {
+		for _, v := range t.NodesAtLevel(lvl) {
+			if a[v] {
+				order = append(order, v)
+			}
+		}
+	}
+	return takeFirst(t.N(), order, k)
+}
+
+// Random picks k available switches uniformly at random; a reproducible
+// baseline for ablations.
+type Random struct{ Rng *rand.Rand }
+
+// Name implements Strategy.
+func (Random) Name() string { return "random" }
+
+// Place implements Strategy.
+func (s Random) Place(t *topology.Tree, _ []int, avail []bool, k int) []bool {
+	a := availOrAll(t, avail)
+	order := candidateIDs(t, a)
+	s.Rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+	return takeFirst(t.N(), order, k)
+}
+
+// Greedy adds blue switches one at a time, each time choosing the
+// available switch whose activation most reduces φ. It is a natural
+// O(k·n²) heuristic that the paper's dependency argument (Sec. 1)
+// predicts to be suboptimal; included for ablation benchmarks.
+type Greedy struct{}
+
+// Name implements Strategy.
+func (Greedy) Name() string { return "greedy" }
+
+// Place implements Strategy.
+func (Greedy) Place(t *topology.Tree, load []int, avail []bool, k int) []bool {
+	a := availOrAll(t, avail)
+	blue := make([]bool, t.N())
+	cur := reduce.Utilization(t, load, blue)
+	for round := 0; round < k; round++ {
+		best, bestCost := -1, cur
+		for v := 0; v < t.N(); v++ {
+			if blue[v] || !a[v] {
+				continue
+			}
+			blue[v] = true
+			c := reduce.Utilization(t, load, blue)
+			blue[v] = false
+			if c < bestCost {
+				best, bestCost = v, c
+			}
+		}
+		if best < 0 {
+			break // no strict improvement available
+		}
+		blue[best] = true
+		cur = bestCost
+	}
+	return blue
+}
+
+// candidateIDs returns the available switch ids in increasing order.
+func candidateIDs(t *topology.Tree, avail []bool) []int {
+	ids := make([]int, 0, t.N())
+	for v := 0; v < t.N(); v++ {
+		if avail[v] {
+			ids = append(ids, v)
+		}
+	}
+	return ids
+}
+
+func takeFirst(n int, order []int, k int) []bool {
+	blue := make([]bool, n)
+	for i := 0; i < len(order) && i < k; i++ {
+		blue[order[i]] = true
+	}
+	return blue
+}
+
+// Evaluate is a convenience helper returning the φ of strategy s on the
+// given instance.
+func Evaluate(s Strategy, t *topology.Tree, load []int, avail []bool, k int) float64 {
+	return reduce.Utilization(t, load, s.Place(t, load, avail, k))
+}
+
+// String formats a blue vector as a sorted id list, for logs and tests.
+func String(blue []bool) string {
+	ids := make([]int, 0)
+	for v, b := range blue {
+		if b {
+			ids = append(ids, v)
+		}
+	}
+	return fmt.Sprint(ids)
+}

@@ -1,0 +1,218 @@
+package placement
+
+import (
+	"math/rand"
+	"testing"
+
+	"soar/internal/paper"
+	"soar/internal/reduce"
+	"soar/internal/topology"
+)
+
+func TestFigure2Baselines(t *testing.T) {
+	tr, loads := paper.Figure2()
+	cases := []struct {
+		s    Strategy
+		want float64
+	}{
+		{Top{}, 27},
+		{Max{}, 24},
+		{Level{}, 21},
+		{AllRed{}, 51},
+		{AllBlue{}, 7},
+	}
+	for _, tc := range cases {
+		blue := tc.s.Place(tr, loads, nil, 2)
+		if got := reduce.Utilization(tr, loads, blue); got != tc.want {
+			t.Errorf("%s: φ = %v (blue %s), want %v", tc.s.Name(), got, String(blue), tc.want)
+		}
+	}
+}
+
+func TestTopPicksClosestToRoot(t *testing.T) {
+	tr, loads := paper.Figure2()
+	blue := Top{}.Place(tr, loads, nil, 3)
+	// Root plus both mid switches.
+	want := []bool{true, true, true, false, false, false, false}
+	for v := range want {
+		if blue[v] != want[v] {
+			t.Fatalf("top k=3 picked %s, want root+mids", String(blue))
+		}
+	}
+}
+
+func TestMaxPicksLargestLoads(t *testing.T) {
+	tr, loads := paper.Figure2()
+	blue := Max{}.Place(tr, loads, nil, 2)
+	if !blue[4] || !blue[5] || reduce.CountBlue(blue) != 2 {
+		t.Fatalf("max k=2 picked %s, want switches 4 (load 6) and 5 (load 5)", String(blue))
+	}
+}
+
+func TestLevelPicksWholeLevels(t *testing.T) {
+	tr := topology.CompleteBinary(4) // 15 switches, levels 0..3
+	loads := make([]int, tr.N())
+	for _, k := range []int{1, 2, 4, 8} {
+		blue := Level{}.Place(tr, loads, nil, k)
+		if got := reduce.CountBlue(blue); got != k {
+			t.Fatalf("level k=%d placed %d", k, got)
+		}
+		// All picked switches on one level.
+		lvl := -1
+		for v, b := range blue {
+			if !b {
+				continue
+			}
+			if lvl == -1 {
+				lvl = tr.Depth(v) - 1
+			} else if tr.Depth(v)-1 != lvl {
+				t.Fatalf("level k=%d spans multiple levels: %s", k, String(blue))
+			}
+		}
+	}
+	// Non-power budget spills into the next level down.
+	blue := Level{}.Place(tr, loads, nil, 3)
+	if got := reduce.CountBlue(blue); got != 3 {
+		t.Fatalf("level k=3 placed %d", got)
+	}
+	if !blue[1] || !blue[2] {
+		t.Fatalf("level k=3 should include whole level 1, got %s", String(blue))
+	}
+}
+
+func TestMaxDegreePicksHubs(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	tr := topology.ScaleFree(100, rng)
+	loads := make([]int, tr.N())
+	blue := MaxDegree{}.Place(tr, loads, nil, 3)
+	minPicked := 1 << 30
+	maxSkipped := 0
+	for v := 0; v < tr.N(); v++ {
+		if blue[v] && tr.Degree(v) < minPicked {
+			minPicked = tr.Degree(v)
+		}
+		if !blue[v] && tr.Degree(v) > maxSkipped {
+			maxSkipped = tr.Degree(v)
+		}
+	}
+	if minPicked < maxSkipped {
+		t.Fatalf("picked degree %d while skipping degree %d", minPicked, maxSkipped)
+	}
+}
+
+func TestAvailabilityRespected(t *testing.T) {
+	tr, loads := paper.Figure2()
+	avail := []bool{false, true, false, true, false, true, false}
+	for _, s := range []Strategy{Top{}, Max{}, Level{}, AllBlue{}, Greedy{}, Random{Rng: rand.New(rand.NewSource(1))}} {
+		blue := s.Place(tr, loads, avail, 3)
+		for v, b := range blue {
+			if b && !avail[v] {
+				t.Fatalf("%s picked unavailable switch %d", s.Name(), v)
+			}
+		}
+	}
+}
+
+func TestBudgetRespected(t *testing.T) {
+	tr, loads := paper.Figure2()
+	for _, s := range []Strategy{Top{}, Max{}, Level{}, Greedy{}, Random{Rng: rand.New(rand.NewSource(2))}} {
+		for k := 0; k <= 8; k++ {
+			blue := s.Place(tr, loads, nil, k)
+			if got := reduce.CountBlue(blue); got > k {
+				t.Fatalf("%s placed %d > k=%d", s.Name(), got, k)
+			}
+		}
+	}
+}
+
+func TestGreedyAtLeastAsGoodAsNothing(t *testing.T) {
+	tr, loads := paper.Figure2()
+	for k := 1; k <= 4; k++ {
+		g := Evaluate(Greedy{}, tr, loads, nil, k)
+		red := Evaluate(AllRed{}, tr, loads, nil, k)
+		if g > red {
+			t.Fatalf("greedy k=%d worse than all-red: %v > %v", k, g, red)
+		}
+	}
+}
+
+func TestBruteForceFig3(t *testing.T) {
+	tr, loads := paper.Figure2()
+	bf := BruteForce{}
+	want := map[int]float64{0: 51, 1: 35, 2: 20, 3: 15, 4: 11}
+	for k, w := range want {
+		_, cost := bf.Search(tr, loads, nil, k)
+		if cost != w {
+			t.Fatalf("brute force k=%d: φ=%v, want %v", k, cost, w)
+		}
+	}
+}
+
+func TestBruteForceUniqueOptimaFig3(t *testing.T) {
+	// Paper: the optima for k=2 and k=3 are unique. ("at most k" allows
+	// padding only if padding does not change φ; uniqueness here means a
+	// unique minimal set, and since k equals the support size no padded
+	// duplicates arise.)
+	tr, loads := paper.Figure2()
+	bf := BruteForce{}
+	optima2, cost2 := bf.AllOptima(tr, loads, nil, 2, 1e-9)
+	if cost2 != 20 || len(optima2) != 1 {
+		t.Fatalf("k=2: %d optima at φ=%v, want unique at 20", len(optima2), cost2)
+	}
+	if !optima2[0][2] || !optima2[0][4] {
+		t.Fatalf("k=2 optimum %s, want {2,4}", String(optima2[0]))
+	}
+	optima3, cost3 := bf.AllOptima(tr, loads, nil, 3, 1e-9)
+	if cost3 != 15 || len(optima3) != 1 {
+		t.Fatalf("k=3: %d optima at φ=%v, want unique at 15", len(optima3), cost3)
+	}
+	for _, v := range []int{4, 5, 6} {
+		if !optima3[0][v] {
+			t.Fatalf("k=3 optimum %s, want {4,5,6}", String(optima3[0]))
+		}
+	}
+}
+
+func TestFig3NonMonotoneBlueSets(t *testing.T) {
+	// Paper Sec. 3: the optimal sets for increasing k are not monotone —
+	// the unique k=2 optimum contains switch 2, the unique k=3 one does not.
+	tr, loads := paper.Figure2()
+	bf := BruteForce{}
+	o2, _ := bf.AllOptima(tr, loads, nil, 2, 1e-9)
+	o3, _ := bf.AllOptima(tr, loads, nil, 3, 1e-9)
+	if !o2[0][2] {
+		t.Fatal("k=2 optimum should contain switch 2")
+	}
+	if o3[0][2] {
+		t.Fatal("k=3 optimum should not contain switch 2")
+	}
+}
+
+func TestBruteForceGuard(t *testing.T) {
+	tr := topology.CompleteBinary(5) // 31 > default 20 candidates
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected MaxNodes panic")
+		}
+	}()
+	BruteForce{}.Place(tr, make([]int, tr.N()), nil, 2)
+}
+
+func TestRandomIsReproducible(t *testing.T) {
+	tr, loads := paper.Figure2()
+	a := Random{Rng: rand.New(rand.NewSource(5))}.Place(tr, loads, nil, 3)
+	b := Random{Rng: rand.New(rand.NewSource(5))}.Place(tr, loads, nil, 3)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different placements")
+		}
+	}
+}
+
+func TestNames(t *testing.T) {
+	for _, s := range []Strategy{Top{}, Max{}, Level{}, AllRed{}, AllBlue{}, MaxDegree{}, Greedy{}, BruteForce{}, Random{}} {
+		if s.Name() == "" {
+			t.Fatalf("%T has empty name", s)
+		}
+	}
+}

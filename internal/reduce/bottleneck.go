@@ -1,0 +1,31 @@
+package reduce
+
+import "soar/internal/topology"
+
+// BottleneckUtilization returns max_e msg_e·ρ(e): the transmission time
+// of the busiest link during the Reduce. The paper's Sec. 8 proposes
+// minimizing bottleneck load as a companion objective to φ and
+// conjectures that φ-optimal placements do well on it; the extension
+// experiment (experiments.ExtObjectives) measures exactly that.
+func BottleneckUtilization(t *topology.Tree, load []int, blue []bool) float64 {
+	counts := MessageCounts(t, load, blue)
+	var worst float64
+	for v, m := range counts {
+		if c := float64(m) * t.Rho(v); c > worst {
+			worst = c
+		}
+	}
+	return worst
+}
+
+// PerLinkUtilization returns msg_e·ρ(e) for every edge (indexed by the
+// lower endpoint), the distribution whose sum is φ and whose maximum is
+// the bottleneck.
+func PerLinkUtilization(t *topology.Tree, load []int, blue []bool) []float64 {
+	counts := MessageCounts(t, load, blue)
+	out := make([]float64, t.N())
+	for v, m := range counts {
+		out[v] = float64(m) * t.Rho(v)
+	}
+	return out
+}

@@ -1,0 +1,73 @@
+package reduce
+
+import (
+	"math/rand"
+	"testing"
+
+	"soar/internal/paper"
+	"soar/internal/topology"
+)
+
+func TestBottleneckAllRedPaperExample(t *testing.T) {
+	tr, loads := paper.Figure2()
+	blue := make([]bool, tr.N())
+	// All-red: the (r, d) edge carries all 17 messages at rate 1.
+	if got := BottleneckUtilization(tr, loads, blue); got != 17 {
+		t.Fatalf("bottleneck = %v, want 17", got)
+	}
+	// The k=2 optimum: heaviest link is the load-5 leaf edge.
+	opt := []bool{false, false, true, false, true, false, false}
+	if got := BottleneckUtilization(tr, loads, opt); got != 5 {
+		t.Fatalf("bottleneck under SOAR = %v, want 5", got)
+	}
+}
+
+func TestPerLinkUtilizationSumsToPhi(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + rng.Intn(30)
+		tr := topology.RandomRecursive(n, rng)
+		loads := make([]int, n)
+		blue := make([]bool, n)
+		for v := 0; v < n; v++ {
+			loads[v] = rng.Intn(5)
+			blue[v] = rng.Intn(3) == 0
+		}
+		per := PerLinkUtilization(tr, loads, blue)
+		sum, max := 0.0, 0.0
+		for _, c := range per {
+			sum += c
+			if c > max {
+				max = c
+			}
+		}
+		if phi := Utilization(tr, loads, blue); abs(sum-phi) > 1e-9 {
+			t.Fatalf("per-link sum %v != φ %v", sum, phi)
+		}
+		if b := BottleneckUtilization(tr, loads, blue); abs(max-b) > 1e-9 {
+			t.Fatalf("per-link max %v != bottleneck %v", max, b)
+		}
+	}
+}
+
+func TestBottleneckNeverIncreasesWithBlue(t *testing.T) {
+	// Making a switch blue never increases any link's message count, so
+	// the bottleneck is monotone too.
+	tr, loads := paper.Figure2()
+	blue := make([]bool, tr.N())
+	base := BottleneckUtilization(tr, loads, blue)
+	for v := 0; v < tr.N(); v++ {
+		blue[v] = true
+		if got := BottleneckUtilization(tr, loads, blue); got > base+1e-12 {
+			t.Fatalf("bottleneck rose to %v after making %d blue", got, v)
+		}
+		blue[v] = false
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,118 @@
+package reduce
+
+import "soar/internal/topology"
+
+// Payload is one application message traveling up the tree. Payload
+// implementations are owned by the engine after being produced: Merge may
+// mutate and return its first argument.
+type Payload interface {
+	// SizeBytes is the wire size of the payload in bytes.
+	SizeBytes() int64
+}
+
+// Aggregator produces per-server payloads and merges them, defining an
+// application's byte-complexity behaviour (word-count dictionaries,
+// parameter-server gradients, ...).
+type Aggregator interface {
+	// Produce returns the payload emitted by one server. Servers are
+	// numbered 0..totalLoad-1 in switch-id order (all servers of switch 0
+	// first, and so on), so implementations can pre-shard data.
+	Produce(serverIdx int) Payload
+	// Merge combines two payloads into one, as a blue switch does. It may
+	// mutate and return a; it must not retain b.
+	Merge(a, b Payload) Payload
+}
+
+// ByteCosts holds the outcome of a payload-level Reduce simulation.
+type ByteCosts struct {
+	// PerLink[v] is the number of payload bytes crossing the edge from v
+	// to its parent (for the root, the edge (r, d)).
+	PerLink []int64
+	// TotalBytes is the plain sum of PerLink.
+	TotalBytes int64
+	// Weighted is Σ_e bytes_e · ρ(e), the byte analogue of φ. Under
+	// constant rate 1 it equals TotalBytes.
+	Weighted float64
+	// Messages[v] is the number of payloads crossing the edge above v;
+	// it must agree with MessageCounts.
+	Messages []int64
+}
+
+// ByteComplexity runs the Reduce of Algorithm 1 carrying real payloads:
+// red switches forward every incoming payload plus one payload per local
+// server; blue switches merge everything into a single payload. It
+// returns per-link byte counts and totals.
+func ByteComplexity(t *topology.Tree, load []int, blue []bool, agg Aggregator) ByteCosts {
+	mustMatch(t, load, blue)
+	res := ByteCosts{
+		PerLink:  make([]int64, t.N()),
+		Messages: make([]int64, t.N()),
+	}
+	// serverBase[v] = first server index at switch v.
+	serverBase := make([]int, t.N())
+	next := 0
+	for v := 0; v < t.N(); v++ {
+		serverBase[v] = next
+		next += load[v]
+	}
+	up := make([][]Payload, t.N()) // payloads leaving each switch upward
+	for _, v := range t.PostOrder() {
+		var msgs []Payload
+		for _, c := range t.Children(v) {
+			msgs = append(msgs, up[c]...)
+			up[c] = nil // release
+		}
+		for s := 0; s < load[v]; s++ {
+			msgs = append(msgs, agg.Produce(serverBase[v]+s))
+		}
+		if blue[v] && len(msgs) > 1 {
+			merged := msgs[0]
+			for _, m := range msgs[1:] {
+				merged = agg.Merge(merged, m)
+			}
+			msgs = msgs[:1]
+			msgs[0] = merged
+		}
+		var bytes int64
+		for _, m := range msgs {
+			bytes += m.SizeBytes()
+		}
+		res.PerLink[v] = bytes
+		res.Messages[v] = int64(len(msgs))
+		res.TotalBytes += bytes
+		res.Weighted += float64(bytes) * t.Rho(v)
+		up[v] = msgs
+	}
+	return res
+}
+
+// UnitPayload has size 1; with UnitAggregator the byte complexity
+// coincides with the message complexity, a cross-check used in tests.
+type UnitPayload struct{}
+
+// SizeBytes implements Payload.
+func (UnitPayload) SizeBytes() int64 { return 1 }
+
+// UnitAggregator produces and merges UnitPayloads.
+type UnitAggregator struct{}
+
+// Produce implements Aggregator.
+func (UnitAggregator) Produce(int) Payload { return UnitPayload{} }
+
+// Merge implements Aggregator.
+func (UnitAggregator) Merge(a, b Payload) Payload { return a }
+
+// FixedSizeAggregator models applications whose aggregated message is the
+// same size as any input message (e.g. dense gradient sum, max/min,
+// bitwise ops): every payload is Size bytes.
+type FixedSizeAggregator struct{ Size int64 }
+
+type fixedPayload struct{ size int64 }
+
+func (p fixedPayload) SizeBytes() int64 { return p.size }
+
+// Produce implements Aggregator.
+func (f FixedSizeAggregator) Produce(int) Payload { return fixedPayload{f.Size} }
+
+// Merge implements Aggregator.
+func (f FixedSizeAggregator) Merge(a, b Payload) Payload { return a }

@@ -1,0 +1,125 @@
+package reduce
+
+import (
+	"math/rand"
+	"testing"
+
+	"soar/internal/paper"
+	"soar/internal/topology"
+)
+
+func TestUnitAggregatorMatchesMessageComplexity(t *testing.T) {
+	// With 1-byte unmergeable-size payloads, byte complexity must equal
+	// message complexity on every instance.
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + rng.Intn(30)
+		tr := topology.RandomRecursive(n, rng)
+		loads := make([]int, n)
+		blue := make([]bool, n)
+		for v := 0; v < n; v++ {
+			loads[v] = rng.Intn(4)
+			blue[v] = rng.Intn(3) == 0
+		}
+		bc := ByteComplexity(tr, loads, blue, UnitAggregator{})
+		msgs := MessageCounts(tr, loads, blue)
+		for v := 0; v < n; v++ {
+			if bc.PerLink[v] != msgs[v] || bc.Messages[v] != msgs[v] {
+				t.Fatalf("trial %d: link %d bytes=%d msgs(bc)=%d msgs=%d",
+					trial, v, bc.PerLink[v], bc.Messages[v], msgs[v])
+			}
+		}
+		if bc.TotalBytes != TotalMessages(tr, loads, blue) {
+			t.Fatalf("trial %d: total bytes %d != total messages %d",
+				trial, bc.TotalBytes, TotalMessages(tr, loads, blue))
+		}
+	}
+}
+
+func TestFixedSizeAggregator(t *testing.T) {
+	tr, loads := paper.Figure2()
+	blue := make([]bool, tr.N())
+	bc := ByteComplexity(tr, loads, blue, FixedSizeAggregator{Size: 100})
+	// All-red: bytes = 100 × messages on every link.
+	if bc.TotalBytes != 100*51 {
+		t.Fatalf("all-red fixed bytes = %d, want %d", bc.TotalBytes, 100*51)
+	}
+	allBlue := make([]bool, tr.N())
+	for i := range allBlue {
+		allBlue[i] = true
+	}
+	bc = ByteComplexity(tr, loads, allBlue, FixedSizeAggregator{Size: 100})
+	if bc.TotalBytes != 100*7 {
+		t.Fatalf("all-blue fixed bytes = %d, want %d", bc.TotalBytes, 100*7)
+	}
+}
+
+func TestWeightedBytesUseRho(t *testing.T) {
+	tr, loads := paper.Figure2()
+	fast := topology.ApplyRates(tr, topology.RatesConstant(4))
+	blue := make([]bool, tr.N())
+	bc := ByteComplexity(fast, loads, blue, UnitAggregator{})
+	if bc.Weighted != 51.0/4 {
+		t.Fatalf("weighted bytes = %v, want %v", bc.Weighted, 51.0/4)
+	}
+	if bc.TotalBytes != 51 {
+		t.Fatalf("raw bytes = %v, want 51", bc.TotalBytes)
+	}
+}
+
+// countingAggregator tracks how many Produce calls occur and asserts each
+// server index is produced exactly once.
+type countingAggregator struct {
+	produced map[int]int
+}
+
+type countPayload struct{ n int64 }
+
+func (p countPayload) SizeBytes() int64 { return p.n }
+
+func (c *countingAggregator) Produce(idx int) Payload {
+	c.produced[idx]++
+	return countPayload{1}
+}
+
+func (c *countingAggregator) Merge(a, b Payload) Payload {
+	return countPayload{a.(countPayload).n + b.(countPayload).n}
+}
+
+func TestEveryServerProducedOnce(t *testing.T) {
+	tr, loads := paper.Figure2()
+	agg := &countingAggregator{produced: map[int]int{}}
+	blue := []bool{true, false, false, false, false, false, false}
+	ByteComplexity(tr, loads, blue, agg)
+	total := 0
+	for _, l := range loads {
+		total += l
+	}
+	if len(agg.produced) != total {
+		t.Fatalf("produced %d distinct servers, want %d", len(agg.produced), total)
+	}
+	for idx, n := range agg.produced {
+		if n != 1 {
+			t.Fatalf("server %d produced %d times", idx, n)
+		}
+	}
+}
+
+func TestMergePreservesCountMass(t *testing.T) {
+	// With a size-counting payload, the root's outgoing payload under
+	// all-blue must carry the total number of servers.
+	tr, loads := paper.Figure2()
+	agg := &countingAggregator{produced: map[int]int{}}
+	allBlue := make([]bool, tr.N())
+	for i := range allBlue {
+		allBlue[i] = true
+	}
+	bc := ByteComplexity(tr, loads, allBlue, agg)
+	// Root link carries one payload whose "size" is the server count 17.
+	if bc.PerLink[tr.Root()] != 17 {
+		t.Fatalf("root payload mass = %d, want 17", bc.PerLink[tr.Root()])
+	}
+	if bc.Messages[tr.Root()] != 1 {
+		t.Fatalf("root messages = %d, want 1", bc.Messages[tr.Root()])
+	}
+}

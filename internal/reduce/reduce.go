@@ -1,0 +1,117 @@
+// Package reduce simulates the Reduce operation of the SOAR paper
+// (Algorithm 1) on a tree network and computes its costs.
+//
+// Two engines are provided. The counting engine computes, for a given
+// coloring U of aggregating ("blue") switches, the per-link message
+// counts msg_e and the network utilization cost
+//
+//	φ(T, L, U) = Σ_e msg_e · ρ(e)            (paper Eq. 1)
+//
+// together with the equivalent closest-blue-ancestor ("barrier")
+// formulation of Lemma 4.2 (Eq. 3), which the tests cross-check. The
+// payload engine runs the same Reduce with real per-message payloads and
+// a pluggable Aggregator, yielding the byte complexity studied in
+// Sec. 5.3.
+//
+// Model refinement: a blue switch whose subtree carries zero load sends
+// nothing (Algorithm 1 terminates when d has heard from every positive-
+// load node), so its upward message count is min(1, subtree load). For
+// strictly positive loads this is exactly the paper's model.
+package reduce
+
+import (
+	"fmt"
+
+	"soar/internal/topology"
+)
+
+// MessageCounts returns, for every switch v, the number of messages
+// crossing the edge from v to its parent (for the root, the edge (r, d))
+// during a Reduce with blue set U.
+func MessageCounts(t *topology.Tree, load []int, blue []bool) []int64 {
+	mustMatch(t, load, blue)
+	out := make([]int64, t.N())
+	for _, v := range t.PostOrder() {
+		var in int64
+		for _, c := range t.Children(v) {
+			in += out[c]
+		}
+		total := in + int64(load[v])
+		if blue[v] && total > 1 {
+			total = 1
+		}
+		out[v] = total
+	}
+	return out
+}
+
+// Utilization returns φ(T, L, U) per Eq. 1: the sum over all edges of the
+// per-edge message count times the edge's per-message time ρ(e).
+func Utilization(t *topology.Tree, load []int, blue []bool) float64 {
+	counts := MessageCounts(t, load, blue)
+	var phi float64
+	for v, m := range counts {
+		phi += float64(m) * t.Rho(v)
+	}
+	return phi
+}
+
+// TotalMessages returns the message complexity: the total number of
+// messages sent during the Reduce (φ under constant rate 1).
+func TotalMessages(t *topology.Tree, load []int, blue []bool) int64 {
+	counts := MessageCounts(t, load, blue)
+	var n int64
+	for _, m := range counts {
+		n += m
+	}
+	return n
+}
+
+// UtilizationBarrier returns φ(T, L, U) computed by the alternative
+// formulation of Lemma 4.2 (Eq. 3): every node pays its outgoing weight
+// times the path cost to its closest blue ancestor (or d if none). It
+// must equal Utilization for every input; the tests rely on this.
+func UtilizationBarrier(t *topology.Tree, load []int, blue []bool) float64 {
+	mustMatch(t, load, blue)
+	subLoad := t.SubtreeLoads(load)
+	var phi float64
+	// distUp[v] = Σρ from v to its closest blue strict ancestor, or to d.
+	distUp := make([]float64, t.N())
+	for _, v := range t.BFSOrder() {
+		p := t.Parent(v)
+		switch {
+		case p == topology.NoParent:
+			distUp[v] = t.Rho(v) // root: barrier is d itself
+		case blue[p]:
+			distUp[v] = t.Rho(v)
+		default:
+			distUp[v] = t.Rho(v) + distUp[p]
+		}
+		if blue[v] {
+			if subLoad[v] > 0 {
+				phi += distUp[v] // one aggregated message
+			}
+		} else {
+			phi += float64(load[v]) * distUp[v]
+		}
+	}
+	return phi
+}
+
+// CountBlue returns |U|.
+func CountBlue(blue []bool) int {
+	n := 0
+	for _, b := range blue {
+		if b {
+			n++
+		}
+	}
+	return n
+}
+
+func mustMatch(t *topology.Tree, load []int, blue []bool) {
+	if len(load) != t.N() || len(blue) != t.N() {
+		panic(fmt.Sprintf("reduce: tree has %d switches, load %d, blue %d",
+			t.N(), len(load), len(blue)))
+	}
+}

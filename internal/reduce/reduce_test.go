@@ -1,0 +1,173 @@
+package reduce
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"soar/internal/paper"
+	"soar/internal/topology"
+)
+
+func TestFigure1AllRedAllBlue(t *testing.T) {
+	tr, loads := paper.Figure1()
+	allRed := make([]bool, tr.N())
+	if got := TotalMessages(tr, loads, allRed); got != 14 {
+		t.Fatalf("Fig. 1 all-red messages = %d, want 14", got)
+	}
+	allBlue := []bool{true, true, true, true, true}
+	if got := TotalMessages(tr, loads, allBlue); got != 5 {
+		t.Fatalf("Fig. 1 all-blue messages = %d, want 5", got)
+	}
+}
+
+func TestFigure1PerEdgeCounts(t *testing.T) {
+	tr, loads := paper.Figure1()
+	counts := MessageCounts(tr, loads, make([]bool, tr.N()))
+	// Edge above v: r→d carries 6; switch 1 carries 2; switch 2 carries 3;
+	// switch 3 carries 1; switch 4 carries 2 (paper Fig. 1a).
+	want := []int64{6, 2, 3, 1, 2}
+	for v, w := range want {
+		if counts[v] != w {
+			t.Fatalf("edge above %d carries %d, want %d (all %v)", v, counts[v], w, counts)
+		}
+	}
+}
+
+func TestFigure2StrategyCosts(t *testing.T) {
+	tr, loads := paper.Figure2()
+	cases := []struct {
+		name string
+		blue []bool
+		want float64
+	}{
+		{"all-red", []bool{false, false, false, false, false, false, false}, 51},
+		{"top (Fig 2a)", []bool{true, false, true, false, false, false, false}, 27},
+		{"max (Fig 2b)", []bool{false, false, false, false, true, true, false}, 24},
+		{"level (Fig 2c)", []bool{false, true, true, false, false, false, false}, 21},
+		{"soar (Fig 2d)", []bool{false, false, true, false, true, false, false}, 20},
+		{"all-blue", []bool{true, true, true, true, true, true, true}, 7},
+	}
+	for _, tc := range cases {
+		if got := Utilization(tr, loads, tc.blue); got != tc.want {
+			t.Errorf("%s: φ = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestFigure3OptimalCosts(t *testing.T) {
+	tr, loads := paper.Figure2()
+	// The unique optima shown in Figs. 3b and 3c.
+	k2 := []bool{false, false, true, false, true, false, false}
+	if got := Utilization(tr, loads, k2); got != 20 {
+		t.Fatalf("k=2 optimum φ = %v, want 20", got)
+	}
+	k3 := []bool{false, false, false, false, true, true, true}
+	if got := Utilization(tr, loads, k3); got != 15 {
+		t.Fatalf("k=3 optimum φ = %v, want 15", got)
+	}
+	k4 := []bool{false, true, false, false, true, true, true}
+	if got := Utilization(tr, loads, k4); got != 11 {
+		t.Fatalf("k=4 optimum φ = %v, want 11", got)
+	}
+	k1 := []bool{true, false, false, false, false, false, false}
+	if got := Utilization(tr, loads, k1); got != 35 {
+		t.Fatalf("k=1 optimum φ = %v, want 35", got)
+	}
+}
+
+func TestLemma42BarrierEquivalence(t *testing.T) {
+	// Eq. 1 and Eq. 3 must agree for arbitrary trees, rates, loads and
+	// colorings, including zero loads.
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 300; trial++ {
+		n := 1 + rng.Intn(40)
+		parent := make([]int, n)
+		omega := make([]float64, n)
+		parent[0] = topology.NoParent
+		for v := 1; v < n; v++ {
+			parent[v] = rng.Intn(v)
+		}
+		for v := 0; v < n; v++ {
+			omega[v] = []float64{0.5, 1, 2, 4}[rng.Intn(4)]
+		}
+		tr := topology.MustNew(parent, omega)
+		loads := make([]int, n)
+		blue := make([]bool, n)
+		for v := 0; v < n; v++ {
+			loads[v] = rng.Intn(5)
+			blue[v] = rng.Intn(3) == 0
+		}
+		a := Utilization(tr, loads, blue)
+		b := UtilizationBarrier(tr, loads, blue)
+		if math.Abs(a-b) > 1e-9 {
+			t.Fatalf("trial %d: Eq.1 gives %v, Eq.3 gives %v\nparents=%v loads=%v blue=%v",
+				trial, a, b, parent, loads, blue)
+		}
+	}
+}
+
+func TestZeroLoadSubtreeSendsNothing(t *testing.T) {
+	// A blue switch over an empty subtree must not emit a message.
+	tr := topology.Path(3) // 0-1-2, loads only possibly at 2
+	loads := []int{0, 0, 0}
+	blue := []bool{false, true, false}
+	if got := TotalMessages(tr, loads, blue); got != 0 {
+		t.Fatalf("empty reduce sent %d messages, want 0", got)
+	}
+	if got := Utilization(tr, loads, blue); got != 0 {
+		t.Fatalf("empty reduce φ = %v, want 0", got)
+	}
+}
+
+func TestBlueNeverWorseThanRed(t *testing.T) {
+	// Turning any single switch blue never increases φ.
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 100; trial++ {
+		n := 2 + rng.Intn(30)
+		tr := topology.RandomRecursive(n, rng)
+		loads := make([]int, n)
+		blue := make([]bool, n)
+		for v := 0; v < n; v++ {
+			loads[v] = rng.Intn(4)
+			blue[v] = rng.Intn(4) == 0
+		}
+		base := Utilization(tr, loads, blue)
+		for v := 0; v < n; v++ {
+			if blue[v] {
+				continue
+			}
+			blue[v] = true
+			if got := Utilization(tr, loads, blue); got > base+1e-12 {
+				t.Fatalf("making %d blue increased φ from %v to %v", v, base, got)
+			}
+			blue[v] = false
+		}
+	}
+}
+
+func TestUtilizationWeightsByRho(t *testing.T) {
+	// Doubling every rate halves φ.
+	tr, loads := paper.Figure2()
+	fast := topology.ApplyRates(tr, topology.RatesConstant(2))
+	blue := make([]bool, tr.N())
+	if got, want := Utilization(fast, loads, blue), 51.0/2; got != want {
+		t.Fatalf("φ at rate 2 = %v, want %v", got, want)
+	}
+}
+
+func TestCountBlue(t *testing.T) {
+	if got := CountBlue([]bool{true, false, true}); got != 2 {
+		t.Fatalf("CountBlue = %d, want 2", got)
+	}
+}
+
+func TestMismatchedLengthsPanic(t *testing.T) {
+	tr := topology.Path(3)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on mismatched lengths")
+		}
+	}()
+	Utilization(tr, []int{1}, []bool{false, false, false})
+}

@@ -1,0 +1,173 @@
+// Package timesim is a discrete-event simulator for the Reduce operation
+// with explicit transmission times.
+//
+// The paper optimizes utilization complexity — the total transmission
+// time summed over links — and conjectures (Sec. 8) that placements
+// minimizing it also perform well for completion time (the makespan of
+// the Reduce) and for bottleneck load. This simulator makes those claims
+// measurable: it executes Algorithm 1 under a store-and-forward timing
+// model where each message occupies the edge above switch v for ρ(v)
+// seconds, links serialize messages FIFO, red switches forward messages
+// as they arrive, and blue switches wait for their subtree to complete
+// before emitting their single aggregate (the waiting behaviour the
+// paper's Sec. 4.4 singles out as the practical cost of aggregation).
+//
+// Outputs: the completion time at the destination, per-link busy time,
+// and the maximum link busy time (the bottleneck). Under this model the
+// sum of busy times equals φ exactly, which the tests assert.
+package timesim
+
+import (
+	"container/heap"
+	"fmt"
+
+	"soar/internal/topology"
+)
+
+// Result summarizes one timed Reduce execution.
+type Result struct {
+	// Completion is when the destination has received everything.
+	Completion float64
+	// LinkBusy[v] is the total time the edge above v spends transmitting.
+	LinkBusy []float64
+	// Bottleneck is the maximum entry of LinkBusy.
+	Bottleneck float64
+	// TotalBusy is the sum of LinkBusy; equals φ(T, L, U) by construction.
+	TotalBusy float64
+	// Messages[v] counts messages sent on the edge above v; equals the
+	// analytic MessageCounts.
+	Messages []int64
+}
+
+// event is a message arriving at switch `at` at time `t`.
+type event struct {
+	t  float64
+	at int // receiving switch, or -1 for the destination
+}
+
+type eventQueue []event
+
+func (q eventQueue) Len() int            { return len(q) }
+func (q eventQueue) Less(i, j int) bool  { return q[i].t < q[j].t }
+func (q eventQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x interface{}) { *q = append(*q, x.(event)) }
+func (q *eventQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	*q = old[:n-1]
+	return e
+}
+
+// state tracks one switch mid-run.
+type state struct {
+	pending   int64   // messages still expected from the subtree (blue only)
+	freeAt    float64 // time the edge above this switch next becomes free
+	buffered  int64   // messages received and waiting (blue accumulates)
+	delivered int64   // messages already pushed upward
+}
+
+// Run executes the Reduce of Algorithm 1 with timing. Servers inject
+// their messages at time 0 at their switch. A red switch starts
+// transmitting a message upward as soon as it arrives and the edge is
+// free; a blue switch waits for its entire expected input (its load plus
+// one message per loaded child subtree, recursively resolved), then
+// sends a single message.
+func Run(t *topology.Tree, load []int, blue []bool) Result {
+	if len(load) != t.N() || len(blue) != t.N() {
+		panic(fmt.Sprintf("timesim: tree has %d switches, load %d, blue %d",
+			t.N(), len(load), len(blue)))
+	}
+	n := t.N()
+	res := Result{
+		LinkBusy: make([]float64, n),
+		Messages: make([]int64, n),
+	}
+	// expected[v]: how many messages switch v will see in total (its own
+	// load plus what each child forwards upward over the whole run).
+	// Computed bottom-up from the coloring, mirroring reduce.MessageCounts.
+	out := make([]int64, n) // messages each switch sends upward in total
+	expected := make([]int64, n)
+	for _, v := range t.PostOrder() {
+		in := int64(load[v])
+		for _, c := range t.Children(v) {
+			in += out[c]
+		}
+		expected[v] = in
+		o := in
+		if blue[v] && o > 1 {
+			o = 1
+		}
+		out[v] = o
+	}
+
+	st := make([]state, n)
+	for v := 0; v < n; v++ {
+		st[v].pending = expected[v]
+	}
+
+	var q eventQueue
+	// Server messages materialize at their switch at time 0.
+	for v := 0; v < n; v++ {
+		for i := 0; i < load[v]; i++ {
+			heap.Push(&q, event{t: 0, at: v})
+		}
+		if expected[v] == 0 && blue[v] {
+			// Nothing will ever arrive; the blue switch stays silent.
+			st[v].pending = -1
+		}
+	}
+
+	send := func(v int, now float64) float64 {
+		// Occupy the edge above v for ρ(v), FIFO.
+		start := now
+		if st[v].freeAt > start {
+			start = st[v].freeAt
+		}
+		done := start + t.Rho(v)
+		st[v].freeAt = done
+		res.LinkBusy[v] += t.Rho(v)
+		res.TotalBusy += t.Rho(v)
+		res.Messages[v]++
+		return done
+	}
+
+	completion := 0.0
+	for q.Len() > 0 {
+		ev := heap.Pop(&q).(event)
+		v := ev.at
+		if v == -1 {
+			if ev.t > completion {
+				completion = ev.t
+			}
+			continue
+		}
+		if blue[v] {
+			st[v].buffered++
+			if st[v].buffered < expected[v] {
+				continue // still waiting for the rest of the subtree
+			}
+			// Everything arrived: emit the single aggregate.
+			done := send(v, ev.t)
+			heap.Push(&q, event{t: done, at: parentOrDest(t, v)})
+			continue
+		}
+		// Red: store-and-forward immediately.
+		done := send(v, ev.t)
+		heap.Push(&q, event{t: done, at: parentOrDest(t, v)})
+	}
+	res.Completion = completion
+	for _, b := range res.LinkBusy {
+		if b > res.Bottleneck {
+			res.Bottleneck = b
+		}
+	}
+	return res
+}
+
+func parentOrDest(t *topology.Tree, v int) int {
+	if p := t.Parent(v); p != topology.NoParent {
+		return p
+	}
+	return -1
+}

@@ -1,0 +1,154 @@
+package timesim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"soar/internal/paper"
+	"soar/internal/reduce"
+	"soar/internal/topology"
+)
+
+func TestTotalBusyEqualsUtilization(t *testing.T) {
+	// The timed simulation's summed link busy time must equal the
+	// analytic φ for arbitrary instances and colorings.
+	rng := rand.New(rand.NewSource(19))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(35)
+		parent := make([]int, n)
+		omega := make([]float64, n)
+		parent[0] = topology.NoParent
+		for v := 1; v < n; v++ {
+			parent[v] = rng.Intn(v)
+		}
+		for v := 0; v < n; v++ {
+			omega[v] = []float64{0.5, 1, 2}[rng.Intn(3)]
+		}
+		tr := topology.MustNew(parent, omega)
+		loads := make([]int, n)
+		blue := make([]bool, n)
+		for v := 0; v < n; v++ {
+			loads[v] = rng.Intn(4)
+			blue[v] = rng.Intn(3) == 0
+		}
+		res := Run(tr, loads, blue)
+		want := reduce.Utilization(tr, loads, blue)
+		if math.Abs(res.TotalBusy-want) > 1e-9 {
+			t.Fatalf("trial %d: busy %v != φ %v", trial, res.TotalBusy, want)
+		}
+		counts := reduce.MessageCounts(tr, loads, blue)
+		for v := 0; v < n; v++ {
+			if res.Messages[v] != counts[v] {
+				t.Fatalf("trial %d: link %d carried %d, want %d", trial, v, res.Messages[v], counts[v])
+			}
+		}
+	}
+}
+
+func TestCompletionSingleSwitch(t *testing.T) {
+	tr := topology.MustNew([]int{topology.NoParent}, []float64{1})
+	// Three messages serialize over the single unit-rate edge.
+	res := Run(tr, []int{3}, []bool{false})
+	if res.Completion != 3 {
+		t.Fatalf("completion %v, want 3", res.Completion)
+	}
+	// Blue: one aggregate, one unit of time.
+	res = Run(tr, []int{3}, []bool{true})
+	if res.Completion != 1 {
+		t.Fatalf("blue completion %v, want 1", res.Completion)
+	}
+}
+
+func TestCompletionPathPipeline(t *testing.T) {
+	// Path 0←1 with 2 messages at the bottom, all red, rate 1: the edge
+	// above 1 finishes at t=2; the root edge pipelines and finishes at 3.
+	tr := topology.Path(2)
+	res := Run(tr, []int{0, 2}, []bool{false, false})
+	if res.Completion != 3 {
+		t.Fatalf("completion %v, want 3", res.Completion)
+	}
+	// Blue at the bottom: aggregate leaves at t=1, root edge done at 2.
+	res = Run(tr, []int{0, 2}, []bool{false, true})
+	if res.Completion != 2 {
+		t.Fatalf("blue completion %v, want 2", res.Completion)
+	}
+}
+
+func TestBlueWaitsForWholeSubtree(t *testing.T) {
+	// Star with a blue root: it cannot emit before its slowest child's
+	// last message arrives.
+	tr := topology.Star(3) // root 0, children 1, 2 (rate 1)
+	res := Run(tr, []int{0, 1, 5}, []bool{true, false, false})
+	// Child 2 sends 5 messages over its edge, last arriving at t=5; the
+	// root then sends its single aggregate, arriving at 6.
+	if res.Completion != 6 {
+		t.Fatalf("completion %v, want 6", res.Completion)
+	}
+	if res.Messages[0] != 1 {
+		t.Fatalf("root messages %d, want 1", res.Messages[0])
+	}
+}
+
+func TestZeroLoadBlueStaysSilent(t *testing.T) {
+	tr := topology.Path(3)
+	res := Run(tr, []int{0, 0, 0}, []bool{false, true, false})
+	if res.Completion != 0 || res.TotalBusy != 0 {
+		t.Fatalf("empty reduce: completion %v busy %v", res.Completion, res.TotalBusy)
+	}
+}
+
+func TestBottleneckIsMaxBusy(t *testing.T) {
+	tr, loads := paper.Figure2()
+	blue := make([]bool, tr.N())
+	res := Run(tr, loads, blue)
+	// All-red: the root edge carries all 17 messages at rate 1.
+	if res.Bottleneck != 17 {
+		t.Fatalf("bottleneck %v, want 17", res.Bottleneck)
+	}
+	max := 0.0
+	for _, b := range res.LinkBusy {
+		if b > max {
+			max = b
+		}
+	}
+	if res.Bottleneck != max {
+		t.Fatalf("bottleneck %v != max busy %v", res.Bottleneck, max)
+	}
+}
+
+func TestRatesAffectTiming(t *testing.T) {
+	// Doubling all rates halves completion time.
+	tr, loads := paper.Figure2()
+	fast := topology.ApplyRates(tr, topology.RatesConstant(2))
+	blue := []bool{false, false, true, false, true, false, false}
+	slow := Run(tr, loads, blue)
+	quick := Run(fast, loads, blue)
+	if math.Abs(quick.Completion*2-slow.Completion) > 1e-9 {
+		t.Fatalf("completion %v at rate 2 vs %v at rate 1", quick.Completion, slow.Completion)
+	}
+}
+
+func TestAggregationReducesCompletion(t *testing.T) {
+	// On the paper's example, the SOAR placement should also finish the
+	// Reduce sooner than all-red (the paper's Sec. 8 conjecture).
+	tr, loads := paper.Figure2()
+	allRed := Run(tr, loads, make([]bool, tr.N()))
+	soar := Run(tr, loads, []bool{false, false, true, false, true, false, false})
+	if soar.Completion >= allRed.Completion {
+		t.Fatalf("SOAR completion %v not below all-red %v", soar.Completion, allRed.Completion)
+	}
+	if soar.Bottleneck >= allRed.Bottleneck {
+		t.Fatalf("SOAR bottleneck %v not below all-red %v", soar.Bottleneck, allRed.Bottleneck)
+	}
+}
+
+func TestMismatchedInputPanics(t *testing.T) {
+	tr := topology.Path(3)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Run(tr, []int{1}, []bool{false, false, false})
+}

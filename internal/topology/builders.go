@@ -1,0 +1,128 @@
+package topology
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// CompleteBinary returns a complete binary tree with the given number of
+// levels (levels ≥ 1); level 1 is just the root. Node 0 is the root and
+// node ids follow heap order: the children of v are 2v+1 and 2v+2. All
+// rates are 1; reweight with ApplyRates.
+func CompleteBinary(levels int) *Tree {
+	return CompleteKAry(2, levels)
+}
+
+// BT returns the paper's BT(n) topology: a complete binary tree network
+// whose total node count, *including the destination server d*, is n.
+// n must be a power of two, at least 2; the switch network then has n-1
+// switches arranged in log2(n) levels with n/2 leaves.
+func BT(n int) (*Tree, error) {
+	if n < 2 || n&(n-1) != 0 {
+		return nil, fmt.Errorf("topology: BT(%d): n must be a power of two ≥ 2", n)
+	}
+	levels := 0
+	for m := n; m > 1; m >>= 1 {
+		levels++
+	}
+	return CompleteBinary(levels), nil
+}
+
+// MustBT is BT but panics on error.
+func MustBT(n int) *Tree {
+	t, err := BT(n)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// CompleteKAry returns a complete k-ary tree with the given number of
+// levels. Node 0 is the root; the children of v are k·v+1 .. k·v+k.
+// All rates are 1.
+func CompleteKAry(k, levels int) *Tree {
+	if k < 1 || levels < 1 {
+		panic(fmt.Sprintf("topology: CompleteKAry(%d, %d): arguments must be ≥ 1", k, levels))
+	}
+	n := 1
+	pow := 1
+	for l := 1; l < levels; l++ {
+		pow *= k
+		n += pow
+	}
+	parent := make([]int, n)
+	parent[0] = NoParent
+	for v := 1; v < n; v++ {
+		parent[v] = (v - 1) / k
+	}
+	return MustNew(parent, ones(n))
+}
+
+// Path returns a path of n switches: 0 (root) — 1 — ... — n-1.
+// All rates are 1.
+func Path(n int) *Tree {
+	parent := make([]int, n)
+	parent[0] = NoParent
+	for v := 1; v < n; v++ {
+		parent[v] = v - 1
+	}
+	return MustNew(parent, ones(n))
+}
+
+// Star returns a star of n switches: node 0 is the root and all others
+// are its children. All rates are 1.
+func Star(n int) *Tree {
+	parent := make([]int, n)
+	parent[0] = NoParent
+	for v := 1; v < n; v++ {
+		parent[v] = 0
+	}
+	return MustNew(parent, ones(n))
+}
+
+// ScaleFree returns a random preferential-attachment (RPA) tree with n
+// switches, as used in the paper's Appendix B (SF(n)). Node 0 is the
+// root; each subsequent node attaches to an existing node chosen with
+// probability proportional to its current degree (Barabási–Albert with
+// m = 1), which yields a scale-free degree distribution. All rates are 1.
+func ScaleFree(n int, rng *rand.Rand) *Tree {
+	if n < 1 {
+		panic("topology: ScaleFree: n must be ≥ 1")
+	}
+	parent := make([]int, n)
+	parent[0] = NoParent
+	// endpoints holds one entry per edge endpoint, so sampling uniformly
+	// from it is sampling proportionally to degree. The root's edge to d
+	// contributes one endpoint, matching Degree().
+	endpoints := make([]int, 0, 2*n)
+	endpoints = append(endpoints, 0)
+	for v := 1; v < n; v++ {
+		p := endpoints[rng.Intn(len(endpoints))]
+		parent[v] = p
+		endpoints = append(endpoints, p, v)
+	}
+	return MustNew(parent, ones(n))
+}
+
+// RandomRecursive returns a uniform random recursive tree with n
+// switches: each node attaches to a uniformly random earlier node.
+// All rates are 1.
+func RandomRecursive(n int, rng *rand.Rand) *Tree {
+	if n < 1 {
+		panic("topology: RandomRecursive: n must be ≥ 1")
+	}
+	parent := make([]int, n)
+	parent[0] = NoParent
+	for v := 1; v < n; v++ {
+		parent[v] = rng.Intn(v)
+	}
+	return MustNew(parent, ones(n))
+}
+
+func ones(n int) []float64 {
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = 1
+	}
+	return w
+}

@@ -1,0 +1,41 @@
+package topology
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// treeJSON is the stable on-disk schema for a tree network: the parent
+// vector (-1 for the root) and the per-edge rates ω, exactly the inputs
+// New takes. Loads are deliberately separate (see internal/load): one
+// network serves many workloads.
+type treeJSON struct {
+	Parents []int     `json:"parents"`
+	Omega   []float64 `json:"omega"`
+}
+
+// Encode writes the tree as JSON. Decode(Encode(t)) reconstructs an
+// identical tree.
+func (t *Tree) Encode(w io.Writer) error {
+	doc := treeJSON{Parents: t.parent, Omega: make([]float64, t.N())}
+	for v := 0; v < t.N(); v++ {
+		doc.Omega[v] = 1 / t.rho[v]
+	}
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(doc); err != nil {
+		return fmt.Errorf("topology: encode: %w", err)
+	}
+	return nil
+}
+
+// Decode reads a tree written by Encode, validating it like New.
+func Decode(r io.Reader) (*Tree, error) {
+	var doc treeJSON
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&doc); err != nil {
+		return nil, fmt.Errorf("topology: decode: %w", err)
+	}
+	return New(doc.Parents, doc.Omega)
+}

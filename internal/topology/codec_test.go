@@ -1,0 +1,61 @@
+package topology
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for trial := 0; trial < 40; trial++ {
+		n := 1 + rng.Intn(50)
+		parent := make([]int, n)
+		omega := make([]float64, n)
+		parent[0] = NoParent
+		for v := 1; v < n; v++ {
+			parent[v] = rng.Intn(v)
+		}
+		for v := 0; v < n; v++ {
+			omega[v] = 0.25 + rng.Float64()*4
+		}
+		orig := MustNew(parent, omega)
+
+		var buf bytes.Buffer
+		if err := orig.Encode(&buf); err != nil {
+			t.Fatal(err)
+		}
+		got, err := Decode(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.N() != orig.N() || got.Root() != orig.Root() {
+			t.Fatalf("shape changed: %d/%d vs %d/%d", got.N(), got.Root(), orig.N(), orig.Root())
+		}
+		for v := 0; v < n; v++ {
+			if got.Parent(v) != orig.Parent(v) {
+				t.Fatalf("parent of %d changed", v)
+			}
+			if d := got.Rho(v) - orig.Rho(v); d > 1e-12 || d < -1e-12 {
+				t.Fatalf("rho of %d changed: %v vs %v", v, got.Rho(v), orig.Rho(v))
+			}
+		}
+	}
+}
+
+func TestDecodeRejectsInvalid(t *testing.T) {
+	cases := map[string]string{
+		"not json":       "hello",
+		"unknown fields": `{"parents":[-1],"omega":[1],"extra":1}`,
+		"two roots":      `{"parents":[-1,-1],"omega":[1,1]}`,
+		"cycle":          `{"parents":[-1,2,1],"omega":[1,1,1]}`,
+		"bad rate":       `{"parents":[-1],"omega":[0]}`,
+		"length skew":    `{"parents":[-1,0],"omega":[1]}`,
+	}
+	for name, doc := range cases {
+		if _, err := Decode(strings.NewReader(doc)); err == nil {
+			t.Errorf("%s: Decode accepted %q", name, doc)
+		}
+	}
+}

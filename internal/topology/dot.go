@@ -1,0 +1,66 @@
+package topology
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteDOT writes the tree in Graphviz DOT format. load may be nil; blue
+// may be nil (all red). Blue (aggregating) switches are filled blue, red
+// switches white, and the destination is a gray square. Edges are labeled
+// with their rate ω.
+func (t *Tree) WriteDOT(w io.Writer, load []int, blue []bool) error {
+	var b strings.Builder
+	b.WriteString("digraph soar {\n  rankdir=BT;\n")
+	b.WriteString("  d [shape=square style=filled fillcolor=lightgray label=\"d\"];\n")
+	for v := 0; v < t.N(); v++ {
+		color := "white"
+		if blue != nil && blue[v] {
+			color = "lightblue"
+		}
+		label := fmt.Sprintf("%d", v)
+		if load != nil && load[v] > 0 {
+			label = fmt.Sprintf("%d\\nL=%d", v, load[v])
+		}
+		fmt.Fprintf(&b, "  n%d [shape=circle style=filled fillcolor=%s label=\"%s\"];\n", v, color, label)
+	}
+	for v := 0; v < t.N(); v++ {
+		dst := "d"
+		if p := t.parent[v]; p != NoParent {
+			dst = fmt.Sprintf("n%d", p)
+		}
+		fmt.Fprintf(&b, "  n%d -> %s [label=\"%g\"];\n", v, dst, 1/t.rho[v])
+	}
+	b.WriteString("}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Sketch renders a compact ASCII view of the tree, one node per line,
+// indented by depth, annotated with load and color. Useful in examples
+// and CLI output for small trees.
+func (t *Tree) Sketch(load []int, blue []bool) string {
+	var b strings.Builder
+	b.WriteString("d (destination)\n")
+	var walk func(v, indent int)
+	walk = func(v, indent int) {
+		b.WriteString(strings.Repeat("  ", indent))
+		switch {
+		case blue != nil && blue[v]:
+			fmt.Fprintf(&b, "[%d] BLUE", v)
+		default:
+			fmt.Fprintf(&b, "(%d) red ", v)
+		}
+		fmt.Fprintf(&b, " ω=%g", 1/t.rho[v])
+		if load != nil && load[v] > 0 {
+			fmt.Fprintf(&b, " load=%d", load[v])
+		}
+		b.WriteByte('\n')
+		for _, c := range t.children[v] {
+			walk(c, indent+1)
+		}
+	}
+	walk(t.root, 1)
+	return b.String()
+}

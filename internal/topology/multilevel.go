@@ -1,0 +1,56 @@
+package topology
+
+import "fmt"
+
+// MultiLevel returns a complete tree whose fan-out varies by level:
+// every switch at level i (the root is level 0) has arities[i] children,
+// and the switches at level len(arities) are leaves. All rates are 1.
+//
+// This generalizes CompleteKAry and models the aggregation tree seen by
+// a single destination in multi-tier datacenter fabrics whose tiers have
+// different radices (e.g. core / aggregation / ToR).
+func MultiLevel(arities []int) *Tree {
+	for i, a := range arities {
+		if a < 1 {
+			panic(fmt.Sprintf("topology: MultiLevel arity[%d] = %d must be ≥ 1", i, a))
+		}
+	}
+	// Count nodes level by level.
+	total := 1
+	width := 1
+	for _, a := range arities {
+		width *= a
+		total += width
+	}
+	parent := make([]int, total)
+	parent[0] = NoParent
+	// Assign ids breadth-first: level boundaries are cumulative widths.
+	next := 1
+	prevStart, prevWidth := 0, 1
+	for _, a := range arities {
+		for p := prevStart; p < prevStart+prevWidth; p++ {
+			for c := 0; c < a; c++ {
+				parent[next] = p
+				next++
+			}
+		}
+		prevStart += prevWidth
+		prevWidth *= a
+	}
+	return MustNew(parent, ones(total))
+}
+
+// FatTreeAggregation returns the tree a single destination sees in a
+// k-port fat-tree datacenter (paper Sec. 1.1 cites fat-trees as the
+// motivating topology class): traffic from every ToR switch converges
+// over aggregation and core tiers toward the destination's pod. For a
+// k-port fabric this is a three-tier MultiLevel tree with fan-outs
+// (k/2, k/2, k/2): core level, aggregation level, and ToR level, the
+// ToRs carrying the server load. k must be even and ≥ 2.
+func FatTreeAggregation(kports int) (*Tree, error) {
+	if kports < 2 || kports%2 != 0 {
+		return nil, fmt.Errorf("topology: fat-tree needs an even port count ≥ 2, got %d", kports)
+	}
+	half := kports / 2
+	return MultiLevel([]int{half, half, half}), nil
+}

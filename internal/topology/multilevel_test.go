@@ -1,0 +1,105 @@
+package topology
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestMultiLevelShape(t *testing.T) {
+	tr := MultiLevel([]int{2, 3}) // 1 + 2 + 6 = 9 switches
+	if tr.N() != 9 {
+		t.Fatalf("N=%d, want 9", tr.N())
+	}
+	if got := len(tr.Children(0)); got != 2 {
+		t.Fatalf("root has %d children, want 2", got)
+	}
+	for _, v := range tr.NodesAtLevel(1) {
+		if got := len(tr.Children(v)); got != 3 {
+			t.Fatalf("level-1 switch %d has %d children, want 3", v, got)
+		}
+	}
+	if got := len(tr.Leaves()); got != 6 {
+		t.Fatalf("%d leaves, want 6", got)
+	}
+	if tr.Height() != 2 {
+		t.Fatalf("height %d, want 2", tr.Height())
+	}
+}
+
+func TestMultiLevelMatchesKAry(t *testing.T) {
+	ml := MultiLevel([]int{3, 3})
+	ka := CompleteKAry(3, 3)
+	if ml.N() != ka.N() || ml.Height() != ka.Height() {
+		t.Fatalf("MultiLevel(3,3) %d/%d vs CompleteKAry(3,3) %d/%d",
+			ml.N(), ml.Height(), ka.N(), ka.Height())
+	}
+	for lvl := 0; lvl <= 2; lvl++ {
+		if len(ml.NodesAtLevel(lvl)) != len(ka.NodesAtLevel(lvl)) {
+			t.Fatalf("level %d widths differ", lvl)
+		}
+	}
+}
+
+func TestMultiLevelSingleLevel(t *testing.T) {
+	tr := MultiLevel(nil) // just the root
+	if tr.N() != 1 {
+		t.Fatalf("N=%d, want 1", tr.N())
+	}
+	star := MultiLevel([]int{5})
+	if star.N() != 6 || len(star.Children(0)) != 5 {
+		t.Fatalf("MultiLevel({5}) N=%d children=%d", star.N(), len(star.Children(0)))
+	}
+}
+
+func TestMultiLevelRejectsBadArity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for arity 0")
+		}
+	}()
+	MultiLevel([]int{2, 0})
+}
+
+func TestFatTreeAggregation(t *testing.T) {
+	tr, err := FatTreeAggregation(4) // half=2: 1 + 2 + 4 + 8 = 15
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.N() != 15 {
+		t.Fatalf("N=%d, want 15", tr.N())
+	}
+	if got := len(tr.Leaves()); got != 8 {
+		t.Fatalf("%d ToRs, want 8", got)
+	}
+	for _, bad := range []int{0, 3, -2} {
+		if _, err := FatTreeAggregation(bad); err == nil {
+			t.Fatalf("FatTreeAggregation(%d) should fail", bad)
+		}
+	}
+}
+
+func TestQuickMultiLevelNodeCount(t *testing.T) {
+	// Property: node count follows the geometric sum of arities and every
+	// non-leaf level is fully populated.
+	f := func(a, b uint8) bool {
+		x, y := int(a%4)+1, int(b%4)+1
+		tr := MultiLevel([]int{x, y})
+		if tr.N() != 1+x+x*y {
+			return false
+		}
+		for _, v := range tr.NodesAtLevel(0) {
+			if len(tr.Children(v)) != x {
+				return false
+			}
+		}
+		for _, v := range tr.NodesAtLevel(1) {
+			if len(tr.Children(v)) != y {
+				return false
+			}
+		}
+		return len(tr.NodesAtLevel(2)) == x*y
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

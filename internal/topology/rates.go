@@ -1,0 +1,44 @@
+package topology
+
+import "math"
+
+// RateScheme assigns a rate ω to every edge of a tree, identified by its
+// lower endpoint. The paper's evaluation uses three schemes: constant,
+// linearly increasing toward the root, and exponentially increasing
+// toward the root (Sec. 5).
+type RateScheme func(t *Tree, v int) float64
+
+// RatesConstant assigns rate c to every edge.
+func RatesConstant(c float64) RateScheme {
+	return func(*Tree, int) float64 { return c }
+}
+
+// RatesLinear increases rates by 1 per level from the leaf level toward
+// the root: an edge whose lower endpoint is at hop distance D from the
+// root gets rate h(T)−D+1, so the deepest edges have rate 1 and the
+// (r, d) edge has rate h(T)+1.
+func RatesLinear() RateScheme {
+	return func(t *Tree, v int) float64 {
+		return float64(t.Height()-(t.Depth(v)-1)) + 1
+	}
+}
+
+// RatesExponential doubles rates per level from the leaf level toward
+// the root: an edge whose lower endpoint is at hop distance D from the
+// root gets rate 2^(h(T)−D), so the deepest edges have rate 1 and the
+// (r, d) edge has rate 2^h(T).
+func RatesExponential() RateScheme {
+	return func(t *Tree, v int) float64 {
+		return math.Exp2(float64(t.Height() - (t.Depth(v) - 1)))
+	}
+}
+
+// ApplyRates returns a copy of t whose edge rates are given by scheme.
+// The input tree is not modified.
+func ApplyRates(t *Tree, scheme RateScheme) *Tree {
+	omega := make([]float64, t.N())
+	for v := 0; v < t.N(); v++ {
+		omega[v] = scheme(t, v)
+	}
+	return MustNew(t.parent, omega)
+}

@@ -1,0 +1,315 @@
+package topology
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewRejectsBadInput(t *testing.T) {
+	cases := []struct {
+		name   string
+		parent []int
+		omega  []float64
+	}{
+		{"empty", nil, nil},
+		{"rate mismatch", []int{NoParent}, []float64{1, 1}},
+		{"two roots", []int{NoParent, NoParent}, []float64{1, 1}},
+		{"no root", []int{1, 0}, []float64{1, 1}},
+		{"self parent", []int{NoParent, 1}, []float64{1, 1}},
+		{"out of range", []int{NoParent, 7}, []float64{1, 1}},
+		{"zero rate", []int{NoParent}, []float64{0}},
+		{"negative rate", []int{NoParent, 0}, []float64{1, -2}},
+		{"cycle", []int{NoParent, 2, 1}, []float64{1, 1, 1}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := New(tc.parent, tc.omega); err == nil {
+				t.Fatalf("New(%v, %v) succeeded, want error", tc.parent, tc.omega)
+			}
+		})
+	}
+}
+
+func TestSingleNode(t *testing.T) {
+	tr := MustNew([]int{NoParent}, []float64{2})
+	if tr.N() != 1 || tr.Root() != 0 {
+		t.Fatalf("N=%d root=%d", tr.N(), tr.Root())
+	}
+	if tr.Depth(0) != 1 || tr.Height() != 0 {
+		t.Fatalf("depth=%d height=%d, want 1, 0", tr.Depth(0), tr.Height())
+	}
+	if got := tr.Rho(0); got != 0.5 {
+		t.Fatalf("Rho(0)=%v, want 0.5", got)
+	}
+	if got := tr.RhoUp(0, 1); got != 0.5 {
+		t.Fatalf("RhoUp(0,1)=%v, want 0.5", got)
+	}
+}
+
+func TestCompleteBinaryShape(t *testing.T) {
+	tr := CompleteBinary(4) // 15 switches
+	if tr.N() != 15 {
+		t.Fatalf("N=%d, want 15", tr.N())
+	}
+	if tr.Height() != 3 {
+		t.Fatalf("Height=%d, want 3", tr.Height())
+	}
+	if got := len(tr.Leaves()); got != 8 {
+		t.Fatalf("leaves=%d, want 8", got)
+	}
+	for v := 1; v < tr.N(); v++ {
+		if tr.Parent(v) != (v-1)/2 {
+			t.Fatalf("Parent(%d)=%d, want %d", v, tr.Parent(v), (v-1)/2)
+		}
+	}
+	for lvl := 0; lvl <= 3; lvl++ {
+		if got := len(tr.NodesAtLevel(lvl)); got != 1<<lvl {
+			t.Fatalf("level %d has %d nodes, want %d", lvl, got, 1<<lvl)
+		}
+	}
+}
+
+func TestBT(t *testing.T) {
+	tr, err := BT(256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.N() != 255 {
+		t.Fatalf("BT(256) has %d switches, want 255", tr.N())
+	}
+	if got := len(tr.Leaves()); got != 128 {
+		t.Fatalf("BT(256) has %d leaves, want 128", got)
+	}
+	for _, bad := range []int{0, 1, 3, 100} {
+		if _, err := BT(bad); err == nil {
+			t.Fatalf("BT(%d) succeeded, want error", bad)
+		}
+	}
+}
+
+func TestCompleteKAry(t *testing.T) {
+	tr := CompleteKAry(3, 3) // 1 + 3 + 9 = 13
+	if tr.N() != 13 {
+		t.Fatalf("N=%d, want 13", tr.N())
+	}
+	for v := 1; v < tr.N(); v++ {
+		if got, want := tr.Parent(v), (v-1)/3; got != want {
+			t.Fatalf("Parent(%d)=%d, want %d", v, got, want)
+		}
+	}
+	if got := len(tr.Leaves()); got != 9 {
+		t.Fatalf("leaves=%d, want 9", got)
+	}
+}
+
+func TestPathAndStar(t *testing.T) {
+	p := Path(5)
+	if p.Height() != 4 || p.Depth(4) != 5 {
+		t.Fatalf("path: height=%d depth(4)=%d", p.Height(), p.Depth(4))
+	}
+	s := Star(5)
+	if s.Height() != 1 || len(s.Children(0)) != 4 {
+		t.Fatalf("star: height=%d children=%d", s.Height(), len(s.Children(0)))
+	}
+}
+
+func TestScaleFreeIsTree(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	tr := ScaleFree(200, rng)
+	if tr.N() != 200 {
+		t.Fatalf("N=%d", tr.N())
+	}
+	// Preferential attachment should produce at least one hub far above
+	// the average degree of ~2.
+	maxDeg := 0
+	for v := 0; v < tr.N(); v++ {
+		if d := tr.Degree(v); d > maxDeg {
+			maxDeg = d
+		}
+	}
+	if maxDeg < 8 {
+		t.Fatalf("scale-free max degree %d suspiciously small", maxDeg)
+	}
+}
+
+func TestRandomRecursiveIsTree(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	tr := RandomRecursive(100, rng)
+	if tr.N() != 100 {
+		t.Fatalf("N=%d", tr.N())
+	}
+}
+
+func TestDepthAndHeightConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 50; trial++ {
+		tr := RandomRecursive(1+rng.Intn(60), rng)
+		maxDepth := 0
+		for v := 0; v < tr.N(); v++ {
+			want := len(tr.PathToRoot(v)) // hops to root + 1 == hops to d
+			if got := tr.Depth(v); got != want {
+				t.Fatalf("Depth(%d)=%d, want %d", v, got, want)
+			}
+			if tr.Depth(v) > maxDepth {
+				maxDepth = tr.Depth(v)
+			}
+		}
+		if tr.Height() != maxDepth-1 {
+			t.Fatalf("Height=%d, want %d", tr.Height(), maxDepth-1)
+		}
+	}
+}
+
+func TestRhoUpMatchesExplicitSum(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 30; trial++ {
+		n := 1 + rng.Intn(40)
+		parent := make([]int, n)
+		omega := make([]float64, n)
+		parent[0] = NoParent
+		for v := 1; v < n; v++ {
+			parent[v] = rng.Intn(v)
+		}
+		for v := 0; v < n; v++ {
+			omega[v] = 0.25 + rng.Float64()*4
+		}
+		tr := MustNew(parent, omega)
+		for v := 0; v < n; v++ {
+			sum := 0.0
+			u := v
+			for l := 0; l <= tr.Depth(v); l++ {
+				if got := tr.RhoUp(v, l); !close(got, sum) {
+					t.Fatalf("RhoUp(%d,%d)=%v, want %v", v, l, got, sum)
+				}
+				if l < tr.Depth(v) {
+					sum += tr.Rho(u)
+					u = tr.Parent(u)
+				} else {
+					sum += tr.Rho(tr.Root())
+				}
+			}
+		}
+	}
+}
+
+func TestAncestor(t *testing.T) {
+	tr := Path(4) // 0-1-2-3
+	if got := tr.Ancestor(3, 2); got != 1 {
+		t.Fatalf("Ancestor(3,2)=%d, want 1", got)
+	}
+	if got := tr.Ancestor(3, 0); got != 3 {
+		t.Fatalf("Ancestor(3,0)=%d, want 3", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Ancestor beyond root did not panic")
+		}
+	}()
+	tr.Ancestor(0, 1)
+}
+
+func TestSubtreeSizesAndLoads(t *testing.T) {
+	tr := CompleteBinary(3)
+	sz := tr.SubtreeSizes()
+	if sz[0] != 7 || sz[1] != 3 || sz[3] != 1 {
+		t.Fatalf("sizes = %v", sz)
+	}
+	loads := []int{0, 0, 0, 2, 6, 5, 4}
+	sub := tr.SubtreeLoads(loads)
+	if sub[0] != 17 || sub[1] != 8 || sub[2] != 9 || sub[4] != 6 {
+		t.Fatalf("subtree loads = %v", sub)
+	}
+}
+
+func TestPostOrderVisitsChildrenFirst(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	tr := RandomRecursive(80, rng)
+	seen := make([]bool, tr.N())
+	for _, v := range tr.PostOrder() {
+		for _, c := range tr.Children(v) {
+			if !seen[c] {
+				t.Fatalf("post-order visited %d before child %d", v, c)
+			}
+		}
+		seen[v] = true
+	}
+}
+
+func TestRateSchemes(t *testing.T) {
+	base := CompleteBinary(3) // height 2
+	lin := ApplyRates(base, RatesLinear())
+	// Leaf edges rate 1, middle 2, root edge 3.
+	if got := 1 / lin.Rho(3); got != 1 {
+		t.Fatalf("linear leaf rate %v, want 1", got)
+	}
+	if got := 1 / lin.Rho(1); got != 2 {
+		t.Fatalf("linear mid rate %v, want 2", got)
+	}
+	if got := 1 / lin.Rho(0); got != 3 {
+		t.Fatalf("linear root rate %v, want 3", got)
+	}
+	exp := ApplyRates(base, RatesExponential())
+	if got := 1 / exp.Rho(3); got != 1 {
+		t.Fatalf("exp leaf rate %v, want 1", got)
+	}
+	if got := 1 / exp.Rho(1); got != 2 {
+		t.Fatalf("exp mid rate %v, want 2", got)
+	}
+	if got := 1 / exp.Rho(0); got != 4 {
+		t.Fatalf("exp root rate %v, want 4", got)
+	}
+	c := ApplyRates(base, RatesConstant(5))
+	if got := 1 / c.Rho(4); got != 5 {
+		t.Fatalf("const rate %v, want 5", got)
+	}
+}
+
+func TestQuickRandomRecursiveInvariants(t *testing.T) {
+	// Property: for any seed and size, RandomRecursive yields a connected
+	// tree where every non-root node has a lower-numbered parent and
+	// depths increase by exactly one along edges.
+	f := func(seed int64, sz uint8) bool {
+		n := int(sz%60) + 1
+		tr := RandomRecursive(n, rand.New(rand.NewSource(seed)))
+		for v := 1; v < n; v++ {
+			p := tr.Parent(v)
+			if p >= v || tr.Depth(v) != tr.Depth(p)+1 {
+				return false
+			}
+		}
+		return len(tr.BFSOrder()) == n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriteDOTAndSketch(t *testing.T) {
+	tr := CompleteBinary(2)
+	var sb strings.Builder
+	if err := tr.WriteDOT(&sb, []int{0, 3, 4}, []bool{true, false, false}); err != nil {
+		t.Fatal(err)
+	}
+	dot := sb.String()
+	for _, want := range []string{"digraph", "n0 -> d", "lightblue", "L=3"} {
+		if !strings.Contains(dot, want) {
+			t.Fatalf("DOT output missing %q:\n%s", want, dot)
+		}
+	}
+	sk := tr.Sketch([]int{0, 3, 4}, []bool{true, false, false})
+	for _, want := range []string{"BLUE", "load=3", "d (destination)"} {
+		if !strings.Contains(sk, want) {
+			t.Fatalf("sketch missing %q:\n%s", want, sk)
+		}
+	}
+}
+
+func close(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d <= 1e-9
+}

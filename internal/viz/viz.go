@@ -1,0 +1,195 @@
+// Package viz renders experiment series as ASCII line charts so that
+// `soarctl exp -plot` can show the *shape* of every reproduced figure
+// directly in a terminal — the closest a CLI gets to the paper's plots.
+package viz
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Series is one plotted line.
+type Series struct {
+	Label string
+	X     []float64
+	Y     []float64
+}
+
+// Options controls chart geometry.
+type Options struct {
+	// Width and Height are the plot area in characters (defaults 64×16).
+	Width, Height int
+	// YMin/YMax fix the y range; both zero means auto-scale.
+	YMin, YMax float64
+	// Title is printed above the chart.
+	Title string
+	// XLabel annotates the x axis.
+	XLabel string
+}
+
+// markers distinguish series; they cycle if there are more series.
+var markers = []byte{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+
+// Chart renders the series into w as a fixed-width ASCII chart with a
+// y-axis scale, per-series markers, and a legend.
+func Chart(w io.Writer, series []Series, opt Options) error {
+	width, height := opt.Width, opt.Height
+	if width <= 0 {
+		width = 64
+	}
+	if height <= 0 {
+		height = 16
+	}
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	points := 0
+	for _, s := range series {
+		for i := range s.X {
+			if math.IsNaN(s.Y[i]) || math.IsNaN(s.X[i]) {
+				continue
+			}
+			points++
+			xmin = math.Min(xmin, s.X[i])
+			xmax = math.Max(xmax, s.X[i])
+			ymin = math.Min(ymin, s.Y[i])
+			ymax = math.Max(ymax, s.Y[i])
+		}
+	}
+	if points == 0 {
+		_, err := fmt.Fprintln(w, "(no data)")
+		return err
+	}
+	if opt.YMin != 0 || opt.YMax != 0 {
+		ymin, ymax = opt.YMin, opt.YMax
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	col := func(x float64) int {
+		c := int(math.Round((x - xmin) / (xmax - xmin) * float64(width-1)))
+		return clamp(c, 0, width-1)
+	}
+	row := func(y float64) int {
+		r := int(math.Round((ymax - y) / (ymax - ymin) * float64(height-1)))
+		return clamp(r, 0, height-1)
+	}
+	for si, s := range series {
+		mark := markers[si%len(markers)]
+		// Connect consecutive points with linear interpolation so trends
+		// read as lines rather than scattered dots.
+		for i := 1; i < len(s.X); i++ {
+			if badPoint(s.X[i-1], s.Y[i-1]) || badPoint(s.X[i], s.Y[i]) {
+				continue
+			}
+			c0, r0 := col(s.X[i-1]), row(s.Y[i-1])
+			c1, r1 := col(s.X[i]), row(s.Y[i])
+			drawLine(grid, c0, r0, c1, r1, mark)
+		}
+		if len(s.X) == 1 && !badPoint(s.X[0], s.Y[0]) {
+			grid[row(s.Y[0])][col(s.X[0])] = mark
+		}
+	}
+
+	if opt.Title != "" {
+		if _, err := fmt.Fprintln(w, opt.Title); err != nil {
+			return err
+		}
+	}
+	for r, line := range grid {
+		label := "        "
+		switch r {
+		case 0:
+			label = fmt.Sprintf("%8.3g", ymax)
+		case height - 1:
+			label = fmt.Sprintf("%8.3g", ymin)
+		case (height - 1) / 2:
+			label = fmt.Sprintf("%8.3g", (ymax+ymin)/2)
+		}
+		if _, err := fmt.Fprintf(w, "%s |%s\n", label, string(line)); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s +%s\n", strings.Repeat(" ", 8), strings.Repeat("-", width)); err != nil {
+		return err
+	}
+	xAxis := fmt.Sprintf("%-*s", width, fmt.Sprintf("%g", xmin))
+	right := fmt.Sprintf("%g", xmax)
+	if len(right) < width {
+		xAxis = xAxis[:width-len(right)] + right
+	}
+	if _, err := fmt.Fprintf(w, "%s  %s  (%s)\n", strings.Repeat(" ", 8), xAxis, opt.XLabel); err != nil {
+		return err
+	}
+	var legend []string
+	for si, s := range series {
+		legend = append(legend, fmt.Sprintf("%c %s", markers[si%len(markers)], s.Label))
+	}
+	_, err := fmt.Fprintf(w, "%s\n", strings.Join(legend, "   "))
+	return err
+}
+
+func badPoint(x, y float64) bool {
+	return math.IsNaN(x) || math.IsNaN(y) || math.IsInf(x, 0) || math.IsInf(y, 0)
+}
+
+// drawLine rasterizes a segment with the classic integer Bresenham walk
+// (the guarded variant that can never step past either endpoint).
+func drawLine(grid [][]byte, c0, r0, c1, r1 int, mark byte) {
+	dc, dr := absInt(c1-c0), -absInt(r1-r0)
+	sc, sr := 1, 1
+	if c0 > c1 {
+		sc = -1
+	}
+	if r0 > r1 {
+		sr = -1
+	}
+	err := dc + dr
+	for {
+		grid[r0][c0] = mark
+		if c0 == c1 && r0 == r1 {
+			return
+		}
+		e2 := 2 * err
+		if e2 >= dr {
+			if c0 == c1 {
+				return
+			}
+			err += dr
+			c0 += sc
+		}
+		if e2 <= dc {
+			if r0 == r1 {
+				return
+			}
+			err += dc
+			r0 += sr
+		}
+	}
+}
+
+func clamp(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func absInt(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,122 @@
+package viz
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func render(t *testing.T, series []Series, opt Options) string {
+	t.Helper()
+	var sb strings.Builder
+	if err := Chart(&sb, series, opt); err != nil {
+		t.Fatal(err)
+	}
+	return sb.String()
+}
+
+func TestChartBasics(t *testing.T) {
+	out := render(t, []Series{
+		{Label: "down", X: []float64{0, 1, 2, 3}, Y: []float64{3, 2, 1, 0}},
+		{Label: "flat", X: []float64{0, 1, 2, 3}, Y: []float64{1, 1, 1, 1}},
+	}, Options{Title: "demo", XLabel: "k", Width: 40, Height: 10})
+	for _, want := range []string{"demo", "* down", "o flat", "(k)", "|"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("chart missing %q:\n%s", want, out)
+		}
+	}
+	// Axis labels carry the y extremes.
+	if !strings.Contains(out, "3") || !strings.Contains(out, "0") {
+		t.Fatalf("missing y extremes:\n%s", out)
+	}
+}
+
+func TestChartMonotoneSeriesSlopesCorrectly(t *testing.T) {
+	// For a strictly decreasing series the first column's marker must sit
+	// above the last column's marker.
+	out := render(t, []Series{
+		{Label: "s", X: []float64{0, 1, 2, 3, 4}, Y: []float64{4, 3, 2, 1, 0}},
+	}, Options{Width: 30, Height: 8})
+	lines := strings.Split(out, "\n")
+	firstRow, lastRow := -1, -1
+	for r, line := range lines {
+		idx := strings.IndexByte(line, '*')
+		if idx < 0 {
+			continue
+		}
+		if firstRow == -1 {
+			firstRow = r
+		}
+		lastRow = r
+	}
+	if firstRow == -1 || firstRow == lastRow {
+		t.Fatalf("series not rendered with slope:\n%s", out)
+	}
+}
+
+func TestChartSinglePoint(t *testing.T) {
+	out := render(t, []Series{{Label: "dot", X: []float64{5}, Y: []float64{2}}},
+		Options{Width: 20, Height: 5})
+	if !strings.Contains(out, "*") {
+		t.Fatalf("single point not drawn:\n%s", out)
+	}
+}
+
+func TestChartEmpty(t *testing.T) {
+	out := render(t, nil, Options{})
+	if !strings.Contains(out, "no data") {
+		t.Fatalf("empty chart output %q", out)
+	}
+	out = render(t, []Series{{Label: "nan", X: []float64{1}, Y: []float64{math.NaN()}}}, Options{})
+	if !strings.Contains(out, "no data") {
+		t.Fatalf("all-NaN chart output %q", out)
+	}
+}
+
+func TestChartSkipsNaNSegments(t *testing.T) {
+	out := render(t, []Series{
+		{Label: "gap", X: []float64{0, 1, 2}, Y: []float64{1, math.NaN(), 3}},
+	}, Options{Width: 20, Height: 5})
+	if strings.Contains(out, "no data") {
+		t.Fatalf("chart dropped everything:\n%s", out)
+	}
+}
+
+func TestChartFixedRange(t *testing.T) {
+	out := render(t, []Series{{Label: "s", X: []float64{0, 1}, Y: []float64{0.4, 0.6}}},
+		Options{YMin: 0, YMax: 1, Width: 20, Height: 5})
+	if !strings.Contains(out, "1") {
+		t.Fatalf("fixed y max missing:\n%s", out)
+	}
+}
+
+func TestQuickChartNeverPanics(t *testing.T) {
+	// Robustness: arbitrary finite inputs must render without panicking
+	// and keep every marker inside the grid.
+	f := func(xs, ys []float64, w, h uint8) bool {
+		n := len(xs)
+		if len(ys) < n {
+			n = len(ys)
+		}
+		xs, ys = xs[:n], ys[:n]
+		var sb strings.Builder
+		err := Chart(&sb, []Series{{Label: "q", X: xs, Y: ys}},
+			Options{Width: int(w%80) + 2, Height: int(h%24) + 2})
+		return err == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLegendCyclesMarkers(t *testing.T) {
+	series := make([]Series, 10)
+	for i := range series {
+		series[i] = Series{Label: "s", X: []float64{0, 1}, Y: []float64{float64(i), float64(i)}}
+	}
+	out := render(t, series, Options{Width: 20, Height: 12})
+	if !strings.Contains(out, "* s") || !strings.Contains(out, "# s") {
+		t.Fatalf("legend missing markers:\n%s", out)
+	}
+}

@@ -1,0 +1,239 @@
+// Package wire defines the binary protocol spoken between switches in the
+// TCP deployment of SOAR (internal/cluster).
+//
+// Every message is framed as
+//
+//	uint32 length (big endian, of everything after this field)
+//	uint8  type
+//	...    type-specific body
+//
+// Bodies use fixed-width big-endian integers and IEEE-754 float64 bits,
+// all via encoding/binary; there is no reflection or allocation beyond
+// the payload slices. Frames are capped at MaxFrame to bound memory at
+// the receiver regardless of what a peer sends.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+)
+
+// MaxFrame caps the accepted frame body size (16 MiB covers an X table
+// for n = 2^20, k = 512 with a wide margin).
+const MaxFrame = 16 << 20
+
+// Type tags the messages of the protocol.
+type Type uint8
+
+// Message types exchanged on an edge, in protocol order: the child
+// identifies itself (Hello), sends its DP table up (Gather), receives its
+// assignment down (Color), and finally streams the Reduce result up
+// (ReduceDone).
+const (
+	TypeHello Type = iota + 1
+	TypeGather
+	TypeColor
+	TypeReduceDone
+)
+
+// Message is one protocol message.
+type Message interface {
+	// Type returns the message's wire tag.
+	Type() Type
+	appendBody(b []byte) []byte
+	parseBody(b []byte) error
+}
+
+// Hello is the first frame on a connection: the dialing child announces
+// which switch it is.
+type Hello struct {
+	Child uint32
+}
+
+// Type implements Message.
+func (Hello) Type() Type { return TypeHello }
+
+func (h Hello) appendBody(b []byte) []byte {
+	return binary.BigEndian.AppendUint32(b, h.Child)
+}
+
+func (h *Hello) parseBody(b []byte) error {
+	if len(b) != 4 {
+		return fmt.Errorf("wire: hello body %d bytes, want 4", len(b))
+	}
+	h.Child = binary.BigEndian.Uint32(b)
+	return nil
+}
+
+// Gather carries a switch's SOAR-Gather X table to its parent: Rows =
+// depth+1 values of ℓ, Cols = k+1 budgets, X in row-major order.
+type Gather struct {
+	Child uint32
+	Rows  uint32
+	Cols  uint32
+	X     []float64
+}
+
+// Type implements Message.
+func (Gather) Type() Type { return TypeGather }
+
+func (g Gather) appendBody(b []byte) []byte {
+	b = binary.BigEndian.AppendUint32(b, g.Child)
+	b = binary.BigEndian.AppendUint32(b, g.Rows)
+	b = binary.BigEndian.AppendUint32(b, g.Cols)
+	for _, x := range g.X {
+		b = binary.BigEndian.AppendUint64(b, math.Float64bits(x))
+	}
+	return b
+}
+
+func (g *Gather) parseBody(b []byte) error {
+	if len(b) < 12 {
+		return fmt.Errorf("wire: gather body %d bytes, want ≥ 12", len(b))
+	}
+	g.Child = binary.BigEndian.Uint32(b)
+	g.Rows = binary.BigEndian.Uint32(b[4:])
+	g.Cols = binary.BigEndian.Uint32(b[8:])
+	n := uint64(g.Rows) * uint64(g.Cols)
+	if n > MaxFrame/8 {
+		return fmt.Errorf("wire: gather table %dx%d too large", g.Rows, g.Cols)
+	}
+	if uint64(len(b)-12) != 8*n {
+		return fmt.Errorf("wire: gather body %d bytes for %dx%d table", len(b), g.Rows, g.Cols)
+	}
+	g.X = make([]float64, n)
+	for i := range g.X {
+		g.X[i] = math.Float64frombits(binary.BigEndian.Uint64(b[12+8*i:]))
+	}
+	return nil
+}
+
+// Color carries a SOAR-Color assignment from parent to child: the number
+// of blue switches to place in the child's subtree and the child's
+// distance ℓ to its nearest blue ancestor (or d).
+type Color struct {
+	Budget uint32
+	L      uint32
+}
+
+// Type implements Message.
+func (Color) Type() Type { return TypeColor }
+
+func (c Color) appendBody(b []byte) []byte {
+	b = binary.BigEndian.AppendUint32(b, c.Budget)
+	return binary.BigEndian.AppendUint32(b, c.L)
+}
+
+func (c *Color) parseBody(b []byte) error {
+	if len(b) != 8 {
+		return fmt.Errorf("wire: color body %d bytes, want 8", len(b))
+	}
+	c.Budget = binary.BigEndian.Uint32(b)
+	c.L = binary.BigEndian.Uint32(b[4:])
+	return nil
+}
+
+// ReduceDone reports the Reduce outcome for the subtree below an edge:
+// how many messages crossed the edge and the weighted utilization
+// accumulated inside the subtree (Σ msg_e·ρ(e), float64 bits).
+type ReduceDone struct {
+	Child    uint32
+	Messages uint64
+	PhiBits  uint64
+}
+
+// Type implements Message.
+func (ReduceDone) Type() Type { return TypeReduceDone }
+
+// Phi returns the subtree's accumulated utilization.
+func (r ReduceDone) Phi() float64 { return math.Float64frombits(r.PhiBits) }
+
+// SetPhi stores the subtree's accumulated utilization.
+func (r *ReduceDone) SetPhi(phi float64) { r.PhiBits = math.Float64bits(phi) }
+
+func (r ReduceDone) appendBody(b []byte) []byte {
+	b = binary.BigEndian.AppendUint32(b, r.Child)
+	b = binary.BigEndian.AppendUint64(b, r.Messages)
+	return binary.BigEndian.AppendUint64(b, r.PhiBits)
+}
+
+func (r *ReduceDone) parseBody(b []byte) error {
+	if len(b) != 20 {
+		return fmt.Errorf("wire: reduce-done body %d bytes, want 20", len(b))
+	}
+	r.Child = binary.BigEndian.Uint32(b)
+	r.Messages = binary.BigEndian.Uint64(b[4:])
+	r.PhiBits = binary.BigEndian.Uint64(b[12:])
+	return nil
+}
+
+// Write frames and writes one message.
+func Write(w io.Writer, m Message) error {
+	body := m.appendBody(make([]byte, 0, 64))
+	if len(body)+1 > MaxFrame {
+		return fmt.Errorf("wire: frame %d bytes exceeds MaxFrame", len(body)+1)
+	}
+	hdr := binary.BigEndian.AppendUint32(make([]byte, 0, 5), uint32(len(body)+1))
+	hdr = append(hdr, byte(m.Type()))
+	if _, err := w.Write(hdr); err != nil {
+		return fmt.Errorf("wire: write header: %w", err)
+	}
+	if _, err := w.Write(body); err != nil {
+		return fmt.Errorf("wire: write body: %w", err)
+	}
+	return nil
+}
+
+// Read reads and parses one framed message.
+func Read(r io.Reader) (Message, error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("wire: read header: %w", err)
+	}
+	length := binary.BigEndian.Uint32(hdr[:4])
+	if length == 0 {
+		return nil, errors.New("wire: empty frame")
+	}
+	if length > MaxFrame {
+		return nil, fmt.Errorf("wire: frame %d bytes exceeds MaxFrame", length)
+	}
+	body := make([]byte, length-1)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, fmt.Errorf("wire: read body: %w", err)
+	}
+	var m Message
+	switch Type(hdr[4]) {
+	case TypeHello:
+		m = &Hello{}
+	case TypeGather:
+		m = &Gather{}
+	case TypeColor:
+		m = &Color{}
+	case TypeReduceDone:
+		m = &ReduceDone{}
+	default:
+		return nil, fmt.Errorf("wire: unknown message type %d", hdr[4])
+	}
+	if err := m.parseBody(body); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// ReadTyped reads one message and asserts its type, a convenience for
+// lockstep protocol phases.
+func ReadTyped[M Message](r io.Reader) (M, error) {
+	var zero M
+	m, err := Read(r)
+	if err != nil {
+		return zero, err
+	}
+	typed, ok := m.(M)
+	if !ok {
+		return zero, fmt.Errorf("wire: got %T, want %T", m, zero)
+	}
+	return typed, nil
+}

@@ -1,0 +1,193 @@
+package wire
+
+import (
+	"bytes"
+	"io"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func roundTrip(t *testing.T, m Message) Message {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := Write(&buf, m); err != nil {
+		t.Fatalf("Write(%#v): %v", m, err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatalf("Read after %#v: %v", m, err)
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("%d trailing bytes after read", buf.Len())
+	}
+	return got
+}
+
+func TestHelloRoundTrip(t *testing.T) {
+	got := roundTrip(t, &Hello{Child: 12345}).(*Hello)
+	if got.Child != 12345 {
+		t.Fatalf("child %d", got.Child)
+	}
+}
+
+func TestColorRoundTrip(t *testing.T) {
+	got := roundTrip(t, &Color{Budget: 7, L: 3}).(*Color)
+	if got.Budget != 7 || got.L != 3 {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+func TestReduceDoneRoundTrip(t *testing.T) {
+	m := &ReduceDone{Child: 9, Messages: 1 << 40}
+	m.SetPhi(123.456)
+	got := roundTrip(t, m).(*ReduceDone)
+	if got.Child != 9 || got.Messages != 1<<40 || got.Phi() != 123.456 {
+		t.Fatalf("got %+v phi=%v", got, got.Phi())
+	}
+}
+
+func TestGatherRoundTrip(t *testing.T) {
+	m := &Gather{Child: 3, Rows: 2, Cols: 3, X: []float64{0, 1.5, math.Inf(1), -2, 51, 35}}
+	got := roundTrip(t, m).(*Gather)
+	if got.Child != 3 || got.Rows != 2 || got.Cols != 3 {
+		t.Fatalf("header %+v", got)
+	}
+	for i, x := range m.X {
+		if got.X[i] != x {
+			t.Fatalf("X[%d] = %v, want %v", i, got.X[i], x)
+		}
+	}
+}
+
+func TestGatherRoundTripQuick(t *testing.T) {
+	f := func(child uint32, rows, cols uint8, vals []float64) bool {
+		r := uint32(rows%8) + 1
+		c := uint32(cols%8) + 1
+		x := make([]float64, r*c)
+		for i := range x {
+			if i < len(vals) {
+				x[i] = vals[i]
+			}
+		}
+		m := &Gather{Child: child, Rows: r, Cols: c, X: x}
+		var buf bytes.Buffer
+		if err := Write(&buf, m); err != nil {
+			return false
+		}
+		got, err := Read(&buf)
+		if err != nil {
+			return false
+		}
+		g := got.(*Gather)
+		if g.Child != child || g.Rows != r || g.Cols != c {
+			return false
+		}
+		for i := range x {
+			// NaN-safe bitwise comparison.
+			if math.Float64bits(g.X[i]) != math.Float64bits(x[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInterleavedStream(t *testing.T) {
+	var buf bytes.Buffer
+	msgs := []Message{
+		&Hello{Child: 1},
+		&Gather{Child: 1, Rows: 1, Cols: 2, X: []float64{3, 4}},
+		&Color{Budget: 2, L: 1},
+		&ReduceDone{Child: 1, Messages: 5},
+	}
+	for _, m := range msgs {
+		if err := Write(&buf, m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, want := range msgs {
+		got, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("message %d: %v", i, err)
+		}
+		if got.Type() != want.Type() {
+			t.Fatalf("message %d type %d, want %d", i, got.Type(), want.Type())
+		}
+	}
+}
+
+func TestReadTyped(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, &Color{Budget: 1, L: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadTyped[*Color](&buf); err != nil {
+		t.Fatalf("ReadTyped[*Color]: %v", err)
+	}
+	if err := Write(&buf, &Hello{Child: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadTyped[*Color](&buf); err == nil {
+		t.Fatal("ReadTyped accepted the wrong type")
+	}
+}
+
+func TestRejectsMalformedFrames(t *testing.T) {
+	cases := map[string][]byte{
+		"empty frame":  {0, 0, 0, 0},
+		"unknown type": {0, 0, 0, 1, 99},
+		"short hello":  {0, 0, 0, 3, byte(TypeHello), 1, 2},
+		"huge frame":   {0xFF, 0xFF, 0xFF, 0xFF, byte(TypeHello)},
+		"short color":  {0, 0, 0, 2, byte(TypeColor), 9},
+	}
+	for name, raw := range cases {
+		if _, err := Read(bytes.NewReader(raw)); err == nil {
+			t.Errorf("%s: Read accepted malformed input", name)
+		}
+	}
+}
+
+func TestRejectsOversizeGatherDims(t *testing.T) {
+	// A gather header claiming a huge table must be rejected before any
+	// large allocation.
+	var buf bytes.Buffer
+	g := &Gather{Child: 1, Rows: 1, Cols: 1, X: []float64{1}}
+	if err := Write(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	// Corrupt Rows to a huge value; body length no longer matches.
+	raw[9], raw[10] = 0xFF, 0xFF
+	if _, err := Read(bytes.NewReader(raw)); err == nil {
+		t.Fatal("accepted corrupted dimensions")
+	}
+}
+
+func TestReadTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, &Gather{Child: 1, Rows: 1, Cols: 1, X: []float64{7}}); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	for cut := 1; cut < len(raw); cut++ {
+		if _, err := Read(bytes.NewReader(raw[:cut])); err == nil {
+			t.Fatalf("accepted truncation at %d/%d bytes", cut, len(raw))
+		}
+	}
+}
+
+func TestWriteErrorPropagates(t *testing.T) {
+	w := &failWriter{}
+	if err := Write(w, &Hello{Child: 1}); err == nil || !strings.Contains(err.Error(), "wire:") {
+		t.Fatalf("err = %v, want wrapped wire error", err)
+	}
+}
+
+type failWriter struct{}
+
+func (failWriter) Write([]byte) (int, error) { return 0, io.ErrClosedPipe }

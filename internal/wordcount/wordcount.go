@@ -1,0 +1,136 @@
+// Package wordcount models the paper's big-data use case (Sec. 5,
+// "WC"): a MapReduce word-count whose per-server messages are
+// word→count dictionaries and whose in-network aggregation merges
+// dictionaries.
+//
+// Substitution (documented in DESIGN.md): the paper uses a Wikipedia dump
+// with 54M words of which 800K are unique. We generate a synthetic corpus
+// with Zipf-distributed word frequencies (stdlib math/rand.Zipf), scaled
+// by default to 5.4M words over an 80K vocabulary, both configurable up
+// to the paper's scale. What matters for byte complexity is how fast
+// merged dictionaries saturate toward the vocabulary — a property of the
+// frequency distribution, which Zipf reproduces for natural language.
+// Word lengths follow Zipf's law of abbreviation: frequent words are
+// short.
+package wordcount
+
+import (
+	"math/bits"
+	"math/rand"
+
+	"soar/internal/reduce"
+)
+
+// Config describes the synthetic corpus.
+type Config struct {
+	// TotalWords is the corpus length; it is split evenly across servers.
+	TotalWords int
+	// Vocabulary is the number of distinct words.
+	Vocabulary int
+	// Exponent is the Zipf exponent (> 1); natural language is ≈ 1.1.
+	Exponent float64
+	// CountBytes is the wire size of one count field (default 8).
+	CountBytes int
+}
+
+// DefaultConfig is a 1/10-scale stand-in for the paper's Wikipedia dump.
+func DefaultConfig() Config {
+	return Config{TotalWords: 5_400_000, Vocabulary: 80_000, Exponent: 1.1, CountBytes: 8}
+}
+
+// TestConfig is a small corpus for unit tests and examples.
+func TestConfig() Config {
+	return Config{TotalWords: 60_000, Vocabulary: 5_000, Exponent: 1.1, CountBytes: 8}
+}
+
+// Dict is a word→count dictionary payload.
+type Dict struct {
+	Counts map[int32]int64
+	size   int64
+	cfg    *Config
+}
+
+// SizeBytes implements reduce.Payload: the sum over entries of the word's
+// length plus the count field.
+func (d *Dict) SizeBytes() int64 { return d.size }
+
+// TotalCount returns the number of corpus words represented (with
+// multiplicity); conserved under Merge.
+func (d *Dict) TotalCount() int64 {
+	var s int64
+	for _, c := range d.Counts {
+		s += c
+	}
+	return s
+}
+
+// WordLen is the modeled byte length of a word id: ids are assigned by
+// frequency rank (0 = most frequent), and per Zipf's law of abbreviation
+// frequent words are shorter. Lengths grow logarithmically from 3 to ~13
+// across an 80K vocabulary.
+func WordLen(id int32) int64 {
+	return 3 + int64(bits.Len32(uint32(id))/2)
+}
+
+// Aggregator produces per-server shard dictionaries and merges them. It
+// implements reduce.Aggregator. Shards are regenerated deterministically
+// from (seed, server index), so repeated simulations over the same
+// aggregator see identical data without retaining the corpus in memory.
+type Aggregator struct {
+	cfg        Config
+	numServers int
+	seed       int64
+}
+
+// NewAggregator shards a synthetic corpus of cfg.TotalWords words across
+// numServers servers (the last server absorbs the remainder).
+func NewAggregator(cfg Config, numServers int, seed int64) *Aggregator {
+	if cfg.CountBytes == 0 {
+		cfg.CountBytes = 8
+	}
+	if numServers < 1 {
+		panic("wordcount: need at least one server")
+	}
+	return &Aggregator{cfg: cfg, numServers: numServers, seed: seed}
+}
+
+// ShardWords returns how many corpus words server i maps over.
+func (a *Aggregator) ShardWords(i int) int {
+	per := a.cfg.TotalWords / a.numServers
+	if i == a.numServers-1 {
+		return a.cfg.TotalWords - per*(a.numServers-1)
+	}
+	return per
+}
+
+// Produce implements reduce.Aggregator: server i's message is the word
+// count of its shard.
+func (a *Aggregator) Produce(i int) reduce.Payload {
+	rng := rand.New(rand.NewSource(a.seed ^ (int64(i)+1)*0x5851F42D4C957F2D))
+	zipf := rand.NewZipf(rng, a.cfg.Exponent, 1, uint64(a.cfg.Vocabulary-1))
+	d := &Dict{Counts: make(map[int32]int64), cfg: &a.cfg}
+	for w := a.ShardWords(i); w > 0; w-- {
+		id := int32(zipf.Uint64())
+		if _, ok := d.Counts[id]; !ok {
+			d.size += WordLen(id) + int64(a.cfg.CountBytes)
+		}
+		d.Counts[id]++
+	}
+	return d
+}
+
+// Merge implements reduce.Aggregator: dictionary union with count sums.
+// Counts are conserved; the merged size is sub-additive, which is what
+// makes in-network aggregation shrink WC traffic.
+func (a *Aggregator) Merge(p, q reduce.Payload) reduce.Payload {
+	dst, src := p.(*Dict), q.(*Dict)
+	for id, c := range src.Counts {
+		if _, ok := dst.Counts[id]; !ok {
+			dst.size += WordLen(id) + int64(a.cfg.CountBytes)
+		}
+		dst.Counts[id] += c
+	}
+	return dst
+}
+
+var _ reduce.Aggregator = (*Aggregator)(nil)

@@ -1,0 +1,135 @@
+package wordcount
+
+import (
+	"testing"
+
+	"soar/internal/paper"
+	"soar/internal/reduce"
+)
+
+func TestShardWordsSumToCorpus(t *testing.T) {
+	cfg := Config{TotalWords: 1003, Vocabulary: 50, Exponent: 1.2}
+	a := NewAggregator(cfg, 7, 1)
+	total := 0
+	for i := 0; i < 7; i++ {
+		total += a.ShardWords(i)
+	}
+	if total != 1003 {
+		t.Fatalf("shards sum to %d, want 1003", total)
+	}
+}
+
+func TestProduceDeterministic(t *testing.T) {
+	a := NewAggregator(TestConfig(), 4, 42)
+	d1 := a.Produce(2).(*Dict)
+	d2 := a.Produce(2).(*Dict)
+	if d1.TotalCount() != d2.TotalCount() || len(d1.Counts) != len(d2.Counts) {
+		t.Fatalf("Produce not deterministic: %d/%d words vs %d/%d",
+			d1.TotalCount(), len(d1.Counts), d2.TotalCount(), len(d2.Counts))
+	}
+	for id, c := range d1.Counts {
+		if d2.Counts[id] != c {
+			t.Fatalf("word %d count %d vs %d", id, c, d2.Counts[id])
+		}
+	}
+}
+
+func TestProduceCountsMatchShardSize(t *testing.T) {
+	a := NewAggregator(TestConfig(), 5, 7)
+	for i := 0; i < 5; i++ {
+		d := a.Produce(i).(*Dict)
+		if got, want := d.TotalCount(), int64(a.ShardWords(i)); got != want {
+			t.Fatalf("server %d dictionary holds %d words, want %d", i, got, want)
+		}
+	}
+}
+
+func TestMergeConservesCountsAndIsSubadditive(t *testing.T) {
+	a := NewAggregator(TestConfig(), 2, 9)
+	d1 := a.Produce(0).(*Dict)
+	d2 := a.Produce(1).(*Dict)
+	c1, c2 := d1.TotalCount(), d2.TotalCount()
+	s1, s2 := d1.SizeBytes(), d2.SizeBytes()
+	m := a.Merge(d1, d2).(*Dict)
+	if m.TotalCount() != c1+c2 {
+		t.Fatalf("merge lost words: %d, want %d", m.TotalCount(), c1+c2)
+	}
+	if m.SizeBytes() > s1+s2 {
+		t.Fatalf("merged size %d exceeds sum of parts %d", m.SizeBytes(), s1+s2)
+	}
+	if m.SizeBytes() >= s1+s2 {
+		t.Fatalf("Zipf shards share no words? merged %d == %d+%d", m.SizeBytes(), s1, s2)
+	}
+}
+
+func TestSizeMatchesRecount(t *testing.T) {
+	a := NewAggregator(TestConfig(), 3, 5)
+	d := a.Produce(0).(*Dict)
+	var want int64
+	for id := range d.Counts {
+		want += WordLen(id) + 8
+	}
+	if d.SizeBytes() != want {
+		t.Fatalf("cached size %d, recomputed %d", d.SizeBytes(), want)
+	}
+	m := a.Merge(d, a.Produce(1)).(*Dict)
+	want = 0
+	for id := range m.Counts {
+		want += WordLen(id) + 8
+	}
+	if m.SizeBytes() != want {
+		t.Fatalf("merged cached size %d, recomputed %d", m.SizeBytes(), want)
+	}
+}
+
+func TestWordLenAbbreviation(t *testing.T) {
+	if WordLen(0) >= WordLen(70_000) {
+		t.Fatalf("frequent word len %d not shorter than rare word len %d",
+			WordLen(0), WordLen(70_000))
+	}
+	if WordLen(0) < 1 {
+		t.Fatalf("WordLen(0)=%d", WordLen(0))
+	}
+}
+
+func TestEndToEndBytesShrinkWithAggregation(t *testing.T) {
+	// On the paper's example tree, total WC bytes must strictly decrease
+	// from all-red to the k=2 optimum to all-blue.
+	tr, loads := paper.Figure2()
+	servers := 0
+	for _, l := range loads {
+		servers += l
+	}
+	a := NewAggregator(TestConfig(), servers, 3)
+	allRed := make([]bool, tr.N())
+	opt := []bool{false, false, true, false, true, false, false} // SOAR k=2
+	allBlue := []bool{true, true, true, true, true, true, true}
+	red := reduce.ByteComplexity(tr, loads, allRed, a).TotalBytes
+	mid := reduce.ByteComplexity(tr, loads, opt, a).TotalBytes
+	blue := reduce.ByteComplexity(tr, loads, allBlue, a).TotalBytes
+	if !(blue < mid && mid < red) {
+		t.Fatalf("bytes not ordered: all-blue %d, k=2 %d, all-red %d", blue, mid, red)
+	}
+}
+
+func TestVocabularyBound(t *testing.T) {
+	a := NewAggregator(TestConfig(), 1, 11)
+	d := a.Produce(0).(*Dict)
+	for id := range d.Counts {
+		if id < 0 || int(id) >= TestConfig().Vocabulary {
+			t.Fatalf("word id %d outside vocabulary [0,%d)", id, TestConfig().Vocabulary)
+		}
+	}
+	if len(d.Counts) < 100 {
+		t.Fatalf("only %d distinct words in a %d-word shard", len(d.Counts), TestConfig().TotalWords)
+	}
+}
+
+func TestNewAggregatorValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for zero servers")
+		}
+	}()
+	NewAggregator(TestConfig(), 0, 1)
+}

@@ -1,0 +1,65 @@
+package workload
+
+import "soar/internal/load"
+
+// BudgetPolicy decides how many aggregation switches one arriving
+// workload may use. The paper's evaluation fixes a uniform k for every
+// workload; its Sec. 8 raises the open question of giving each workload
+// a distinct budget. These policies make that extension concrete.
+type BudgetPolicy func(loads []int) int
+
+// FixedBudget grants every workload the same budget, the paper's
+// baseline behaviour.
+func FixedBudget(k int) BudgetPolicy {
+	return func([]int) int { return k }
+}
+
+// LoadProportionalBudget grants a workload one aggregation switch per
+// serversPerSwitch servers it brings, clamped to [min, max]. Heavy
+// (power-law) workloads — which benefit most from aggregation — receive
+// more switches; light ones consume less of the shared capacity.
+func LoadProportionalBudget(serversPerSwitch, min, max int) BudgetPolicy {
+	if serversPerSwitch < 1 {
+		panic("workload: serversPerSwitch must be ≥ 1")
+	}
+	return func(loads []int) int {
+		k := int(load.Total(loads)) / serversPerSwitch
+		if k < min {
+			k = min
+		}
+		if k > max {
+			k = max
+		}
+		return k
+	}
+}
+
+// HandleWithBudget is Handle with a per-workload budget override,
+// enabling BudgetPolicy-driven runs.
+func (a *Allocator) HandleWithBudget(loads []int, k int) (blue []bool, phi float64) {
+	saved := a.k
+	a.k = k
+	defer func() { a.k = saved }()
+	return a.Handle(loads)
+}
+
+// RunPolicy drives an allocator over a workload sequence with a
+// per-workload budget policy; the allocator's own k is ignored.
+func RunPolicy(a *Allocator, workloads [][]int, policy BudgetPolicy) RunResult {
+	res := RunResult{
+		PerWorkload:     make([]float64, len(workloads)),
+		AllRed:          make([]float64, len(workloads)),
+		CumulativeRatio: make([]float64, len(workloads)),
+	}
+	allRed := make([]bool, a.t.N())
+	var sumPhi, sumRed float64
+	for i, l := range workloads {
+		_, phi := a.HandleWithBudget(l, policy(l))
+		res.PerWorkload[i] = phi
+		res.AllRed[i] = phiAllRed(a, l, allRed)
+		sumPhi += phi
+		sumRed += res.AllRed[i]
+		res.CumulativeRatio[i] = sumPhi / sumRed
+	}
+	return res
+}

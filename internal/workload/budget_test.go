@@ -1,0 +1,119 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+
+	"soar/internal/core"
+	"soar/internal/load"
+	"soar/internal/reduce"
+	"soar/internal/topology"
+)
+
+func TestFixedBudgetPolicy(t *testing.T) {
+	p := FixedBudget(7)
+	if p([]int{1, 2, 3}) != 7 || p(nil) != 7 {
+		t.Fatal("FixedBudget should ignore the workload")
+	}
+}
+
+func TestLoadProportionalBudget(t *testing.T) {
+	p := LoadProportionalBudget(10, 1, 8)
+	cases := []struct {
+		total int
+		want  int
+	}{
+		{0, 1},   // clamped to min
+		{35, 3},  // 35/10 = 3
+		{200, 8}, // clamped to max
+	}
+	for _, tc := range cases {
+		loads := []int{tc.total}
+		if got := p(loads); got != tc.want {
+			t.Fatalf("total %d: k=%d, want %d", tc.total, got, tc.want)
+		}
+	}
+}
+
+func TestLoadProportionalValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for serversPerSwitch 0")
+		}
+	}()
+	LoadProportionalBudget(0, 1, 4)
+}
+
+func TestHandleWithBudgetRestoresK(t *testing.T) {
+	tr := topology.CompleteBinary(3)
+	a := NewAllocator(tr, core.Strategy{}, 2, 0)
+	loads := []int{0, 0, 0, 2, 6, 5, 4}
+	blue, phi := a.HandleWithBudget(loads, 4)
+	if got := reduce.CountBlue(blue); got > 4 {
+		t.Fatalf("override placed %d > 4", got)
+	}
+	if phi != 11 { // the k=4 optimum of the paper's Fig. 3d
+		t.Fatalf("override φ=%v, want 11", phi)
+	}
+	// The allocator's own budget is untouched afterwards.
+	_, phi2 := a.Handle(loads)
+	if phi2 != 20 { // back to k=2
+		t.Fatalf("post-override φ=%v, want the k=2 optimum 20", phi2)
+	}
+}
+
+func TestRunPolicyRespectsCapacity(t *testing.T) {
+	tr := topology.MustBT(64)
+	rng := rand.New(rand.NewSource(21))
+	seq := NewSequence(tr, rng)
+	workloads := make([][]int, 20)
+	for i := range workloads {
+		workloads[i] = seq.Next()
+	}
+	a := NewAllocator(tr, core.Strategy{}, 0, 2)
+	res := RunPolicy(a, workloads, LoadProportionalBudget(20, 1, 12))
+	for v := 0; v < tr.N(); v++ {
+		if a.Residual(v) < 0 {
+			t.Fatalf("switch %d over capacity", v)
+		}
+	}
+	for i, r := range res.CumulativeRatio {
+		if r <= 0 || r > 1+1e-9 {
+			t.Fatalf("ratio[%d]=%v out of range", i, r)
+		}
+	}
+}
+
+func TestProportionalBeatsFixedOnMixedArrivals(t *testing.T) {
+	// The Sec. 8 open question, measured: with the same total switch
+	// capacity, spending budget where the load is should do at least as
+	// well as a uniform budget on a 50/50 uniform/power-law arrival mix.
+	tr := topology.MustBT(128)
+	rng := rand.New(rand.NewSource(33))
+	seq := NewSequence(tr, rng)
+	workloads := make([][]int, 30)
+	for i := range workloads {
+		workloads[i] = seq.Next()
+	}
+	// Calibrate the proportional policy to the same mean budget as fixed.
+	var totalServers int64
+	for _, w := range workloads {
+		totalServers += load.Total(w)
+	}
+	meanServers := int(totalServers) / len(workloads)
+	const fixedK = 8
+	perSwitch := meanServers / fixedK
+	if perSwitch < 1 {
+		perSwitch = 1
+	}
+
+	fixed := RunPolicy(NewAllocator(tr, core.Strategy{}, 0, 3), workloads, FixedBudget(fixedK))
+	prop := RunPolicy(NewAllocator(tr, core.Strategy{}, 0, 3), workloads,
+		LoadProportionalBudget(perSwitch, 1, 4*fixedK))
+	f := fixed.CumulativeRatio[len(workloads)-1]
+	p := prop.CumulativeRatio[len(workloads)-1]
+	if p > f+0.03 {
+		t.Fatalf("proportional budgets (%.3f) clearly worse than fixed (%.3f)", p, f)
+	}
+	t.Logf("final cumulative ratio: fixed=%.4f proportional=%.4f", f, p)
+}

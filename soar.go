@@ -1,0 +1,138 @@
+// Package soar is a from-scratch Go reproduction of
+//
+//	Segal, Avin, Scalosub: "SOAR: Minimizing Network Utilization with
+//	Bounded In-network Computing", CoNEXT 2021 (arXiv:2110.14224).
+//
+// Given a tree network of switches with heterogeneous link rates, a
+// per-switch server load, and a budget of k in-network aggregation
+// ("blue") switches, SOAR computes a placement of the k switches that
+// provably minimizes the network utilization cost of a Reduce operation
+// (the φ-BIC problem), in O(n·h·k²) time.
+//
+// This root package is a thin facade over the implementation packages:
+//
+//   - internal/topology: weighted tree networks and builders
+//   - internal/load: the paper's load distributions
+//   - internal/reduce: the Reduce simulator (message and byte complexity)
+//   - internal/placement: baseline strategies and a brute-force oracle
+//   - internal/core: the SOAR dynamic program (serial and distributed)
+//   - internal/workload: the online multiple-workload setting
+//   - internal/wordcount, internal/paramserver: the two use-case models
+//   - internal/wire, internal/cluster: SOAR over loopback TCP
+//   - internal/experiments: regeneration of every evaluation figure
+//
+// Quickstart:
+//
+//	t := soar.CompleteBinaryTree(3)               // 7 switches
+//	loads := []int{0, 0, 0, 2, 6, 5, 4}           // racks at the leaves
+//	res := soar.Solve(t, loads, 2)                // place 2 aggregators
+//	fmt.Println(res.Cost)                         // 20, the paper's Fig. 2d
+//	fmt.Println(soar.Utilization(t, loads, res.Blue))
+package soar
+
+import (
+	"math/rand"
+
+	"soar/internal/core"
+	"soar/internal/load"
+	"soar/internal/placement"
+	"soar/internal/reduce"
+	"soar/internal/topology"
+)
+
+// Tree is a weighted tree network of switches rooted next to the
+// destination server d. See internal/topology for full documentation.
+type Tree = topology.Tree
+
+// Result is an optimal φ-BIC solution: the blue set and its utilization.
+type Result = core.Result
+
+// Strategy is a blue-switch placement policy (SOAR or a baseline).
+type Strategy = placement.Strategy
+
+// NoParent marks the root in a parent vector passed to NewTree.
+const NoParent = topology.NoParent
+
+// NewTree builds a tree from a parent vector (NoParent marks the root)
+// and per-edge rates ω; the root's rate is that of the (r, d) edge.
+func NewTree(parent []int, omega []float64) (*Tree, error) {
+	return topology.New(parent, omega)
+}
+
+// CompleteBinaryTree returns a complete binary tree network with the
+// given number of levels and unit link rates.
+func CompleteBinaryTree(levels int) *Tree { return topology.CompleteBinary(levels) }
+
+// BT returns the paper's BT(n) topology (n counts the destination; the
+// switch network has n−1 switches). n must be a power of two.
+func BT(n int) (*Tree, error) { return topology.BT(n) }
+
+// ScaleFreeTree returns a random preferential-attachment tree with n
+// switches, the paper's SF(n) topology.
+func ScaleFreeTree(n int, seed int64) *Tree {
+	return topology.ScaleFree(n, rand.New(rand.NewSource(seed)))
+}
+
+// Solve places at most k aggregation switches optimally (every switch
+// available).
+func Solve(t *Tree, loads []int, k int) Result {
+	return core.Solve(t, loads, nil, k)
+}
+
+// SolveRestricted places at most k aggregation switches optimally among
+// the available set Λ.
+func SolveRestricted(t *Tree, loads []int, avail []bool, k int) Result {
+	return core.Solve(t, loads, avail, k)
+}
+
+// SolveDistributed runs SOAR as an asynchronous message-passing protocol
+// (one goroutine per switch); the result is identical to Solve.
+func SolveDistributed(t *Tree, loads []int, k int) Result {
+	return core.SolveDistributed(t, loads, nil, k)
+}
+
+// SolveParallel runs the parallel bottom-up SOAR-Gather (the speedup the
+// paper's Sec. 5.4 leaves as future work) with the given worker count
+// (≤ 0 selects GOMAXPROCS); the result is identical to Solve.
+func SolveParallel(t *Tree, loads []int, k, workers int) Result {
+	return core.SolveParallel(t, loads, nil, k, workers)
+}
+
+// SolveCompact runs the low-memory engine: no traceback breadcrumbs are
+// stored, the color phase re-derives budget splits on demand. Identical
+// results to Solve with a smaller peak footprint.
+func SolveCompact(t *Tree, loads []int, k int) Result {
+	return core.SolveCompact(t, loads, nil, k)
+}
+
+// Utilization returns φ(T, L, U), the paper's network utilization cost of
+// a Reduce with blue set U (Eq. 1).
+func Utilization(t *Tree, loads []int, blue []bool) float64 {
+	return reduce.Utilization(t, loads, blue)
+}
+
+// MessageCounts returns the number of messages crossing the edge above
+// each switch during the Reduce.
+func MessageCounts(t *Tree, loads []int, blue []bool) []int64 {
+	return reduce.MessageCounts(t, loads, blue)
+}
+
+// SOAR returns the optimal strategy as a placement.Strategy, for use
+// alongside Baselines.
+func SOAR() Strategy { return core.Strategy{} }
+
+// Baselines returns the paper's contending strategies: Top, Max, Level.
+func Baselines() []Strategy {
+	return []Strategy{placement.Top{}, placement.Max{}, placement.Level{}}
+}
+
+// UniformLoads draws the paper's uniform leaf loads (u.a.r. on {4,5,6}).
+func UniformLoads(t *Tree, seed int64) []int {
+	return load.Generate(t, load.PaperUniform(), load.LeavesOnly, rand.New(rand.NewSource(seed)))
+}
+
+// PowerLawLoads draws the paper's power-law leaf loads (mean 5, support
+// [1, 63]).
+func PowerLawLoads(t *Tree, seed int64) []int {
+	return load.Generate(t, load.PaperPowerLaw(), load.LeavesOnly, rand.New(rand.NewSource(seed)))
+}
