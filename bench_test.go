@@ -242,6 +242,82 @@ func BenchmarkGatherMemory(b *testing.B) {
 	})
 }
 
+// BenchmarkIncremental contrasts the stateful engine's per-update cost
+// (one leaf-load point update, flushed) with a full re-Gather on the
+// same instance, across the Fig. 9 grid. The per-update path recomputes
+// only the h(T)+1 tables on the leaf's root path, so the expected gap is
+// ~n/h — about two orders of magnitude at n=2048. The online sub-benches
+// run one full Fig. 7-style allocation sequence through the from-scratch
+// and the incremental allocator.
+func BenchmarkIncremental(b *testing.B) {
+	for _, n := range []int{256, 512, 1024, 2048} {
+		for _, k := range []int{4, 16, 64} {
+			b.Run(fmt.Sprintf("update/n=%d/k=%d", n, k), func(b *testing.B) {
+				tr, loads := fig9Instance(b, n)
+				inc := core.NewIncremental(tr, loads, nil, k)
+				inc.Cost()
+				leaves := tr.Leaves()
+				rng := rand.New(rand.NewSource(7))
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					inc.UpdateLoad(leaves[rng.Intn(len(leaves))], 1)
+					inc.Cost()
+				}
+			})
+			b.Run(fmt.Sprintf("fullgather/n=%d/k=%d", n, k), func(b *testing.B) {
+				tr, loads := fig9Instance(b, n)
+				for i := 0; i < b.N; i++ {
+					core.Gather(tr, loads, nil, k)
+				}
+			})
+		}
+	}
+	tr, _ := fig9Instance(b, 256)
+	rng := rand.New(rand.NewSource(2))
+	seq := workload.NewSequence(tr, rng)
+	arrivals := make([][]int, 32)
+	for i := range arrivals {
+		arrivals[i] = seq.Next()
+	}
+	b.Run("online/fromscratch", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			alloc := workload.NewAllocator(tr, core.Strategy{}, 16, 4)
+			workload.Run(alloc, arrivals)
+		}
+	})
+	b.Run("online/incremental", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			alloc := workload.NewIncrementalAllocator(tr, 16, 4)
+			workload.Run(alloc, arrivals)
+		}
+	})
+	// Sparse arrivals: consecutive workloads differ in only 8 leaf loads,
+	// the regime the incremental allocator is built for (the paper-style
+	// arrivals above redraw every leaf, so there the engines tie).
+	sparse := make([][]int, 32)
+	sparse[0] = seq.Next()
+	leaves := tr.Leaves()
+	for i := 1; i < len(sparse); i++ {
+		w := append([]int(nil), sparse[i-1]...)
+		for j := 0; j < 8; j++ {
+			w[leaves[rng.Intn(len(leaves))]] = 1 + rng.Intn(10)
+		}
+		sparse[i] = w
+	}
+	b.Run("online-sparse/fromscratch", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			alloc := workload.NewAllocator(tr, core.Strategy{}, 16, 4)
+			workload.Run(alloc, sparse)
+		}
+	})
+	b.Run("online-sparse/incremental", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			alloc := workload.NewIncrementalAllocator(tr, 16, 4)
+			workload.Run(alloc, sparse)
+		}
+	})
+}
+
 // BenchmarkGatherParallel measures the parallel leaf-to-root sweep the
 // paper leaves as future work (Sec. 5.4), at the Fig. 9 grid's largest
 // cell. Speedup is only observable on multi-core machines; on a

@@ -18,6 +18,7 @@ func runExp(args []string) error {
 	csvDir := fs.String("csv", "", "also write <figure>.csv files into this directory")
 	reps := fs.Int("reps", 0, "override the number of repetitions (0 = figure default)")
 	plot := fs.Bool("plot", false, "render each subplot as an ASCII chart")
+	engine := fs.String("engine", "full", "SOAR engine for online figures (fig7): full or incremental")
 	// Accept the figure name before the flags: soarctl exp fig6 -csv dir.
 	which := ""
 	if len(args) > 0 && len(args[0]) > 0 && args[0][0] != '-' {
@@ -30,7 +31,12 @@ func runExp(args []string) error {
 		which = fs.Arg(0)
 	}
 	if which == "" || fs.NArg() > 1 {
-		return fmt.Errorf("usage: soarctl exp <fig6|fig7|fig8|fig9|fig10|fig11|all> [flags]")
+		return fmt.Errorf("usage: soarctl exp <fig6|fig7|fig8|fig9|fig10|fig11|ext-objectives|ext-topologies|ext-incremental|all> [flags]")
+	}
+	// Validate up front: only fig7 consumes the engine, but a typo must
+	// not silently fall back to the default for the other figures.
+	if *engine != "full" && *engine != "incremental" {
+		return fmt.Errorf("unknown -engine %q (want full or incremental)", *engine)
 	}
 
 	type gen struct {
@@ -56,6 +62,7 @@ func runExp(args []string) error {
 			if *reps > 0 {
 				cfg.Reps = *reps
 			}
+			cfg.Engine = *engine
 			return experiments.Fig7(cfg)
 		}},
 		{"fig8", func() (*experiments.Figure, error) {
@@ -117,6 +124,16 @@ func runExp(args []string) error {
 				cfg.Reps = *reps
 			}
 			return experiments.ExtTopologies(cfg)
+		}},
+		{"ext-incremental", func() (*experiments.Figure, error) {
+			cfg := experiments.DefaultExtIncremental()
+			if *quick {
+				cfg = experiments.QuickExtIncremental()
+			}
+			if *reps > 0 {
+				cfg.Reps = *reps
+			}
+			return experiments.ExtIncremental(cfg)
 		}},
 	}
 

@@ -8,8 +8,9 @@
 //	soarctl demo
 //	soarctl place   [-topo bt|sf] [-n 256] [-k 16] [-dist uniform|powerlaw]
 //	                [-rates constant|linear|exp] [-seed 1] [-dot file]
-//	soarctl exp     <fig6|fig7|fig8|fig9|fig10|fig11|all> [-quick]
-//	                [-csv dir] [-reps N]
+//	                [-engine full|compact|parallel|distributed|incremental]
+//	soarctl exp     <fig6|fig7|fig8|fig9|fig10|fig11|ext-*|all> [-quick]
+//	                [-csv dir] [-reps N] [-engine full|incremental]
 //	soarctl cluster [-n 64] [-k 8] [-seed 1]
 package main
 

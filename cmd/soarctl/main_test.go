@@ -59,8 +59,30 @@ func TestRunExpQuickAll(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(entries) != 8 { // fig6..fig11 + 2 extensions
-		t.Fatalf("wrote %d csv files, want 8", len(entries))
+	if len(entries) != 9 { // fig6..fig11 + 3 extensions
+		t.Fatalf("wrote %d csv files, want 9", len(entries))
+	}
+}
+
+func TestRunExpIncrementalEngine(t *testing.T) {
+	// fig7 with -engine incremental must run (its allocators swap to the
+	// stateful SOAR engine) and reject unknown engines.
+	if err := runExp([]string{"fig7", "-quick", "-reps", "1", "-engine", "incremental"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := runExp([]string{"fig7", "-quick", "-engine", "warp"}); err == nil {
+		t.Fatal("unknown engine accepted")
+	}
+}
+
+func TestRunPlaceEngines(t *testing.T) {
+	for _, engine := range []string{"full", "compact", "parallel", "distributed", "incremental"} {
+		if err := runPlace([]string{"-topo", "bt", "-n", "32", "-k", "4", "-engine", engine}); err != nil {
+			t.Fatalf("engine %s: %v", engine, err)
+		}
+	}
+	if err := runPlace([]string{"-topo", "bt", "-n", "32", "-engine", "warp"}); err == nil {
+		t.Fatal("unknown engine accepted")
 	}
 }
 

@@ -12,6 +12,44 @@ import (
 	"soar/internal/topology"
 )
 
+// engineFunc adapts one of the SOAR engines to placement.Strategy so the
+// -engine flag can swap it into the strategy line-up; every engine
+// produces the same placements (verified by TestAllEnginesAgree and
+// TestIncrementalMatchesFullEngines).
+type engineFunc func(t *topology.Tree, loads []int, avail []bool, k int) []bool
+
+func (engineFunc) Name() string { return "soar" }
+
+func (f engineFunc) Place(t *topology.Tree, loads []int, avail []bool, k int) []bool {
+	return f(t, loads, avail, k)
+}
+
+// soarEngine resolves the -engine flag to a SOAR strategy.
+func soarEngine(name string) (placement.Strategy, error) {
+	switch name {
+	case "full":
+		return core.Strategy{}, nil
+	case "compact":
+		return engineFunc(func(t *topology.Tree, loads []int, avail []bool, k int) []bool {
+			return core.SolveCompact(t, loads, avail, k).Blue
+		}), nil
+	case "parallel":
+		return engineFunc(func(t *topology.Tree, loads []int, avail []bool, k int) []bool {
+			return core.SolveParallel(t, loads, avail, k, 0).Blue
+		}), nil
+	case "distributed":
+		return engineFunc(func(t *topology.Tree, loads []int, avail []bool, k int) []bool {
+			return core.SolveDistributed(t, loads, avail, k).Blue
+		}), nil
+	case "incremental":
+		return engineFunc(func(t *topology.Tree, loads []int, avail []bool, k int) []bool {
+			return core.NewIncremental(t, loads, avail, k).Solve().Blue
+		}), nil
+	default:
+		return nil, fmt.Errorf("unknown -engine %q", name)
+	}
+}
+
 // runPlace builds one instance and prints every strategy's placement and
 // normalized utilization.
 func runPlace(args []string) error {
@@ -21,6 +59,7 @@ func runPlace(args []string) error {
 	k := fs.Int("k", 16, "aggregation switch budget")
 	dist := fs.String("dist", "powerlaw", "load distribution: uniform, powerlaw or one (unit)")
 	rates := fs.String("rates", "constant", "link rates: constant, linear or exp")
+	engine := fs.String("engine", "full", "SOAR engine: full, compact, parallel, distributed or incremental")
 	seed := fs.Int64("seed", 1, "random seed")
 	dot := fs.String("dot", "", "write the SOAR placement as Graphviz DOT to this file")
 	if err := fs.Parse(args); err != nil {
@@ -62,22 +101,26 @@ func runPlace(args []string) error {
 	default:
 		return fmt.Errorf("unknown -dist %q", *dist)
 	}
+	soar, err := soarEngine(*engine)
+	if err != nil {
+		return err
+	}
 	loads := load.Generate(tr, d, where, rng)
 
 	allRed := reduce.Utilization(tr, loads, make([]bool, tr.N()))
-	fmt.Printf("instance: %s n=%d switches=%d height=%d totalLoad=%d rates=%s dist=%s k=%d\n",
-		*topo, *n, tr.N(), tr.Height(), load.Total(loads), *rates, *dist, *k)
+	fmt.Printf("instance: %s n=%d switches=%d height=%d totalLoad=%d rates=%s dist=%s k=%d engine=%s\n",
+		*topo, *n, tr.N(), tr.Height(), load.Total(loads), *rates, *dist, *k, *engine)
 	fmt.Printf("%-12s %12s %12s  %s\n", "strategy", "phi", "vs all-red", "")
 	strategies := []placement.Strategy{
 		placement.AllRed{}, placement.Top{}, placement.Max{}, placement.MaxDegree{},
-		placement.Level{}, placement.Greedy{}, core.Strategy{}, placement.AllBlue{},
+		placement.Level{}, placement.Greedy{}, soar, placement.AllBlue{},
 	}
 	var soarBlue []bool
 	for _, s := range strategies {
 		blue := s.Place(tr, loads, nil, *k)
 		phi := reduce.Utilization(tr, loads, blue)
 		fmt.Printf("%-12s %12.2f %12.4f\n", s.Name(), phi, phi/allRed)
-		if _, ok := s.(core.Strategy); ok {
+		if s.Name() == "soar" {
 			soarBlue = blue
 		}
 	}

@@ -1,0 +1,3 @@
+module soar
+
+go 1.24

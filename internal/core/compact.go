@@ -12,7 +12,7 @@ import (
 // assigned. This trades O(Σ_v C(v)·h·k) split storage for an extra
 // O(C(v)·k²) of arithmetic per *visited* node during coloring — the
 // memory/time design choice recorded in DESIGN.md and measured by
-// BenchmarkEngineMemory. Results are identical to Solve.
+// BenchmarkGatherMemory. Results are identical to Solve.
 func SolveCompact(t *topology.Tree, load []int, avail []bool, k int) Result {
 	tb := GatherCompact(t, load, avail, k)
 	blue, cost := ColorPhaseCompact(tb, load, avail)

@@ -56,6 +56,142 @@ func TestAllEnginesAgree(t *testing.T) {
 	}
 }
 
+// TestIncrementalMatchesFullEngines drives the stateful engine through
+// randomized update sequences — load deltas, availability flips, batches
+// of both — and after every flush cross-checks it against all three
+// from-scratch engines on the engine's current inputs.
+func TestIncrementalMatchesFullEngines(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 40; trial++ {
+		n := 1 + rng.Intn(50)
+		tr := topology.RandomRecursive(n, rng)
+		loads := make([]int, n)
+		avail := make([]bool, n)
+		for v := 0; v < n; v++ {
+			loads[v] = rng.Intn(6)
+			avail[v] = rng.Intn(4) != 0 // availability-restricted instances
+		}
+		k := rng.Intn(6) // includes k = 0
+		inc := NewIncremental(tr, loads, avail, k)
+
+		for step := 0; step < 12; step++ {
+			// A batch of 1..4 point updates before each check, so flushes
+			// see coalesced dirty paths, not single-path updates.
+			for b := 1 + rng.Intn(4); b > 0; b-- {
+				v := rng.Intn(n)
+				if rng.Intn(2) == 0 {
+					loads[v] = rng.Intn(6)
+					inc.SetLoad(v, loads[v])
+				} else {
+					avail[v] = !avail[v]
+					inc.SetAvail(v, avail[v])
+				}
+			}
+			checkIncremental(t, trial, step, inc, tr, loads, avail, k)
+		}
+
+		// Edge case: drive every load to zero through the update path.
+		for v := 0; v < n; v++ {
+			inc.UpdateLoad(v, -loads[v])
+			loads[v] = 0
+		}
+		checkIncremental(t, trial, -1, inc, tr, loads, avail, k)
+	}
+}
+
+// checkIncremental requires the stateful engine to agree with Solve,
+// SolveCompact and SolveParallel on (loads, avail, k), and its tables to
+// be bitwise identical to a from-scratch Gather.
+func checkIncremental(t *testing.T, trial, step int, inc *Incremental, tr *topology.Tree, loads []int, avail []bool, k int) {
+	t.Helper()
+	got := inc.Solve()
+	for name, ref := range map[string]Result{
+		"serial":   Solve(tr, loads, avail, k),
+		"compact":  SolveCompact(tr, loads, avail, k),
+		"parallel": SolveParallel(tr, loads, avail, k, 4),
+	} {
+		if math.Abs(got.Cost-ref.Cost) > 1e-9 {
+			t.Fatalf("trial %d step %d: incremental φ=%v, %s φ=%v", trial, step, got.Cost, name, ref.Cost)
+		}
+	}
+	if sim := reduce.Utilization(tr, loads, got.Blue); math.Abs(sim-got.Cost) > 1e-9 {
+		t.Fatalf("trial %d step %d: incremental placement costs %v, reported %v", trial, step, sim, got.Cost)
+	}
+	for v, b := range got.Blue {
+		if b && !avail[v] {
+			t.Fatalf("trial %d step %d: incremental colored unavailable switch %d", trial, step, v)
+		}
+	}
+	full := Gather(tr, loads, avail, k)
+	itb := inc.Tables()
+	for v := 0; v < tr.N(); v++ {
+		for l := 0; l <= tr.Depth(v); l++ {
+			for i := 0; i <= k; i++ {
+				if itb.X(v, l, i) != full.X(v, l, i) {
+					t.Fatalf("trial %d step %d: X_%d(%d,%d): incremental %v, full %v",
+						trial, step, v, l, i, itb.X(v, l, i), full.X(v, l, i))
+				}
+			}
+		}
+	}
+}
+
+func TestIncrementalPaperExample(t *testing.T) {
+	tr, loads := paper.Figure2()
+	inc := NewIncremental(tr, loads, nil, 2)
+	if res := inc.Solve(); res.Cost != 20 {
+		t.Fatalf("incremental φ=%v, want 20", res.Cost)
+	}
+	// Repeated solves with no pending updates must not drift.
+	if res := inc.Solve(); res.Cost != 20 {
+		t.Fatalf("second incremental solve φ=%v, want 20", res.Cost)
+	}
+	if inc.Pending() != 0 {
+		t.Fatalf("pending %d after flush, want 0", inc.Pending())
+	}
+}
+
+func TestIncrementalAllUnavailable(t *testing.T) {
+	tr, loads := paper.Figure2()
+	inc := NewIncremental(tr, loads, nil, 2)
+	for v := 0; v < tr.N(); v++ {
+		inc.SetAvail(v, false)
+	}
+	want := Solve(tr, loads, make([]bool, tr.N()), 2)
+	if got := inc.Solve(); got.Cost != want.Cost {
+		t.Fatalf("all-unavailable incremental φ=%v, want %v", got.Cost, want.Cost)
+	}
+	for v := 0; v < tr.N(); v++ {
+		inc.SetAvail(v, true)
+	}
+	if got := inc.Solve(); got.Cost != 20 {
+		t.Fatalf("restored incremental φ=%v, want 20", got.Cost)
+	}
+}
+
+func TestIncrementalSingleNode(t *testing.T) {
+	tr := topology.MustNew([]int{topology.NoParent}, []float64{1})
+	inc := NewIncremental(tr, []int{3}, nil, 1)
+	if got := inc.Cost(); got != 1 { // blue root sends 1 message over (r, d)
+		t.Fatalf("single-node φ=%v, want 1", got)
+	}
+	inc.UpdateLoad(0, -3)
+	if got := inc.Cost(); got != 0 {
+		t.Fatalf("single-node zero-load φ=%v, want 0", got)
+	}
+}
+
+func TestIncrementalRejectsNegativeLoad(t *testing.T) {
+	tr, loads := paper.Figure2()
+	inc := NewIncremental(tr, loads, nil, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("UpdateLoad below zero did not panic")
+		}
+	}()
+	inc.UpdateLoad(3, -loads[3]-1)
+}
+
 func TestParallelPaperExample(t *testing.T) {
 	tr, loads := paper.Figure2()
 	for _, workers := range []int{0, 1, 2, 8, 64} {

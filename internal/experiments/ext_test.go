@@ -4,6 +4,58 @@ import (
 	"testing"
 )
 
+func TestExtIncrementalShapes(t *testing.T) {
+	fig, err := ExtIncremental(QuickExtIncremental())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Subplots) != 3 {
+		t.Fatalf("got %d subplots, want 3 (full, incremental, speedup)", len(fig.Subplots))
+	}
+	for _, sp := range fig.Subplots[:2] {
+		for _, s := range sp.Series {
+			for i, y := range s.Y {
+				if y <= 0 {
+					t.Fatalf("%s %s: non-positive time %v at k=%v", sp.Name, s.Label, y, s.X[i])
+				}
+			}
+		}
+	}
+}
+
+func TestFig7IncrementalEngineMatchesFull(t *testing.T) {
+	// The incremental allocator is observationally identical to the
+	// from-scratch one, so fig7 must come out the same point for point.
+	cfg := QuickFig7()
+	cfg.Reps = 1
+	full, err := Fig7(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Engine = "incremental"
+	inc, err := Fig7(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for si, sp := range full.Subplots {
+		for ri, s := range sp.Series {
+			for i, y := range s.Y {
+				if got := inc.Subplots[si].Series[ri].Y[i]; got != y {
+					t.Fatalf("%s/%s: incremental %v, full %v", sp.Name, s.Label, got, y)
+				}
+			}
+		}
+	}
+}
+
+func TestFig7RejectsUnknownEngine(t *testing.T) {
+	cfg := QuickFig7()
+	cfg.Engine = "warp"
+	if _, err := Fig7(cfg); err == nil {
+		t.Fatal("unknown engine accepted")
+	}
+}
+
 func TestExtObjectivesShapes(t *testing.T) {
 	fig, err := ExtObjectives(QuickExtObjectives())
 	if err != nil {

@@ -1,0 +1,117 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"soar/internal/core"
+	"soar/internal/load"
+	"soar/internal/stats"
+	"soar/internal/topology"
+)
+
+// ExtIncrementalConfig parameterizes the incremental-engine runtime
+// experiment, the online companion to the paper's Fig. 9: instead of
+// timing one from-scratch SOAR-Gather per instance, it times the
+// steady-state cost of keeping a solution current under a stream of
+// point updates (a leaf's load changes, a switch's capacity runs out),
+// the regime of the paper's Sec. 5.2 online setting and of the authors'
+// follow-up dynamic work (arXiv:2201.04344).
+type ExtIncrementalConfig struct {
+	// Sizes are BT network sizes (the Fig. 9 grid: 256..2048).
+	Sizes []int
+	// Ks are the budgets (the Fig. 9 grid: 4..128).
+	Ks []int
+	// Updates is the number of timed point updates per instance; each
+	// update is flushed (Cost) before the next, so it measures the
+	// unbatched worst case.
+	Updates int
+	// Reps averages over independent load vectors.
+	Reps int
+	Seed int64
+}
+
+// DefaultExtIncremental mirrors the Fig. 9 grid.
+func DefaultExtIncremental() ExtIncrementalConfig {
+	return ExtIncrementalConfig{
+		Sizes:   []int{256, 512, 1024, 2048},
+		Ks:      []int{4, 8, 16, 32, 64, 128},
+		Updates: 64,
+		Reps:    5,
+		Seed:    4,
+	}
+}
+
+// QuickExtIncremental is a reduced instance for tests.
+func QuickExtIncremental() ExtIncrementalConfig {
+	return ExtIncrementalConfig{Sizes: []int{64, 128}, Ks: []int{4, 8}, Updates: 8, Reps: 2, Seed: 4}
+}
+
+// ExtIncremental times a full SOAR-Gather against one flushed point
+// update of the incremental engine on the same instances, and reports
+// both times plus their ratio (the per-update speedup). As a built-in
+// correctness guard it re-solves every drifted instance from scratch and
+// fails if the engine's φ ever deviates.
+func ExtIncremental(cfg ExtIncrementalConfig) (*Figure, error) {
+	full := Subplot{Name: "full SOAR-Gather per solve", XLabel: "k", YLabel: "seconds"}
+	incr := Subplot{Name: "incremental engine per update", XLabel: "k", YLabel: "seconds"}
+	speedup := Subplot{Name: "speedup (full / incremental)", XLabel: "k", YLabel: "ratio"}
+	xs := make([]float64, len(cfg.Ks))
+	for i, k := range cfg.Ks {
+		xs[i] = float64(k)
+	}
+	for _, n := range cfg.Sizes {
+		tr, err := topology.BT(n)
+		if err != nil {
+			return nil, err
+		}
+		leaves := tr.Leaves()
+		rng := rand.New(rand.NewSource(cfg.Seed))
+		fAcc := stats.NewAccumulator(len(cfg.Ks))
+		iAcc := stats.NewAccumulator(len(cfg.Ks))
+		for rep := 0; rep < cfg.Reps; rep++ {
+			loads := load.Generate(tr, load.PaperPowerLaw(), load.LeavesOnly, rng)
+			fRow := make([]float64, len(cfg.Ks))
+			iRow := make([]float64, len(cfg.Ks))
+			for ki, k := range cfg.Ks {
+				start := time.Now()
+				core.Gather(tr, loads, nil, k)
+				fRow[ki] = time.Since(start).Seconds()
+
+				eng := core.NewIncremental(tr, loads, nil, k)
+				start = time.Now()
+				for u := 0; u < cfg.Updates; u++ {
+					v := leaves[rng.Intn(len(leaves))]
+					eng.UpdateLoad(v, 1)
+					eng.Cost()
+				}
+				iRow[ki] = time.Since(start).Seconds() / float64(cfg.Updates)
+
+				want := core.Solve(tr, eng.Loads(), nil, k).Cost
+				if got := eng.Cost(); math.Abs(got-want) > 1e-9 {
+					return nil, fmt.Errorf("ext-incremental: n=%d k=%d: engine φ=%v, from-scratch φ=%v", n, k, got, want)
+				}
+			}
+			fAcc.Add(fRow)
+			iAcc.Add(iRow)
+		}
+		label := fmt.Sprintf("size %d", n)
+		fMean, iMean := fAcc.Mean(), iAcc.Mean()
+		ratio := make([]float64, len(cfg.Ks))
+		for i := range ratio {
+			if iMean[i] > 0 {
+				ratio[i] = fMean[i] / iMean[i]
+			}
+		}
+		full.Series = append(full.Series, Series{Label: label, X: xs, Y: fMean, Err: fAcc.StdErr()})
+		incr.Series = append(incr.Series, Series{Label: label, X: xs, Y: iMean, Err: iAcc.StdErr()})
+		speedup.Series = append(speedup.Series, Series{Label: label, X: xs, Y: ratio})
+	}
+	return &Figure{
+		ID:       "ext-incremental",
+		Title:    "Incremental engine vs full SOAR-Gather (online point updates)",
+		Subplots: []Subplot{full, incr, speedup},
+	}, nil
+}

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"soar/internal/core"
 	"soar/internal/load"
 	"soar/internal/placement"
 	"soar/internal/reduce"
@@ -27,6 +28,10 @@ type Allocator struct {
 	strategy placement.Strategy
 	k        int
 	residual []int
+	// inc, when non-nil, is the stateful SOAR engine backing the
+	// incremental fast path: Handle patches it with load deltas and
+	// availability changes instead of re-running Gather from scratch.
+	inc *core.Incremental
 }
 
 // NewAllocator creates an online allocator with uniform per-switch
@@ -40,6 +45,20 @@ func NewAllocator(t *topology.Tree, s placement.Strategy, k, capacity int) *Allo
 			a.residual[v] = capacity
 		}
 	}
+	return a
+}
+
+// NewIncrementalAllocator creates an online SOAR allocator backed by a
+// stateful core.Incremental engine. Placements and φ values are exactly
+// those of NewAllocator(t, core.Strategy{}, k, capacity): the engine's
+// tables are bitwise identical to a from-scratch Gather. The difference
+// is cost: between workloads only the switches whose load changed (or
+// whose capacity ran out) have their v→root table paths recomputed, so
+// sparse workload diffs cost O(h²·k²) per changed switch instead of a
+// full O(n·h·k²) solve.
+func NewIncrementalAllocator(t *topology.Tree, k, capacity int) *Allocator {
+	a := NewAllocator(t, core.Strategy{}, k, capacity)
+	a.inc = core.NewIncremental(t, make([]int, t.N()), a.Available(), k)
 	return a
 }
 
@@ -66,7 +85,11 @@ func (a *Allocator) Handle(loads []int) (blue []bool, phi float64) {
 	if len(loads) != a.t.N() {
 		panic(fmt.Sprintf("workload: load has %d entries for %d switches", len(loads), a.t.N()))
 	}
-	blue = a.strategy.Place(a.t, loads, a.Available(), a.k)
+	if a.inc != nil {
+		blue = a.placeIncremental(loads)
+	} else {
+		blue = a.strategy.Place(a.t, loads, a.Available(), a.k)
+	}
 	for v, b := range blue {
 		if b {
 			if a.residual[v] <= 0 {
@@ -76,6 +99,24 @@ func (a *Allocator) Handle(loads []int) (blue []bool, phi float64) {
 		}
 	}
 	return blue, reduce.Utilization(a.t, loads, blue)
+}
+
+// placeIncremental is the incremental fast path: per-workload load
+// deltas become a batched UpdateLoad sweep and capacity exhaustions
+// become SetAvail updates, each dirtying only the changed switches'
+// root paths before one coalesced re-sweep inside Solve. A budget
+// change (HandleWithBudget / RunPolicy) rebuilds the engine, since the
+// DP tables are sized by k.
+func (a *Allocator) placeIncremental(loads []int) []bool {
+	if a.inc.K() != a.k {
+		a.inc = core.NewIncremental(a.t, loads, a.Available(), a.k)
+	} else {
+		for v := 0; v < a.t.N(); v++ {
+			a.inc.SetLoad(v, loads[v])
+			a.inc.SetAvail(v, a.residual[v] > 0)
+		}
+	}
+	return a.inc.Solve().Blue
 }
 
 // Sequence generates the paper's online workload arrival process: each

@@ -148,6 +148,53 @@ func TestSequence5050Mix(t *testing.T) {
 	}
 }
 
+func TestIncrementalAllocatorMatchesFromScratch(t *testing.T) {
+	// The incremental allocator must be observationally identical to the
+	// from-scratch SOAR allocator: same placements, exactly the same
+	// per-workload φ, same residual capacities — across a whole online
+	// sequence including the capacity-exhaustion tail.
+	tr := topology.MustBT(64)
+	rng := rand.New(rand.NewSource(21))
+	seq := NewSequence(tr, rng)
+	full := NewAllocator(tr, core.Strategy{}, 8, 2)
+	inc := NewIncrementalAllocator(tr, 8, 2)
+	for i := 0; i < 24; i++ {
+		loads := seq.Next()
+		fBlue, fPhi := full.Handle(loads)
+		iBlue, iPhi := inc.Handle(loads)
+		if fPhi != iPhi {
+			t.Fatalf("workload %d: incremental φ=%v, from-scratch φ=%v", i, iPhi, fPhi)
+		}
+		for v := range fBlue {
+			if fBlue[v] != iBlue[v] {
+				t.Fatalf("workload %d: placements differ at switch %d", i, v)
+			}
+			if full.Residual(v) != inc.Residual(v) {
+				t.Fatalf("workload %d: residual differs at switch %d: %d vs %d",
+					i, v, full.Residual(v), inc.Residual(v))
+			}
+		}
+	}
+}
+
+func TestIncrementalAllocatorBudgetChange(t *testing.T) {
+	// HandleWithBudget changes k mid-stream; the incremental allocator
+	// rebuilds its engine and must keep matching the from-scratch one.
+	tr := topology.MustBT(32)
+	rng := rand.New(rand.NewSource(5))
+	seq := NewSequence(tr, rng)
+	full := NewAllocator(tr, core.Strategy{}, 4, 3)
+	inc := NewIncrementalAllocator(tr, 4, 3)
+	for i, k := range []int{4, 2, 2, 7, 0, 4} {
+		loads := seq.Next()
+		_, fPhi := full.HandleWithBudget(loads, k)
+		_, iPhi := inc.HandleWithBudget(loads, k)
+		if fPhi != iPhi {
+			t.Fatalf("workload %d (k=%d): incremental φ=%v, from-scratch φ=%v", i, k, iPhi, fPhi)
+		}
+	}
+}
+
 func TestHandleRejectsBadLoad(t *testing.T) {
 	tr := topology.Path(3)
 	a := NewAllocator(tr, placement.Top{}, 1, 1)

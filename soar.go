@@ -105,6 +105,20 @@ func SolveCompact(t *Tree, loads []int, k int) Result {
 	return core.SolveCompact(t, loads, nil, k)
 }
 
+// Incremental is a stateful SOAR engine for online settings: it keeps
+// the Gather tables alive across point updates to the loads and the
+// availability set, recomputing only the dirtied root paths. See
+// internal/core for full documentation.
+type Incremental = core.Incremental
+
+// NewIncremental runs one full SOAR-Gather and returns a stateful
+// engine supporting UpdateLoad / SetAvail point updates and repeated
+// Solve calls at O(h²k²) per flushed update instead of a full O(n·h·k²)
+// re-solve. avail == nil means every switch may be blue.
+func NewIncremental(t *Tree, loads []int, avail []bool, k int) *Incremental {
+	return core.NewIncremental(t, loads, avail, k)
+}
+
 // Utilization returns φ(T, L, U), the paper's network utilization cost of
 // a Reduce with blue set U (Eq. 1).
 func Utilization(t *Tree, loads []int, blue []bool) float64 {

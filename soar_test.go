@@ -17,6 +17,25 @@ func TestFacadeQuickstart(t *testing.T) {
 	}
 }
 
+func TestFacadeIncremental(t *testing.T) {
+	// The README's online snippet: patch the engine, re-solve, and agree
+	// with a from-scratch solve on the updated instance.
+	tr := CompleteBinaryTree(3)
+	loads := []int{0, 0, 0, 2, 6, 5, 4}
+	eng := NewIncremental(tr, loads, nil, 2)
+	if res := eng.Solve(); res.Cost != 20 {
+		t.Fatalf("incremental φ=%v, want 20", res.Cost)
+	}
+	eng.UpdateLoad(4, -3)
+	eng.SetAvail(2, false)
+	got := eng.Solve()
+	want := SolveRestricted(tr, []int{0, 0, 0, 2, 3, 5, 4},
+		[]bool{true, true, false, true, true, true, true}, 2)
+	if got.Cost != want.Cost {
+		t.Fatalf("patched incremental φ=%v, from-scratch φ=%v", got.Cost, want.Cost)
+	}
+}
+
 func TestFacadeBT(t *testing.T) {
 	tr, err := BT(64)
 	if err != nil {
