@@ -103,18 +103,54 @@ func fig9Instance(b *testing.B, n int) (*topology.Tree, []int) {
 }
 
 // BenchmarkGather is the paper's Fig. 9: SOAR-Gather across network
-// sizes 256..2048 and budgets 4..128. The paper's claims — quadratic in
-// k, near-linear in n — read directly off the sub-benchmark times.
+// sizes 256..2048 and budgets 4..128. The paper predicts quadratic
+// growth in k; with the effective-budget clamping the sub-benchmark
+// times grow ~linearly in k instead (EXPERIMENTS.md keeps the
+// before/after table), and every cell runs as O(1) arena slabs.
 func BenchmarkGather(b *testing.B) {
 	for _, n := range []int{256, 512, 1024, 2048} {
 		for _, k := range []int{4, 8, 16, 32, 64, 128} {
 			b.Run(fmt.Sprintf("n=%d/k=%d", n, k), func(b *testing.B) {
 				tr, loads := fig9Instance(b, n)
+				b.ReportAllocs()
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
 					core.Gather(tr, loads, nil, k)
 				}
 			})
+		}
+	}
+}
+
+// BenchmarkGatherBounded isolates the effective-budget clamping on the
+// Fig. 9 grid: the same cells as BenchmarkGather, but with the
+// availability set Λ restricted to a fraction of the switches, which
+// tightens cap[v] = min(k, |T_v ∩ Λ|) further and shrinks both the merge
+// work and the tables. lambda=100 is the plain grid (every switch
+// available); lambda=25 models the constrained deployments of the
+// follow-up congestion paper. Allocations per op stay O(1) — slabs, not
+// per-node makes — at every cell.
+func BenchmarkGatherBounded(b *testing.B) {
+	for _, n := range []int{256, 2048} {
+		for _, k := range []int{4, 128} {
+			for _, lambdaPct := range []int{100, 25} {
+				b.Run(fmt.Sprintf("n=%d/k=%d/lambda=%d", n, k, lambdaPct), func(b *testing.B) {
+					tr, loads := fig9Instance(b, n)
+					var avail []bool
+					if lambdaPct < 100 {
+						avail = make([]bool, tr.N())
+						rng := rand.New(rand.NewSource(11))
+						for v := range avail {
+							avail[v] = rng.Intn(100) < lambdaPct
+						}
+					}
+					b.ReportAllocs()
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						core.Gather(tr, loads, avail, k)
+					}
+				})
+			}
 		}
 	}
 }

@@ -57,6 +57,11 @@ func Run(ctx context.Context, t *topology.Tree, load []int, avail []bool, k int)
 	}
 	n := t.N()
 	subLoad := t.SubtreeLoads(load)
+	// Effective budgets bound every table's width: a child's Gather
+	// frame must carry exactly cap[c]+1 = min(k, |T_c ∩ Λ|)+1 budget
+	// columns, which both shrinks the frames and lets each parent reject
+	// mis-shaped tables.
+	caps := core.EffectiveCaps(t, avail, k)
 
 	// One listener per switch plus one for the destination, all created
 	// up front so that children always find their parent listening.
@@ -93,7 +98,7 @@ func Run(ctx context.Context, t *topology.Tree, load []int, avail []bool, k int)
 	for v := 0; v < n; v++ {
 		go func(v int) {
 			defer wg.Done()
-			if err := runNode(runCtx, t, v, load[v], subLoad[v] > 0, avail, k,
+			if err := runNode(runCtx, t, v, load[v], subLoad[v] > 0, avail, k, caps,
 				listeners[v], addrOf, res.Blue); err != nil {
 				errCh <- fmt.Errorf("switch %d: %w", v, err)
 				cancel()
@@ -104,7 +109,7 @@ func Run(ctx context.Context, t *topology.Tree, load []int, avail []bool, k int)
 	// Play the destination.
 	destErr := make(chan error, 1)
 	go func() {
-		err := runDestination(runCtx, destListener, k, res)
+		err := runDestination(runCtx, destListener, k, caps[t.Root()], res)
 		if err != nil {
 			cancel() // unblock the switches before Run waits on them
 		}
@@ -167,7 +172,7 @@ func (e *edge) close() {
 
 // runNode is the full lifecycle of one switch.
 func runNode(ctx context.Context, t *topology.Tree, v, loadV int, hasLoad bool,
-	avail []bool, k int, ln net.Listener, addrOf func(int) string, blueOut []bool) error {
+	avail []bool, k int, caps []int, ln net.Listener, addrOf func(int) string, blueOut []bool) error {
 
 	children := t.Children(v)
 
@@ -209,8 +214,9 @@ func runNode(ctx context.Context, t *topology.Tree, v, loadV int, hasLoad bool,
 		if err != nil {
 			return fmt.Errorf("gather from %d: %w", c, err)
 		}
-		if int(g.Child) != c || int(g.Rows) != t.Depth(c)+1 || int(g.Cols) != k+1 {
-			return fmt.Errorf("gather from %d has shape %dx%d for child %d", g.Child, g.Rows, g.Cols, c)
+		if int(g.Child) != c || int(g.Rows) != t.Depth(c)+1 || int(g.Cols) != caps[c]+1 {
+			return fmt.Errorf("gather from %d has shape %dx%d for child %d (want %dx%d)",
+				g.Child, g.Rows, g.Cols, c, t.Depth(c)+1, caps[c]+1)
 		}
 		childX[i] = g.X
 	}
@@ -239,7 +245,7 @@ func runNode(ctx context.Context, t *topology.Tree, v, loadV int, hasLoad bool,
 	if err := up.send(&wire.Gather{
 		Child: uint32(v),
 		Rows:  uint32(t.Depth(v) + 1),
-		Cols:  uint32(k + 1),
+		Cols:  uint32(ns.Cap() + 1),
 		X:     x,
 	}); err != nil {
 		return err
@@ -284,8 +290,10 @@ func runNode(ctx context.Context, t *topology.Tree, v, loadV int, hasLoad bool,
 }
 
 // runDestination plays d: accept the root, read the optimum, start the
-// color phase with budget k, and collect the Reduce result.
-func runDestination(ctx context.Context, ln net.Listener, k int, res *Result) error {
+// color phase with budget k, and collect the Reduce result. capRoot is
+// the root's effective budget min(k, |Λ|), the width (minus one) of the
+// table frame the root must ship.
+func runDestination(ctx context.Context, ln net.Listener, k, capRoot int, res *Result) error {
 	conn, err := ln.Accept()
 	if err != nil {
 		return fmt.Errorf("destination accept: %w", err)
@@ -300,10 +308,10 @@ func runDestination(ctx context.Context, ln net.Listener, k int, res *Result) er
 	if err != nil {
 		return fmt.Errorf("destination gather: %w", err)
 	}
-	if g.Rows < 2 || g.Cols != uint32(k+1) {
-		return fmt.Errorf("root table has shape %dx%d", g.Rows, g.Cols)
+	if g.Rows < 2 || g.Cols != uint32(capRoot+1) {
+		return fmt.Errorf("root table has shape %dx%d, want 2x%d", g.Rows, g.Cols, capRoot+1)
 	}
-	res.Cost = g.X[1*(k+1)+k] // X_r(1, k), paper Eq. 6
+	res.Cost = g.X[1*(capRoot+1)+capRoot] // X_r(1, k) = X_r(1, cap), paper Eq. 6
 	if err := e.send(&wire.Color{Budget: uint32(k), L: 1}); err != nil {
 		return err
 	}

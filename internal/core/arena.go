@@ -1,0 +1,198 @@
+package core
+
+import "soar/internal/topology"
+
+// This file implements the two memory-layer optimizations behind the
+// bounded DP (see DESIGN.md "Effective-budget clamping"):
+//
+//   - EffectiveCaps computes cap[v] = min(k, |T_v ∩ Λ|), the largest
+//     budget a subtree can actually use. X_v(ℓ, ·) is constant beyond
+//     cap[v], so every table row is stored at width cap[v]+1 and reads
+//     past the cap clamp to the last column.
+//   - arena backs all nodeTables of one Gather run with a handful of
+//     slabs instead of O(n) per-node allocations. Offsets are prefix
+//     sums computed up front, so concurrent engines carve disjoint
+//     windows without synchronization.
+
+// EffectiveCaps returns, for every switch v, the effective budget
+// cap[v] = min(k, |T_v ∩ Λ|): placing more than cap[v] blue switches
+// inside T_v is impossible, so X_v(ℓ, i) = X_v(ℓ, cap[v]) for every
+// i ≥ cap[v]. avail == nil means every switch is available. A negative
+// k is treated as 0.
+func EffectiveCaps(t *topology.Tree, avail []bool, k int) []int {
+	if k < 0 {
+		k = 0
+	}
+	caps := make([]int, t.N())
+	for _, v := range t.PostOrder() {
+		c := 0
+		if isAvail(avail, v) {
+			c = 1
+		}
+		for _, ch := range t.Children(v) {
+			c += caps[ch]
+			if c >= k {
+				c = k
+				break
+			}
+		}
+		if c > k {
+			c = k
+		}
+		caps[v] = c
+	}
+	return caps
+}
+
+// arena owns the backing storage of one Gather run: one float64 slab for
+// the X tables, one bool slab for the color flags, and (when breadcrumbs
+// are recorded) one int32 slab plus one slice-header slab for the split
+// tables. Per-node offsets are precomputed, so node(v) is pure slicing —
+// no allocation, no locking — and a full solve performs O(1) large
+// allocations instead of O(n) small ones.
+type arena struct {
+	caps  []int
+	xOff  []int // xOff[v]: offset of v's x/isBlue window; xOff[n] = total
+	spOff []int // offset into the int32 split slab
+	hdOff []int // offset into the split header slab
+
+	x      []float64
+	isBlue []bool
+	splits []int32
+	hdr    [][]int32
+}
+
+// newArena sizes and allocates the slabs for one run over t with the
+// given effective caps. recordSplits selects whether the breadcrumb slab
+// is allocated (the compact engine re-derives splits instead).
+func newArena(t *topology.Tree, caps []int, recordSplits bool) *arena {
+	n := t.N()
+	a := &arena{
+		caps: caps,
+		xOff: make([]int, n+1),
+	}
+	if recordSplits {
+		a.spOff = make([]int, n+1)
+		a.hdOff = make([]int, n+1)
+	}
+	for v := 0; v < n; v++ {
+		rows := t.Depth(v) + 1
+		w := caps[v] + 1
+		a.xOff[v+1] = a.xOff[v] + rows*w
+		if recordSplits {
+			merges := t.NumChildren(v) - 1
+			if merges < 0 {
+				merges = 0
+			}
+			a.spOff[v+1] = a.spOff[v] + merges*2*rows*w
+			a.hdOff[v+1] = a.hdOff[v] + merges
+		}
+	}
+	a.x = make([]float64, a.xOff[n])
+	a.isBlue = make([]bool, a.xOff[n])
+	if recordSplits {
+		a.splits = make([]int32, a.spOff[n])
+		a.hdr = make([][]int32, a.hdOff[n])
+	}
+	return a
+}
+
+// node carves the pre-sized, zeroed tables of switch v out of the slabs.
+// Capacities are pinned to the window sizes so a later regrowth (the
+// incremental engine under SetAvail) reallocates instead of bleeding
+// into a neighbor's window.
+func (a *arena) node(t *topology.Tree, v int) nodeTables {
+	rows := t.Depth(v) + 1
+	w := a.caps[v] + 1
+	lo, hi := a.xOff[v], a.xOff[v]+rows*w
+	nt := nodeTables{
+		cap:    a.caps[v],
+		x:      a.x[lo:hi:hi],
+		isBlue: a.isBlue[lo:hi:hi],
+	}
+	if a.splits != nil {
+		if merges := t.NumChildren(v) - 1; merges > 0 {
+			nt.splits = a.hdr[a.hdOff[v] : a.hdOff[v]+merges : a.hdOff[v]+merges]
+			rowLen := 2 * rows * w
+			off := a.spOff[v]
+			for m := range nt.splits {
+				nt.splits[m] = a.splits[off : off+rowLen : off+rowLen]
+				off += rowLen
+			}
+		}
+	}
+	return nt
+}
+
+// newNodeStorage allocates standalone tables for one switch, for engines
+// that build nodes in isolation (the message-passing protocol engine).
+func newNodeStorage(depth, capv, numChildren int, recordSplits bool) nodeTables {
+	w := capv + 1
+	sz := (depth + 1) * w
+	nt := nodeTables{
+		cap:    capv,
+		x:      make([]float64, sz),
+		isBlue: make([]bool, sz),
+	}
+	if recordSplits && numChildren > 1 {
+		nt.splits = make([][]int32, numChildren-1)
+		rowLen := 2 * sz
+		for m := range nt.splits {
+			nt.splits[m] = make([]int32, rowLen)
+		}
+	}
+	return nt
+}
+
+// ensureNodeStorage resizes nt in place for a (possibly changed) cap,
+// reusing the existing backing arrays whenever they are large enough.
+// The incremental engine calls this on every recompute, so steady-state
+// flushes (loads changing, caps stable) allocate nothing.
+func ensureNodeStorage(nt *nodeTables, depth, capv, numChildren int, recordSplits bool) {
+	w := capv + 1
+	sz := (depth + 1) * w
+	nt.cap = capv
+	if cap(nt.x) >= sz {
+		nt.x = nt.x[:sz]
+	} else {
+		nt.x = make([]float64, sz)
+	}
+	if cap(nt.isBlue) >= sz {
+		nt.isBlue = nt.isBlue[:sz]
+	} else {
+		nt.isBlue = make([]bool, sz)
+	}
+	if !recordSplits || numChildren <= 1 {
+		nt.splits = nil
+		return
+	}
+	if nt.splits == nil {
+		nt.splits = make([][]int32, numChildren-1)
+	}
+	rowLen := 2 * sz
+	for m := range nt.splits {
+		if cap(nt.splits[m]) >= rowLen {
+			nt.splits[m] = nt.splits[m][:rowLen]
+		} else {
+			nt.splits[m] = make([]int32, rowLen)
+		}
+	}
+}
+
+// scratch holds the four Y merge rows computeNode ping-pongs between.
+// One scratch serves a whole serial run (or one worker, or one stateful
+// engine); it is sized once at width k+1 and re-sliced per node.
+type scratch struct {
+	yr, yb, newYR, newYB []float64
+}
+
+func newScratch(k int) *scratch {
+	buf := make([]float64, 4*(k+1))
+	w := k + 1
+	return &scratch{
+		yr:    buf[0*w : 1*w],
+		yb:    buf[1*w : 2*w],
+		newYR: buf[2*w : 3*w],
+		newYB: buf[3*w : 4*w],
+	}
+}

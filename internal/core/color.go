@@ -18,14 +18,16 @@ func ColorPhase(tb *Tables) ([]bool, float64) {
 		v, i, l int
 	}
 	stack := []frame{{t.Root(), tb.k, 1}}
+	var budgetBuf []int // reused by decide: the phase performs O(1) allocations
 	for len(stack) > 0 {
 		f := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		isBlue, childBudget, childL := decide(t, &tb.nodes[f.v], tb.k, f.v, f.i, f.l)
+		isBlue, childBudget, childL := decide(t, &tb.nodes[f.v], f.v, f.i, f.l, budgetBuf[:0])
 		blue[f.v] = isBlue
 		for m, c := range t.Children(f.v) {
 			stack = append(stack, frame{c, childBudget[m], childL})
 		}
+		budgetBuf = childBudget[:0]
 	}
 	return blue, tb.Optimum()
 }

@@ -9,7 +9,7 @@ import (
 // SolveCompact is the low-memory variant of Solve: SOAR-Gather stores
 // only the X tables (no per-child argmin breadcrumbs), and SOAR-Color
 // re-derives each visited node's budget splits for the single ℓ* it is
-// assigned. This trades O(Σ_v C(v)·h·k) split storage for an extra
+// assigned. This trades O(Σ_v C(v)·h·cap) split storage for an extra
 // O(C(v)·k²) of arithmetic per *visited* node during coloring — the
 // memory/time design choice recorded in DESIGN.md and measured by
 // BenchmarkGatherMemory. Results are identical to Solve.
@@ -27,22 +27,14 @@ func GatherCompact(t *topology.Tree, load []int, avail []bool, k int) *Tables {
 	if k < 0 {
 		k = 0
 	}
-	tb := &Tables{
-		t:     t,
-		load:  load,
-		k:     k,
-		nodes: make([]nodeTables, t.N()),
-	}
-	subLoad := t.SubtreeLoads(load)
-	for _, v := range t.PostOrder() {
-		tb.nodes[v] = computeNode(t, v, load[v], subLoad[v] > 0, isAvail(avail, v), k, childTables(tb, v), false)
-	}
-	return tb
+	return gatherSerial(t, load, avail, k, false)
 }
 
 // ColorPhaseCompact assigns colors from breadcrumb-free tables: at every
 // visited node it recomputes the Y merge rows for its single assigned ℓ*
-// and walks them backwards exactly as the paper's mSplit does.
+// and walks them backwards exactly as the paper's mSplit does. Child
+// tables are read through their effective caps (reads past a cap clamp
+// to the last column), which reproduces the unbounded scan bitwise.
 func ColorPhaseCompact(tb *Tables, load []int, avail []bool) ([]bool, float64) {
 	t := tb.t
 	k := tb.k
@@ -59,7 +51,7 @@ func ColorPhaseCompact(tb *Tables, load []int, avail []bool) ([]bool, float64) {
 		stack = stack[:len(stack)-1]
 		v := f.v
 		children := t.Children(v)
-		isBlue := tb.nodes[v].isBlue[f.l*stride+f.i]
+		isBlue := tb.nodes[v].blueAt(f.l, f.i)
 		blue[v] = isBlue
 		if len(children) == 0 {
 			continue
@@ -72,35 +64,33 @@ func ColorPhaseCompact(tb *Tables, load []int, avail []bool) ([]bool, float64) {
 			bsend = 1
 		}
 		rows := make([][]float64, len(children)) // rows[m-1][i] = Y^m for v's color
-		childXRow := func(m int) []float64 {
-			c := children[m]
+		childX := func(m, j int) float64 {
+			nt := &tb.nodes[children[m]]
 			if isBlue {
-				return tb.nodes[c].x[1*stride : 1*stride+stride]
+				return nt.at(1, j) // child sees ℓ = 1 below a blue v
 			}
-			return tb.nodes[c].x[(f.l+1)*stride : (f.l+1)*stride+stride]
+			return nt.at(f.l+1, j)
 		}
 		first := make([]float64, stride)
-		x1 := childXRow(0)
 		for i := 0; i <= k; i++ {
 			if isBlue {
 				if i >= 1 {
-					first[i] = x1[i-1] + rho*bsend
+					first[i] = childX(0, i-1) + rho*bsend
 				} else {
 					first[i] = math.Inf(1)
 				}
 			} else {
-				first[i] = x1[i] + rho*float64(load[v])
+				first[i] = childX(0, i) + rho*float64(load[v])
 			}
 		}
 		rows[0] = first
 		for m := 1; m < len(children); m++ {
 			prev := rows[m-1]
-			xm := childXRow(m)
 			row := make([]float64, stride)
 			for i := 0; i <= k; i++ {
 				best := math.Inf(1)
 				for j := 0; j <= i; j++ {
-					if c := prev[i-j] + xm[j]; c < best {
+					if c := prev[i-j] + childX(m, j); c < best {
 						best = c
 					}
 				}
@@ -117,10 +107,9 @@ func ColorPhaseCompact(tb *Tables, load []int, avail []bool) ([]bool, float64) {
 		}
 		for m := len(children) - 1; m >= 1; m-- {
 			prev := rows[m-1]
-			xm := childXRow(m)
 			bestJ, bestC := 0, math.Inf(1)
 			for j := 0; j <= remaining; j++ {
-				if c := prev[remaining-j] + xm[j]; c < bestC {
+				if c := prev[remaining-j] + childX(m, j); c < bestC {
 					bestC, bestJ = c, j
 				}
 			}

@@ -20,6 +20,7 @@ func SolveDistributed(t *topology.Tree, load []int, avail []bool, k int) Result 
 	}
 	n := t.N()
 	subLoad := t.SubtreeLoads(load)
+	caps := EffectiveCaps(t, avail, k) // read-only; shared by all switches
 
 	type gatherMsg struct {
 		child  int
@@ -55,7 +56,8 @@ func SolveDistributed(t *topology.Tree, load []int, avail []bool, k int) Result 
 			for i, c := range children {
 				ordered[i] = byChild[c]
 			}
-			nt := computeNode(t, v, load[v], subLoad[v] > 0, isAvail(avail, v), k, ordered, true)
+			nt := newNodeStorage(t.Depth(v), caps[v], len(children), true)
+			computeNode(t, v, load[v], subLoad[v] > 0, isAvail(avail, v), &nt, ordered, newScratch(k))
 			if p := t.Parent(v); p == topology.NoParent {
 				destInbox <- gatherMsg{child: v, tables: &nt}
 			} else {
@@ -65,7 +67,7 @@ func SolveDistributed(t *topology.Tree, load []int, avail []bool, k int) Result 
 			// --- SOAR-Color at v: wait for (i, ℓ*) from the parent,
 			// decide the color, split the budget among the children.
 			cm := <-downstream[v]
-			isBlue, childBudget, childL := decide(t, &nt, k, v, cm.i, cm.l)
+			isBlue, childBudget, childL := decide(t, &nt, v, cm.i, cm.l, nil)
 			blue[v] = isBlue // distinct index per goroutine; no race
 			for m, c := range children {
 				downstream[c] <- colorMsg{i: childBudget[m], l: childL}
@@ -76,7 +78,7 @@ func SolveDistributed(t *topology.Tree, load []int, avail []bool, k int) Result 
 	// The destination: receive the root's table, read off the optimum,
 	// and start the color phase.
 	rootMsg := <-destInbox
-	cost := rootMsg.tables.x[1*(k+1)+k]
+	cost := rootMsg.tables.at(1, k)
 	downstream[t.Root()] <- colorMsg{i: k, l: 1}
 	wg.Wait()
 	return Result{Blue: blue, Cost: cost}

@@ -11,9 +11,12 @@ import (
 )
 
 // TestAllEnginesAgree drives every engine — serial, parallel,
-// goroutine-distributed, compact — over randomized instances and
-// requires identical costs and (for the deterministic engines)
-// identical placements.
+// goroutine-distributed, compact, incremental — over randomized
+// instances (availability-restricted, plus the k = 0 and k ≥ n corners
+// of the effective-budget clamping) and requires identical costs and
+// bitwise-identical placements: all engines share the same clamped
+// tables and tie-breaking, so their blue sets must match switch for
+// switch, not just in cost.
 func TestAllEnginesAgree(t *testing.T) {
 	rng := rand.New(rand.NewSource(55))
 	for trial := 0; trial < 60; trial++ {
@@ -25,15 +28,24 @@ func TestAllEnginesAgree(t *testing.T) {
 			loads[v] = rng.Intn(6)
 			avail[v] = rng.Intn(4) != 0
 		}
-		k := rng.Intn(8)
+		var k int
+		switch trial % 4 {
+		case 0:
+			k = 0 // cap[v] = 0 everywhere
+		case 1:
+			k = n + rng.Intn(4) // k ≥ n: every cap clamps at |T_v ∩ Λ|
+		default:
+			k = rng.Intn(8)
+		}
 
 		serial := Solve(tr, loads, avail, k)
-		parallel := SolveParallel(tr, loads, avail, k, 4)
-		dist := SolveDistributed(tr, loads, avail, k)
-		compact := SolveCompact(tr, loads, avail, k)
+		inc := NewIncremental(tr, loads, avail, k)
 
 		for name, res := range map[string]Result{
-			"parallel": parallel, "distributed": dist, "compact": compact,
+			"parallel":    SolveParallel(tr, loads, avail, k, 4),
+			"distributed": SolveDistributed(tr, loads, avail, k),
+			"compact":     SolveCompact(tr, loads, avail, k),
+			"incremental": inc.Solve(),
 		} {
 			if math.Abs(res.Cost-serial.Cost) > 1e-9 {
 				t.Fatalf("trial %d: %s φ=%v, serial φ=%v", trial, name, res.Cost, serial.Cost)
@@ -45,12 +57,9 @@ func TestAllEnginesAgree(t *testing.T) {
 				if b && !avail[v] {
 					t.Fatalf("trial %d: %s colored unavailable switch %d", trial, name, v)
 				}
-			}
-		}
-		// Serial and parallel build identical tables, so identical sets.
-		for v := range serial.Blue {
-			if serial.Blue[v] != parallel.Blue[v] {
-				t.Fatalf("trial %d: parallel placement differs at %d", trial, v)
+				if b != serial.Blue[v] {
+					t.Fatalf("trial %d: %s placement differs from serial at switch %d", trial, name, v)
+				}
 			}
 		}
 	}

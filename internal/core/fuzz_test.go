@@ -33,5 +33,20 @@ func FuzzSolveMatchesReference(f *testing.F) {
 		if math.Abs(dist.Cost-res.Cost) > 1e-9 {
 			t.Fatalf("seed %d: distributed φ=%v, serial φ=%v", seed, dist.Cost, res.Cost)
 		}
+		// The clamped engines share tables and tie-breaking with the
+		// serial DP, so placements must match bitwise, not just in cost.
+		compact := SolveCompact(tr, loads, avail, k)
+		inc := NewIncremental(tr, loads, avail, k).Solve()
+		for v := range res.Blue {
+			if compact.Blue[v] != res.Blue[v] {
+				t.Fatalf("seed %d: compact placement differs at switch %d", seed, v)
+			}
+			if inc.Blue[v] != res.Blue[v] {
+				t.Fatalf("seed %d: incremental placement differs at switch %d", seed, v)
+			}
+			if dist.Blue[v] != res.Blue[v] {
+				t.Fatalf("seed %d: distributed placement differs at switch %d", seed, v)
+			}
+		}
 	})
 }

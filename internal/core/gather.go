@@ -6,11 +6,16 @@ import (
 	"soar/internal/topology"
 )
 
-// nodeTables holds the DP state of one switch.
+// nodeTables holds the DP state of one switch. All rows are stored at
+// the effective width cap+1 (see EffectiveCaps): X_v(ℓ, i) is constant
+// for i ≥ cap, so wider storage would only repeat the last column.
+// Readers clamp i to cap via at/blueAt/splitAt.
 type nodeTables struct {
-	// x[l*(k+1)+i] = X_v(ℓ=l, i): minimal potential over colorings of T_v
-	// with at most i blue switches, given the nearest blue ancestor (or
-	// d) is l hops above v. Non-increasing in i.
+	// cap = min(k, |T_v ∩ Λ|): the largest budget T_v can use.
+	cap int
+	// x[l*(cap+1)+i] = X_v(ℓ=l, i): minimal potential over colorings of
+	// T_v with at most i blue switches, given the nearest blue ancestor
+	// (or d) is l hops above v. Non-increasing in i.
 	x []float64
 	// isBlue mirrors x and records whether the minimum colors v blue
 	// (strictly better than red; ties resolve to red, as in the paper's
@@ -19,8 +24,36 @@ type nodeTables struct {
 	// splits[m-2] records, for the merge of child m (m = 2..C(v)), the
 	// optimal number of blue switches assigned to that child's subtree.
 	// Layout: color (0 red, 1 blue) major, then l, then i:
-	// splits[m-2][(color*(depth+1)+l)*(k+1)+i].
+	// splits[m-2][(color*(depth+1)+l)*(cap+1)+i].
 	splits [][]int32
+}
+
+// at returns X_v(ℓ=l, i), clamping i to the effective cap.
+func (nt *nodeTables) at(l, i int) float64 {
+	if i > nt.cap {
+		i = nt.cap
+	}
+	return nt.x[l*(nt.cap+1)+i]
+}
+
+// blueAt reports whether the optimum at X_v(ℓ=l, i) colors v blue,
+// clamping i to the effective cap.
+func (nt *nodeTables) blueAt(l, i int) bool {
+	if i > nt.cap {
+		i = nt.cap
+	}
+	return nt.isBlue[l*(nt.cap+1)+i]
+}
+
+// splitAt returns the recorded argmin split of merge m (m = 2..C(v)) at
+// (color, l, i), clamping i to the effective cap: for i ≥ cap the
+// unbounded DP records the same split at every column (the merge costs
+// no longer depend on i), so the cap column stands in for the tail.
+func (nt *nodeTables) splitAt(m1, colorIdx, depth, l, i int) int {
+	if i > nt.cap {
+		i = nt.cap
+	}
+	return int(nt.splits[m1][(colorIdx*(depth+1)+l)*(nt.cap+1)+i])
 }
 
 // Gather runs SOAR-Gather (paper Alg. 3) serially in post-order and
@@ -31,6 +64,12 @@ func Gather(t *topology.Tree, load []int, avail []bool, k int) *Tables {
 	if k < 0 {
 		k = 0
 	}
+	return gatherSerial(t, load, avail, k, true)
+}
+
+func gatherSerial(t *topology.Tree, load []int, avail []bool, k int, recordSplits bool) *Tables {
+	caps := EffectiveCaps(t, avail, k)
+	ar := newArena(t, caps, recordSplits)
 	tb := &Tables{
 		t:     t,
 		load:  load,
@@ -38,36 +77,53 @@ func Gather(t *topology.Tree, load []int, avail []bool, k int) *Tables {
 		nodes: make([]nodeTables, t.N()),
 	}
 	subLoad := t.SubtreeLoads(load)
+	sc := newScratch(k)
+	var cbuf []*nodeTables // reused across nodes: one growth, not one make per node
 	for _, v := range t.PostOrder() {
-		tb.nodes[v] = computeNode(t, v, load[v], subLoad[v] > 0, isAvail(avail, v), k, childTables(tb, v), true)
+		nt := ar.node(t, v)
+		cbuf = appendChildTables(cbuf[:0], tb, v)
+		computeNode(t, v, load[v], subLoad[v] > 0, isAvail(avail, v), &nt, cbuf, sc)
+		tb.nodes[v] = nt
 	}
 	return tb
 }
 
 func isAvail(avail []bool, v int) bool { return avail == nil || avail[v] }
 
-func childTables(tb *Tables, v int) []*nodeTables {
-	cs := tb.t.Children(v)
-	out := make([]*nodeTables, len(cs))
-	for i, c := range cs {
-		out[i] = &tb.nodes[c]
+// appendChildTables appends pointers to v's children's tables to dst, in
+// child order. Engines pass a reused buffer to keep the sweep
+// allocation-free; pass nil for fresh storage.
+func appendChildTables(dst []*nodeTables, tb *Tables, v int) []*nodeTables {
+	for _, c := range tb.t.Children(v) {
+		dst = append(dst, &tb.nodes[c])
 	}
-	return out
+	return dst
 }
 
 // computeNode fills the DP tables of one switch from its children's
-// tables. It is shared by the serial, distributed and TCP engines.
+// tables. It is shared by every engine: serial, parallel, distributed,
+// TCP and incremental.
+//
+// nt must arrive pre-sized for cap (arena.node, newNodeStorage or
+// ensureNodeStorage); splits == nil selects the low-memory engine, which
+// re-derives argmins on demand. Every cell of nt is overwritten, so
+// recycled storage needs no clearing.
 //
 // Parameters: load is L(v); hasLoad is whether T_v's total load is
 // positive (a blue v sends min(1, subtree load) messages upward — see the
 // package comment of internal/reduce); avail is v ∈ Λ.
-func computeNode(t *topology.Tree, v, load int, hasLoad, avail bool, k int, children []*nodeTables, recordSplits bool) nodeTables {
+//
+// The inner loops run over the effective budgets only: a row's columns
+// beyond the merged prefix's cap are filled by copying the cap column
+// (they are provably equal — see DESIGN.md), and a child's table is read
+// through its own cap+1 columns. This turns the paper's O(n·h·k²) sweep
+// into ~O(n·h·k) (the tree-knapsack bound Σ_v Σ_m cap_prefix·cap_child =
+// O(n·k)) while keeping tables, breadcrumbs and placements bitwise
+// identical to the unbounded DP.
+func computeNode(t *topology.Tree, v, load int, hasLoad, avail bool, nt *nodeTables, children []*nodeTables, sc *scratch) {
 	depth := t.Depth(v)
-	stride := k + 1
-	nt := nodeTables{
-		x:      make([]float64, (depth+1)*stride),
-		isBlue: make([]bool, (depth+1)*stride),
-	}
+	capv := nt.cap
+	w := capv + 1
 	bsend := 0.0
 	if hasLoad {
 		bsend = 1.0
@@ -75,84 +131,144 @@ func computeNode(t *topology.Tree, v, load int, hasLoad, avail bool, k int, chil
 	if len(children) == 0 {
 		// Leaf (paper Alg. 3 lines 1-9, with the min() refinement so the
 		// table stays optimal under "at most i" semantics and zero loads).
+		// capv ≤ 1 for a leaf: one red column, plus one blue column when
+		// v ∈ Λ and k ≥ 1.
 		for l := 0; l <= depth; l++ {
 			rho := t.RhoUp(v, l)
 			red := rho * float64(load)
-			blue := rho * bsend
-			nt.x[l*stride] = red
-			for i := 1; i <= k; i++ {
-				idx := l*stride + i
-				if avail && blue < red {
+			nt.x[l*w] = red
+			nt.isBlue[l*w] = false // recycled storage: every cell is rewritten
+			if capv >= 1 {
+				idx := l*w + 1
+				if blue := rho * bsend; avail && blue < red {
 					nt.x[idx] = blue
 					nt.isBlue[idx] = true
 				} else {
 					nt.x[idx] = red
+					nt.isBlue[idx] = false
 				}
 			}
 		}
-		return nt
+		return
 	}
 
-	if recordSplits {
-		nt.splits = make([][]int32, len(children)-1)
-		for m := range nt.splits {
-			nt.splits[m] = make([]int32, 2*(depth+1)*stride)
-		}
-	}
-	yr := make([]float64, stride)
-	yb := make([]float64, stride)
-	newYR := make([]float64, stride)
-	newYB := make([]float64, stride)
+	recordSplits := nt.splits != nil
+	yr := sc.yr[:w]
+	yb := sc.yb[:w]
+	newYR := sc.newYR[:w]
+	newYB := sc.newYB[:w]
 	for l := 0; l <= depth; l++ {
 		rho := t.RhoUp(v, l)
 		// m = 1 (paper Alg. 3 lines 14-19): fold in the first child.
+		// capR / capB track the effective cap of the running Y rows:
+		// min(capv, Σ caps of the merged children [+1 for a blue v]).
 		c1 := children[0]
-		for i := 0; i <= k; i++ {
-			yr[i] = c1.x[(l+1)*stride+i] + rho*float64(load)
-			if avail && i >= 1 {
-				yb[i] = c1.x[1*stride+(i-1)] + rho*bsend
-			} else {
+		w1 := c1.cap + 1
+		redRow := c1.x[(l+1)*w1:]
+		redBase := rho * float64(load)
+		capR := min(capv, c1.cap)
+		for i := 0; i <= capR; i++ {
+			yr[i] = redRow[i] + redBase
+		}
+		for i := capR + 1; i <= capv; i++ {
+			yr[i] = yr[capR]
+		}
+		capB := 0
+		yb[0] = math.Inf(1)
+		if avail {
+			blueRow := c1.x[1*w1:]
+			blueBase := rho * bsend
+			capB = min(capv, c1.cap+1)
+			for i := 1; i <= capB; i++ {
+				yb[i] = blueRow[i-1] + blueBase
+			}
+			for i := capB + 1; i <= capv; i++ {
+				yb[i] = yb[capB]
+			}
+		} else {
+			for i := 1; i <= capv; i++ {
 				yb[i] = math.Inf(1)
 			}
 		}
 		// m ≥ 2 (paper Alg. 3 lines 20-25): min-plus merge per child,
-		// recording the argmin split for the traceback (unless the caller
-		// chose the low-memory engine, which re-derives argmins on demand).
+		// recording the argmin split for the traceback. The assignment j
+		// to child m never usefully exceeds cap[c_m] (its table is
+		// constant there and Y is non-increasing, so j = cap[c_m] is at
+		// least as good and scanned first), hence j ≤ min(i, cap[c_m])
+		// visits every candidate the unbounded scan could have picked.
 		for m := 1; m < len(children); m++ {
 			cm := children[m]
-			xBlue := cm.x[1*stride : 1*stride+stride]        // child sees ℓ = 1 below a blue v
-			xRed := cm.x[(l+1)*stride : (l+1)*stride+stride] // child sees ℓ+1 below a red v
-			for i := 0; i <= k; i++ {
+			wcm := cm.cap + 1
+			xBlue := cm.x[1*wcm : 1*wcm+wcm]        // child sees ℓ = 1 below a blue v
+			xRed := cm.x[(l+1)*wcm : (l+1)*wcm+wcm] // child sees ℓ+1 below a red v
+			var spRed, spBlue []int32
+			if recordSplits {
+				sp := nt.splits[m-1]
+				spRed = sp[(0*(depth+1)+l)*w:]
+				spBlue = sp[(1*(depth+1)+l)*w:]
+			}
+			newCapR := min(capv, capR+cm.cap)
+			for i := 0; i <= newCapR; i++ {
 				bestR, argR := math.Inf(1), 0
-				bestB, argB := math.Inf(1), 0
-				for j := 0; j <= i; j++ {
+				for j := 0; j <= min(i, cm.cap); j++ {
 					if c := yr[i-j] + xRed[j]; c < bestR {
 						bestR, argR = c, j
 					}
-					if c := yb[i-j] + xBlue[j]; c < bestB {
-						bestB, argB = c, j
-					}
 				}
-				newYR[i], newYB[i] = bestR, bestB
+				newYR[i] = bestR
 				if recordSplits {
-					sp := nt.splits[m-1]
-					sp[(0*(depth+1)+l)*stride+i] = int32(argR)
-					sp[(1*(depth+1)+l)*stride+i] = int32(argB)
+					spRed[i] = int32(argR)
+				}
+			}
+			for i := newCapR + 1; i <= capv; i++ {
+				newYR[i] = newYR[newCapR]
+				if recordSplits {
+					spRed[i] = spRed[newCapR]
 				}
 			}
 			yr, newYR = newYR, yr
-			yb, newYB = newYB, yb
+			capR = newCapR
+			if avail {
+				newCapB := min(capv, capB+cm.cap)
+				for i := 0; i <= newCapB; i++ {
+					bestB, argB := math.Inf(1), 0
+					for j := 0; j <= min(i, cm.cap); j++ {
+						if c := yb[i-j] + xBlue[j]; c < bestB {
+							bestB, argB = c, j
+						}
+					}
+					newYB[i] = bestB
+					if recordSplits {
+						spBlue[i] = int32(argB)
+					}
+				}
+				for i := newCapB + 1; i <= capv; i++ {
+					newYB[i] = newYB[newCapB]
+					if recordSplits {
+						spBlue[i] = spBlue[newCapB]
+					}
+				}
+				yb, newYB = newYB, yb
+				capB = newCapB
+			} else if recordSplits {
+				// The unbounded DP records argmin 0 on the all-infinite
+				// blue track of an unavailable switch; keep recycled
+				// storage identical.
+				for i := 0; i <= capv; i++ {
+					spBlue[i] = 0
+				}
+			}
 		}
 		// X_v(ℓ, i) = min over v's color (paper Alg. 3 line 28).
-		for i := 0; i <= k; i++ {
-			idx := l*stride + i
+		for i := 0; i <= capv; i++ {
+			idx := l*w + i
 			if yb[i] < yr[i] {
 				nt.x[idx] = yb[i]
 				nt.isBlue[idx] = true
 			} else {
 				nt.x[idx] = yr[i]
+				nt.isBlue[idx] = false
 			}
 		}
 	}
-	return nt
 }

@@ -2,7 +2,7 @@ package core
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"soar/internal/topology"
 )
@@ -20,23 +20,32 @@ import (
 // Gather on the current inputs, and Solve returns the same placement.
 //
 // Costs: an update dirties ≤ h(T)+1 switches; recomputing switch v costs
-// O(Depth(v)·C(v)·k²), so one flushed update is O(h²·C·k²) versus the
-// full sweep's O(n·h·k²) — a ~n/h saving (about two orders of magnitude
-// on the paper's BT(2048)). Batched updates coalesce: paths sharing a
-// prefix mark each shared switch once, so b leaf updates cost at most
-// min(b·h, n) node recomputations in one flush.
+// O(Depth(v)·Σ_m cap_prefix·cap[c_m]) with the effective-budget clamping
+// of computeNode (at most O(Depth(v)·C(v)·k²), usually far less), so one
+// flushed update is roughly O(h²·C·k) versus the full sweep's O(n·h·k) —
+// a ~n/h saving (about two orders of magnitude on the paper's BT(2048)).
+// The engine maintains |T_v ∩ Λ| under SetAvail, so the caps the tables
+// are clamped to always match a from-scratch EffectiveCaps. Batched
+// updates coalesce: paths sharing a prefix mark each shared switch once,
+// so b leaf updates cost at most min(b·h, n) node recomputations in one
+// flush. Recomputed tables reuse their existing backing arrays and one
+// engine-lifetime merge scratch, so steady-state flushes are
+// allocation-free.
 //
 // The zero value is not usable; construct with NewIncremental. The engine
 // is not safe for concurrent use.
 type Incremental struct {
-	t       *topology.Tree
-	load    []int   // owned copy; also aliased by tb.load
-	avail   []bool  // owned copy, never nil
-	subLoad []int64 // subtree loads, maintained under UpdateLoad
-	k       int
-	tb      *Tables
-	dirty   []bool
-	queue   []int // dirty switches, unordered; invariant: upward-closed
+	t        *topology.Tree
+	load     []int   // owned copy; also aliased by tb.load
+	avail    []bool  // owned copy, never nil
+	subLoad  []int64 // subtree loads, maintained under UpdateLoad
+	availCnt []int   // |T_v ∩ Λ|, maintained under SetAvail; cap[v] = min(k, availCnt[v])
+	k        int
+	tb       *Tables
+	dirty    []bool
+	queue    []int // dirty switches, unordered; invariant: upward-closed
+	sc       *scratch
+	cbuf     []*nodeTables // reusable child-table buffer for flushes
 }
 
 // NewIncremental runs one full SOAR-Gather and returns an engine holding
@@ -60,8 +69,18 @@ func NewIncremental(t *topology.Tree, load []int, avail []bool, k int) *Incremen
 		inc.avail[v] = isAvail(avail, v)
 	}
 	inc.subLoad = t.SubtreeLoads(inc.load)
+	// EffectiveCaps with budget n never clamps (counts cannot exceed n),
+	// so it returns the raw |T_v ∩ Λ| the engine maintains.
+	inc.availCnt = EffectiveCaps(t, inc.avail, n)
+	inc.sc = newScratch(k)
 	inc.tb = Gather(t, inc.load, inc.avail, k)
 	return inc
+}
+
+// cap returns the effective budget min(k, |T_v ∩ Λ|) under the engine's
+// current availability set.
+func (inc *Incremental) cap(v int) int {
+	return min(inc.k, inc.availCnt[v])
 }
 
 // K returns the budget the engine solves for.
@@ -121,7 +140,12 @@ func (inc *Incremental) SetAvail(v int, ok bool) {
 		return
 	}
 	inc.avail[v] = ok
+	delta := 1
+	if !ok {
+		delta = -1
+	}
 	for u := v; ; u = inc.t.Parent(u) {
+		inc.availCnt[u] += delta
 		inc.markDirty(u)
 		if u == inc.t.Root() {
 			return
@@ -148,12 +172,18 @@ func (inc *Incremental) Flush() {
 	// Deeper switches first; a parent on the queue is always strictly
 	// shallower than its dirty children, so this is a valid bottom-up
 	// order over the (upward-closed) dirty set.
-	sort.Slice(inc.queue, func(i, j int) bool {
-		return inc.t.Depth(inc.queue[i]) > inc.t.Depth(inc.queue[j])
+	slices.SortFunc(inc.queue, func(a, b int) int {
+		return inc.t.Depth(b) - inc.t.Depth(a)
 	})
 	for _, v := range inc.queue {
-		inc.tb.nodes[v] = computeNode(inc.t, v, inc.load[v], inc.subLoad[v] > 0,
-			inc.avail[v], inc.k, childTables(inc.tb, v), true)
+		// Reuse the node's existing backing arrays (resized if SetAvail
+		// moved its cap), plus the engine-lifetime merge scratch and
+		// child buffer: a steady-state flush allocates nothing.
+		nt := &inc.tb.nodes[v]
+		ensureNodeStorage(nt, inc.t.Depth(v), inc.cap(v), inc.t.NumChildren(v), true)
+		inc.cbuf = appendChildTables(inc.cbuf[:0], inc.tb, v)
+		computeNode(inc.t, v, inc.load[v], inc.subLoad[v] > 0,
+			inc.avail[v], nt, inc.cbuf, inc.sc)
 		inc.dirty[v] = false
 	}
 	inc.queue = inc.queue[:0]

@@ -15,6 +15,11 @@ import (
 // ready when all their children are done (dependency counting); a fixed
 // worker pool drains the ready set bottom-up. Tables are identical to
 // the serial Gather. workers ≤ 0 selects GOMAXPROCS.
+//
+// All workers write into one shared arena: per-node windows are fixed by
+// the prefix-sum offsets computed up front, so no allocation or locking
+// happens inside the sweep — each worker only carries its own merge
+// scratch.
 func GatherParallel(t *topology.Tree, load []int, avail []bool, k, workers int) *Tables {
 	validate(t, load, avail)
 	if k < 0 {
@@ -24,6 +29,8 @@ func GatherParallel(t *topology.Tree, load []int, avail []bool, k, workers int) 
 		workers = runtime.GOMAXPROCS(0)
 	}
 	n := t.N()
+	caps := EffectiveCaps(t, avail, k)
+	ar := newArena(t, caps, true)
 	tb := &Tables{
 		t:     t,
 		load:  load,
@@ -46,8 +53,13 @@ func GatherParallel(t *topology.Tree, load []int, avail []bool, k, workers int) 
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
+			sc := newScratch(k)
+			var cbuf []*nodeTables
 			for v := range ready {
-				tb.nodes[v] = computeNode(t, v, load[v], subLoad[v] > 0, isAvail(avail, v), k, childTables(tb, v), true)
+				nt := ar.node(t, v)
+				cbuf = appendChildTables(cbuf[:0], tb, v)
+				computeNode(t, v, load[v], subLoad[v] > 0, isAvail(avail, v), &nt, cbuf, sc)
+				tb.nodes[v] = nt
 				if p := t.Parent(v); p != topology.NoParent {
 					if atomic.AddInt32(&pending[p], -1) == 0 {
 						ready <- p

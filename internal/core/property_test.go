@@ -137,6 +137,39 @@ func TestQuickChildOrderIrrelevant(t *testing.T) {
 	}
 }
 
+func TestQuickBudgetBeyondAvailIsFree(t *testing.T) {
+	// Budget beyond |Λ| is unusable: cap[root] = min(k, |Λ|), so raising
+	// k past the number of available switches changes nothing — cost and
+	// placement are identical (bitwise: both solves read the same clamped
+	// tables).
+	f := func(seed int64) bool {
+		tr, loads, avail, k := randomInstance(seed, 40, 6)
+		nAvail := 0
+		for v := 0; v < tr.N(); v++ {
+			if avail[v] {
+				nAvail++
+			}
+		}
+		if k < nAvail {
+			k = nAvail // start at saturation
+		}
+		base := Solve(tr, loads, avail, k)
+		huge := Solve(tr, loads, avail, k+1+int(seed%13&7))
+		if base.Cost != huge.Cost {
+			return false
+		}
+		for v := range base.Blue {
+			if base.Blue[v] != huge.Blue[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestQuickAvailabilityMonotone(t *testing.T) {
 	// Enlarging Λ can only improve the optimum.
 	f := func(seed int64) bool {

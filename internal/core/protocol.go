@@ -10,12 +10,20 @@ import (
 // barrier distance l received from the parent, it returns the switch's
 // color and, for each child in order, the (budget, l) pair to forward.
 // Shared by ColorPhase, SolveDistributed and the TCP cluster engine.
-func decide(t *topology.Tree, nt *nodeTables, k, v, budget, l int) (isBlue bool, childBudget []int, childL int) {
-	stride := k + 1
-	isBlue = nt.isBlue[l*stride+budget]
+//
+// Budgets above nt.cap read the cap column of the tables and breadcrumbs
+// (identical by the clamping invariant), but the leftover bookkeeping
+// still runs on the full budget, so the forwarded numbers match the
+// unbounded DP exactly.
+//
+// childBudget is built by appending to dst, so a caller looping over a
+// whole tree can pass a reused buffer (ColorPhase does); pass nil for
+// fresh storage when the slice outlives the call.
+func decide(t *topology.Tree, nt *nodeTables, v, budget, l int, dst []int) (isBlue bool, childBudget []int, childL int) {
+	isBlue = nt.blueAt(l, budget)
 	children := t.Children(v)
 	if len(children) == 0 {
-		return isBlue, nil, 0
+		return isBlue, dst, 0 // dst untouched, so a looping caller keeps its capacity
 	}
 	colorIdx := 0
 	childL = l + 1
@@ -23,10 +31,13 @@ func decide(t *topology.Tree, nt *nodeTables, k, v, budget, l int) (isBlue bool,
 		colorIdx, childL = 1, 1
 	}
 	depth := t.Depth(v)
-	childBudget = make([]int, len(children))
+	childBudget = dst
+	for range children {
+		childBudget = append(childBudget, 0)
+	}
 	remaining := budget
 	for m := len(children) - 1; m >= 1; m-- {
-		j := int(nt.splits[m-1][(colorIdx*(depth+1)+l)*stride+remaining])
+		j := nt.splitAt(m-1, colorIdx, depth, l, remaining)
 		childBudget[m] = j
 		remaining -= j
 	}
@@ -51,30 +62,54 @@ type NodeState struct {
 
 // NewNodeState runs the SOAR-Gather step of switch v. childX must hold
 // one flattened X table per child, in child order, each of length
-// (Depth(child)+1)·(k+1) as produced by XTable on the child.
+// (Depth(child)+1)·(cap(child)+1) as produced by XTable on the child —
+// the child's effective cap is recovered from the table length. The
+// switch's own cap is then min(k, avail + Σ child caps), exactly
+// EffectiveCaps applied one level up.
 func NewNodeState(t *topology.Tree, v int, loadV int, hasLoad, avail bool, k int, childX [][]float64) (*NodeState, error) {
+	if k < 0 {
+		k = 0
+	}
 	children := t.Children(v)
 	if len(childX) != len(children) {
 		return nil, fmt.Errorf("core: switch %d has %d children but got %d tables", v, len(children), len(childX))
 	}
+	capv := 0
+	if avail {
+		capv = 1
+	}
 	tables := make([]*nodeTables, len(children))
 	for i, c := range children {
-		want := (t.Depth(c) + 1) * (k + 1)
-		if len(childX[i]) != want {
-			return nil, fmt.Errorf("core: child %d table has %d entries, want %d", c, len(childX[i]), want)
+		rows := t.Depth(c) + 1
+		if len(childX[i]) == 0 || len(childX[i])%rows != 0 {
+			return nil, fmt.Errorf("core: child %d table has %d entries, want a positive multiple of %d rows", c, len(childX[i]), rows)
 		}
-		tables[i] = &nodeTables{x: childX[i]}
+		ccap := len(childX[i])/rows - 1
+		if ccap > k {
+			return nil, fmt.Errorf("core: child %d table has %d budget columns, want at most k+1 = %d", c, ccap+1, k+1)
+		}
+		tables[i] = &nodeTables{cap: ccap, x: childX[i]}
+		capv += ccap
 	}
-	return &NodeState{
+	if capv > k {
+		capv = k
+	}
+	ns := &NodeState{
 		t:  t,
 		v:  v,
 		k:  k,
-		nt: computeNode(t, v, loadV, hasLoad, avail, k, tables, true),
-	}, nil
+		nt: newNodeStorage(t.Depth(v), capv, len(children), true),
+	}
+	computeNode(t, v, loadV, hasLoad, avail, &ns.nt, tables, newScratch(k))
+	return ns, nil
 }
 
+// Cap returns the switch's effective budget min(k, |T_v ∩ Λ|), the
+// number of budget columns (minus one) in XTable.
+func (ns *NodeState) Cap() int { return ns.nt.cap }
+
 // XTable returns the flattened X table to send to the parent, of length
-// (Depth(v)+1)·(k+1), row-major in ℓ.
+// (Depth(v)+1)·(Cap()+1), row-major in ℓ.
 func (ns *NodeState) XTable() []float64 {
 	out := make([]float64, len(ns.nt.x))
 	copy(out, ns.nt.x)
@@ -84,7 +119,7 @@ func (ns *NodeState) XTable() []float64 {
 // Optimum returns X_v(1, k); meaningful at the root, where it is the
 // optimal φ the destination reads off (paper Eq. 6).
 func (ns *NodeState) Optimum() float64 {
-	return ns.nt.x[1*(ns.k+1)+ns.k]
+	return ns.nt.at(1, ns.k)
 }
 
 // Decide answers the parent's SOAR-Color assignment: it returns whether v
@@ -96,6 +131,6 @@ func (ns *NodeState) Decide(budget, l int) (isBlue bool, childBudget []int, chil
 	if l < 0 || l > ns.t.Depth(ns.v) {
 		return false, nil, 0, fmt.Errorf("core: switch %d got ℓ=%d outside [0,%d]", ns.v, l, ns.t.Depth(ns.v))
 	}
-	isBlue, childBudget, childL = decide(ns.t, &ns.nt, ns.k, ns.v, budget, l)
+	isBlue, childBudget, childL = decide(ns.t, &ns.nt, ns.v, budget, l, nil)
 	return isBlue, childBudget, childL, nil
 }

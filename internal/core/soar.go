@@ -7,7 +7,11 @@
 // Given a weighted tree network T, a load vector L, an availability set
 // Λ and a budget k, SOAR finds a set U ⊆ Λ of at most k aggregating
 // ("blue") switches minimizing the network utilization cost
-// φ(T, L, U) = Σ_e msg_e·ρ(e), in time O(n·h(T)·k²) (paper Thm. 4.1).
+// φ(T, L, U) = Σ_e msg_e·ρ(e). The paper costs the sweep at O(n·h(T)·k²)
+// (Thm. 4.1); this implementation clamps every subtree to its effective
+// budget cap[v] = min(k, |T_v ∩ Λ|) (see EffectiveCaps and DESIGN.md),
+// which brings the practical cost down to ~O(n·h(T)·k) with bitwise
+// identical results.
 //
 // The implementation follows the paper's two phases:
 //
@@ -80,15 +84,21 @@ func (tb *Tables) Tree() *topology.Tree { return tb.t }
 
 // X returns X_v(ℓ, i): the minimal subtree potential for switch v with i
 // blue switches in T_v and the nearest blue ancestor (or d) ℓ hops up.
-// ℓ must be in [0, Depth(v)] and i in [0, k].
+// ℓ must be in [0, Depth(v)] and i in [0, k]. Storage is clamped to the
+// effective budget (see EffectiveCaps): columns beyond Cap(v) read the
+// cap column, which the unbounded DP proves equal.
 func (tb *Tables) X(v, l, i int) float64 {
-	return tb.nodes[v].x[l*(tb.k+1)+i]
+	return tb.nodes[v].at(l, i)
 }
 
 // Blue reports whether the optimum at X_v(ℓ, i) colors v blue.
 func (tb *Tables) Blue(v, l, i int) bool {
-	return tb.nodes[v].isBlue[l*(tb.k+1)+i]
+	return tb.nodes[v].blueAt(l, i)
 }
+
+// Cap returns the effective budget cap[v] = min(k, |T_v ∩ Λ|) the tables
+// of switch v were clamped to.
+func (tb *Tables) Cap(v int) int { return tb.nodes[v].cap }
 
 // Optimum returns the optimal utilization cost φ-BIC(T, L, Λ, k), which
 // is X_r(1, k) for the root r (paper Eq. 6).

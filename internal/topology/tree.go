@@ -13,7 +13,6 @@ package topology
 import (
 	"errors"
 	"fmt"
-	"sort"
 )
 
 // NoParent marks the root in a parent vector.
@@ -32,9 +31,13 @@ type Tree struct {
 	depth    []int     // hops from v to the destination d; depth[root] == 1
 	post     []int     // post-order traversal (children before parents)
 	bfs      []int     // breadth-first order (root first)
-	rhoUp    [][]float64
-	root     int
-	height   int // h(T): max hops from a switch to the root r
+	leaves   []int     // switches with no children, in increasing id order
+	// rhoUp rows live in one flat slab (better cache locality, one
+	// allocation): row v is rhoUpFlat[rhoUpOff[v] : rhoUpOff[v]+depth[v]+1].
+	rhoUpFlat []float64
+	rhoUpOff  []int
+	root      int
+	height    int // h(T): max hops from a switch to the root r
 }
 
 // New builds a tree from a parent vector and per-edge rates.
@@ -123,19 +126,30 @@ func (t *Tree) index() error {
 			t.height = d - 1
 		}
 	}
-	// rhoUp[v][l] = Σ ρ of the first l edges on the path from v toward d.
-	t.rhoUp = make([][]float64, n)
+	// Leaves, cached once: the incremental allocator's hot path asks for
+	// them on every workload arrival.
+	for v := 0; v < n; v++ {
+		if len(t.children[v]) == 0 {
+			t.leaves = append(t.leaves, v)
+		}
+	}
+	// rhoUp row v, entry l = Σ ρ of the first l edges on the path from v
+	// toward d. All rows share one flat slab, offset by rhoUpOff.
+	t.rhoUpOff = make([]int, n+1)
+	for v := 0; v < n; v++ {
+		t.rhoUpOff[v+1] = t.rhoUpOff[v] + t.depth[v] + 1
+	}
+	t.rhoUpFlat = make([]float64, t.rhoUpOff[n])
 	for _, v := range t.bfs { // parents before children
 		d := t.depth[v]
-		row := make([]float64, d+1)
+		row := t.rhoUpFlat[t.rhoUpOff[v] : t.rhoUpOff[v]+d+1]
 		row[1] = t.rho[v]
 		if p := t.parent[v]; p != NoParent {
-			prow := t.rhoUp[p]
+			prow := t.rhoUpFlat[t.rhoUpOff[p]:]
 			for l := 2; l <= d; l++ {
 				row[l] = t.rho[v] + prow[l-1]
 			}
 		}
-		t.rhoUp[v] = row
 	}
 	return nil
 }
@@ -174,7 +188,12 @@ func (t *Tree) Rho(v int) float64 { return t.rho[v] }
 // RhoUp returns ρ(v, A^l_v): the summed ρ of the first l edges on the
 // path from v toward the destination. RhoUp(v, 0) == 0 and
 // RhoUp(v, Depth(v)) is the full path cost from v to d.
-func (t *Tree) RhoUp(v, l int) float64 { return t.rhoUp[v][l] }
+func (t *Tree) RhoUp(v, l int) float64 {
+	if l < 0 || l > t.depth[v] {
+		panic("topology: RhoUp distance out of range")
+	}
+	return t.rhoUpFlat[t.rhoUpOff[v]+l]
+}
 
 // PostOrder returns a traversal visiting every child before its parent.
 // The returned slice is shared and must not be modified.
@@ -186,18 +205,13 @@ func (t *Tree) PostOrder() []int { return t.post }
 func (t *Tree) BFSOrder() []int { return t.bfs }
 
 // Leaves returns the switches with no children, in increasing id order.
-func (t *Tree) Leaves() []int {
-	var ls []int
-	for v := 0; v < t.N(); v++ {
-		if t.IsLeaf(v) {
-			ls = append(ls, v)
-		}
-	}
-	return ls
-}
+// The returned slice is shared and must not be modified; it is computed
+// once at construction time.
+func (t *Tree) Leaves() []int { return t.leaves }
 
 // NodesAtLevel returns the switches at hop distance lvl from the root
-// (level 0 is the root itself), in increasing id order.
+// (level 0 is the root itself), in increasing id order (the scan below
+// already visits ids in increasing order).
 func (t *Tree) NodesAtLevel(lvl int) []int {
 	var ns []int
 	for v := 0; v < t.N(); v++ {
@@ -205,7 +219,6 @@ func (t *Tree) NodesAtLevel(lvl int) []int {
 			ns = append(ns, v)
 		}
 	}
-	sort.Ints(ns)
 	return ns
 }
 

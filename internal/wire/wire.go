@@ -69,7 +69,9 @@ func (h *Hello) parseBody(b []byte) error {
 }
 
 // Gather carries a switch's SOAR-Gather X table to its parent: Rows =
-// depth+1 values of ℓ, Cols = k+1 budgets, X in row-major order.
+// depth+1 values of ℓ, Cols = cap+1 budgets where cap = min(k, |T_v ∩ Λ|)
+// is the sender's effective budget (core.EffectiveCaps; receivers reject
+// any other width), X in row-major order.
 type Gather struct {
 	Child uint32
 	Rows  uint32
