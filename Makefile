@@ -1,0 +1,37 @@
+# Developer entry points. CI runs the same targets; see
+# .github/workflows/ci.yml.
+
+GO ?= go
+
+.PHONY: all build test race bench fmt vet clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The concurrent scheduler makes race detection mandatory.
+race:
+	$(GO) test -race ./...
+
+fmt:
+	gofmt -l .
+
+vet:
+	$(GO) vet ./...
+
+# Bench trajectory: run the key benchmarks once and keep the raw
+# test2json stream as an artifact, so performance history accumulates
+# alongside the code (BENCH_sched.json is also uploaded by CI). One
+# iteration per benchmark keeps this fast enough to run on every push;
+# use `go test -bench . -benchtime 3s ./...` for real measurements.
+bench:
+	$(GO) test -run '^$$' -bench 'BenchmarkScheduler|BenchmarkRepackRound|BenchmarkGather$$|BenchmarkIncremental' \
+		-benchtime 1x -json ./... > BENCH_sched.json
+	@echo "BENCH_sched.json: $$(grep -c 'ns/op' BENCH_sched.json) benchmark results"
+
+clean:
+	rm -f BENCH_sched.json

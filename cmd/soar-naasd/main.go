@@ -5,6 +5,11 @@
 //
 //	soar-naasd -addr 127.0.0.1:7070 -topo bt -n 256 -capacity 4
 //
+// Admission is served by the internal/sched scheduler: arrivals batch
+// inside -window, solve on a pool of -workers incremental engines, and
+// a background re-packer (-repack-every, -repack-moves) recovers the
+// utilization that tenant departures fragment away.
+//
 // API (JSON):
 //
 //	POST   /v1/tenants    {"load": [...], "k": 4} → lease
@@ -27,6 +32,7 @@ import (
 	"time"
 
 	"soar/internal/naas"
+	"soar/internal/sched"
 	"soar/internal/topology"
 )
 
@@ -37,6 +43,10 @@ func main() {
 	n := flag.Int("n", 256, "network size")
 	capacity := flag.Int("capacity", 4, "per-switch aggregation capacity (0 = unlimited)")
 	seed := flag.Int64("seed", 1, "seed for random topologies")
+	workers := flag.Int("workers", 0, "scheduler engine-pool size (0 = GOMAXPROCS)")
+	window := flag.Duration("window", 200*time.Microsecond, "admission batching window")
+	repackEvery := flag.Duration("repack-every", time.Second, "background re-packing period (0 = off)")
+	repackMoves := flag.Int("repack-moves", 8, "migration budget per re-packing round")
 	flag.Parse()
 
 	var tr *topology.Tree
@@ -63,7 +73,13 @@ func main() {
 		log.Fatalf("unknown -topo %q", *topo)
 	}
 
-	svc := naas.NewService(tr, *capacity)
+	svc := naas.NewServiceWith(tr, sched.Config{
+		Capacity: *capacity,
+		Workers:  *workers,
+		Window:   *window,
+		Repack:   sched.RepackConfig{Every: *repackEvery, MaxMoves: *repackMoves},
+	})
+	defer svc.Close()
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           svc.Handler(),

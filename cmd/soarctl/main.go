@@ -12,6 +12,10 @@
 //	soarctl exp     <fig6|fig7|fig8|fig9|fig10|fig11|ext-*|all> [-quick]
 //	                [-csv dir] [-reps N] [-engine full|incremental]
 //	soarctl cluster [-n 64] [-k 8] [-seed 1]
+//	soarctl sched   [-n 1024] [-k 8] [-capacity 16] [-tenants 2000]
+//	                [-clients 8] [-workers 0] [-window 200us] [-racks 8]
+//	                [-churn 0.5] [-repack-every 25ms] [-repack-moves 16]
+//	                [-seed 1] [-baseline]
 package main
 
 import (
@@ -35,6 +39,8 @@ func main() {
 		err = runExp(os.Args[2:])
 	case "cluster":
 		err = runCluster(os.Args[2:])
+	case "sched":
+		err = runSched(os.Args[2:])
 	case "verify":
 		err = runVerify(os.Args[2:])
 	case "-h", "--help", "help":
@@ -58,6 +64,7 @@ Commands:
   place      compute placements for one instance, all strategies
   exp        regenerate a paper figure (fig6..fig11, ext-*, or all)
   cluster    run SOAR + Reduce over a loopback TCP mesh
+  sched      load-test the concurrent multi-tenant placement scheduler
   verify     certify the solver against brute force on random instances
 
 Run 'soarctl <command> -h' for flags.

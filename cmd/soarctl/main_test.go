@@ -116,3 +116,20 @@ func TestRunVerifySmall(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestRunSchedQuick(t *testing.T) {
+	err := runSched([]string{
+		"-n", "64", "-k", "4", "-capacity", "2", "-tenants", "60",
+		"-clients", "4", "-racks", "4", "-window", "100us",
+		"-repack-every", "2ms", "-repack-moves", "4", "-baseline",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSchedRejectsBadTopology(t *testing.T) {
+	if err := runSched([]string{"-n", "63"}); err == nil {
+		t.Fatal("non-power-of-two BT accepted")
+	}
+}

@@ -91,3 +91,23 @@ func ExampleMessageCounts() {
 	fmt.Println(counts[t.Root()]) // everything converges on the (r,d) edge
 	// Output: 17
 }
+
+// The concurrent scheduler serves many tenants over one shared tree:
+// each Place runs SOAR against the residual lease capacities and
+// charges the chosen switches; Release reclaims them.
+func ExampleNewScheduler() {
+	t := soar.CompleteBinaryTree(3)
+	s := soar.NewScheduler(t, soar.SchedulerConfig{Capacity: 1})
+	defer s.Close()
+	lease, err := s.Place([]int{0, 0, 0, 2, 6, 5, 4}, 2)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(lease.Phi)       // the paper's Fig. 2d optimum
+	fmt.Println(len(lease.Blue)) // two aggregation switches leased
+	fmt.Println(s.Release(lease.ID) == nil)
+	// Output:
+	// 20
+	// 2
+	// true
+}

@@ -1,8 +1,16 @@
-// Multi-tenant online allocation (the paper's Sec. 5.2): workloads
-// arrive one at a time, every switch can aggregate for at most a few
-// workloads (bounded capacity), and each arrival gets its aggregation
-// switches before the next is seen. SOAR applied online degrades
-// gracefully as capacity fills, and stays ahead of the baselines.
+// Multi-tenant online allocation, in two acts.
+//
+// Act 1 is the paper's Sec. 5.2 model: workloads arrive one at a time,
+// every switch can aggregate for at most a few workloads (bounded
+// capacity), and each arrival gets its aggregation switches before the
+// next is seen. SOAR applied online degrades gracefully as capacity
+// fills, and stays ahead of the baselines.
+//
+// Act 2 is what that model becomes at service scale: thousands of
+// tenants arriving and departing concurrently, admitted by the
+// internal/sched scheduler — batched arrivals, a pool of incremental
+// SOAR engines, commit-order conflict resolution, and a background
+// re-packer that recovers the utilization departures fragment away.
 //
 //	go run ./examples/multitenant
 package main
@@ -11,14 +19,25 @@ import (
 	"fmt"
 	"log"
 	"math/rand"
+	"sync"
+	"time"
 
 	"soar/internal/core"
+	"soar/internal/load"
 	"soar/internal/placement"
+	"soar/internal/sched"
 	"soar/internal/topology"
 	"soar/internal/workload"
 )
 
 func main() {
+	sequentialComparison()
+	concurrentScheduler()
+}
+
+// sequentialComparison reproduces the paper's online setting: one
+// shared arrival sequence, four strategies, paired comparison.
+func sequentialComparison() {
 	t, err := topology.BT(128)
 	if err != nil {
 		log.Fatal(err)
@@ -67,4 +86,75 @@ func main() {
 
 	fmt.Println("\nEarly tenants enjoy deep savings; once capacities fill, later tenants")
 	fmt.Println("run closer to all-red and the cumulative ratio climbs (paper Fig. 7).")
+}
+
+// concurrentScheduler drives the placement scheduler with thousands of
+// churning tenants from parallel clients.
+func concurrentScheduler() {
+	t, err := topology.BT(1024)
+	if err != nil {
+		log.Fatal(err)
+	}
+	const (
+		budget   = 8    // aggregation switches per tenant
+		capacity = 8    // tenants a switch can serve
+		racks    = 8    // leaves each tenant loads
+		clients  = 16   // concurrent request streams
+		tenants  = 4000 // admissions across all clients
+	)
+	s := sched.New(t, sched.Config{
+		Capacity: capacity,
+		Window:   200 * time.Microsecond,
+		Repack:   sched.RepackConfig{Every: 20 * time.Millisecond, MaxMoves: 16},
+	})
+	defer s.Close()
+
+	fmt.Printf("\n--- concurrent: %d tenants, %d clients, BT(1024), k=%d, capacity %d ---\n",
+		tenants, clients, budget, capacity)
+
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(1000 + c)))
+			var lease sched.Lease
+			var mine []int64
+			for i := 0; i < tenants/clients; i++ {
+				loads := load.GenerateSparse(t, load.PaperPowerLaw(), racks, rng)
+				if err := s.PlaceInto(loads, budget, &lease); err != nil {
+					log.Fatal(err)
+				}
+				mine = append(mine, lease.ID)
+				// Two-thirds of tenants eventually depart, fragmenting
+				// capacity for the re-packer to reclaim.
+				if rng.Intn(3) > 0 && len(mine) > 4 {
+					j := rng.Intn(len(mine))
+					id := mine[j]
+					mine[j] = mine[len(mine)-1]
+					mine = mine[:len(mine)-1]
+					if err := s.Release(id); err != nil {
+						log.Fatal(err)
+					}
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	m := s.Metrics()
+	st := s.Snapshot()
+	fmt.Printf("admitted %d tenants in %v — %.0f placements/s\n",
+		m.Placed, elapsed.Round(time.Millisecond), float64(m.Placed)/elapsed.Seconds())
+	fmt.Printf("latency p50=%v p95=%v p99=%v; batches mean %.1f max %d; %d conflicts re-solved\n",
+		m.PlaceP50, m.PlaceP95, m.PlaceP99, m.MeanBatch, m.MaxBatch, m.Conflicts)
+	fmt.Printf("re-packer: %d rounds moved %d tenants, Φ recovered %.1f\n",
+		m.RepackRounds, m.RepackMoves, m.PhiRecovered)
+	fmt.Printf("end state: %d live tenants on %d switches, mean ratio %.3f\n",
+		st.Tenants, st.SwitchesInUse, st.MeanRatio)
+	fmt.Println("\nThe single mutex-and-resolve service this replaced admitted tenants one")
+	fmt.Println("at a time; the scheduler batches arrivals onto pooled incremental engines")
+	fmt.Println("and re-packs behind departures (see `soarctl sched -baseline`).")
 }

@@ -27,6 +27,7 @@ func main() {
 		log.Fatal(err)
 	}
 	svc := naas.NewService(tr, 2) // every switch serves ≤ 2 tenants
+	defer svc.Close()
 
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {

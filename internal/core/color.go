@@ -1,5 +1,43 @@
 package core
 
+// colorFrame is one pending switch of the SOAR-Color traversal: color v
+// given budget i and nearest blue ancestor (or d) l hops above it.
+type colorFrame struct {
+	v, i, l int
+}
+
+// colorState is the reusable traversal scratch of SOAR-Color: the
+// explicit DFS stack and the budget-split buffer decide fills per
+// switch. A zero colorState is ready to use; after the first call the
+// buffers are warm and a color pass performs no allocations, which is
+// what lets pooled engines (Incremental.SolveInto, internal/sched)
+// admit tenants allocation-free in steady state.
+type colorState struct {
+	stack  []colorFrame
+	budget []int
+}
+
+// colorInto runs SOAR-Color over tb, writes the optimal blue set into
+// blue (which must have length N) and returns φ = X_r(1, k).
+func (cs *colorState) colorInto(tb *Tables, blue []bool) float64 {
+	t := tb.t
+	if len(blue) != t.N() {
+		panic("core: colorInto blue has wrong length")
+	}
+	cs.stack = append(cs.stack[:0], colorFrame{t.Root(), tb.k, 1})
+	for len(cs.stack) > 0 {
+		f := cs.stack[len(cs.stack)-1]
+		cs.stack = cs.stack[:len(cs.stack)-1]
+		isBlue, childBudget, childL := decide(t, &tb.nodes[f.v], f.v, f.i, f.l, cs.budget[:0])
+		blue[f.v] = isBlue
+		for m, c := range t.Children(f.v) {
+			cs.stack = append(cs.stack, colorFrame{c, childBudget[m], childL})
+		}
+		cs.budget = childBudget[:0]
+	}
+	return tb.Optimum()
+}
+
 // ColorPhase runs SOAR-Color (paper Alg. 4): it walks the tree top-down
 // along the argmin breadcrumbs recorded by Gather and returns the optimal
 // blue set together with its cost φ = X_r(1, k).
@@ -11,23 +49,8 @@ package core
 // performs no arithmetic — only table lookups — which is why it is orders
 // of magnitude faster (paper Sec. 5.4).
 func ColorPhase(tb *Tables) ([]bool, float64) {
-	t := tb.t
-	blue := make([]bool, t.N())
-
-	type frame struct {
-		v, i, l int
-	}
-	stack := []frame{{t.Root(), tb.k, 1}}
-	var budgetBuf []int // reused by decide: the phase performs O(1) allocations
-	for len(stack) > 0 {
-		f := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		isBlue, childBudget, childL := decide(t, &tb.nodes[f.v], f.v, f.i, f.l, budgetBuf[:0])
-		blue[f.v] = isBlue
-		for m, c := range t.Children(f.v) {
-			stack = append(stack, frame{c, childBudget[m], childL})
-		}
-		budgetBuf = childBudget[:0]
-	}
-	return blue, tb.Optimum()
+	var cs colorState
+	blue := make([]bool, tb.t.N())
+	cost := cs.colorInto(tb, blue)
+	return blue, cost
 }

@@ -46,6 +46,7 @@ type Incremental struct {
 	queue    []int // dirty switches, unordered; invariant: upward-closed
 	sc       *scratch
 	cbuf     []*nodeTables // reusable child-table buffer for flushes
+	cs       colorState    // reusable SOAR-Color scratch for SolveInto
 }
 
 // NewIncremental runs one full SOAR-Gather and returns an engine holding
@@ -153,6 +154,36 @@ func (inc *Incremental) SetAvail(v int, ok bool) {
 	}
 }
 
+// SetLoads patches the engine's whole load vector to equal loads,
+// dirtying only the root paths of switches whose load actually changed.
+// It is the bulk reset used by pooled engines (internal/sched): repointing
+// a warm engine at a different tenant's load vector costs one O(n)
+// comparison scan plus recomputation of the changed paths only, instead
+// of a from-scratch Gather.
+func (inc *Incremental) SetLoads(loads []int) {
+	if len(loads) != inc.t.N() {
+		panic(fmt.Sprintf("core: incremental SetLoads has %d entries for %d switches", len(loads), inc.t.N()))
+	}
+	for v, l := range loads {
+		if l != inc.load[v] {
+			inc.SetLoad(v, l)
+		}
+	}
+}
+
+// SetAvails patches the engine's availability set to equal avail
+// (nil means every switch available), dirtying only the root paths of
+// switches whose membership in Λ actually changed — the bulk companion
+// of SetLoads for engine pooling.
+func (inc *Incremental) SetAvails(avail []bool) {
+	if avail != nil && len(avail) != inc.t.N() {
+		panic(fmt.Sprintf("core: incremental SetAvails has %d entries for %d switches", len(avail), inc.t.N()))
+	}
+	for v := 0; v < inc.t.N(); v++ {
+		inc.SetAvail(v, isAvail(avail, v))
+	}
+}
+
 // markDirty enqueues u once. Because every mutation marks a full
 // suffix-path up to the root, the dirty set is upward-closed; callers
 // that walk upward may stop at the first already-dirty switch.
@@ -202,6 +233,15 @@ func (inc *Incremental) Solve() Result {
 	inc.Flush()
 	blue, cost := ColorPhase(inc.tb)
 	return Result{Blue: blue, Cost: cost}
+}
+
+// SolveInto is Solve writing the optimal blue set into a caller-owned
+// buffer (which must have length N) and returning φ. It reuses the
+// engine's color scratch, so a steady-state admission — SetLoads /
+// SetAvails followed by SolveInto — performs no allocations at all.
+func (inc *Incremental) SolveInto(blue []bool) float64 {
+	inc.Flush()
+	return inc.cs.colorInto(inc.tb, blue)
 }
 
 // Tables flushes pending updates and exposes the maintained DP state.

@@ -172,6 +172,36 @@ func Generate(t *topology.Tree, d Distribution, where Placement, rng *rand.Rand)
 	return l
 }
 
+// GenerateSparse draws a sparse load vector: m leaves chosen uniformly
+// at random (without replacement) each get an independent sample from d;
+// every other switch gets 0. This models a tenant whose servers occupy
+// only a few racks of a shared tree — the regime the incremental engine
+// and the placement scheduler (internal/sched) are built for, since two
+// consecutive tenants then differ in O(m·h) switches rather than O(n).
+// m is clamped to the number of leaves.
+func GenerateSparse(t *topology.Tree, d Distribution, m int, rng *rand.Rand) []int {
+	l := make([]int, t.N())
+	leaves := t.Leaves()
+	if m >= len(leaves) {
+		for _, v := range leaves {
+			l[v] = d.Sample(rng)
+		}
+		return l
+	}
+	// Floyd's sampling: m distinct leaves in O(m) without shuffling the
+	// shared leaf slice.
+	chosen := make(map[int]struct{}, m)
+	for i := len(leaves) - m; i < len(leaves); i++ {
+		j := rng.Intn(i + 1)
+		if _, dup := chosen[j]; dup {
+			j = i
+		}
+		chosen[j] = struct{}{}
+		l[leaves[j]] = d.Sample(rng)
+	}
+	return l
+}
+
 // Total returns the sum of a load vector.
 func Total(l []int) int64 {
 	var s int64

@@ -174,3 +174,47 @@ func TestDistributionStrings(t *testing.T) {
 		}
 	}
 }
+
+func TestGenerateSparse(t *testing.T) {
+	tr, err := topology.BT(128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	for _, m := range []int{1, 8, 17, 64} {
+		l := GenerateSparse(tr, Uniform{Min: 1, Max: 9}, m, rng)
+		loaded := 0
+		for v, x := range l {
+			if x == 0 {
+				continue
+			}
+			loaded++
+			if !tr.IsLeaf(v) {
+				t.Fatalf("m=%d: non-leaf switch %d has load %d", m, v, x)
+			}
+			if x < 1 || x > 9 {
+				t.Fatalf("m=%d: load %d outside distribution support", m, x)
+			}
+		}
+		if loaded != m {
+			t.Fatalf("m=%d: %d leaves loaded", m, loaded)
+		}
+	}
+}
+
+func TestGenerateSparseClampsToLeafCount(t *testing.T) {
+	tr, err := topology.BT(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(6))
+	l := GenerateSparse(tr, Constant{V: 2}, 10*tr.N(), rng)
+	for _, v := range tr.Leaves() {
+		if l[v] != 2 {
+			t.Fatalf("leaf %d not loaded under clamped m", v)
+		}
+	}
+	if int(Total(l)) != 2*len(tr.Leaves()) {
+		t.Fatal("non-leaves received load")
+	}
+}

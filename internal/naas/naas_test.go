@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
+	"reflect"
 	"strings"
 	"sync"
 	"testing"
@@ -18,6 +19,7 @@ import (
 func TestPlaceAndRelease(t *testing.T) {
 	tr, loads := paper.Figure2()
 	s := NewService(tr, 1)
+	t.Cleanup(s.Close)
 	lease, err := s.Place(loads, 2)
 	if err != nil {
 		t.Fatal(err)
@@ -52,6 +54,7 @@ func TestPlaceAndRelease(t *testing.T) {
 func TestReleaseUnknown(t *testing.T) {
 	tr, _ := paper.Figure2()
 	s := NewService(tr, 1)
+	t.Cleanup(s.Close)
 	if err := s.Release(42); err != ErrNotFound {
 		t.Fatalf("err = %v, want ErrNotFound", err)
 	}
@@ -60,6 +63,7 @@ func TestReleaseUnknown(t *testing.T) {
 func TestPlaceValidation(t *testing.T) {
 	tr, loads := paper.Figure2()
 	s := NewService(tr, 1)
+	t.Cleanup(s.Close)
 	if _, err := s.Place([]int{1}, 2); err == nil {
 		t.Fatal("short load accepted")
 	}
@@ -74,6 +78,7 @@ func TestPlaceValidation(t *testing.T) {
 func TestSnapshot(t *testing.T) {
 	tr, loads := paper.Figure2()
 	s := NewService(tr, 2)
+	t.Cleanup(s.Close)
 	st := s.Snapshot()
 	if st.Tenants != 0 || st.CapacityUsed != 0 || st.MeanRatio != 1 {
 		t.Fatalf("fresh stats %+v", st)
@@ -94,6 +99,7 @@ func TestSnapshot(t *testing.T) {
 func TestConcurrentTenantsNeverOversubscribe(t *testing.T) {
 	tr := topology.MustBT(64)
 	s := NewService(tr, 2)
+	t.Cleanup(s.Close)
 	var wg sync.WaitGroup
 	for g := 0; g < 8; g++ {
 		wg.Add(1)
@@ -130,6 +136,7 @@ func newTestServer(t *testing.T) (*Service, *Client) {
 	t.Helper()
 	tr, _ := paper.Figure2()
 	svc := NewService(tr, 2)
+	t.Cleanup(svc.Close)
 	ts := httptest.NewServer(svc.Handler())
 	t.Cleanup(ts.Close)
 	return svc, NewClient(ts.URL, ts.Client())
@@ -199,6 +206,7 @@ func TestHTTPErrors(t *testing.T) {
 func TestHTTPMethodGuards(t *testing.T) {
 	tr, _ := paper.Figure2()
 	svc := NewService(tr, 1)
+	t.Cleanup(svc.Close)
 	ts := httptest.NewServer(svc.Handler())
 	defer ts.Close()
 	cases := []struct {
@@ -230,6 +238,7 @@ func TestHTTPMethodGuards(t *testing.T) {
 func TestHTTPRejectsUnknownFields(t *testing.T) {
 	tr, _ := paper.Figure2()
 	svc := NewService(tr, 1)
+	t.Cleanup(svc.Close)
 	ts := httptest.NewServer(svc.Handler())
 	defer ts.Close()
 	resp, err := ts.Client().Post(ts.URL+"/v1/tenants", "application/json",
@@ -248,6 +257,7 @@ func TestCapacityExhaustionDegradesGracefully(t *testing.T) {
 	// placements rather than errors — mirroring the paper's online model.
 	tr, loads := paper.Figure2()
 	s := NewService(tr, 1)
+	t.Cleanup(s.Close)
 	if _, err := s.Place(loads, 7); err != nil { // takes everything useful
 		t.Fatal(err)
 	}
@@ -260,5 +270,155 @@ func TestCapacityExhaustionDegradesGracefully(t *testing.T) {
 	}
 	if lease.Phi != reduce.Utilization(tr, loads, make([]bool, tr.N())) {
 		t.Fatalf("exhausted lease φ=%v, want the all-red cost", lease.Phi)
+	}
+}
+
+// --- Aliasing audit (regression) --------------------------------------
+
+// TestNoAliasedState is the aliasing regression test: every slice the
+// service hands out (Lease.Blue, Lease.Load, the residual vector) must
+// be a defensive copy, so a caller mutating — or racing on — a returned
+// value can never corrupt the service's bookkeeping.
+func TestNoAliasedState(t *testing.T) {
+	tr, loads := paper.Figure2()
+	s := NewService(tr, 2)
+	t.Cleanup(s.Close)
+
+	lease, err := s.Place(loads, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantBlue := append([]int(nil), lease.Blue...)
+	wantLoad := append([]int(nil), lease.Load...)
+
+	// Vandalize everything Place returned.
+	for i := range lease.Blue {
+		lease.Blue[i] = -1
+	}
+	for i := range lease.Load {
+		lease.Load[i] = -1
+	}
+	got, err := s.Lookup(lease.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Blue, wantBlue) || !reflect.DeepEqual(got.Load, wantLoad) {
+		t.Fatalf("caller mutation reached the service: %+v", got)
+	}
+
+	// Vandalize everything Lookup returned; a fresh Lookup is pristine.
+	for i := range got.Blue {
+		got.Blue[i] = -2
+	}
+	for i := range got.Load {
+		got.Load[i] = -2
+	}
+	again, err := s.Lookup(lease.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(again.Blue, wantBlue) || !reflect.DeepEqual(again.Load, wantLoad) {
+		t.Fatal("Lookup result aliases service state")
+	}
+
+	// Vandalize the residual vector; release must still reclaim cleanly.
+	res := s.Residual()
+	for i := range res {
+		res[i] = -3
+	}
+	if err := s.Release(lease.ID); err != nil {
+		t.Fatal(err)
+	}
+	for v, c := range s.Residual() {
+		if c != 2 {
+			t.Fatalf("switch %d residual %d after full release, want 2", v, c)
+		}
+	}
+}
+
+// --- HTTP API under concurrent clients --------------------------------
+
+// TestHTTPConcurrentClients drives the HTTP control plane from many
+// parallel clients on a capacity-1 network and audits the end state:
+// live leases must be pairwise disjoint (capacity 1 admits no sharing)
+// and the advertised residuals must conserve capacity exactly.
+func TestHTTPConcurrentClients(t *testing.T) {
+	tr := topology.MustBT(64)
+	svc := NewService(tr, 1)
+	t.Cleanup(svc.Close)
+	ts := httptest.NewServer(svc.Handler())
+	t.Cleanup(ts.Close)
+
+	const clients = 8
+	ctx := context.Background()
+	kept := make([][]ClientLease, clients)
+	var wg sync.WaitGroup
+	for g := 0; g < clients; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			c := NewClient(ts.URL, ts.Client())
+			rng := rand.New(rand.NewSource(int64(100 + g)))
+			for i := 0; i < 8; i++ {
+				loads := load.GenerateSparse(tr, load.PaperUniform(), 4, rng)
+				lease, err := c.Place(ctx, loads, 3)
+				if err != nil {
+					t.Errorf("client %d: place: %v", g, err)
+					return
+				}
+				if rng.Intn(2) == 0 {
+					if err := c.Release(ctx, lease.ID); err != nil {
+						t.Errorf("client %d: release: %v", g, err)
+						return
+					}
+				} else {
+					kept[g] = append(kept[g], *lease)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	// Disjointness: with capacity 1 no switch can appear in two live
+	// leases.
+	owner := make(map[int]int64)
+	live := 0
+	for _, ls := range kept {
+		for _, l := range ls {
+			live++
+			for _, v := range l.Blue {
+				if prev, taken := owner[v]; taken {
+					t.Fatalf("switch %d leased to both tenant %d and %d", v, prev, l.ID)
+				}
+				owner[v] = l.ID
+			}
+		}
+	}
+
+	// Conservation: the residual the API advertises equals capacity
+	// minus exactly the switches held by live leases.
+	c := NewClient(ts.URL, ts.Client())
+	res, err := c.Residual(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v, r := range res {
+		want := 1
+		if _, taken := owner[v]; taken {
+			want = 0
+		}
+		if r != want {
+			t.Fatalf("switch %d residual %d, want %d", v, r, want)
+		}
+	}
+	st, err := c.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Tenants != live {
+		t.Fatalf("stats report %d tenants, want %d", st.Tenants, live)
+	}
+	if st.CapacityUsed != int64(len(owner)) {
+		t.Fatalf("capacity used %d, want %d", st.CapacityUsed, len(owner))
 	}
 }

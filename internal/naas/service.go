@@ -11,197 +11,79 @@
 // leases the switches to the tenant, and — extending the paper's model,
 // which has arrivals only — reclaims them when the tenant departs.
 //
+// Since the internal/sched subsystem landed, Service is a thin facade:
+// all admission, concurrency control, residual bookkeeping and
+// background re-packing live in sched.Scheduler (batched arrivals, a
+// pool of incremental SOAR engines, commit-time conflict resolution).
 // The HTTP API (server.go) exposes the service as a JSON control plane;
 // Client (client.go) is its Go consumer.
 package naas
 
 import (
-	"errors"
-	"fmt"
-	"sync"
-
-	"soar/internal/core"
-	"soar/internal/reduce"
+	"soar/internal/sched"
 	"soar/internal/topology"
 )
 
 // ErrNotFound is returned for operations on unknown tenant ids.
-var ErrNotFound = errors.New("naas: no such tenant")
+var ErrNotFound = sched.ErrNotFound
 
-// Lease describes one tenant's allocation.
-type Lease struct {
-	// ID is the service-assigned tenant identifier.
-	ID int64
-	// Blue lists the switch ids leased to the tenant for aggregation.
-	Blue []int
-	// K is the budget the tenant requested.
-	K int
-	// Phi is the utilization cost of the tenant's Reduce under the lease.
-	Phi float64
-	// AllRed is the tenant's utilization without any aggregation; the
-	// ratio Phi/AllRed is the value delivered.
-	AllRed float64
-	// Load is the tenant's per-switch server counts (kept for audits).
-	Load []int
-}
+// Lease describes one tenant's allocation. Leases are caller-owned
+// copies of the scheduler's records: mutating one cannot corrupt or
+// race the service's internal state.
+type Lease = sched.Lease
 
-// Ratio returns Phi/AllRed, the tenant's normalized utilization
-// (1 means the lease bought nothing; lower is better).
-func (l *Lease) Ratio() float64 {
-	if l.AllRed == 0 {
-		return 1
-	}
-	return l.Phi / l.AllRed
-}
+// Stats summarizes the service's state.
+type Stats = sched.Stats
 
 // Service is a concurrency-safe allocator over one physical tree.
 type Service struct {
-	mu       sync.Mutex
-	t        *topology.Tree
-	capacity []int // residual per switch
-	initial  []int
-	leases   map[int64]*Lease
-	nextID   int64
+	s *sched.Scheduler
 }
 
 // NewService creates a service over tree t where every switch can serve
-// at most capacity tenants simultaneously (capacity ≤ 0 means unlimited).
+// at most capacity tenants simultaneously (capacity ≤ 0 means
+// unlimited), with the scheduler's default batching, worker-pool and
+// re-packing settings. Callers must Close the service.
 func NewService(t *topology.Tree, capacity int) *Service {
-	s := &Service{
-		t:        t,
-		capacity: make([]int, t.N()),
-		initial:  make([]int, t.N()),
-		leases:   make(map[int64]*Lease),
-	}
-	for v := range s.capacity {
-		c := capacity
-		if capacity <= 0 {
-			c = int(^uint(0) >> 1)
-		}
-		s.capacity[v] = c
-		s.initial[v] = c
-	}
-	return s
+	return NewServiceWith(t, sched.Config{Capacity: capacity})
+}
+
+// NewServiceWith creates a service with full control over the
+// scheduler's configuration (batching window, engine-pool size,
+// background re-packing).
+func NewServiceWith(t *topology.Tree, cfg sched.Config) *Service {
+	return &Service{s: sched.New(t, cfg)}
 }
 
 // Tree returns the service's network.
-func (s *Service) Tree() *topology.Tree { return s.t }
+func (s *Service) Tree() *topology.Tree { return s.s.Tree() }
+
+// Scheduler exposes the underlying placement scheduler (metrics,
+// explicit re-packing).
+func (s *Service) Scheduler() *sched.Scheduler { return s.s }
+
+// Close stops the service's scheduler: pending requests are answered,
+// background goroutines exit, and later calls fail with
+// sched.ErrClosed.
+func (s *Service) Close() { s.s.Close() }
 
 // Place admits one tenant: it runs SOAR restricted to switches with
 // residual capacity, charges the chosen switches, and returns the lease.
 func (s *Service) Place(load []int, k int) (*Lease, error) {
-	if len(load) != s.t.N() {
-		return nil, fmt.Errorf("naas: load has %d entries for %d switches", len(load), s.t.N())
-	}
-	for v, l := range load {
-		if l < 0 {
-			return nil, fmt.Errorf("naas: negative load %d at switch %v", l, v)
-		}
-	}
-	if k < 0 {
-		return nil, fmt.Errorf("naas: negative budget %d", k)
-	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-
-	avail := make([]bool, s.t.N())
-	for v, c := range s.capacity {
-		avail[v] = c > 0
-	}
-	res := core.Solve(s.t, load, avail, k)
-	lease := &Lease{
-		ID:     s.nextID,
-		K:      k,
-		Phi:    res.Cost,
-		AllRed: reduce.Utilization(s.t, load, make([]bool, s.t.N())),
-		Load:   append([]int(nil), load...),
-	}
-	s.nextID++
-	for v, b := range res.Blue {
-		if b {
-			s.capacity[v]--
-			lease.Blue = append(lease.Blue, v)
-		}
-	}
-	s.leases[lease.ID] = lease
-	return lease, nil
+	return s.s.Place(load, k)
 }
 
 // Release ends a tenant's lease and reclaims its switches — the
 // departure half of the arrival/departure lifecycle (the paper's online
 // model covers arrivals only; see DESIGN.md).
-func (s *Service) Release(id int64) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	lease, ok := s.leases[id]
-	if !ok {
-		return ErrNotFound
-	}
-	for _, v := range lease.Blue {
-		s.capacity[v]++
-	}
-	delete(s.leases, id)
-	return nil
-}
+func (s *Service) Release(id int64) error { return s.s.Release(id) }
 
-// Lookup returns a copy of a lease.
-func (s *Service) Lookup(id int64) (*Lease, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	lease, ok := s.leases[id]
-	if !ok {
-		return nil, ErrNotFound
-	}
-	cp := *lease
-	cp.Blue = append([]int(nil), lease.Blue...)
-	cp.Load = append([]int(nil), lease.Load...)
-	return &cp, nil
-}
-
-// Stats summarizes the service's state.
-type Stats struct {
-	// Switches is the network size.
-	Switches int
-	// Tenants is the number of active leases.
-	Tenants int
-	// SwitchesInUse counts switches with at least one lease.
-	SwitchesInUse int
-	// CapacityUsed and CapacityTotal aggregate lease slots.
-	CapacityUsed  int64
-	CapacityTotal int64
-	// MeanRatio is the mean normalized utilization across active leases
-	// (1 if there are none).
-	MeanRatio float64
-}
+// Lookup returns a copy of a lease, reflecting any re-packer migration
+// since it was placed.
+func (s *Service) Lookup(id int64) (*Lease, error) { return s.s.Lookup(id) }
 
 // Snapshot returns current service statistics.
-func (s *Service) Snapshot() Stats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	st := Stats{Switches: s.t.N(), Tenants: len(s.leases)}
-	for v := range s.capacity {
-		used := s.initial[v] - s.capacity[v]
-		if used > 0 {
-			st.SwitchesInUse++
-		}
-		st.CapacityUsed += int64(used)
-		st.CapacityTotal += int64(s.initial[v])
-	}
-	if len(s.leases) == 0 {
-		st.MeanRatio = 1
-		return st
-	}
-	sum := 0.0
-	for _, l := range s.leases {
-		sum += l.Ratio()
-	}
-	st.MeanRatio = sum / float64(len(s.leases))
-	return st
-}
+func (s *Service) Snapshot() Stats { return s.s.Snapshot() }
 
 // Residual returns a copy of the per-switch residual capacities.
-func (s *Service) Residual() []int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return append([]int(nil), s.capacity...)
-}
+func (s *Service) Residual() []int { return s.s.Residual() }

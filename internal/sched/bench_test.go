@@ -1,0 +1,195 @@
+package sched
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"soar/internal/core"
+	"soar/internal/load"
+	"soar/internal/reduce"
+	"soar/internal/topology"
+)
+
+// mutexSerialService replicates the pre-scheduler naas.Service serving
+// path exactly: one big lock, a fresh availability vector and a
+// from-scratch core.Solve per admission. It is the baseline the
+// scheduler's throughput is measured against.
+type mutexSerialService struct {
+	mu       sync.Mutex
+	t        *topology.Tree
+	residual []int
+	leases   map[int64][]int
+	nextID   int64
+}
+
+func newMutexSerialService(t *topology.Tree, capacity int) *mutexSerialService {
+	s := &mutexSerialService{t: t, residual: make([]int, t.N()), leases: make(map[int64][]int)}
+	for v := range s.residual {
+		s.residual[v] = capacity
+	}
+	return s
+}
+
+func (s *mutexSerialService) place(loads []int, k int) int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	avail := make([]bool, s.t.N())
+	for v, c := range s.residual {
+		avail[v] = c > 0
+	}
+	res := core.Solve(s.t, loads, avail, k)
+	_ = reduce.Utilization(s.t, loads, make([]bool, s.t.N())) // the all-red normalizer every lease reports
+	id := s.nextID
+	s.nextID++
+	var blue []int
+	for v, b := range res.Blue {
+		if b {
+			s.residual[v]--
+			blue = append(blue, v)
+		}
+	}
+	s.leases[id] = blue
+	return id
+}
+
+func (s *mutexSerialService) release(id int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, v := range s.leases[id] {
+		s.residual[v]++
+	}
+	delete(s.leases, id)
+}
+
+// benchTenants pre-draws a pool of sparse tenant load vectors (each
+// tenant occupies `racks` leaves of the tree) so the measured loop does
+// no generation work.
+func benchTenants(tr *topology.Tree, n, racks int) [][]int {
+	rng := rand.New(rand.NewSource(17))
+	pool := make([][]int, n)
+	for i := range pool {
+		pool[i] = load.GenerateSparse(tr, load.PaperPowerLaw(), racks, rng)
+	}
+	return pool
+}
+
+// BenchmarkScheduler measures a parallel Place/Release mix at the
+// paper's largest evaluation network, BT(2048), with an 8-worker engine
+// pool, against the mutex-serialized from-scratch baseline (the
+// pre-scheduler naas.Service path). Tenants are sparse (8 racks each),
+// the regime a shared tree actually serves — and the one the patched
+// incremental engines exploit: expect several times the baseline's
+// throughput with 0 allocs per steady-state admission, on top of
+// whatever multi-core fan-out adds.
+func BenchmarkScheduler(b *testing.B) {
+	tr := topology.MustBT(2048)
+	const (
+		k        = 8
+		capacity = 64
+		racks    = 8
+		clients  = 8
+	)
+	pool := benchTenants(tr, 256, racks)
+
+	b.Run("scheduler/workers=8", func(b *testing.B) {
+		s := New(tr, Config{Capacity: capacity, Workers: 8})
+		defer s.Close()
+		var next int64
+		b.ReportAllocs()
+		b.SetParallelism(clients)
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			var lease Lease
+			i := int(nextSeed(&next)) * 31
+			for pb.Next() {
+				if err := s.PlaceInto(pool[i%len(pool)], k, &lease); err != nil {
+					b.Error(err)
+					return
+				}
+				if err := s.Release(lease.ID); err != nil {
+					b.Error(err)
+					return
+				}
+				i++
+			}
+		})
+	})
+
+	b.Run("baseline/mutex-serial", func(b *testing.B) {
+		s := newMutexSerialService(tr, capacity)
+		var next int64
+		b.ReportAllocs()
+		b.SetParallelism(clients)
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			i := int(nextSeed(&next)) * 31
+			for pb.Next() {
+				id := s.place(pool[i%len(pool)], k)
+				s.release(id)
+				i++
+			}
+		})
+	})
+}
+
+var seedMu sync.Mutex
+
+func nextSeed(next *int64) int64 {
+	seedMu.Lock()
+	defer seedMu.Unlock()
+	*next++
+	return *next
+}
+
+// BenchmarkSchedulerSteadyState isolates the single-stream admission
+// cost (one tenant in flight at a time): the floor the batching and
+// engine pool build on, and the configuration the 0-alloc claim is
+// strictest in.
+func BenchmarkSchedulerSteadyState(b *testing.B) {
+	tr := topology.MustBT(2048)
+	pool := benchTenants(tr, 256, 16)
+	s := New(tr, Config{Capacity: 64, Workers: 1})
+	defer s.Close()
+	var lease Lease
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.PlaceInto(pool[i%len(pool)], 8, &lease); err != nil {
+			b.Fatal(err)
+		}
+		if err := s.Release(lease.ID); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRepackRound measures one background re-packing round over a
+// fragmented BT(2048) tenant population with migration budget 16.
+func BenchmarkRepackRound(b *testing.B) {
+	tr := topology.MustBT(2048)
+	pool := benchTenants(tr, 128, 16)
+	s := New(tr, Config{Capacity: 2, Workers: 1})
+	defer s.Close()
+	var ids []int64
+	for _, loads := range pool {
+		lease, err := s.Place(loads, 8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ids = append(ids, lease.ID)
+	}
+	for i, id := range ids {
+		if i%2 == 0 {
+			if err := s.Release(id); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := s.RepackNow(16); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

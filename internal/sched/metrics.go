@@ -1,0 +1,150 @@
+package sched
+
+import (
+	"sort"
+	"time"
+
+	"soar/internal/stats"
+)
+
+// latWindow is the size of the sliding latency window the quantiles are
+// computed over. A power of two keeps the ring index cheap; 4096
+// requests is a few seconds of traffic at the throughputs the scheduler
+// sustains, which is the horizon tail-latency numbers are useful at.
+const latWindow = 4096
+
+// latRing is a fixed-size sliding window of request latencies, in
+// seconds. Recording is a store and an increment — no allocation, so
+// the admission fast path can afford it unconditionally.
+type latRing struct {
+	buf [latWindow]float64
+	n   uint64 // total recorded; buf holds the last min(n, latWindow)
+}
+
+func (r *latRing) record(d time.Duration) {
+	r.buf[r.n%latWindow] = d.Seconds()
+	r.n++
+}
+
+// snapshot appends the window's values to dst and returns it.
+func (r *latRing) snapshot(dst []float64) []float64 {
+	n := min(r.n, latWindow)
+	return append(dst, r.buf[:n]...)
+}
+
+// metrics is the scheduler-internal counter state, guarded by
+// Scheduler.mu.
+type metrics struct {
+	placed    uint64
+	released  uint64
+	notFound  uint64
+	conflicts uint64
+
+	batches  uint64
+	batchSum uint64
+	batchMax int
+
+	placeLat   latRing
+	releaseLat latRing
+
+	repackRounds uint64
+	repackMoves  uint64
+	phiRecovered float64
+
+	started time.Time
+}
+
+func (m *metrics) notePlace(d time.Duration) {
+	m.placed++
+	m.placeLat.record(d)
+}
+
+func (m *metrics) noteRelease(ok bool, d time.Duration) {
+	if ok {
+		m.released++
+	} else {
+		m.notFound++
+	}
+	m.releaseLat.record(d)
+}
+
+func (m *metrics) noteBatch(size int) {
+	m.batches++
+	m.batchSum += uint64(size)
+	if size > m.batchMax {
+		m.batchMax = size
+	}
+}
+
+func (m *metrics) noteRepack(moved int, recovered float64) {
+	m.repackRounds++
+	m.repackMoves += uint64(moved)
+	m.phiRecovered += recovered
+}
+
+// Metrics is a point-in-time summary of the scheduler's request stream.
+// Latency quantiles are computed over a sliding window of the most
+// recent latWindow requests of each kind.
+type Metrics struct {
+	// Placed and Released count successful admissions and releases;
+	// NotFound counts releases of unknown tenants and Rejected counts
+	// requests that failed validation before reaching the queue.
+	Placed, Released, NotFound, Rejected uint64
+	// Conflicts counts batch placements that lost a capacity race to an
+	// earlier member of their own batch and were re-solved at commit.
+	Conflicts uint64
+	// Batches, MeanBatch and MaxBatch describe how well the batching
+	// window coalesces the request stream.
+	Batches   uint64
+	MeanBatch float64
+	MaxBatch  int
+	// PlaceP50/P95/P99 are admission latency quantiles (submission to
+	// commit); ReleaseP50 is the release median.
+	PlaceP50, PlaceP95, PlaceP99 time.Duration
+	ReleaseP50                   time.Duration
+	// PlacePerSec is the lifetime admission throughput.
+	PlacePerSec float64
+	// RepackRounds/RepackMoves/PhiRecovered summarize the background
+	// re-packer: rounds run, tenants migrated, and the aggregate Φ
+	// (network utilization cost) those migrations recovered.
+	RepackRounds uint64
+	RepackMoves  uint64
+	PhiRecovered float64
+}
+
+// Metrics returns current request-stream statistics.
+func (s *Scheduler) Metrics() Metrics {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m := Metrics{
+		Placed:       s.met.placed,
+		Released:     s.met.released,
+		NotFound:     s.met.notFound,
+		Rejected:     s.rejected.Load(),
+		Conflicts:    s.met.conflicts,
+		Batches:      s.met.batches,
+		MaxBatch:     s.met.batchMax,
+		RepackRounds: s.met.repackRounds,
+		RepackMoves:  s.met.repackMoves,
+		PhiRecovered: s.met.phiRecovered,
+	}
+	if s.met.batches > 0 {
+		m.MeanBatch = float64(s.met.batchSum) / float64(s.met.batches)
+	}
+	if elapsed := time.Since(s.met.started).Seconds(); elapsed > 0 {
+		m.PlacePerSec = float64(s.met.placed) / elapsed
+	}
+	lat := s.met.placeLat.snapshot(nil)
+	sort.Float64s(lat)
+	m.PlaceP50 = secondsToDuration(stats.QuantileSorted(lat, 0.50))
+	m.PlaceP95 = secondsToDuration(stats.QuantileSorted(lat, 0.95))
+	m.PlaceP99 = secondsToDuration(stats.QuantileSorted(lat, 0.99))
+	rel := s.met.releaseLat.snapshot(nil)
+	sort.Float64s(rel)
+	m.ReleaseP50 = secondsToDuration(stats.QuantileSorted(rel, 0.50))
+	return m
+}
+
+func secondsToDuration(s float64) time.Duration {
+	return time.Duration(s * float64(time.Second))
+}

@@ -1,0 +1,119 @@
+package sched
+
+import (
+	"sort"
+	"time"
+
+	"soar/internal/core"
+)
+
+// The background re-packer. The online model is arrival-only in the
+// paper; once departures exist (Release), early tenants keep the
+// placements they were given under *old* contention, and the capacity
+// departures free is only picked up by new arrivals. A fragmented
+// steady state follows: the availability set is rich again, but
+// standing tenants still pay the φ of the congested past.
+//
+// A re-packing round undoes a bounded amount of that: it considers
+// tenants in decreasing order of their current normalized utilization
+// (worst value delivered first), re-solves each against today's
+// residual capacity with the tenant's own switches temporarily freed,
+// and migrates the tenant only if the fresh placement improves its φ by
+// the configured margin. At most MaxMoves tenants migrate per round —
+// the migration budget m — because each move is data-plane churn
+// (aggregation state moves between switches); the loop also yields as
+// soon as foreground requests queue up, keeping re-packing strictly
+// low-priority.
+
+// repackTicker drives periodic rounds through the request queue so that
+// all ledger mutation stays on the dispatcher goroutine.
+func (s *Scheduler) repackTicker() {
+	defer s.bg.Done()
+	ticker := time.NewTicker(s.cfg.Repack.Every)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-ticker.C:
+			// Synchronous: a slow round naturally back-pressures the
+			// ticker instead of piling up repack requests.
+			s.RepackNow(0)
+		}
+	}
+}
+
+// repackLocked runs one re-packing round. Callers hold s.mu; the
+// dispatcher is the only caller, so the background engine and the
+// ledger are safe to use. Returns the number of tenants migrated and
+// the aggregate Φ recovered.
+func (s *Scheduler) repackLocked(maxMoves int) (moved int, recovered float64) {
+	if maxMoves <= 0 {
+		maxMoves = s.cfg.Repack.MaxMoves
+	}
+	if len(s.leases) == 0 {
+		s.met.noteRepack(0, 0)
+		return 0, 0
+	}
+	// Worst value delivered first; ids break ties so rounds are
+	// deterministic for a given lease set.
+	type cand struct {
+		id    int64
+		ratio float64
+	}
+	cands := make([]cand, 0, len(s.leases))
+	for id, ten := range s.leases {
+		cands = append(cands, cand{id, ten.ratio()})
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].ratio != cands[j].ratio {
+			return cands[i].ratio > cands[j].ratio
+		}
+		return cands[i].id < cands[j].id
+	})
+
+	// A round inspects at most scanBudget candidates: solving is the
+	// expensive part, and a round that cannot find improvements among
+	// the worst-off tenants should end, not scan the whole tenant set.
+	scanBudget := 4 * maxMoves
+	for _, c := range cands {
+		if moved >= maxMoves || scanBudget == 0 {
+			break
+		}
+		if len(s.reqs) > 0 {
+			break // foreground traffic waiting: yield
+		}
+		scanBudget--
+		ten := s.leases[c.id]
+		// Free the tenant's own slots so the solver may keep any of them.
+		for _, v := range ten.blue {
+			s.ledger.Credit(v)
+		}
+		if s.bgEng == nil || s.bgEng.K() != ten.k {
+			s.bgEng = core.NewIncremental(s.t, ten.load, s.ledger.Avail(), ten.k)
+		} else {
+			s.bgEng.SetLoads(ten.load)
+			s.bgEng.SetAvails(s.ledger.Avail())
+		}
+		newPhi := s.bgEng.SolveInto(s.bgBlue)
+		if newPhi < ten.phi*(1-s.cfg.Repack.MinGain) && newPhi < ten.phi {
+			moved++
+			recovered += ten.phi - newPhi
+			ten.phi = newPhi
+			ten.blue = ten.blue[:0]
+			for v, b := range s.bgBlue {
+				if b {
+					s.ledger.Charge(v)
+					ten.blue = append(ten.blue, v)
+				}
+			}
+		} else {
+			// Not worth the churn: restore the tenant's slots untouched.
+			for _, v := range ten.blue {
+				s.ledger.Charge(v)
+			}
+		}
+	}
+	s.met.noteRepack(moved, recovered)
+	return moved, recovered
+}

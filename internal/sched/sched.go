@@ -1,0 +1,640 @@
+// Package sched turns SOAR into a concurrent multi-tenant placement
+// service: the serving layer between the paper's Sec. 5.2 online model
+// and a NaaS control plane that must absorb many simultaneous request
+// streams (the contention regime studied in the follow-up "Constrained
+// In-network Computing with Low Congestion in Datacenter Networks").
+//
+// A Scheduler owns one tree network plus its per-switch lease capacities
+// (a Ledger) and admits Place/Release requests from any number of
+// goroutines. Requests are coalesced inside a short batching window and
+// dispatched to a pool of reusable core.Incremental engines — one per
+// worker, patched with load and availability deltas via SetLoads /
+// SetAvails instead of re-solving from scratch — so steady-state
+// admission is allocation-free and the solves of one batch run in
+// parallel. Commits are serialized in arrival order against the ledger;
+// a batch member whose optimistically-solved placement lost a capacity
+// race to an earlier member is transparently re-solved against the
+// updated availability set, so leases never oversubscribe a switch.
+//
+// A background re-packer (repack.go) periodically undoes the
+// fragmentation that tenant departures leave behind: it re-solves the
+// worst-ratio tenants against the freed capacity under a bounded
+// migration budget (at most m tenants moved per round) and reports the
+// aggregate Φ recovered. Per-request latency and throughput metrics
+// (metrics.go) are built on internal/stats.
+//
+// Driven single-threaded, the scheduler is observably identical to the
+// sequential online model: one request per batch, solved against the
+// current residual capacities by an engine whose tables are bitwise
+// equal to a from-scratch SOAR-Gather (see TestSchedulerMatchesSequential).
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"soar/internal/core"
+	"soar/internal/topology"
+)
+
+// ErrNotFound is returned for operations on unknown tenant ids.
+var ErrNotFound = errors.New("sched: no such tenant")
+
+// ErrClosed is returned for requests submitted to a closed scheduler.
+var ErrClosed = errors.New("sched: scheduler closed")
+
+// Lease describes one tenant's allocation. Leases returned by Place and
+// Lookup are caller-owned copies: mutating them cannot corrupt (or race
+// with) the scheduler's internal state, and the re-packer migrating the
+// tenant does not mutate them either — re-Lookup to observe migrations.
+type Lease struct {
+	// ID is the scheduler-assigned tenant identifier.
+	ID int64
+	// Blue lists the switch ids leased to the tenant for aggregation.
+	Blue []int
+	// K is the budget the tenant requested.
+	K int
+	// Phi is the utilization cost of the tenant's Reduce under the lease.
+	Phi float64
+	// AllRed is the tenant's utilization without any aggregation; the
+	// ratio Phi/AllRed is the value delivered.
+	AllRed float64
+	// Load is the tenant's per-switch server counts (kept for audits).
+	Load []int
+}
+
+// Ratio returns Phi/AllRed, the tenant's normalized utilization
+// (1 means the lease bought nothing; lower is better).
+func (l *Lease) Ratio() float64 {
+	if l.AllRed == 0 {
+		return 1
+	}
+	return l.Phi / l.AllRed
+}
+
+// Stats summarizes the scheduler's state.
+type Stats struct {
+	// Switches is the network size.
+	Switches int
+	// Tenants is the number of active leases.
+	Tenants int
+	// SwitchesInUse counts switches with at least one lease.
+	SwitchesInUse int
+	// CapacityUsed and CapacityTotal aggregate lease slots.
+	CapacityUsed  int64
+	CapacityTotal int64
+	// MeanRatio is the mean normalized utilization across active leases
+	// (1 if there are none).
+	MeanRatio float64
+}
+
+// RepackConfig tunes the background re-packer.
+type RepackConfig struct {
+	// Every is the period between re-packing rounds; ≤ 0 disables the
+	// background loop (RepackNow still works).
+	Every time.Duration
+	// MaxMoves is the migration budget m: at most this many tenants are
+	// moved per round (default 8). Bounding m keeps the data-plane churn
+	// of a round predictable.
+	MaxMoves int
+	// MinGain is the relative Φ improvement required to migrate a
+	// tenant: a move happens only if newΦ < oldΦ·(1−MinGain). Zero means
+	// any strict improvement.
+	MinGain float64
+}
+
+// Config tunes a Scheduler. The zero value is usable: unlimited
+// capacity, one worker per CPU, no batching delay, no background
+// re-packing.
+type Config struct {
+	// Capacity is the uniform per-switch lease capacity (≤ 0 unlimited).
+	Capacity int
+	// Workers is the engine-pool size: the number of concurrent SOAR
+	// solves (default GOMAXPROCS). Each worker owns one reusable
+	// core.Incremental engine.
+	Workers int
+	// Window is the batching window: after the first request of a batch
+	// arrives, the dispatcher keeps admitting requests into the batch for
+	// this long before solving. 0 still coalesces whatever is already
+	// queued, without waiting.
+	Window time.Duration
+	// QueueDepth bounds the number of buffered requests (default
+	// max(64, 4·Workers)); submitters beyond it block.
+	QueueDepth int
+	// Repack tunes the background re-packer.
+	Repack RepackConfig
+}
+
+type opcode uint8
+
+const (
+	opPlace opcode = iota
+	opRelease
+	opRepack
+)
+
+// request is one queued operation. Requests are pooled: the submitting
+// goroutine owns the request until it is handed to the queue, the
+// dispatcher owns it until the response is signalled on done, and the
+// submitter reclaims it afterwards — so a steady-state round trip
+// allocates nothing.
+type request struct {
+	op opcode
+	// place inputs: load is borrowed from the caller for the duration of
+	// the call (the caller blocks until done), lease is the caller-owned
+	// destination commit fills in.
+	load  []int
+	k     int // place: budget; repack: migration budget override
+	lease *Lease
+	// release input
+	id int64
+	// solver outputs
+	blue   []bool
+	phi    float64
+	allRed float64
+	// repack outputs
+	moved     int
+	recovered float64
+
+	err  error
+	t0   time.Time
+	done chan struct{}
+}
+
+// tenant is the scheduler-internal lease record. It never escapes:
+// Lookup and Place hand out copies, so the re-packer may mutate blue and
+// phi freely. Records are pooled across the place/release lifecycle.
+type tenant struct {
+	id     int64
+	k      int
+	phi    float64
+	allRed float64
+	blue   []int
+	load   []int
+}
+
+func (t *tenant) ratio() float64 {
+	if t.allRed == 0 {
+		return 1
+	}
+	return t.phi / t.allRed
+}
+
+// Scheduler is a concurrent multi-tenant placement service over one
+// tree. Construct with New; stop with Close. All exported methods are
+// safe for concurrent use.
+type Scheduler struct {
+	t   *topology.Tree
+	cfg Config
+
+	reqs     chan *request
+	stop     chan struct{}
+	bg       sync.WaitGroup // dispatcher + workers + re-pack ticker
+	closeMu  sync.RWMutex   // write-held only by Close to flip closed
+	closed   bool
+	inflight sync.WaitGroup // submitted requests not yet answered
+
+	reqPool sync.Pool
+	tenPool sync.Pool
+
+	// Dispatch state. Touched only by the dispatcher goroutine; workers
+	// read places/ledger.avail strictly inside the wake→batchWG window,
+	// during which the dispatcher is quiescent.
+	workers   []*worker
+	batch     []*request
+	places    []*request
+	batchNext atomic.Int64
+	batchWG   sync.WaitGroup
+	bgEng     *core.Incremental // dispatcher-owned: single solves, conflicts, re-packing
+	bgBlue    []bool
+	timer     *time.Timer
+
+	mu     sync.Mutex // guards ledger, leases, nextID, met
+	ledger *Ledger
+	leases map[int64]*tenant
+	nextID int64
+	met    metrics
+
+	rejected atomic.Uint64 // requests failing validation (pre-queue)
+}
+
+// New creates a scheduler over tree t and starts its dispatcher, worker
+// pool and (if configured) re-packer. Callers must Close it.
+func New(t *topology.Tree, cfg Config) *Scheduler {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = max(64, 4*cfg.Workers)
+	}
+	if cfg.Repack.MaxMoves <= 0 {
+		cfg.Repack.MaxMoves = 8
+	}
+	s := &Scheduler{
+		t:      t,
+		cfg:    cfg,
+		reqs:   make(chan *request, cfg.QueueDepth),
+		stop:   make(chan struct{}),
+		ledger: NewLedger(t.N(), cfg.Capacity),
+		leases: make(map[int64]*tenant),
+		bgBlue: make([]bool, t.N()),
+		timer:  time.NewTimer(time.Hour),
+	}
+	s.timer.Stop()
+	s.met.started = time.Now()
+	s.reqPool.New = func() any { return &request{done: make(chan struct{}, 1)} }
+	s.tenPool.New = func() any { return new(tenant) }
+	s.workers = make([]*worker, cfg.Workers)
+	for i := range s.workers {
+		s.workers[i] = &worker{s: s, wake: make(chan struct{}, 1)}
+	}
+	s.bg.Add(1 + len(s.workers))
+	go s.dispatch()
+	for _, w := range s.workers {
+		go w.loop()
+	}
+	if cfg.Repack.Every > 0 {
+		s.bg.Add(1)
+		go s.repackTicker()
+	}
+	return s
+}
+
+// Tree returns the scheduler's network.
+func (s *Scheduler) Tree() *topology.Tree { return s.t }
+
+// Close stops the scheduler: in-flight and queued requests are answered
+// (with ErrClosed if they had not been admitted yet), background
+// goroutines exit, and subsequent requests fail with ErrClosed. Close is
+// idempotent and safe to call concurrently with Place/Release.
+func (s *Scheduler) Close() {
+	s.closeMu.Lock()
+	if s.closed {
+		s.closeMu.Unlock()
+		return
+	}
+	s.closed = true
+	s.closeMu.Unlock()
+	close(s.stop)
+	s.bg.Wait()
+}
+
+// submit enqueues r unless the scheduler is closed. On success the
+// caller must wait on r.done and then call finish.
+func (s *Scheduler) submit(r *request) error {
+	s.closeMu.RLock()
+	if s.closed {
+		s.closeMu.RUnlock()
+		return ErrClosed
+	}
+	s.inflight.Add(1)
+	s.reqs <- r
+	s.closeMu.RUnlock()
+	return nil
+}
+
+// finish reclaims an answered request.
+func (s *Scheduler) finish(r *request) {
+	r.load = nil
+	r.lease = nil
+	r.err = nil
+	s.reqPool.Put(r)
+	s.inflight.Done()
+}
+
+// PlaceInto admits one tenant, filling the caller-owned lease in place
+// (its Blue and Load slices are reused if they have capacity, which is
+// what makes steady-state admission allocation-free). load is borrowed
+// for the duration of the call and not retained. It returns ErrClosed
+// after Close, or a validation error for malformed input.
+func (s *Scheduler) PlaceInto(load []int, k int, lease *Lease) error {
+	if lease == nil {
+		panic("sched: PlaceInto with nil lease")
+	}
+	if len(load) != s.t.N() {
+		s.rejected.Add(1)
+		return fmt.Errorf("sched: load has %d entries for %d switches", len(load), s.t.N())
+	}
+	for v, l := range load {
+		if l < 0 {
+			s.rejected.Add(1)
+			return fmt.Errorf("sched: negative load %d at switch %d", l, v)
+		}
+	}
+	if k < 0 {
+		s.rejected.Add(1)
+		return fmt.Errorf("sched: negative budget %d", k)
+	}
+	r := s.reqPool.Get().(*request)
+	r.op, r.load, r.k, r.lease, r.t0 = opPlace, load, k, lease, time.Now()
+	if err := s.submit(r); err != nil {
+		s.reqPool.Put(r)
+		return err
+	}
+	<-r.done
+	err := r.err
+	s.finish(r)
+	return err
+}
+
+// Place admits one tenant and returns its lease.
+func (s *Scheduler) Place(load []int, k int) (*Lease, error) {
+	lease := new(Lease)
+	if err := s.PlaceInto(load, k, lease); err != nil {
+		return nil, err
+	}
+	return lease, nil
+}
+
+// Release ends a tenant's lease and reclaims its switches.
+func (s *Scheduler) Release(id int64) error {
+	r := s.reqPool.Get().(*request)
+	r.op, r.id, r.t0 = opRelease, id, time.Now()
+	if err := s.submit(r); err != nil {
+		s.reqPool.Put(r)
+		return err
+	}
+	<-r.done
+	err := r.err
+	s.finish(r)
+	return err
+}
+
+// RepackNow runs one synchronous re-packing round with the given
+// migration budget (≤ 0 uses the configured MaxMoves) and returns the
+// number of tenants moved and the aggregate Φ recovered.
+func (s *Scheduler) RepackNow(maxMoves int) (moved int, recovered float64, err error) {
+	r := s.reqPool.Get().(*request)
+	r.op, r.k, r.t0 = opRepack, maxMoves, time.Now()
+	if err := s.submit(r); err != nil {
+		s.reqPool.Put(r)
+		return 0, 0, err
+	}
+	<-r.done
+	moved, recovered, err = r.moved, r.recovered, r.err
+	s.finish(r)
+	return moved, recovered, err
+}
+
+// Lookup returns a copy of a lease. The copy reflects the tenant's
+// current placement (the re-packer may have migrated it since Place).
+func (s *Scheduler) Lookup(id int64) (*Lease, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ten, ok := s.leases[id]
+	if !ok {
+		return nil, ErrNotFound
+	}
+	return &Lease{
+		ID:     ten.id,
+		Blue:   append([]int(nil), ten.blue...),
+		K:      ten.k,
+		Phi:    ten.phi,
+		AllRed: ten.allRed,
+		Load:   append([]int(nil), ten.load...),
+	}, nil
+}
+
+// Residual returns a copy of the per-switch residual capacities.
+func (s *Scheduler) Residual() []int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ledger.Residuals(nil)
+}
+
+// Snapshot returns current scheduler statistics.
+func (s *Scheduler) Snapshot() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := Stats{Switches: s.t.N(), Tenants: len(s.leases)}
+	for v := 0; v < s.ledger.N(); v++ {
+		used := s.ledger.Used(v)
+		if used > 0 {
+			st.SwitchesInUse++
+		}
+		st.CapacityUsed += int64(used)
+		st.CapacityTotal += int64(s.ledger.Initial(v))
+	}
+	if len(s.leases) == 0 {
+		st.MeanRatio = 1
+		return st
+	}
+	sum := 0.0
+	for _, ten := range s.leases {
+		sum += ten.ratio()
+	}
+	st.MeanRatio = sum / float64(len(s.leases))
+	return st
+}
+
+// --- dispatcher -------------------------------------------------------
+
+// dispatch is the scheduler's serialization point: it owns batch
+// formation, commit order and all ledger/lease mutation (the re-packer
+// included), so the solve fan-out is the only concurrent part of the
+// pipeline.
+func (s *Scheduler) dispatch() {
+	defer s.bg.Done()
+	defer func() {
+		for _, w := range s.workers {
+			close(w.wake)
+		}
+	}()
+	for {
+		select {
+		case <-s.stop:
+			s.drainAndFail()
+			return
+		case r := <-s.reqs:
+			s.collectBatch(r)
+			s.runBatch()
+		}
+	}
+}
+
+// collectBatch forms one batch: the first request, everything that
+// arrives inside the batching window, and everything already queued.
+func (s *Scheduler) collectBatch(first *request) {
+	s.batch = append(s.batch[:0], first)
+	if s.cfg.Window > 0 {
+		s.timer.Reset(s.cfg.Window)
+		for open := true; open; {
+			select {
+			case r := <-s.reqs:
+				s.batch = append(s.batch, r)
+			case <-s.timer.C:
+				open = false
+			case <-s.stop:
+				// Finish this batch; the main loop fails the rest.
+				s.timer.Stop()
+				open = false
+			}
+		}
+	}
+	for {
+		select {
+		case r := <-s.reqs:
+			s.batch = append(s.batch, r)
+		default:
+			return
+		}
+	}
+}
+
+// runBatch executes one batch: releases (and explicit re-pack requests)
+// first in arrival order, then all placements solved in parallel against
+// the resulting availability snapshot, then commits in arrival order.
+func (s *Scheduler) runBatch() {
+	s.places = s.places[:0]
+	s.mu.Lock()
+	for _, r := range s.batch {
+		switch r.op {
+		case opRelease:
+			r.err = s.releaseLocked(r.id)
+			s.met.noteRelease(r.err == nil, time.Since(r.t0))
+		case opRepack:
+			r.moved, r.recovered = s.repackLocked(r.k)
+		case opPlace:
+			s.places = append(s.places, r)
+		}
+	}
+	s.met.noteBatch(len(s.batch))
+	s.mu.Unlock()
+	for _, r := range s.batch {
+		if r.op != opPlace {
+			r.done <- struct{}{}
+		}
+	}
+	if len(s.places) == 0 {
+		return
+	}
+
+	// Solve phase: every placement is solved against the same
+	// availability snapshot; the ledger is quiescent until batchWG is
+	// done, so workers read it without locks.
+	if len(s.places) == 1 {
+		s.bgEng = s.solveOn(s.bgEng, s.places[0])
+	} else {
+		s.batchNext.Store(0)
+		n := min(len(s.places), len(s.workers))
+		s.batchWG.Add(n)
+		for i := 0; i < n; i++ {
+			s.workers[i].wake <- struct{}{}
+		}
+		s.batchWG.Wait()
+	}
+
+	// Commit phase, in arrival order.
+	s.mu.Lock()
+	for _, r := range s.places {
+		s.commitLocked(r)
+	}
+	s.mu.Unlock()
+	for _, r := range s.places {
+		r.done <- struct{}{}
+	}
+}
+
+// solveOn solves r's placement on eng — rebuilding it only if the
+// budget changed, otherwise patching loads and availability in place —
+// and records the outputs on r. It returns the (possibly rebuilt)
+// engine.
+func (s *Scheduler) solveOn(eng *core.Incremental, r *request) *core.Incremental {
+	if eng == nil || eng.K() != r.k {
+		eng = core.NewIncremental(s.t, r.load, s.ledger.Avail(), r.k)
+	} else {
+		eng.SetLoads(r.load)
+		eng.SetAvails(s.ledger.Avail())
+	}
+	if cap(r.blue) < s.t.N() {
+		r.blue = make([]bool, s.t.N())
+	}
+	r.blue = r.blue[:s.t.N()]
+	r.phi = eng.SolveInto(r.blue)
+	r.allRed = s.allRed(r.load)
+	return eng
+}
+
+// allRed returns φ with no aggregation at all: every server's messages
+// pay the full path to the destination. Equal to
+// reduce.Utilization(t, load, no-blues) without the O(n) allocation.
+func (s *Scheduler) allRed(load []int) float64 {
+	var phi float64
+	for v, l := range load {
+		if l != 0 {
+			phi += float64(l) * s.t.RhoUp(v, s.t.Depth(v))
+		}
+	}
+	return phi
+}
+
+// commitLocked charges r's placement against the ledger and creates the
+// lease. If an earlier commit of this batch exhausted a switch the
+// optimistic solve picked, the placement is re-solved against the
+// updated availability set first — the slow path that keeps optimistic
+// batch parallelism oversubscription-free.
+func (s *Scheduler) commitLocked(r *request) {
+	for v, b := range r.blue {
+		if b && s.ledger.Residual(v) <= 0 {
+			s.met.conflicts++
+			s.bgEng = s.solveOn(s.bgEng, r)
+			break
+		}
+	}
+	ten := s.tenPool.Get().(*tenant)
+	ten.id = s.nextID
+	s.nextID++
+	ten.k = r.k
+	ten.phi = r.phi
+	ten.allRed = r.allRed
+	ten.blue = ten.blue[:0]
+	ten.load = append(ten.load[:0], r.load...)
+	for v, b := range r.blue {
+		if b {
+			s.ledger.Charge(v)
+			ten.blue = append(ten.blue, v)
+		}
+	}
+	s.leases[ten.id] = ten
+
+	l := r.lease
+	l.ID = ten.id
+	l.K = ten.k
+	l.Phi = ten.phi
+	l.AllRed = ten.allRed
+	l.Blue = append(l.Blue[:0], ten.blue...)
+	l.Load = append(l.Load[:0], r.load...)
+	s.met.notePlace(time.Since(r.t0))
+}
+
+// releaseLocked reclaims a tenant's switches.
+func (s *Scheduler) releaseLocked(id int64) error {
+	ten, ok := s.leases[id]
+	if !ok {
+		return ErrNotFound
+	}
+	for _, v := range ten.blue {
+		s.ledger.Credit(v)
+	}
+	delete(s.leases, id)
+	s.tenPool.Put(ten)
+	return nil
+}
+
+// drainAndFail answers every queued and late-arriving request with
+// ErrClosed, then returns once no submitter is in flight.
+func (s *Scheduler) drainAndFail() {
+	go func() {
+		s.inflight.Wait()
+		close(s.reqs)
+	}()
+	for r := range s.reqs {
+		r.err = ErrClosed
+		r.moved, r.recovered = 0, 0
+		r.done <- struct{}{}
+	}
+}

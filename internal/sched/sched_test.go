@@ -1,0 +1,408 @@
+package sched
+
+import (
+	"errors"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"soar/internal/core"
+	"soar/internal/load"
+	"soar/internal/paper"
+	"soar/internal/reduce"
+	"soar/internal/topology"
+)
+
+// seqBaseline replicates the pre-scheduler serving path: one mutex-free
+// sequential loop running a from-scratch core.Solve per arrival against
+// the residual capacities — the Sec. 5.2 online model verbatim. The
+// scheduler must be observably identical to it for single-threaded
+// request orders.
+type seqBaseline struct {
+	t        *topology.Tree
+	residual []int
+	leases   map[int64][]int
+	nextID   int64
+}
+
+func newSeqBaseline(t *topology.Tree, capacity int) *seqBaseline {
+	b := &seqBaseline{t: t, residual: make([]int, t.N()), leases: make(map[int64][]int)}
+	for v := range b.residual {
+		b.residual[v] = capacity
+	}
+	return b
+}
+
+func (b *seqBaseline) place(loads []int, k int) *Lease {
+	avail := make([]bool, b.t.N())
+	for v, c := range b.residual {
+		avail[v] = c > 0
+	}
+	res := core.Solve(b.t, loads, avail, k)
+	lease := &Lease{
+		ID:     b.nextID,
+		K:      k,
+		Phi:    res.Cost,
+		AllRed: reduce.Utilization(b.t, loads, make([]bool, b.t.N())),
+		Load:   append([]int(nil), loads...),
+	}
+	b.nextID++
+	for v, blue := range res.Blue {
+		if blue {
+			b.residual[v]--
+			lease.Blue = append(lease.Blue, v)
+		}
+	}
+	b.leases[lease.ID] = lease.Blue
+	return lease
+}
+
+func (b *seqBaseline) release(id int64) bool {
+	blue, ok := b.leases[id]
+	if !ok {
+		return false
+	}
+	for _, v := range blue {
+		b.residual[v]++
+	}
+	delete(b.leases, id)
+	return true
+}
+
+// TestSchedulerMatchesSequential is the equivalence acceptance test:
+// for an identical single-threaded order of Place/Release requests, the
+// scheduler issues leases identical (ids, switches, φ, all-red) to the
+// sequential from-scratch baseline, and ends in the same residual
+// state. Run twice: with no batching window and with one, since the
+// window only changes coalescing, never results.
+func TestSchedulerMatchesSequential(t *testing.T) {
+	for _, window := range []time.Duration{0, 200 * time.Microsecond} {
+		tr := topology.MustBT(128)
+		s := New(tr, Config{Capacity: 2, Workers: 3, Window: window})
+		base := newSeqBaseline(tr, 2)
+		rng := rand.New(rand.NewSource(42))
+		var live []int64
+
+		for step := 0; step < 160; step++ {
+			if len(live) > 0 && rng.Intn(5) < 2 {
+				id := live[rng.Intn(len(live))]
+				gotErr := s.Release(id)
+				if ok := base.release(id); ok != (gotErr == nil) {
+					t.Fatalf("window=%v step %d: release(%d) scheduler err=%v baseline ok=%v", window, step, id, gotErr, ok)
+				}
+				for i, l := range live {
+					if l == id {
+						live = append(live[:i], live[i+1:]...)
+						break
+					}
+				}
+				continue
+			}
+			loads := load.GenerateSparse(tr, load.PaperPowerLaw(), 4+rng.Intn(8), rng)
+			k := []int{2, 4, 8}[rng.Intn(3)]
+			got, err := s.Place(loads, k)
+			if err != nil {
+				t.Fatalf("window=%v step %d: place: %v", window, step, err)
+			}
+			want := base.place(loads, k)
+			if got.ID != want.ID || got.K != want.K || got.Phi != want.Phi || got.AllRed != want.AllRed {
+				t.Fatalf("window=%v step %d: lease %+v, want %+v", window, step, got, want)
+			}
+			if !reflect.DeepEqual(got.Blue, want.Blue) {
+				t.Fatalf("window=%v step %d: blue %v, want %v", window, step, got.Blue, want.Blue)
+			}
+			if !reflect.DeepEqual(got.Load, want.Load) {
+				t.Fatalf("window=%v step %d: lease load mismatch", window, step)
+			}
+			live = append(live, got.ID)
+		}
+		if got := s.Residual(); !reflect.DeepEqual(got, base.residual) {
+			t.Fatalf("window=%v: final residuals diverge", window)
+		}
+		st := s.Snapshot()
+		if st.Tenants != len(base.leases) {
+			t.Fatalf("window=%v: %d tenants, want %d", window, st.Tenants, len(base.leases))
+		}
+		s.Close()
+	}
+}
+
+// TestConcurrentPlaceRelease hammers the scheduler from many goroutines
+// and then audits the ledger: residuals never negative, and the slots
+// in use equal exactly the switches held by live leases.
+func TestConcurrentPlaceRelease(t *testing.T) {
+	tr := topology.MustBT(64)
+	s := New(tr, Config{Capacity: 2, Workers: 4, Window: 100 * time.Microsecond})
+	defer s.Close()
+
+	const goroutines = 8
+	var mu sync.Mutex
+	live := make(map[int64][]int)
+
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			var lease Lease
+			var mine []int64
+			for i := 0; i < 25; i++ {
+				loads := load.GenerateSparse(tr, load.PaperUniform(), 4, rng)
+				if err := s.PlaceInto(loads, 4, &lease); err != nil {
+					t.Error(err)
+					return
+				}
+				mu.Lock()
+				live[lease.ID] = append([]int(nil), lease.Blue...)
+				mu.Unlock()
+				mine = append(mine, lease.ID)
+				if rng.Intn(2) == 0 {
+					id := mine[rng.Intn(len(mine))]
+					mu.Lock()
+					_, held := live[id]
+					delete(live, id)
+					mu.Unlock()
+					if held {
+						if err := s.Release(id); err != nil {
+							t.Errorf("release(%d): %v", id, err)
+							return
+						}
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	// Audit: the re-packer is off, so live leases still hold exactly the
+	// switches they were granted.
+	used := make([]int, tr.N())
+	for id, blue := range live {
+		got, err := s.Lookup(id)
+		if err != nil {
+			t.Fatalf("lookup(%d): %v", id, err)
+		}
+		if !reflect.DeepEqual(got.Blue, blue) {
+			t.Fatalf("lease %d drifted: %v vs %v", id, got.Blue, blue)
+		}
+		for _, v := range blue {
+			used[v]++
+		}
+	}
+	for v, res := range s.Residual() {
+		if res < 0 {
+			t.Fatalf("switch %d oversubscribed: residual %d", v, res)
+		}
+		if res != 2-used[v] {
+			t.Fatalf("switch %d: residual %d with %d slots held", v, res, used[v])
+		}
+	}
+	st := s.Snapshot()
+	if st.Tenants != len(live) {
+		t.Fatalf("snapshot has %d tenants, want %d", st.Tenants, len(live))
+	}
+	m := s.Metrics()
+	if m.Placed != goroutines*25 {
+		t.Fatalf("placed %d, want %d", m.Placed, goroutines*25)
+	}
+	if m.Batches == 0 || m.MeanBatch < 1 {
+		t.Fatalf("batch metrics %+v", m)
+	}
+	if m.PlaceP99 < m.PlaceP50 || m.PlaceP50 <= 0 {
+		t.Fatalf("latency quantiles inconsistent: %+v", m)
+	}
+}
+
+func TestPlaceValidation(t *testing.T) {
+	tr, loads := paper.Figure2()
+	s := New(tr, Config{Capacity: 1, Workers: 1})
+	defer s.Close()
+	if _, err := s.Place([]int{1}, 2); err == nil {
+		t.Fatal("short load accepted")
+	}
+	if _, err := s.Place([]int{-1, 0, 0, 0, 0, 0, 0}, 2); err == nil {
+		t.Fatal("negative load accepted")
+	}
+	if _, err := s.Place(loads, -1); err == nil {
+		t.Fatal("negative k accepted")
+	}
+	if err := s.Release(99); err != ErrNotFound {
+		t.Fatalf("release unknown: %v, want ErrNotFound", err)
+	}
+	if m := s.Metrics(); m.Rejected != 3 || m.NotFound != 1 {
+		t.Fatalf("metrics %+v", m)
+	}
+}
+
+func TestPaperExampleLease(t *testing.T) {
+	// The scheduler serves the paper's Fig. 2 walkthrough exactly like
+	// the sequential model: φ=20 vs all-red 51 with k=2.
+	tr, loads := paper.Figure2()
+	s := New(tr, Config{Capacity: 1, Workers: 2})
+	defer s.Close()
+	lease, err := s.Place(loads, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lease.Phi != 20 || lease.AllRed != 51 || len(lease.Blue) != 2 {
+		t.Fatalf("lease %+v", lease)
+	}
+	lease2, err := s.Place(loads, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lease2.Phi <= lease.Phi {
+		t.Fatalf("second tenant φ=%v should be worse than %v", lease2.Phi, lease.Phi)
+	}
+	if err := s.Release(lease.ID); err != nil {
+		t.Fatal(err)
+	}
+	lease3, err := s.Place(loads, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lease3.Phi != 20 {
+		t.Fatalf("after release φ=%v, want 20", lease3.Phi)
+	}
+}
+
+// TestLeaseCopies verifies the aliasing contract: leases handed out are
+// defensive copies, so caller mutations cannot corrupt scheduler state.
+func TestLeaseCopies(t *testing.T) {
+	tr, loads := paper.Figure2()
+	s := New(tr, Config{Capacity: 2, Workers: 1})
+	defer s.Close()
+	lease, err := s.Place(loads, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantBlue := append([]int(nil), lease.Blue...)
+	lease.Blue[0] = -77
+	lease.Load[0] = -77
+
+	got, err := s.Lookup(lease.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Blue, wantBlue) {
+		t.Fatalf("caller mutation reached scheduler: %v vs %v", got.Blue, wantBlue)
+	}
+	if !reflect.DeepEqual(got.Load, loads) {
+		t.Fatal("caller mutation reached stored load")
+	}
+	got.Blue[0] = -88
+	again, _ := s.Lookup(lease.ID)
+	if !reflect.DeepEqual(again.Blue, wantBlue) {
+		t.Fatal("lookup result aliases scheduler state")
+	}
+	res := s.Residual()
+	res[0] = -99
+	if s.Residual()[0] == -99 {
+		t.Fatal("residual slice aliases ledger")
+	}
+}
+
+func TestCloseUnblocksAndRejects(t *testing.T) {
+	tr := topology.MustBT(64)
+	s := New(tr, Config{Capacity: 4, Workers: 2, Window: time.Millisecond})
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			for i := 0; i < 4; i++ {
+				loads := load.GenerateSparse(tr, load.PaperUniform(), 4, rng)
+				if _, err := s.Place(loads, 4); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(g)
+	}
+	s.Close()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if !errors.Is(err, ErrClosed) {
+			t.Fatalf("in-flight place failed with %v, want ErrClosed or success", err)
+		}
+	}
+	if _, err := s.Place(make([]int, tr.N()), 2); !errors.Is(err, ErrClosed) {
+		t.Fatalf("place after close: %v, want ErrClosed", err)
+	}
+	if err := s.Release(0); !errors.Is(err, ErrClosed) {
+		t.Fatalf("release after close: %v, want ErrClosed", err)
+	}
+	if _, _, err := s.RepackNow(1); !errors.Is(err, ErrClosed) {
+		t.Fatalf("repack after close: %v, want ErrClosed", err)
+	}
+	s.Close() // idempotent
+}
+
+func TestMixedBudgetsRebuildEngines(t *testing.T) {
+	// Budgets size the DP tables, so engines rebuild on k changes; the
+	// results must stay identical to from-scratch solves regardless.
+	tr := topology.MustBT(64)
+	s := New(tr, Config{Capacity: 3, Workers: 2})
+	defer s.Close()
+	base := newSeqBaseline(tr, 3)
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 24; i++ {
+		loads := load.GenerateSparse(tr, load.PaperUniform(), 6, rng)
+		k := 1 + rng.Intn(9)
+		got, err := s.Place(loads, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := base.place(loads, k)
+		if got.Phi != want.Phi || !reflect.DeepEqual(got.Blue, want.Blue) {
+			t.Fatalf("step %d (k=%d): lease diverged", i, k)
+		}
+	}
+}
+
+func TestLedgerInvariants(t *testing.T) {
+	l := NewLedger(3, 2)
+	l.Charge(1)
+	l.Charge(1)
+	if l.Avail()[1] {
+		t.Fatal("exhausted switch still available")
+	}
+	if l.Residual(1) != 0 || l.Used(1) != 2 {
+		t.Fatalf("residual %d used %d", l.Residual(1), l.Used(1))
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("charge on exhausted switch must panic")
+			}
+		}()
+		l.Charge(1)
+	}()
+	l.Credit(1)
+	if !l.Avail()[1] {
+		t.Fatal("credited switch unavailable")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("credit on full switch must panic")
+			}
+		}()
+		l.Credit(0)
+	}()
+	l.SetCapacity(2, 0)
+	if l.Avail()[2] {
+		t.Fatal("zero-capacity switch available")
+	}
+	cp := l.AvailCopy()
+	cp[0] = false
+	if !l.Avail()[0] {
+		t.Fatal("AvailCopy aliases ledger")
+	}
+}

@@ -1,0 +1,35 @@
+package sched
+
+import "soar/internal/core"
+
+// worker is one slot of the engine pool: a goroutine owning one
+// reusable core.Incremental engine. Workers steal placements from the
+// current batch via the scheduler's atomic cursor, so a skewed batch
+// (one huge tenant, many small ones) still balances.
+//
+// Engine reuse is the point: a warm engine is patched to the next
+// tenant's load vector and the batch's availability snapshot with
+// SetLoads/SetAvails, which recompute only the DP tables on the changed
+// switches' root paths. For the sparse tenants a shared tree actually
+// sees (a few racks each), that is an order of magnitude less work than
+// the from-scratch solve the pre-scheduler serving path ran per
+// admission — and it allocates nothing.
+type worker struct {
+	s    *Scheduler
+	eng  *core.Incremental
+	wake chan struct{}
+}
+
+func (w *worker) loop() {
+	defer w.s.bg.Done()
+	for range w.wake {
+		for {
+			i := int(w.s.batchNext.Add(1)) - 1
+			if i >= len(w.s.places) {
+				break
+			}
+			w.eng = w.s.solveOn(w.eng, w.s.places[i])
+		}
+		w.s.batchWG.Done()
+	}
+}

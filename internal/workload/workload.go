@@ -8,6 +8,12 @@
 // and the availability set for workload t is Λ_t = {s : a_t(s) > 0}.
 // Whichever strategy is used picks at most k switches from Λ_t, and the
 // chosen switches have their residual capacity decremented.
+//
+// Capacity bookkeeping is shared with the serving layer: an Allocator
+// embeds a sched.Ledger (the same type the concurrent scheduler charges
+// leases against), and NewSchedulerBacked routes every arrival through
+// a live sched.Scheduler so online experiments can measure the
+// production admission path instead of a private solver.
 package workload
 
 import (
@@ -18,6 +24,7 @@ import (
 	"soar/internal/load"
 	"soar/internal/placement"
 	"soar/internal/reduce"
+	"soar/internal/sched"
 	"soar/internal/topology"
 )
 
@@ -27,25 +34,22 @@ type Allocator struct {
 	t        *topology.Tree
 	strategy placement.Strategy
 	k        int
-	residual []int
+	ledger   *sched.Ledger
 	// inc, when non-nil, is the stateful SOAR engine backing the
 	// incremental fast path: Handle patches it with load deltas and
 	// availability changes instead of re-running Gather from scratch.
 	inc *core.Incremental
+	// sched, when non-nil, admits every workload through the concurrent
+	// placement scheduler instead of a private solver; lease is its
+	// reusable admission destination.
+	sched *sched.Scheduler
+	lease sched.Lease
 }
 
 // NewAllocator creates an online allocator with uniform per-switch
 // capacity. capacity ≤ 0 means unlimited.
 func NewAllocator(t *topology.Tree, s placement.Strategy, k, capacity int) *Allocator {
-	a := &Allocator{t: t, strategy: s, k: k, residual: make([]int, t.N())}
-	for v := range a.residual {
-		if capacity <= 0 {
-			a.residual[v] = int(^uint(0) >> 1) // effectively unlimited
-		} else {
-			a.residual[v] = capacity
-		}
-	}
-	return a
+	return &Allocator{t: t, strategy: s, k: k, ledger: sched.NewLedger(t.N(), capacity)}
 }
 
 // NewIncrementalAllocator creates an online SOAR allocator backed by a
@@ -58,24 +62,52 @@ func NewAllocator(t *topology.Tree, s placement.Strategy, k, capacity int) *Allo
 // full O(n·h·k²) solve.
 func NewIncrementalAllocator(t *topology.Tree, k, capacity int) *Allocator {
 	a := NewAllocator(t, core.Strategy{}, k, capacity)
-	a.inc = core.NewIncremental(t, make([]int, t.N()), a.Available(), k)
+	a.inc = core.NewIncremental(t, make([]int, t.N()), a.ledger.Avail(), k)
 	return a
 }
 
-// SetCapacity overrides the residual capacity of one switch; useful for
-// heterogeneous deployments.
-func (a *Allocator) SetCapacity(v, c int) { a.residual[v] = c }
+// NewSchedulerBacked creates an allocator whose every Handle admits the
+// workload through s — the concurrent serving path of internal/sched —
+// so the Sec. 5.2 experiments exercise batching, the engine pool and
+// commit-order conflict resolution instead of a private solver. Driven
+// single-threaded it produces exactly the placements of
+// NewAllocator(t, core.Strategy{}, k, ...) over the scheduler's own
+// capacity configuration. The allocator never releases tenants
+// (arrivals only, as in the paper); SetCapacity is unsupported.
+func NewSchedulerBacked(s *sched.Scheduler, k int) *Allocator {
+	return &Allocator{t: s.Tree(), strategy: core.Strategy{}, k: k, sched: s}
+}
+
+// SetCapacity overrides the residual capacity of one switch (0 makes it
+// permanently unavailable); useful for heterogeneous deployments. It
+// panics on a scheduler-backed allocator, whose ledger belongs to the
+// scheduler.
+func (a *Allocator) SetCapacity(v, c int) {
+	if a.sched != nil {
+		panic("workload: SetCapacity on a scheduler-backed allocator")
+	}
+	a.ledger.SetCapacity(v, c)
+}
 
 // Residual returns the residual capacity of switch v.
-func (a *Allocator) Residual(v int) int { return a.residual[v] }
-
-// Available returns Λ_t as a boolean vector.
-func (a *Allocator) Available() []bool {
-	avail := make([]bool, len(a.residual))
-	for v, r := range a.residual {
-		avail[v] = r > 0
+func (a *Allocator) Residual(v int) int {
+	if a.sched != nil {
+		return a.sched.Residual()[v]
 	}
-	return avail
+	return a.ledger.Residual(v)
+}
+
+// Available returns Λ_t as a boolean vector (a defensive copy).
+func (a *Allocator) Available() []bool {
+	if a.sched != nil {
+		res := a.sched.Residual()
+		avail := make([]bool, len(res))
+		for v, r := range res {
+			avail[v] = r > 0
+		}
+		return avail
+	}
+	return a.ledger.AvailCopy()
 }
 
 // Handle places aggregation switches for one arriving workload, charges
@@ -85,38 +117,57 @@ func (a *Allocator) Handle(loads []int) (blue []bool, phi float64) {
 	if len(loads) != a.t.N() {
 		panic(fmt.Sprintf("workload: load has %d entries for %d switches", len(loads), a.t.N()))
 	}
-	if a.inc != nil {
+	switch {
+	case a.sched != nil:
+		// The lease's φ is the DP optimum for the returned blue set,
+		// which equals reduce.Utilization exactly (the repo-wide
+		// invariant); no need to re-simulate.
+		blue = a.placeScheduler(loads)
+		return blue, a.lease.Phi
+	case a.inc != nil:
 		blue = a.placeIncremental(loads)
-	} else {
-		blue = a.strategy.Place(a.t, loads, a.Available(), a.k)
+	default:
+		blue = a.strategy.Place(a.t, loads, a.ledger.AvailCopy(), a.k)
 	}
 	for v, b := range blue {
 		if b {
-			if a.residual[v] <= 0 {
+			if a.ledger.Residual(v) <= 0 {
 				panic(fmt.Sprintf("workload: strategy %q picked exhausted switch %d", a.strategy.Name(), v))
 			}
-			a.residual[v]--
+			a.ledger.Charge(v)
 		}
 	}
 	return blue, reduce.Utilization(a.t, loads, blue)
 }
 
 // placeIncremental is the incremental fast path: per-workload load
-// deltas become a batched UpdateLoad sweep and capacity exhaustions
-// become SetAvail updates, each dirtying only the changed switches'
+// deltas become a batched SetLoads sweep and capacity exhaustions
+// become SetAvails updates, each dirtying only the changed switches'
 // root paths before one coalesced re-sweep inside Solve. A budget
 // change (HandleWithBudget / RunPolicy) rebuilds the engine, since the
 // DP tables are sized by k.
 func (a *Allocator) placeIncremental(loads []int) []bool {
 	if a.inc.K() != a.k {
-		a.inc = core.NewIncremental(a.t, loads, a.Available(), a.k)
+		a.inc = core.NewIncremental(a.t, loads, a.ledger.Avail(), a.k)
 	} else {
-		for v := 0; v < a.t.N(); v++ {
-			a.inc.SetLoad(v, loads[v])
-			a.inc.SetAvail(v, a.residual[v] > 0)
-		}
+		a.inc.SetLoads(loads)
+		a.inc.SetAvails(a.ledger.Avail())
 	}
 	return a.inc.Solve().Blue
+}
+
+// placeScheduler admits the workload through the scheduler, which does
+// its own charging, and converts the lease to the strategy interface's
+// blue-vector form.
+func (a *Allocator) placeScheduler(loads []int) []bool {
+	if err := a.sched.PlaceInto(loads, a.k, &a.lease); err != nil {
+		panic(fmt.Sprintf("workload: scheduler admission failed: %v", err))
+	}
+	blue := make([]bool, a.t.N())
+	for _, v := range a.lease.Blue {
+		blue[v] = true
+	}
+	return blue
 }
 
 // Sequence generates the paper's online workload arrival process: each

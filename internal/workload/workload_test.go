@@ -8,6 +8,7 @@ import (
 	"soar/internal/load"
 	"soar/internal/placement"
 	"soar/internal/reduce"
+	"soar/internal/sched"
 	"soar/internal/topology"
 )
 
@@ -204,4 +205,54 @@ func TestHandleRejectsBadLoad(t *testing.T) {
 		}
 	}()
 	a.Handle([]int{1})
+}
+
+func TestSchedulerBackedMatchesFromScratch(t *testing.T) {
+	// The scheduler-backed allocator routes arrivals through the full
+	// concurrent serving stack (queue, batch, engine pool, commit); for
+	// a single-threaded workload sequence it must still be observably
+	// identical to the plain Sec. 5.2 allocator.
+	tr := topology.MustBT(64)
+	rng := rand.New(rand.NewSource(33))
+	seq := NewSequence(tr, rng)
+	workloads := make([][]int, 20)
+	for i := range workloads {
+		workloads[i] = seq.Next()
+	}
+	s := sched.New(tr, sched.Config{Capacity: 2, Workers: 2})
+	defer s.Close()
+	viaSched := Run(NewSchedulerBacked(s, 8), workloads)
+	direct := Run(NewAllocator(tr, core.Strategy{}, 8, 2), workloads)
+	for i := range workloads {
+		if viaSched.PerWorkload[i] != direct.PerWorkload[i] {
+			t.Fatalf("workload %d: scheduler-backed φ=%v, direct φ=%v",
+				i, viaSched.PerWorkload[i], direct.PerWorkload[i])
+		}
+		if viaSched.CumulativeRatio[i] != direct.CumulativeRatio[i] {
+			t.Fatalf("workload %d: cumulative ratio diverged", i)
+		}
+	}
+	// The scheduler's ledger saw the same charges.
+	a := NewAllocator(tr, core.Strategy{}, 8, 2)
+	for _, l := range workloads {
+		a.Handle(l)
+	}
+	for v, r := range s.Residual() {
+		if r != a.Residual(v) {
+			t.Fatalf("switch %d: scheduler residual %d, direct %d", v, r, a.Residual(v))
+		}
+	}
+}
+
+func TestSchedulerBackedGuards(t *testing.T) {
+	tr := topology.MustBT(32)
+	s := sched.New(tr, sched.Config{Capacity: 1})
+	defer s.Close()
+	a := NewSchedulerBacked(s, 4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SetCapacity on scheduler-backed allocator must panic")
+		}
+	}()
+	a.SetCapacity(0, 1)
 }

@@ -17,6 +17,7 @@
 //   - internal/placement: baseline strategies and a brute-force oracle
 //   - internal/core: the SOAR dynamic program (serial and distributed)
 //   - internal/workload: the online multiple-workload setting
+//   - internal/sched: the concurrent multi-tenant placement scheduler
 //   - internal/wordcount, internal/paramserver: the two use-case models
 //   - internal/wire, internal/cluster: SOAR over loopback TCP
 //   - internal/experiments: regeneration of every evaluation figure
@@ -37,6 +38,7 @@ import (
 	"soar/internal/load"
 	"soar/internal/placement"
 	"soar/internal/reduce"
+	"soar/internal/sched"
 	"soar/internal/topology"
 )
 
@@ -117,6 +119,25 @@ type Incremental = core.Incremental
 // re-solve. avail == nil means every switch may be blue.
 func NewIncremental(t *Tree, loads []int, avail []bool, k int) *Incremental {
 	return core.NewIncremental(t, loads, avail, k)
+}
+
+// Scheduler is the concurrent multi-tenant placement service: batched
+// admissions solved on a pool of incremental engines against per-switch
+// lease capacities, with background re-packing. See internal/sched for
+// full documentation.
+type Scheduler = sched.Scheduler
+
+// SchedulerConfig tunes a Scheduler (capacity, workers, batching
+// window, re-packing); the zero value is usable.
+type SchedulerConfig = sched.Config
+
+// Lease describes one tenant's allocation from a Scheduler.
+type Lease = sched.Lease
+
+// NewScheduler starts a placement scheduler over tree t. Callers must
+// Close it.
+func NewScheduler(t *Tree, cfg SchedulerConfig) *Scheduler {
+	return sched.New(t, cfg)
 }
 
 // Utilization returns φ(T, L, U), the paper's network utilization cost of
