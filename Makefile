@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench fmt vet clean
+.PHONY: all build test race bench fmt vet lint clean
 
 all: build test
 
@@ -22,6 +22,10 @@ fmt:
 
 vet:
 	$(GO) vet ./...
+
+# Same pinned staticcheck CI runs (network required on first run).
+lint:
+	$(GO) run honnef.co/go/tools/cmd/staticcheck@2025.1.1 ./...
 
 # Bench trajectory: run the key benchmarks once and keep the raw
 # test2json stream as an artifact, so performance history accumulates

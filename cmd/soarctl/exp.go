@@ -19,6 +19,7 @@ func runExp(args []string) error {
 	reps := fs.Int("reps", 0, "override the number of repetitions (0 = figure default)")
 	plot := fs.Bool("plot", false, "render each subplot as an ASCII chart")
 	engine := fs.String("engine", "full", "SOAR engine for online figures (fig7): full or incremental")
+	capsProfile := fs.String("caps", "", "capacity profile for ext-hetero: uniform, tiered, tor or powerlaw (empty = sweep all)")
 	// Accept the figure name before the flags: soarctl exp fig6 -csv dir.
 	which := ""
 	if len(args) > 0 && len(args[0]) > 0 && args[0][0] != '-' {
@@ -31,12 +32,18 @@ func runExp(args []string) error {
 		which = fs.Arg(0)
 	}
 	if which == "" || fs.NArg() > 1 {
-		return fmt.Errorf("usage: soarctl exp <fig6|fig7|fig8|fig9|fig10|fig11|ext-objectives|ext-topologies|ext-incremental|all> [flags]")
+		return fmt.Errorf("usage: soarctl exp <fig6|fig7|fig8|fig9|fig10|fig11|ext-objectives|ext-topologies|ext-incremental|ext-hetero|all> [flags]")
 	}
-	// Validate up front: only fig7 consumes the engine, but a typo must
-	// not silently fall back to the default for the other figures.
+	// Validate up front: only fig7 consumes the engine and only
+	// ext-hetero consumes the caps profile, but a typo must not silently
+	// fall back to the default for the other figures.
 	if *engine != "full" && *engine != "incremental" {
 		return fmt.Errorf("unknown -engine %q (want full or incremental)", *engine)
+	}
+	switch *capsProfile {
+	case "", "uniform", "tiered", "tor", "powerlaw":
+	default:
+		return fmt.Errorf("unknown -caps profile %q (want uniform, tiered, tor or powerlaw)", *capsProfile)
 	}
 
 	type gen struct {
@@ -134,6 +141,17 @@ func runExp(args []string) error {
 				cfg.Reps = *reps
 			}
 			return experiments.ExtIncremental(cfg)
+		}},
+		{"ext-hetero", func() (*experiments.Figure, error) {
+			cfg := experiments.DefaultExtHetero()
+			if *quick {
+				cfg = experiments.QuickExtHetero()
+			}
+			if *reps > 0 {
+				cfg.Reps = *reps
+			}
+			cfg.Profile = *capsProfile
+			return experiments.ExtHetero(cfg)
 		}},
 	}
 

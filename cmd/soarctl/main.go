@@ -9,13 +9,15 @@
 //	soarctl place   [-topo bt|sf] [-n 256] [-k 16] [-dist uniform|powerlaw]
 //	                [-rates constant|linear|exp] [-seed 1] [-dot file]
 //	                [-engine full|compact|parallel|distributed|incremental]
+//	                [-caps uniform:C|tiered:C0,C1,...|tor:P,C|powerlaw:MAX,ALPHA]
 //	soarctl exp     <fig6|fig7|fig8|fig9|fig10|fig11|ext-*|all> [-quick]
 //	                [-csv dir] [-reps N] [-engine full|incremental]
+//	                [-caps uniform|tiered|tor|powerlaw]
 //	soarctl cluster [-n 64] [-k 8] [-seed 1]
-//	soarctl sched   [-n 1024] [-k 8] [-capacity 16] [-tenants 2000]
-//	                [-clients 8] [-workers 0] [-window 200us] [-racks 8]
-//	                [-churn 0.5] [-repack-every 25ms] [-repack-moves 16]
-//	                [-seed 1] [-baseline]
+//	soarctl sched   [-n 1024] [-k 8] [-capacity 16] [-caps profile]
+//	                [-tenants 2000] [-clients 8] [-workers 0] [-window 200us]
+//	                [-racks 8] [-churn 0.5] [-repack-every 25ms]
+//	                [-repack-moves 16] [-seed 1] [-baseline]
 package main
 
 import (

@@ -59,8 +59,8 @@ func TestRunExpQuickAll(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(entries) != 9 { // fig6..fig11 + 3 extensions
-		t.Fatalf("wrote %d csv files, want 9", len(entries))
+	if len(entries) != 10 { // fig6..fig11 + 4 extensions
+		t.Fatalf("wrote %d csv files, want 10", len(entries))
 	}
 }
 
@@ -114,6 +114,75 @@ func TestRunClusterSmall(t *testing.T) {
 func TestRunVerifySmall(t *testing.T) {
 	if err := runVerify([]string{"-trials", "25", "-max-n", "9", "-max-k", "3"}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestRunPlaceCapsProfiles(t *testing.T) {
+	for _, spec := range []string{
+		"uniform:2",
+		"tiered:1,2,4",
+		"tor:0.5,2",
+		"powerlaw:4,2.5",
+	} {
+		for _, engine := range []string{"full", "compact", "parallel", "distributed", "incremental"} {
+			args := []string{"-topo", "bt", "-n", "32", "-k", "6", "-engine", engine, "-caps", spec}
+			if err := runPlace(args); err != nil {
+				t.Fatalf("caps %q engine %s: %v", spec, engine, err)
+			}
+		}
+	}
+}
+
+// TestRunPlaceRejectsBadCapsProfiles pins the contract that malformed
+// -caps strings error out instead of panicking: the parser fronts raw
+// user input for topology builders whose panics are programmer errors.
+func TestRunPlaceRejectsBadCapsProfiles(t *testing.T) {
+	for _, spec := range []string{
+		"mesh:1",          // unknown profile
+		"uniform",         // missing argument
+		"uniform:-1",      // negative capacity
+		"uniform:x",       // non-integer
+		"tiered:",         // empty levels
+		"tiered:1,-2",     // negative level
+		"tiered:1,two",    // non-integer level
+		"tor:1.5,2",       // fraction out of range
+		"tor:0.5",         // missing capacity
+		"tor:0.5,0",       // zero capacity
+		"powerlaw:0,2",    // max < 1
+		"powerlaw:4,0",    // alpha ≤ 0
+		"powerlaw:4",      // missing alpha
+		"powerlaw:4,2,9",  // too many arguments
+		"uniform:999,123", // trailing garbage
+	} {
+		args := []string{"-topo", "bt", "-n", "32", "-k", "4", "-caps", spec}
+		if err := runPlace(args); err == nil {
+			t.Fatalf("caps %q accepted, want error", spec)
+		}
+	}
+}
+
+func TestRunSchedCapsProfile(t *testing.T) {
+	err := runSched([]string{
+		"-n", "32", "-k", "2", "-caps", "tor:1,2", "-tenants", "30",
+		"-clients", "2", "-racks", "4", "-window", "100us", "-baseline",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := runSched([]string{"-n", "32", "-caps", "bogus:1", "-tenants", "1"}); err == nil {
+		t.Fatal("bad sched -caps accepted")
+	}
+}
+
+func TestRunExpHeteroQuick(t *testing.T) {
+	if err := runExp([]string{"ext-hetero", "-quick", "-reps", "1"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := runExp([]string{"ext-hetero", "-quick", "-reps", "1", "-caps", "tiered"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := runExp([]string{"ext-hetero", "-quick", "-caps", "warp"}); err == nil {
+		t.Fatal("unknown exp -caps accepted")
 	}
 }
 

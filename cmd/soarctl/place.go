@@ -24,30 +24,77 @@ func (f engineFunc) Place(t *topology.Tree, loads []int, avail []bool, k int) []
 	return f(t, loads, avail, k)
 }
 
-// soarEngine resolves the -engine flag to a SOAR strategy.
-func soarEngine(name string) (placement.Strategy, error) {
+// soarEngine resolves the -engine flag to a SOAR strategy. A non-nil
+// caps vector selects the heterogeneous engines (a blue at v consumes
+// caps[v] budget units); the avail argument of the strategy interface is
+// then ignored — the zero entries of caps already carry it.
+func soarEngine(name string, caps []int) (placement.Strategy, error) {
 	switch name {
 	case "full":
-		return core.Strategy{}, nil
+		if caps == nil {
+			return core.Strategy{}, nil
+		}
+		return engineFunc(func(t *topology.Tree, loads []int, _ []bool, k int) []bool {
+			return core.SolveCaps(t, loads, caps, k).Blue
+		}), nil
 	case "compact":
 		return engineFunc(func(t *topology.Tree, loads []int, avail []bool, k int) []bool {
+			if caps != nil {
+				return core.SolveCompactCaps(t, loads, caps, k).Blue
+			}
 			return core.SolveCompact(t, loads, avail, k).Blue
 		}), nil
 	case "parallel":
 		return engineFunc(func(t *topology.Tree, loads []int, avail []bool, k int) []bool {
+			if caps != nil {
+				return core.SolveParallelCaps(t, loads, caps, k, 0).Blue
+			}
 			return core.SolveParallel(t, loads, avail, k, 0).Blue
 		}), nil
 	case "distributed":
 		return engineFunc(func(t *topology.Tree, loads []int, avail []bool, k int) []bool {
+			if caps != nil {
+				return core.SolveDistributedCaps(t, loads, caps, k).Blue
+			}
 			return core.SolveDistributed(t, loads, avail, k).Blue
 		}), nil
 	case "incremental":
 		return engineFunc(func(t *topology.Tree, loads []int, avail []bool, k int) []bool {
+			if caps != nil {
+				return core.NewIncrementalCaps(t, loads, caps, k).Solve().Blue
+			}
 			return core.NewIncremental(t, loads, avail, k).Solve().Blue
 		}), nil
 	default:
 		return nil, fmt.Errorf("unknown -engine %q", name)
 	}
+}
+
+// budgetedStrategy makes a weight-oblivious baseline honor the weighted
+// budget of the capacity model, so the place table compares feasible
+// solutions of the same problem: it re-runs the baseline with shrinking
+// switch counts until the picked set's capacity sum fits the budget
+// (the baselines pick prefixes of a preference order, so shrinking the
+// count shrinks the set).
+type budgetedStrategy struct {
+	placement.Strategy
+	caps []int
+}
+
+func (b budgetedStrategy) Place(t *topology.Tree, loads []int, avail []bool, k int) []bool {
+	for j := k; j > 0; j-- {
+		blue := b.Strategy.Place(t, loads, avail, j)
+		spent := 0
+		for v, on := range blue {
+			if on {
+				spent += b.caps[v]
+			}
+		}
+		if spent <= k {
+			return blue
+		}
+	}
+	return make([]bool, t.N())
 }
 
 // runPlace builds one instance and prints every strategy's placement and
@@ -60,6 +107,7 @@ func runPlace(args []string) error {
 	dist := fs.String("dist", "powerlaw", "load distribution: uniform, powerlaw or one (unit)")
 	rates := fs.String("rates", "constant", "link rates: constant, linear or exp")
 	engine := fs.String("engine", "full", "SOAR engine: full, compact, parallel, distributed or incremental")
+	capsSpec := fs.String("caps", "", capsProfileHelp)
 	seed := fs.Int64("seed", 1, "random seed")
 	dot := fs.String("dot", "", "write the SOAR placement as Graphviz DOT to this file")
 	if err := fs.Parse(args); err != nil {
@@ -101,23 +149,49 @@ func runPlace(args []string) error {
 	default:
 		return fmt.Errorf("unknown -dist %q", *dist)
 	}
-	soar, err := soarEngine(*engine)
+	// The profile draws from its own seeded stream so that adding -caps
+	// never shifts the instance: loads (and an sf tree) generated from
+	// rng are identical with and without a profile at the same -seed.
+	caps, err := parseCapsProfile(*capsSpec, tr, rand.New(rand.NewSource(*seed+1)))
+	if err != nil {
+		return err
+	}
+	soar, err := soarEngine(*engine, caps)
 	if err != nil {
 		return err
 	}
 	loads := load.Generate(tr, d, where, rng)
 
+	// Under a capacity profile the baselines pick only from {caps > 0}
+	// and are wrapped to spend the same weighted budget SOAR does
+	// (all-blue stays unbounded: it is the no-budget lower bound).
+	var avail []bool
+	budgeted := func(s placement.Strategy) placement.Strategy { return s }
+	if caps != nil {
+		avail = make([]bool, tr.N())
+		for v, c := range caps {
+			avail[v] = c > 0
+		}
+		budgeted = func(s placement.Strategy) placement.Strategy {
+			return budgetedStrategy{Strategy: s, caps: caps}
+		}
+	}
+
 	allRed := reduce.Utilization(tr, loads, make([]bool, tr.N()))
 	fmt.Printf("instance: %s n=%d switches=%d height=%d totalLoad=%d rates=%s dist=%s k=%d engine=%s\n",
 		*topo, *n, tr.N(), tr.Height(), load.Total(loads), *rates, *dist, *k, *engine)
+	if caps != nil {
+		fmt.Printf("capacity profile: %s (%s)\n", *capsSpec, capsSummary(caps))
+	}
 	fmt.Printf("%-12s %12s %12s  %s\n", "strategy", "phi", "vs all-red", "")
 	strategies := []placement.Strategy{
-		placement.AllRed{}, placement.Top{}, placement.Max{}, placement.MaxDegree{},
-		placement.Level{}, placement.Greedy{}, soar, placement.AllBlue{},
+		placement.AllRed{}, budgeted(placement.Top{}), budgeted(placement.Max{}),
+		budgeted(placement.MaxDegree{}), budgeted(placement.Level{}),
+		budgeted(placement.Greedy{}), soar, placement.AllBlue{},
 	}
 	var soarBlue []bool
 	for _, s := range strategies {
-		blue := s.Place(tr, loads, nil, *k)
+		blue := s.Place(tr, loads, avail, *k)
 		phi := reduce.Utilization(tr, loads, blue)
 		fmt.Printf("%-12s %12.2f %12.4f\n", s.Name(), phi, phi/allRed)
 		if s.Name() == "soar" {

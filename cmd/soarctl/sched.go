@@ -27,6 +27,7 @@ func runSched(args []string) error {
 	n := fs.Int("n", 1024, "network size (complete binary tree, power of two)")
 	k := fs.Int("k", 8, "aggregation switch budget per tenant")
 	capacity := fs.Int("capacity", 16, "per-switch lease capacity (0 = unlimited)")
+	capsSpec := fs.String("caps", "", capsProfileHelp+" — overrides -capacity; entries are tenant slots per switch")
 	tenants := fs.Int("tenants", 2000, "total tenants to admit")
 	clients := fs.Int("clients", 8, "concurrent client goroutines")
 	workers := fs.Int("workers", 0, "scheduler engine-pool size (0 = GOMAXPROCS)")
@@ -45,16 +46,27 @@ func runSched(args []string) error {
 	if err != nil {
 		return err
 	}
+	// The profile stream is salted away from the client streams
+	// (*seed + c below), so a random profile never correlates with any
+	// client's workload draws.
+	caps, err := parseCapsProfile(*capsSpec, tr, rand.New(rand.NewSource(*seed^0x5ca1ab1e)))
+	if err != nil {
+		return err
+	}
 	s := sched.New(tr, sched.Config{
-		Capacity: *capacity,
-		Workers:  *workers,
-		Window:   *window,
-		Repack:   sched.RepackConfig{Every: *repackEvery, MaxMoves: *repackMoves},
+		Capacity:   *capacity,
+		Capacities: caps,
+		Workers:    *workers,
+		Window:     *window,
+		Repack:     sched.RepackConfig{Every: *repackEvery, MaxMoves: *repackMoves},
 	})
 	defer s.Close()
 
 	fmt.Printf("scheduler: BT(%d) switches=%d k=%d capacity=%d clients=%d window=%v repack=%v/%d\n",
 		*n, tr.N(), *k, *capacity, *clients, *window, *repackEvery, *repackMoves)
+	if caps != nil {
+		fmt.Printf("capacity profile: %s (%s)\n", *capsSpec, capsSummary(caps))
+	}
 
 	elapsed := driveClients(*clients, *tenants, func(c int) func() error {
 		rng := rand.New(rand.NewSource(*seed + int64(c)))
@@ -97,9 +109,13 @@ func runSched(args []string) error {
 	fmt.Printf("\nbaseline: mutex-serialized from-scratch solves, same request mix\n")
 	b := &serialBaseline{t: tr, residual: make([]int, tr.N()), leases: make(map[int64][]int)}
 	for v := range b.residual {
-		b.residual[v] = *capacity
-		if *capacity <= 0 {
+		switch {
+		case caps != nil:
+			b.residual[v] = caps[v]
+		case *capacity <= 0:
 			b.residual[v] = int(^uint(0) >> 1)
+		default:
+			b.residual[v] = *capacity
 		}
 	}
 	baseElapsed := driveClients(*clients, *tenants, func(c int) func() error {

@@ -66,6 +66,20 @@ func ExampleSolveRestricted() {
 	// Output: 21
 }
 
+// Heterogeneous capacities: a blue switch consumes its capacity weight
+// from the budget, so two weight-1 switches beat one weight-2 switch if
+// the budget allows — and caps of 0 mark plain forwarders.
+func ExampleSolveCaps() {
+	t := soar.CompleteBinaryTree(3)
+	loads := []int{0, 0, 0, 2, 6, 5, 4}
+	// Root tier costs 1 unit, mid tier 2, leaves 4 (tiered fat-tree).
+	caps := soar.CapsTiered(t, 1, 2, 4)
+	uniform := soar.Solve(t, loads, 2)
+	tiered := soar.SolveCaps(t, loads, caps, 2)
+	fmt.Println(uniform.Cost, tiered.Cost)
+	// Output: 20 35
+}
+
 // Trees are built from parent vectors; rates are per-edge.
 func ExampleNewTree() {
 	// A path d ← 0 ← 1 with a slow top link (rate 1/2).

@@ -54,4 +54,17 @@ func main() {
 	// message passing (one goroutine per switch).
 	dist := soar.SolveDistributed(t, loads, 8)
 	fmt.Printf("\ndistributed solver agrees: φ=%.0f (serial %.0f)\n", dist.Cost, res.Cost)
+
+	// Heterogeneous fabric: core switches are fully programmable
+	// (weight 1), the aggregation layer is half-provisioned (weight 2)
+	// and ToRs are expensive to enable (weight 4). The same budget now
+	// buys fewer, better-placed aggregators; uniform provisioning
+	// lower-bounds every mix.
+	caps := soar.CapsTiered(t, 1, 2, 4)
+	fmt.Println("\ntiered capacities (1/2/4 by level) vs uniform:")
+	for _, k := range []int{4, 8, 16} {
+		het := soar.SolveCaps(t, loads, caps, k)
+		uni := soar.Solve(t, loads, k)
+		fmt.Printf("  k=%-3d uniform %.3f  tiered %.3f\n", k, uni.Cost/allRed, het.Cost/allRed)
+	}
 }

@@ -49,8 +49,35 @@ type Result struct {
 // cancellation and deadlines; on any node error the whole run is torn
 // down and the first error returned.
 func Run(ctx context.Context, t *topology.Tree, load []int, avail []bool, k int) (*Result, error) {
+	if avail == nil {
+		return RunCaps(ctx, t, load, nil, k) // nil caps already means weight 1 everywhere
+	}
+	weights := make([]int, t.N())
+	for v := range weights {
+		if avail[v] {
+			weights[v] = 1
+		}
+	}
+	return RunCaps(ctx, t, load, weights, k)
+}
+
+// RunCaps is Run under the heterogeneous capacity model (see
+// core.SolveCaps): a blue at v consumes caps[v] of the budget and
+// caps[v] = 0 means v may never aggregate. caps == nil means every
+// switch has capacity 1. The wire protocol is unchanged — capacities
+// only reshape the effective budgets, and with them the width of the
+// Gather frames each parent accepts.
+func RunCaps(ctx context.Context, t *topology.Tree, load []int, caps []int, k int) (*Result, error) {
 	if len(load) != t.N() {
 		return nil, fmt.Errorf("cluster: load has %d entries for %d switches", len(load), t.N())
+	}
+	if caps != nil && len(caps) != t.N() {
+		return nil, fmt.Errorf("cluster: caps has %d entries for %d switches", len(caps), t.N())
+	}
+	for v, c := range caps {
+		if c < 0 {
+			return nil, fmt.Errorf("cluster: switch %d has negative capacity %d", v, c)
+		}
 	}
 	if k < 0 {
 		k = 0
@@ -58,10 +85,10 @@ func Run(ctx context.Context, t *topology.Tree, load []int, avail []bool, k int)
 	n := t.N()
 	subLoad := t.SubtreeLoads(load)
 	// Effective budgets bound every table's width: a child's Gather
-	// frame must carry exactly cap[c]+1 = min(k, |T_c ∩ Λ|)+1 budget
-	// columns, which both shrinks the frames and lets each parent reject
-	// mis-shaped tables.
-	caps := core.EffectiveCaps(t, avail, k)
+	// frame must carry exactly cap[c]+1 = min(k, Σ_{u ∈ T_c} c(u))+1
+	// budget columns, which both shrinks the frames and lets each parent
+	// reject mis-shaped tables.
+	ecaps := core.EffectiveCapsVec(t, caps, k)
 
 	// One listener per switch plus one for the destination, all created
 	// up front so that children always find their parent listening.
@@ -98,7 +125,11 @@ func Run(ctx context.Context, t *topology.Tree, load []int, avail []bool, k int)
 	for v := 0; v < n; v++ {
 		go func(v int) {
 			defer wg.Done()
-			if err := runNode(runCtx, t, v, load[v], subLoad[v] > 0, avail, k, caps,
+			capw := 1
+			if caps != nil {
+				capw = caps[v]
+			}
+			if err := runNode(runCtx, t, v, load[v], subLoad[v] > 0, capw, k, ecaps,
 				listeners[v], addrOf, res.Blue); err != nil {
 				errCh <- fmt.Errorf("switch %d: %w", v, err)
 				cancel()
@@ -109,7 +140,7 @@ func Run(ctx context.Context, t *topology.Tree, load []int, avail []bool, k int)
 	// Play the destination.
 	destErr := make(chan error, 1)
 	go func() {
-		err := runDestination(runCtx, destListener, k, caps[t.Root()], res)
+		err := runDestination(runCtx, destListener, k, ecaps[t.Root()], res)
 		if err != nil {
 			cancel() // unblock the switches before Run waits on them
 		}
@@ -170,9 +201,11 @@ func (e *edge) close() {
 	}
 }
 
-// runNode is the full lifecycle of one switch.
+// runNode is the full lifecycle of one switch. capw is the switch's own
+// capacity weight; ecaps the tree-wide effective budgets bounding every
+// frame's width.
 func runNode(ctx context.Context, t *topology.Tree, v, loadV int, hasLoad bool,
-	avail []bool, k int, caps []int, ln net.Listener, addrOf func(int) string, blueOut []bool) error {
+	capw, k int, ecaps []int, ln net.Listener, addrOf func(int) string, blueOut []bool) error {
 
 	children := t.Children(v)
 
@@ -214,13 +247,13 @@ func runNode(ctx context.Context, t *topology.Tree, v, loadV int, hasLoad bool,
 		if err != nil {
 			return fmt.Errorf("gather from %d: %w", c, err)
 		}
-		if int(g.Child) != c || int(g.Rows) != t.Depth(c)+1 || int(g.Cols) != caps[c]+1 {
+		if int(g.Child) != c || int(g.Rows) != t.Depth(c)+1 || int(g.Cols) != ecaps[c]+1 {
 			return fmt.Errorf("gather from %d has shape %dx%d for child %d (want %dx%d)",
-				g.Child, g.Rows, g.Cols, c, t.Depth(c)+1, caps[c]+1)
+				g.Child, g.Rows, g.Cols, c, t.Depth(c)+1, ecaps[c]+1)
 		}
 		childX[i] = g.X
 	}
-	ns, err := core.NewNodeState(t, v, loadV, hasLoad, isAvail(avail, v), k, childX)
+	ns, err := core.NewNodeStateCaps(t, v, loadV, hasLoad, capw, k, childX)
 	if err != nil {
 		return err
 	}
@@ -291,8 +324,9 @@ func runNode(ctx context.Context, t *topology.Tree, v, loadV int, hasLoad bool,
 
 // runDestination plays d: accept the root, read the optimum, start the
 // color phase with budget k, and collect the Reduce result. capRoot is
-// the root's effective budget min(k, |Λ|), the width (minus one) of the
-// table frame the root must ship.
+// the root's effective budget min(k, Σ c(u)) — min(k, |Λ|) in the
+// uniform model — the width (minus one) of the table frame the root must
+// ship.
 func runDestination(ctx context.Context, ln net.Listener, k, capRoot int, res *Result) error {
 	conn, err := ln.Accept()
 	if err != nil {
@@ -335,5 +369,3 @@ func applyDeadline(ctx context.Context, conn net.Conn) {
 	}
 	context.AfterFunc(ctx, func() { conn.Close() })
 }
-
-func isAvail(avail []bool, v int) bool { return avail == nil || avail[v] }

@@ -77,6 +77,53 @@ func TestClusterMatchesSerialRandomized(t *testing.T) {
 	}
 }
 
+// TestClusterCapsMatchesSerial runs the TCP deployment under random
+// heterogeneous capacity vectors: the frames shrink or widen with the
+// capacity-driven effective budgets, and the placement must still match
+// core.SolveCaps bitwise.
+func TestClusterCapsMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for trial := 0; trial < 6; trial++ {
+		n := 1 + rng.Intn(30)
+		tr := topology.RandomRecursive(n, rng)
+		loads := make([]int, n)
+		caps := make([]int, n)
+		for v := 0; v < n; v++ {
+			loads[v] = rng.Intn(5)
+			caps[v] = rng.Intn(4)
+		}
+		k := rng.Intn(7)
+		serial := core.SolveCaps(tr, loads, caps, k)
+		res, err := RunCaps(testCtx(t), tr, loads, caps, k)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if math.Abs(res.Cost-serial.Cost) > 1e-9 {
+			t.Fatalf("trial %d: cluster φ=%v, serial φ=%v", trial, res.Cost, serial.Cost)
+		}
+		if math.Abs(res.ReducePhi-serial.Cost) > 1e-9 {
+			t.Fatalf("trial %d: measured φ=%v, serial φ=%v", trial, res.ReducePhi, serial.Cost)
+		}
+		for v := range serial.Blue {
+			if res.Blue[v] != serial.Blue[v] {
+				t.Fatalf("trial %d: placements differ at %d", trial, v)
+			}
+		}
+	}
+}
+
+func TestClusterRejectsMalformedCaps(t *testing.T) {
+	tr, loads := paper.Figure2()
+	if _, err := RunCaps(testCtx(t), tr, loads, []int{1, 2}, 2); err == nil {
+		t.Fatal("short caps vector accepted")
+	}
+	bad := make([]int, tr.N())
+	bad[3] = -2
+	if _, err := RunCaps(testCtx(t), tr, loads, bad, 2); err == nil {
+		t.Fatal("negative capacity accepted")
+	}
+}
+
 func TestClusterBinaryTree(t *testing.T) {
 	tr := topology.MustBT(64) // 63 switches, 63 sockets
 	rng := rand.New(rand.NewSource(5))

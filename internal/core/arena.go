@@ -5,10 +5,11 @@ import "soar/internal/topology"
 // This file implements the two memory-layer optimizations behind the
 // bounded DP (see DESIGN.md "Effective-budget clamping"):
 //
-//   - EffectiveCaps computes cap[v] = min(k, |T_v ∩ Λ|), the largest
-//     budget a subtree can actually use. X_v(ℓ, ·) is constant beyond
-//     cap[v], so every table row is stored at width cap[v]+1 and reads
-//     past the cap clamp to the last column.
+//   - EffectiveCaps computes cap[v] = min(k, Σ_{u ∈ T_v} c(u)) — the
+//     largest budget a subtree can actually use; |T_v ∩ Λ| in the uniform
+//     model, the capacity-vector sum under EffectiveCapsVec. X_v(ℓ, ·) is
+//     constant beyond cap[v], so every table row is stored at width
+//     cap[v]+1 and reads past the cap clamp to the last column.
 //   - arena backs all nodeTables of one Gather run with a handful of
 //     slabs instead of O(n) per-node allocations. Offsets are prefix
 //     sums computed up front, so concurrent engines carve disjoint
@@ -20,28 +21,43 @@ import "soar/internal/topology"
 // i ≥ cap[v]. avail == nil means every switch is available. A negative
 // k is treated as 0.
 func EffectiveCaps(t *topology.Tree, avail []bool, k int) []int {
+	return effectiveCaps(t, avail, nil, k)
+}
+
+// EffectiveCapsVec is EffectiveCaps under the heterogeneous capacity
+// model: cap[v] = min(k, Σ_{u ∈ T_v} caps[u]), the largest budget the
+// subtree can consume when a blue at u costs caps[u] units. With a 0/1
+// capacity vector it coincides with EffectiveCaps, whose |T_v ∩ Λ| is
+// the same sum. caps == nil means every switch has capacity 1.
+func EffectiveCapsVec(t *topology.Tree, caps []int, k int) []int {
+	return effectiveCaps(t, nil, caps, k)
+}
+
+// effectiveCaps is the shared implementation: the per-switch weight is
+// caps[v] when a capacity vector is present, else 1 on Λ (see capAt).
+// The running sum accumulates in int64 so the clamp is exact even with
+// MaxCapacity weights and a near-MaxInt budget on 32-bit platforms.
+func effectiveCaps(t *topology.Tree, avail []bool, caps []int, k int) []int {
 	if k < 0 {
 		k = 0
 	}
-	caps := make([]int, t.N())
+	out := make([]int, t.N())
 	for _, v := range t.PostOrder() {
-		c := 0
-		if isAvail(avail, v) {
-			c = 1
-		}
-		for _, ch := range t.Children(v) {
-			c += caps[ch]
-			if c >= k {
-				c = k
-				break
+		c := int64(capAt(avail, caps, v))
+		if c < int64(k) {
+			for _, ch := range t.Children(v) {
+				c += int64(out[ch])
+				if c >= int64(k) {
+					break
+				}
 			}
 		}
-		if c > k {
-			c = k
+		if c > int64(k) {
+			c = int64(k)
 		}
-		caps[v] = c
+		out[v] = int(c)
 	}
-	return caps
+	return out
 }
 
 // arena owns the backing storage of one Gather run: one float64 slab for

@@ -15,7 +15,15 @@ import (
 // BenchmarkGatherMemory. Results are identical to Solve.
 func SolveCompact(t *topology.Tree, load []int, avail []bool, k int) Result {
 	tb := GatherCompact(t, load, avail, k)
-	blue, cost := ColorPhaseCompact(tb, load, avail)
+	blue, cost := ColorPhaseCompact(tb, load)
+	return Result{Blue: blue, Cost: cost}
+}
+
+// SolveCompactCaps is SolveCompact under the heterogeneous capacity
+// model (see SolveCaps): a blue at v consumes caps[v] budget units.
+func SolveCompactCaps(t *topology.Tree, load []int, caps []int, k int) Result {
+	tb := GatherCompactCaps(t, load, caps, k)
+	blue, cost := ColorPhaseCompact(tb, load)
 	return Result{Blue: blue, Cost: cost}
 }
 
@@ -27,7 +35,17 @@ func GatherCompact(t *topology.Tree, load []int, avail []bool, k int) *Tables {
 	if k < 0 {
 		k = 0
 	}
-	return gatherSerial(t, load, avail, k, false)
+	return gatherSerial(t, load, avail, nil, k, false)
+}
+
+// GatherCompactCaps is GatherCompact under the heterogeneous capacity
+// model.
+func GatherCompactCaps(t *topology.Tree, load []int, caps []int, k int) *Tables {
+	validateCaps(t, load, caps)
+	if k < 0 {
+		k = 0
+	}
+	return gatherSerial(t, load, nil, caps, k, false)
 }
 
 // ColorPhaseCompact assigns colors from breadcrumb-free tables: at every
@@ -35,7 +53,9 @@ func GatherCompact(t *topology.Tree, load []int, avail []bool, k int) *Tables {
 // and walks them backwards exactly as the paper's mSplit does. Child
 // tables are read through their effective caps (reads past a cap clamp
 // to the last column), which reproduces the unbounded scan bitwise.
-func ColorPhaseCompact(tb *Tables, load []int, avail []bool) ([]bool, float64) {
+// Color feasibility needs no availability input: the tables record each
+// node's capacity weight, and an infeasible blue never wins a cell.
+func ColorPhaseCompact(tb *Tables, load []int) ([]bool, float64) {
 	t := tb.t
 	k := tb.k
 	stride := k + 1
@@ -59,6 +79,7 @@ func ColorPhaseCompact(tb *Tables, load []int, avail []bool) ([]bool, float64) {
 
 		// Rebuild Y^m rows for this node's (ℓ*, color), m = 1..C.
 		rho := t.RhoUp(v, f.l)
+		capw := tb.nodes[v].capw // budget a blue v consumes (1 uniform)
 		bsend := 0.0
 		if subLoad[v] > 0 {
 			bsend = 1
@@ -74,8 +95,8 @@ func ColorPhaseCompact(tb *Tables, load []int, avail []bool) ([]bool, float64) {
 		first := make([]float64, stride)
 		for i := 0; i <= k; i++ {
 			if isBlue {
-				if i >= 1 {
-					first[i] = childX(0, i-1) + rho*bsend
+				if i >= capw {
+					first[i] = childX(0, i-capw) + rho*bsend
 				} else {
 					first[i] = math.Inf(1)
 				}
@@ -117,7 +138,7 @@ func ColorPhaseCompact(tb *Tables, load []int, avail []bool) ([]bool, float64) {
 			remaining -= bestJ
 		}
 		if isBlue {
-			remaining--
+			remaining -= capw
 		}
 		stack = append(stack, frame{children[0], remaining, childL})
 	}

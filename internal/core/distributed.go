@@ -15,12 +15,24 @@ import (
 // the serial Solve; the tests assert this on randomized instances.
 func SolveDistributed(t *topology.Tree, load []int, avail []bool, k int) Result {
 	validate(t, load, avail)
+	return solveDistributed(t, load, avail, nil, k)
+}
+
+// SolveDistributedCaps is SolveDistributed under the heterogeneous
+// capacity model (see SolveCaps): a blue at v consumes caps[v] budget
+// units. The result is identical to SolveCaps.
+func SolveDistributedCaps(t *topology.Tree, load []int, caps []int, k int) Result {
+	validateCaps(t, load, caps)
+	return solveDistributed(t, load, nil, caps, k)
+}
+
+func solveDistributed(t *topology.Tree, load []int, avail []bool, caps []int, k int) Result {
 	if k < 0 {
 		k = 0
 	}
 	n := t.N()
 	subLoad := t.SubtreeLoads(load)
-	caps := EffectiveCaps(t, avail, k) // read-only; shared by all switches
+	ecaps := effectiveCaps(t, avail, caps, k) // read-only; shared by all switches
 
 	type gatherMsg struct {
 		child  int
@@ -56,8 +68,8 @@ func SolveDistributed(t *topology.Tree, load []int, avail []bool, k int) Result 
 			for i, c := range children {
 				ordered[i] = byChild[c]
 			}
-			nt := newNodeStorage(t.Depth(v), caps[v], len(children), true)
-			computeNode(t, v, load[v], subLoad[v] > 0, isAvail(avail, v), &nt, ordered, newScratch(k))
+			nt := newNodeStorage(t.Depth(v), ecaps[v], len(children), true)
+			computeNode(t, v, load[v], subLoad[v] > 0, capAt(avail, caps, v), &nt, ordered, newScratch(k))
 			if p := t.Parent(v); p == topology.NoParent {
 				destInbox <- gatherMsg{child: v, tables: &nt}
 			} else {

@@ -11,8 +11,14 @@ import (
 // for i ≥ cap, so wider storage would only repeat the last column.
 // Readers clamp i to cap via at/blueAt/splitAt.
 type nodeTables struct {
-	// cap = min(k, |T_v ∩ Λ|): the largest budget T_v can use.
+	// cap = min(k, Σ_{u ∈ T_v} c(u)): the largest budget T_v can use
+	// (|T_v ∩ Λ| in the uniform model, where every capacity is 0 or 1).
 	cap int
+	// capw = c(v): the capacity weight a blue v consumes from the budget.
+	// 0 means v ∉ Λ; the uniform model uses 1 for every available switch.
+	// SOAR-Color needs it to keep the budget bookkeeping of the traceback
+	// exact, so every engine records it alongside the tables.
+	capw int
 	// x[l*(cap+1)+i] = X_v(ℓ=l, i): minimal potential over colorings of
 	// T_v with at most i blue switches, given the nearest blue ancestor
 	// (or d) is l hops above v. Non-increasing in i.
@@ -64,12 +70,23 @@ func Gather(t *topology.Tree, load []int, avail []bool, k int) *Tables {
 	if k < 0 {
 		k = 0
 	}
-	return gatherSerial(t, load, avail, k, true)
+	return gatherSerial(t, load, avail, nil, k, true)
 }
 
-func gatherSerial(t *topology.Tree, load []int, avail []bool, k int, recordSplits bool) *Tables {
-	caps := EffectiveCaps(t, avail, k)
-	ar := newArena(t, caps, recordSplits)
+// GatherCaps is Gather under the heterogeneous capacity model: a blue at
+// v consumes caps[v] of the budget (caps[v] = 0 means v may not be blue;
+// caps == nil means every switch has capacity 1, i.e. the uniform model).
+func GatherCaps(t *topology.Tree, load []int, caps []int, k int) *Tables {
+	validateCaps(t, load, caps)
+	if k < 0 {
+		k = 0
+	}
+	return gatherSerial(t, load, nil, caps, k, true)
+}
+
+func gatherSerial(t *topology.Tree, load []int, avail []bool, caps []int, k int, recordSplits bool) *Tables {
+	ecaps := effectiveCaps(t, avail, caps, k)
+	ar := newArena(t, ecaps, recordSplits)
 	tb := &Tables{
 		t:     t,
 		load:  load,
@@ -82,13 +99,26 @@ func gatherSerial(t *topology.Tree, load []int, avail []bool, k int, recordSplit
 	for _, v := range t.PostOrder() {
 		nt := ar.node(t, v)
 		cbuf = appendChildTables(cbuf[:0], tb, v)
-		computeNode(t, v, load[v], subLoad[v] > 0, isAvail(avail, v), &nt, cbuf, sc)
+		computeNode(t, v, load[v], subLoad[v] > 0, capAt(avail, caps, v), &nt, cbuf, sc)
 		tb.nodes[v] = nt
 	}
 	return tb
 }
 
 func isAvail(avail []bool, v int) bool { return avail == nil || avail[v] }
+
+// capAt returns the capacity weight of switch v: caps[v] when a capacity
+// vector is present, else 1 when v is available (the uniform model, in
+// which selecting any available switch consumes one unit of the budget).
+func capAt(avail []bool, caps []int, v int) int {
+	if caps != nil {
+		return caps[v]
+	}
+	if avail == nil || avail[v] {
+		return 1
+	}
+	return 0
+}
 
 // appendChildTables appends pointers to v's children's tables to dst, in
 // child order. Engines pass a reused buffer to keep the sweep
@@ -111,7 +141,9 @@ func appendChildTables(dst []*nodeTables, tb *Tables, v int) []*nodeTables {
 //
 // Parameters: load is L(v); hasLoad is whether T_v's total load is
 // positive (a blue v sends min(1, subtree load) messages upward — see the
-// package comment of internal/reduce); avail is v ∈ Λ.
+// package comment of internal/reduce); capw is v's capacity weight c(v) —
+// the budget a blue v consumes — with 0 meaning v ∉ Λ and 1 the uniform
+// model (so capw ∈ {0, 1} reproduces the original engine bitwise).
 //
 // The inner loops run over the effective budgets only: a row's columns
 // beyond the merged prefix's cap are filled by copying the cap column
@@ -120,32 +152,37 @@ func appendChildTables(dst []*nodeTables, tb *Tables, v int) []*nodeTables {
 // into ~O(n·h·k) (the tree-knapsack bound Σ_v Σ_m cap_prefix·cap_child =
 // O(n·k)) while keeping tables, breadcrumbs and placements bitwise
 // identical to the unbounded DP.
-func computeNode(t *topology.Tree, v, load int, hasLoad, avail bool, nt *nodeTables, children []*nodeTables, sc *scratch) {
+func computeNode(t *topology.Tree, v, load int, hasLoad bool, capw int, nt *nodeTables, children []*nodeTables, sc *scratch) {
 	depth := t.Depth(v)
 	capv := nt.cap
+	nt.capw = capw
 	w := capv + 1
 	bsend := 0.0
 	if hasLoad {
 		bsend = 1.0
 	}
+	// Blue is feasible at all iff some budget column can pay for v:
+	// capw ≤ capv ⟺ capw ≤ k (capv ≥ min(k, capw) and capv ≤ k).
+	blueOK := capw >= 1 && capw <= capv
 	if len(children) == 0 {
 		// Leaf (paper Alg. 3 lines 1-9, with the min() refinement so the
 		// table stays optimal under "at most i" semantics and zero loads).
-		// capv ≤ 1 for a leaf: one red column, plus one blue column when
-		// v ∈ Λ and k ≥ 1.
+		// capv = min(k, capw) for a leaf: red everywhere, plus a blue
+		// column at i = capw when v ∈ Λ and capw ≤ k (i.e. exactly the
+		// last column, which all wider reads clamp to).
 		for l := 0; l <= depth; l++ {
 			rho := t.RhoUp(v, l)
 			red := rho * float64(load)
-			nt.x[l*w] = red
-			nt.isBlue[l*w] = false // recycled storage: every cell is rewritten
-			if capv >= 1 {
-				idx := l*w + 1
-				if blue := rho * bsend; avail && blue < red {
+			for i := 0; i <= capv; i++ {
+				idx := l*w + i
+				nt.x[idx] = red
+				nt.isBlue[idx] = false // recycled storage: every cell is rewritten
+			}
+			if blueOK {
+				idx := l*w + capw
+				if blue := rho * bsend; blue < red {
 					nt.x[idx] = blue
 					nt.isBlue[idx] = true
-				} else {
-					nt.x[idx] = red
-					nt.isBlue[idx] = false
 				}
 			}
 		}
@@ -161,7 +198,7 @@ func computeNode(t *topology.Tree, v, load int, hasLoad, avail bool, nt *nodeTab
 		rho := t.RhoUp(v, l)
 		// m = 1 (paper Alg. 3 lines 14-19): fold in the first child.
 		// capR / capB track the effective cap of the running Y rows:
-		// min(capv, Σ caps of the merged children [+1 for a blue v]).
+		// min(capv, Σ caps of the merged children [+ capw for a blue v]).
 		c1 := children[0]
 		w1 := c1.cap + 1
 		redRow := c1.x[(l+1)*w1:]
@@ -174,19 +211,21 @@ func computeNode(t *topology.Tree, v, load int, hasLoad, avail bool, nt *nodeTab
 			yr[i] = yr[capR]
 		}
 		capB := 0
-		yb[0] = math.Inf(1)
-		if avail {
+		if blueOK {
 			blueRow := c1.x[1*w1:]
 			blueBase := rho * bsend
-			capB = min(capv, c1.cap+1)
-			for i := 1; i <= capB; i++ {
-				yb[i] = blueRow[i-1] + blueBase
+			capB = min(capv, c1.cap+capw)
+			for i := 0; i < capw; i++ {
+				yb[i] = math.Inf(1) // budget below c(v): blue unaffordable
+			}
+			for i := capw; i <= capB; i++ {
+				yb[i] = blueRow[i-capw] + blueBase
 			}
 			for i := capB + 1; i <= capv; i++ {
 				yb[i] = yb[capB]
 			}
 		} else {
-			for i := 1; i <= capv; i++ {
+			for i := 0; i <= capv; i++ {
 				yb[i] = math.Inf(1)
 			}
 		}
@@ -228,7 +267,7 @@ func computeNode(t *topology.Tree, v, load int, hasLoad, avail bool, nt *nodeTab
 			}
 			yr, newYR = newYR, yr
 			capR = newCapR
-			if avail {
+			if blueOK {
 				newCapB := min(capv, capB+cm.cap)
 				for i := 0; i <= newCapB; i++ {
 					bestB, argB := math.Inf(1), 0
@@ -252,8 +291,9 @@ func computeNode(t *topology.Tree, v, load int, hasLoad, avail bool, nt *nodeTab
 				capB = newCapB
 			} else if recordSplits {
 				// The unbounded DP records argmin 0 on the all-infinite
-				// blue track of an unavailable switch; keep recycled
-				// storage identical.
+				// blue track of a switch that can never afford blue
+				// (unavailable, or c(v) > k); keep recycled storage
+				// identical.
 				for i := 0; i <= capv; i++ {
 					spBlue[i] = 0
 				}

@@ -24,29 +24,30 @@ import (
 // of computeNode (at most O(Depth(v)·C(v)·k²), usually far less), so one
 // flushed update is roughly O(h²·C·k) versus the full sweep's O(n·h·k) —
 // a ~n/h saving (about two orders of magnitude on the paper's BT(2048)).
-// The engine maintains |T_v ∩ Λ| under SetAvail, so the caps the tables
-// are clamped to always match a from-scratch EffectiveCaps. Batched
-// updates coalesce: paths sharing a prefix mark each shared switch once,
-// so b leaf updates cost at most min(b·h, n) node recomputations in one
-// flush. Recomputed tables reuse their existing backing arrays and one
-// engine-lifetime merge scratch, so steady-state flushes are
-// allocation-free.
+// The engine maintains the subtree capacity sums Σ_{u ∈ T_v} c(u) under
+// SetAvail/SetCap, so the caps the tables are clamped to always match a
+// from-scratch EffectiveCaps/EffectiveCapsVec. Batched updates coalesce:
+// paths sharing a prefix mark each shared switch once, so b leaf updates
+// cost at most min(b·h, n) node recomputations in one flush. Recomputed
+// tables reuse their existing backing arrays and one engine-lifetime
+// merge scratch, so steady-state flushes are allocation-free.
 //
-// The zero value is not usable; construct with NewIncremental. The engine
-// is not safe for concurrent use.
+// The zero value is not usable; construct with NewIncremental (uniform
+// model) or NewIncrementalCaps (heterogeneous capacities). The engine is
+// not safe for concurrent use.
 type Incremental struct {
-	t        *topology.Tree
-	load     []int   // owned copy; also aliased by tb.load
-	avail    []bool  // owned copy, never nil
-	subLoad  []int64 // subtree loads, maintained under UpdateLoad
-	availCnt []int   // |T_v ∩ Λ|, maintained under SetAvail; cap[v] = min(k, availCnt[v])
-	k        int
-	tb       *Tables
-	dirty    []bool
-	queue    []int // dirty switches, unordered; invariant: upward-closed
-	sc       *scratch
-	cbuf     []*nodeTables // reusable child-table buffer for flushes
-	cs       colorState    // reusable SOAR-Color scratch for SolveInto
+	t       *topology.Tree
+	load    []int   // owned copy; also aliased by tb.load
+	caps    []int   // owned capacity weights, never nil (0/1 in the uniform model)
+	subLoad []int64 // subtree loads, maintained under UpdateLoad
+	capSum  []int64 // Σ_{u ∈ T_v} caps[u] (int64: exact even for MaxCapacity weights on 32-bit); cap[v] = min(k, capSum[v])
+	k       int
+	tb      *Tables
+	dirty   []bool
+	queue   []int // dirty switches, unordered; invariant: upward-closed
+	sc      *scratch
+	cbuf    []*nodeTables // reusable child-table buffer for flushes
+	cs      colorState    // reusable SOAR-Color scratch for SolveInto
 }
 
 // NewIncremental runs one full SOAR-Gather and returns an engine holding
@@ -55,6 +56,37 @@ type Incremental struct {
 // negative k is treated as 0.
 func NewIncremental(t *topology.Tree, load []int, avail []bool, k int) *Incremental {
 	validate(t, load, avail)
+	n := t.N()
+	caps := make([]int, n)
+	for v := 0; v < n; v++ {
+		if isAvail(avail, v) {
+			caps[v] = 1
+		}
+	}
+	return newIncremental(t, load, caps, k)
+}
+
+// NewIncrementalCaps is NewIncremental under the heterogeneous capacity
+// model (see SolveCaps): a blue at v consumes caps[v] budget units,
+// caps[v] = 0 means v may never be blue, and caps == nil means every
+// switch has capacity 1. caps is copied; mutate the engine's view with
+// SetCap.
+func NewIncrementalCaps(t *topology.Tree, load []int, caps []int, k int) *Incremental {
+	validateCaps(t, load, caps)
+	n := t.N()
+	owned := make([]int, n)
+	if caps == nil {
+		for v := range owned {
+			owned[v] = 1
+		}
+	} else {
+		copy(owned, caps)
+	}
+	return newIncremental(t, load, owned, k)
+}
+
+// newIncremental takes ownership of caps (already validated, never nil).
+func newIncremental(t *topology.Tree, load []int, caps []int, k int) *Incremental {
 	if k < 0 {
 		k = 0
 	}
@@ -62,26 +94,28 @@ func NewIncremental(t *topology.Tree, load []int, avail []bool, k int) *Incremen
 	inc := &Incremental{
 		t:     t,
 		load:  append([]int(nil), load...),
-		avail: make([]bool, n),
+		caps:  caps,
 		k:     k,
 		dirty: make([]bool, n),
 	}
-	for v := 0; v < n; v++ {
-		inc.avail[v] = isAvail(avail, v)
-	}
 	inc.subLoad = t.SubtreeLoads(inc.load)
-	// EffectiveCaps with budget n never clamps (counts cannot exceed n),
-	// so it returns the raw |T_v ∩ Λ| the engine maintains.
-	inc.availCnt = EffectiveCaps(t, inc.avail, n)
+	inc.capSum = make([]int64, n)
+	for _, v := range t.PostOrder() {
+		s := int64(caps[v])
+		for _, ch := range t.Children(v) {
+			s += inc.capSum[ch]
+		}
+		inc.capSum[v] = s
+	}
 	inc.sc = newScratch(k)
-	inc.tb = Gather(t, inc.load, inc.avail, k)
+	inc.tb = gatherSerial(t, inc.load, nil, inc.caps, k, true)
 	return inc
 }
 
-// cap returns the effective budget min(k, |T_v ∩ Λ|) under the engine's
-// current availability set.
+// cap returns the effective budget min(k, Σ_{u ∈ T_v} c(u)) under the
+// engine's current capacity vector.
 func (inc *Incremental) cap(v int) int {
-	return min(inc.k, inc.availCnt[v])
+	return int(min(int64(inc.k), inc.capSum[v]))
 }
 
 // K returns the budget the engine solves for.
@@ -96,8 +130,16 @@ func (inc *Incremental) Load(v int) int { return inc.load[v] }
 // Loads returns a copy of the engine's current load vector.
 func (inc *Incremental) Loads() []int { return append([]int(nil), inc.load...) }
 
-// Avail reports whether switch v is currently available (v ∈ Λ).
-func (inc *Incremental) Avail(v int) bool { return inc.avail[v] }
+// Avail reports whether switch v is currently available (v ∈ Λ, i.e. its
+// capacity weight is positive).
+func (inc *Incremental) Avail(v int) bool { return inc.caps[v] > 0 }
+
+// Capacity returns the engine's current capacity weight of switch v (the
+// budget a blue at v consumes; 0 means v may never be blue).
+func (inc *Incremental) Capacity(v int) int { return inc.caps[v] }
+
+// Capacities returns a copy of the engine's current capacity vector.
+func (inc *Incremental) Capacities() []int { return append([]int(nil), inc.caps...) }
 
 // Pending returns the number of switches whose tables are stale; it is
 // zero right after a flush (Flush, Solve, Cost or Tables).
@@ -134,23 +176,54 @@ func (inc *Incremental) SetLoad(v, value int) {
 }
 
 // SetAvail inserts v into (ok == true) or removes v from (ok == false)
-// the availability set Λ, marking the v→root path dirty. A no-op change
-// dirties nothing.
+// the availability set Λ, marking the v→root path dirty: the uniform-
+// model wrapper of SetCap, setting the capacity weight to 1 or 0. A
+// no-op change dirties nothing. On an engine tracking heterogeneous
+// capacities, SetAvail(v, true) resets c(v) to 1 — use SetCap to restore
+// a different weight.
 func (inc *Incremental) SetAvail(v int, ok bool) {
-	if inc.avail[v] == ok {
+	c := 0
+	if ok {
+		c = 1
+	}
+	inc.SetCap(v, c)
+}
+
+// SetCap sets the capacity weight of switch v to c (≥ 0; 0 removes v
+// from Λ), marking the v→root path dirty. A no-op change dirties
+// nothing.
+func (inc *Incremental) SetCap(v, c int) {
+	if c < 0 || c > MaxCapacity {
+		panic(fmt.Sprintf("core: incremental SetCap(%d, %d): capacity outside [0, %d]", v, c, MaxCapacity))
+	}
+	delta := int64(c) - int64(inc.caps[v])
+	if delta == 0 {
 		return
 	}
-	inc.avail[v] = ok
-	delta := 1
-	if !ok {
-		delta = -1
-	}
+	inc.caps[v] = c
 	for u := v; ; u = inc.t.Parent(u) {
-		inc.availCnt[u] += delta
+		inc.capSum[u] += delta
 		inc.markDirty(u)
 		if u == inc.t.Root() {
 			return
 		}
+	}
+}
+
+// SetCaps patches the engine's whole capacity vector to equal caps (nil
+// means capacity 1 everywhere), dirtying only the root paths of switches
+// whose weight actually changed — the bulk companion of SetLoads for the
+// heterogeneous model.
+func (inc *Incremental) SetCaps(caps []int) {
+	if caps != nil && len(caps) != inc.t.N() {
+		panic(fmt.Sprintf("core: incremental SetCaps has %d entries for %d switches", len(caps), inc.t.N()))
+	}
+	for v := 0; v < inc.t.N(); v++ {
+		c := 1
+		if caps != nil {
+			c = caps[v]
+		}
+		inc.SetCap(v, c)
 	}
 }
 
@@ -214,7 +287,7 @@ func (inc *Incremental) Flush() {
 		ensureNodeStorage(nt, inc.t.Depth(v), inc.cap(v), inc.t.NumChildren(v), true)
 		inc.cbuf = appendChildTables(inc.cbuf[:0], inc.tb, v)
 		computeNode(inc.t, v, inc.load[v], inc.subLoad[v] > 0,
-			inc.avail[v], nt, inc.cbuf, inc.sc)
+			inc.caps[v], nt, inc.cbuf, inc.sc)
 		inc.dirty[v] = false
 	}
 	inc.queue = inc.queue[:0]

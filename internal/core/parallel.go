@@ -22,6 +22,17 @@ import (
 // scratch.
 func GatherParallel(t *topology.Tree, load []int, avail []bool, k, workers int) *Tables {
 	validate(t, load, avail)
+	return gatherParallel(t, load, avail, nil, k, workers)
+}
+
+// GatherParallelCaps is GatherParallel under the heterogeneous capacity
+// model (see SolveCaps): a blue at v consumes caps[v] budget units.
+func GatherParallelCaps(t *topology.Tree, load []int, caps []int, k, workers int) *Tables {
+	validateCaps(t, load, caps)
+	return gatherParallel(t, load, nil, caps, k, workers)
+}
+
+func gatherParallel(t *topology.Tree, load []int, avail []bool, caps []int, k, workers int) *Tables {
 	if k < 0 {
 		k = 0
 	}
@@ -29,8 +40,8 @@ func GatherParallel(t *topology.Tree, load []int, avail []bool, k, workers int) 
 		workers = runtime.GOMAXPROCS(0)
 	}
 	n := t.N()
-	caps := EffectiveCaps(t, avail, k)
-	ar := newArena(t, caps, true)
+	ecaps := effectiveCaps(t, avail, caps, k)
+	ar := newArena(t, ecaps, true)
 	tb := &Tables{
 		t:     t,
 		load:  load,
@@ -58,7 +69,7 @@ func GatherParallel(t *topology.Tree, load []int, avail []bool, k, workers int) 
 			for v := range ready {
 				nt := ar.node(t, v)
 				cbuf = appendChildTables(cbuf[:0], tb, v)
-				computeNode(t, v, load[v], subLoad[v] > 0, isAvail(avail, v), &nt, cbuf, sc)
+				computeNode(t, v, load[v], subLoad[v] > 0, capAt(avail, caps, v), &nt, cbuf, sc)
 				tb.nodes[v] = nt
 				if p := t.Parent(v); p != topology.NoParent {
 					if atomic.AddInt32(&pending[p], -1) == 0 {
@@ -79,6 +90,15 @@ func GatherParallel(t *topology.Tree, load []int, avail []bool, k, workers int) 
 // Color phase. The result is identical to Solve.
 func SolveParallel(t *topology.Tree, load []int, avail []bool, k, workers int) Result {
 	tb := GatherParallel(t, load, avail, k, workers)
+	blue, cost := ColorPhase(tb)
+	return Result{Blue: blue, Cost: cost}
+}
+
+// SolveParallelCaps runs the parallel Gather under the heterogeneous
+// capacity model followed by the Color phase. The result is identical to
+// SolveCaps.
+func SolveParallelCaps(t *topology.Tree, load []int, caps []int, k, workers int) Result {
+	tb := GatherParallelCaps(t, load, caps, k, workers)
 	blue, cost := ColorPhase(tb)
 	return Result{Blue: blue, Cost: cost}
 }

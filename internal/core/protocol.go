@@ -42,7 +42,7 @@ func decide(t *topology.Tree, nt *nodeTables, v, budget, l int, dst []int) (isBl
 		remaining -= j
 	}
 	if isBlue {
-		remaining--
+		remaining -= nt.capw // a blue v consumes its capacity weight (1 uniform)
 	}
 	childBudget[0] = remaining
 	return isBlue, childBudget, childL
@@ -60,24 +60,37 @@ type NodeState struct {
 	nt nodeTables
 }
 
-// NewNodeState runs the SOAR-Gather step of switch v. childX must hold
-// one flattened X table per child, in child order, each of length
-// (Depth(child)+1)·(cap(child)+1) as produced by XTable on the child —
-// the child's effective cap is recovered from the table length. The
-// switch's own cap is then min(k, avail + Σ child caps), exactly
-// EffectiveCaps applied one level up.
+// NewNodeState runs the SOAR-Gather step of switch v in the uniform
+// model: avail is v ∈ Λ, and a blue consumes one budget unit. It is
+// NewNodeStateCaps with capacity 1 or 0.
 func NewNodeState(t *topology.Tree, v int, loadV int, hasLoad, avail bool, k int, childX [][]float64) (*NodeState, error) {
+	capw := 0
+	if avail {
+		capw = 1
+	}
+	return NewNodeStateCaps(t, v, loadV, hasLoad, capw, k, childX)
+}
+
+// NewNodeStateCaps runs the SOAR-Gather step of switch v under the
+// heterogeneous capacity model: a blue at v consumes capw budget units
+// (0 means v may not be blue). childX must hold one flattened X table per
+// child, in child order, each of length (Depth(child)+1)·(cap(child)+1)
+// as produced by XTable on the child — the child's effective cap is
+// recovered from the table length. The switch's own cap is then
+// min(k, capw + Σ child caps), exactly EffectiveCapsVec applied one
+// level up.
+func NewNodeStateCaps(t *topology.Tree, v int, loadV int, hasLoad bool, capw, k int, childX [][]float64) (*NodeState, error) {
 	if k < 0 {
 		k = 0
+	}
+	if capw < 0 || capw > MaxCapacity {
+		return nil, fmt.Errorf("core: switch %d has capacity %d outside [0, %d]", v, capw, MaxCapacity)
 	}
 	children := t.Children(v)
 	if len(childX) != len(children) {
 		return nil, fmt.Errorf("core: switch %d has %d children but got %d tables", v, len(children), len(childX))
 	}
-	capv := 0
-	if avail {
-		capv = 1
-	}
+	capv := int64(capw) // int64: exact even near MaxInt budgets on 32-bit
 	tables := make([]*nodeTables, len(children))
 	for i, c := range children {
 		rows := t.Depth(c) + 1
@@ -89,23 +102,24 @@ func NewNodeState(t *topology.Tree, v int, loadV int, hasLoad, avail bool, k int
 			return nil, fmt.Errorf("core: child %d table has %d budget columns, want at most k+1 = %d", c, ccap+1, k+1)
 		}
 		tables[i] = &nodeTables{cap: ccap, x: childX[i]}
-		capv += ccap
+		capv += int64(ccap)
 	}
-	if capv > k {
-		capv = k
+	if capv > int64(k) {
+		capv = int64(k)
 	}
 	ns := &NodeState{
 		t:  t,
 		v:  v,
 		k:  k,
-		nt: newNodeStorage(t.Depth(v), capv, len(children), true),
+		nt: newNodeStorage(t.Depth(v), int(capv), len(children), true),
 	}
-	computeNode(t, v, loadV, hasLoad, avail, &ns.nt, tables, newScratch(k))
+	computeNode(t, v, loadV, hasLoad, capw, &ns.nt, tables, newScratch(k))
 	return ns, nil
 }
 
-// Cap returns the switch's effective budget min(k, |T_v ∩ Λ|), the
-// number of budget columns (minus one) in XTable.
+// Cap returns the switch's effective budget min(k, Σ_{u ∈ T_v} c(u))
+// (min(k, |T_v ∩ Λ|) in the uniform model), the number of budget columns
+// (minus one) in XTable.
 func (ns *NodeState) Cap() int { return ns.nt.cap }
 
 // XTable returns the flattened X table to send to the parent, of length

@@ -14,6 +14,29 @@ import (
 // instances; this reference extends the cross-check to mid-size trees
 // (n ≈ 60, k ≈ 10) where 2^n enumeration is impossible.
 func referenceCost(t *topology.Tree, load []int, avail []bool, k int) float64 {
+	weight := func(v int) int {
+		if avail == nil || avail[v] {
+			return 1
+		}
+		return 0
+	}
+	return referenceCostWeighted(t, load, weight, k)
+}
+
+// referenceCostCaps is the independent reference for the heterogeneous
+// capacity model: a blue at v consumes caps[v] budget units, caps[v] = 0
+// means v may never be blue.
+func referenceCostCaps(t *topology.Tree, load []int, caps []int, k int) float64 {
+	weight := func(v int) int {
+		if caps == nil {
+			return 1
+		}
+		return caps[v]
+	}
+	return referenceCostWeighted(t, load, weight, k)
+}
+
+func referenceCostWeighted(t *topology.Tree, load []int, weight func(v int) int, k int) float64 {
 	if k < 0 {
 		k = 0
 	}
@@ -24,7 +47,7 @@ func referenceCost(t *topology.Tree, load []int, avail []bool, k int) float64 {
 		}
 		return 0
 	}
-	ok := func(v int) bool { return avail == nil || avail[v] }
+	ok := func(v int) bool { return weight(v) >= 1 }
 
 	type xKey struct{ v, l, i int }
 	type yKey struct {
@@ -49,10 +72,10 @@ func referenceCost(t *topology.Tree, load []int, avail []bool, k int) float64 {
 		var cost float64
 		if m == 1 {
 			if blue {
-				if i < 1 {
+				if w := weight(v); i < w {
 					cost = math.Inf(1)
 				} else {
-					cost = x(children[0], 1, i-1) + t.RhoUp(v, l)*bsend(v)
+					cost = x(children[0], 1, i-w) + t.RhoUp(v, l)*bsend(v)
 				}
 			} else {
 				cost = x(children[0], l+1, i) + t.RhoUp(v, l)*float64(load[v])
@@ -81,7 +104,7 @@ func referenceCost(t *topology.Tree, load []int, avail []bool, k int) float64 {
 		var cost float64
 		if t.IsLeaf(v) {
 			cost = t.RhoUp(v, l) * float64(load[v])
-			if i >= 1 && ok(v) {
+			if ok(v) && i >= weight(v) {
 				if blue := t.RhoUp(v, l) * bsend(v); blue < cost {
 					cost = blue
 				}

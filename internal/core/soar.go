@@ -53,6 +53,21 @@ func Solve(t *topology.Tree, load []int, avail []bool, k int) Result {
 	return Result{Blue: blue, Cost: cost}
 }
 
+// SolveCaps solves the heterogeneous-capacity generalization of φ-BIC:
+// every switch v has a capacity weight caps[v] ≥ 0 and a blue at v
+// consumes caps[v] units of the budget k, so the placement U minimizes
+// φ(T, L, U) subject to Σ_{v ∈ U} caps[v] ≤ k over U ⊆ {v : caps[v] ≥ 1}.
+// caps[v] = 0 is exactly v ∉ Λ, and a 0/1 capacity vector reproduces
+// Solve's uniform model bitwise (tables, breadcrumbs and placement);
+// caps == nil means every switch has capacity 1. The generalized sweep
+// keeps the clamped engines' ~O(n·h(T)·k) cost: only the effective
+// budgets cap[v] = min(k, Σ subtree caps) change.
+func SolveCaps(t *topology.Tree, load []int, caps []int, k int) Result {
+	tb := GatherCaps(t, load, caps, k)
+	blue, cost := ColorPhase(tb)
+	return Result{Blue: blue, Cost: cost}
+}
+
 // Strategy adapts SOAR to the placement.Strategy interface so that
 // experiments can treat it uniformly with the baselines.
 type Strategy struct{}
@@ -96,9 +111,15 @@ func (tb *Tables) Blue(v, l, i int) bool {
 	return tb.nodes[v].blueAt(l, i)
 }
 
-// Cap returns the effective budget cap[v] = min(k, |T_v ∩ Λ|) the tables
-// of switch v were clamped to.
+// Cap returns the effective budget cap[v] = min(k, Σ_{u ∈ T_v} c(u)) the
+// tables of switch v were clamped to (min(k, |T_v ∩ Λ|) in the uniform
+// model).
 func (tb *Tables) Cap(v int) int { return tb.nodes[v].cap }
+
+// Capacity returns the capacity weight c(v) the tables were computed
+// with: the budget a blue at v consumes. It is 1 for available switches
+// and 0 for unavailable ones in the uniform model.
+func (tb *Tables) Capacity(v int) int { return tb.nodes[v].capw }
 
 // Optimum returns the optimal utilization cost φ-BIC(T, L, Λ, k), which
 // is X_r(1, k) for the root r (paper Eq. 6).
@@ -116,6 +137,26 @@ func validate(t *topology.Tree, load []int, avail []bool) {
 	for v, l := range load {
 		if l < 0 {
 			panic(fmt.Sprintf("core: switch %d has negative load %d", v, l))
+		}
+	}
+}
+
+// MaxCapacity bounds a single switch's capacity weight; it keeps the
+// effective-budget prefix sums far from integer overflow on every
+// platform while allowing any realistic heterogeneity.
+const MaxCapacity = 1 << 30
+
+func validateCaps(t *topology.Tree, load []int, caps []int) {
+	validate(t, load, nil)
+	if caps == nil {
+		return
+	}
+	if len(caps) != t.N() {
+		panic(fmt.Sprintf("core: tree has %d switches but caps has %d entries", t.N(), len(caps)))
+	}
+	for v, c := range caps {
+		if c < 0 || c > MaxCapacity {
+			panic(fmt.Sprintf("core: switch %d has capacity %d outside [0, %d]", v, c, MaxCapacity))
 		}
 	}
 }

@@ -1,0 +1,136 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"soar/internal/core"
+	"soar/internal/load"
+	"soar/internal/reduce"
+	"soar/internal/stats"
+	"soar/internal/topology"
+)
+
+// ExtHeteroConfig parameterizes the heterogeneous-capacity extension
+// experiment, following the deployment mixes of the follow-up paper
+// ("Constrained In-network Computing with Low Congestion in Datacenter
+// Networks"): real fabrics are not uniformly programmable, so the
+// experiment sweeps the budget k under several per-switch capacity
+// profiles and measures how much utilization the heterogeneity costs
+// relative to the paper's uniform model.
+type ExtHeteroConfig struct {
+	// N is the BT network size (including the destination).
+	N int
+	// Ks are the capacity budgets to sweep.
+	Ks []int
+	// Reps averages over random workloads (and random profiles where the
+	// profile is random).
+	Reps int
+	// Profile restricts the run to one profile by name prefix
+	// ("uniform", "tiered", "tor", "powerlaw"); empty runs all.
+	Profile string
+	Seed    int64
+}
+
+// DefaultExtHetero mirrors the Fig. 6 setup.
+func DefaultExtHetero() ExtHeteroConfig {
+	return ExtHeteroConfig{N: 256, Ks: []int{1, 2, 4, 8, 16, 32, 64}, Reps: 10, Seed: 12}
+}
+
+// QuickExtHetero is a reduced instance for tests.
+func QuickExtHetero() ExtHeteroConfig {
+	return ExtHeteroConfig{N: 64, Ks: []int{1, 4, 8, 16}, Reps: 2, Seed: 12}
+}
+
+// heteroProfile is one capacity profile of the sweep. The salt keys the
+// profile's private rng stream (see ExtHetero), so a run filtered to one
+// profile reproduces exactly the series of the full sweep.
+type heteroProfile struct {
+	name  string
+	salt  int64
+	build func(t *topology.Tree, rng *rand.Rand) []int
+}
+
+// heteroProfiles names the capacity profiles the experiment compares.
+// The random profiles re-draw per rep from their salted stream.
+func heteroProfiles() []heteroProfile {
+	return []heteroProfile{
+		{"uniform(1)", 1, func(t *topology.Tree, _ *rand.Rand) []int {
+			return topology.CapsUniform(t, 1)
+		}},
+		{"tiered(1,2,4)", 2, func(t *topology.Tree, _ *rand.Rand) []int {
+			return topology.CapsTiered(t, 1, 2, 4)
+		}},
+		{"tor-only(p=0.5,c=2)", 3, func(t *topology.Tree, rng *rand.Rand) []int {
+			return topology.CapsTorOnly(t, 2, 0.5, rng)
+		}},
+		{"powerlaw(max=8,α=2.5)", 4, func(t *topology.Tree, rng *rand.Rand) []int {
+			return topology.CapsPowerLaw(t, 8, 2.5, rng)
+		}},
+	}
+}
+
+// ExtHetero sweeps the budget under heterogeneous capacity profiles:
+// for each profile, SOAR's optimal utilization (normalized to all-red)
+// as a function of k when a blue at v consumes caps[v] budget units.
+// The uniform(1) series is the paper's model and lower-bounds the
+// others at every k; the gap is the price of deploying on a
+// heterogeneously provisioned fabric.
+func ExtHetero(cfg ExtHeteroConfig) (*Figure, error) {
+	tr, err := topology.BT(cfg.N)
+	if err != nil {
+		return nil, err
+	}
+	profiles := heteroProfiles()
+	if cfg.Profile != "" {
+		kept := profiles[:0]
+		for _, p := range profiles {
+			if strings.HasPrefix(p.name, cfg.Profile) {
+				kept = append(kept, p)
+			}
+		}
+		if len(kept) == 0 {
+			return nil, fmt.Errorf("ext-hetero: unknown capacity profile %q (want a prefix of uniform, tiered, tor-only or powerlaw)", cfg.Profile)
+		}
+		profiles = kept
+	}
+
+	fig := &Figure{
+		ID:    "ext-hetero",
+		Title: fmt.Sprintf("Extension: heterogeneous per-switch capacities on BT(%d) (follow-up paper's deployment mixes)", cfg.N),
+	}
+	xs := make([]float64, len(cfg.Ks))
+	for i, k := range cfg.Ks {
+		xs[i] = float64(k)
+	}
+	sp := Subplot{
+		Name:   "SOAR utilization by capacity profile",
+		XLabel: "budget k (capacity units)",
+		YLabel: "utilization (vs all-red)",
+	}
+	accs := make([]*stats.Accumulator, len(profiles))
+	for i := range accs {
+		accs[i] = stats.NewAccumulator(len(cfg.Ks))
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	for rep := 0; rep < cfg.Reps; rep++ {
+		loads := load.Generate(tr, load.PaperPowerLaw(), load.LeavesOnly, rng)
+		allRed := reduce.Utilization(tr, loads, make([]bool, tr.N()))
+		for pi, p := range profiles {
+			// Each (profile, rep) draws from its own derived stream:
+			// filtering profiles away never shifts another's capacities.
+			caps := p.build(tr, rand.New(rand.NewSource(cfg.Seed+p.salt*1009+int64(rep)*31)))
+			row := make([]float64, len(cfg.Ks))
+			for ki, k := range cfg.Ks {
+				row[ki] = core.SolveCaps(tr, loads, caps, k).Cost / allRed
+			}
+			accs[pi].Add(row)
+		}
+	}
+	for pi, p := range profiles {
+		sp.Series = append(sp.Series, Series{Label: p.name, X: xs, Y: accs[pi].Mean(), Err: accs[pi].StdErr()})
+	}
+	fig.Subplots = append(fig.Subplots, sp)
+	return fig, nil
+}

@@ -90,6 +90,68 @@ func TestExtObjectivesShapes(t *testing.T) {
 	}
 }
 
+func TestExtHeteroShapes(t *testing.T) {
+	fig, err := ExtHetero(QuickExtHetero())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Subplots) != 1 {
+		t.Fatalf("got %d subplots, want 1", len(fig.Subplots))
+	}
+	sp := fig.Subplots[0]
+	if len(sp.Series) != 4 {
+		t.Fatalf("got %d profiles, want 4", len(sp.Series))
+	}
+	uniform := findSeries(t, sp, "uniform(1)")
+	for _, s := range sp.Series {
+		for i, y := range s.Y {
+			if y <= 0 || y > 1+1e-9 {
+				t.Fatalf("%s: ratio %v out of range at k=%v", s.Label, y, s.X[i])
+			}
+			// Every profile's weights are ≥ the uniform model's wherever
+			// positive, so uniform(1) lower-bounds all of them at each k.
+			if y < uniform.Y[i]-1e-9 {
+				t.Fatalf("%s beats uniform(1) at k=%v: %v < %v", s.Label, s.X[i], y, uniform.Y[i])
+			}
+			// Ratios are non-increasing in the budget within a profile.
+			if i > 0 && y > s.Y[i-1]+1e-9 {
+				t.Fatalf("%s: ratio worsened with k: %v -> %v", s.Label, s.Y[i-1], y)
+			}
+		}
+	}
+}
+
+func TestExtHeteroProfileFilter(t *testing.T) {
+	cfg := QuickExtHetero()
+	full, err := ExtHetero(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Profile = "powerlaw"
+	filtered, err := ExtHetero(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := filtered.Subplots[0].Series
+	if len(got) != 1 || got[0].Label != "powerlaw(max=8,α=2.5)" {
+		t.Fatalf("filter kept %d series", len(got))
+	}
+	// A filtered run must reproduce the full sweep's series exactly:
+	// every profile draws from its own salted rng stream, so dropping
+	// the others cannot shift its capacities.
+	want := findSeries(t, full.Subplots[0], "powerlaw(max=8,α=2.5)")
+	for i := range want.Y {
+		if got[0].Y[i] != want.Y[i] {
+			t.Fatalf("filtered powerlaw differs from full sweep at k=%v: %v vs %v",
+				want.X[i], got[0].Y[i], want.Y[i])
+		}
+	}
+	cfg.Profile = "warp"
+	if _, err := ExtHetero(cfg); err == nil {
+		t.Fatal("unknown profile accepted")
+	}
+}
+
 func TestExtTopologiesShapes(t *testing.T) {
 	fig, err := ExtTopologies(QuickExtTopologies())
 	if err != nil {

@@ -48,9 +48,17 @@ func NewService(t *topology.Tree, capacity int) *Service {
 	return NewServiceWith(t, sched.Config{Capacity: capacity})
 }
 
+// NewServiceCaps creates a service over a heterogeneous deployment:
+// caps[v] is the number of tenants switch v can aggregate for
+// simultaneously, with 0 marking a plain forwarder that never
+// aggregates. Callers must Close the service.
+func NewServiceCaps(t *topology.Tree, caps []int) *Service {
+	return NewServiceWith(t, sched.Config{Capacities: caps})
+}
+
 // NewServiceWith creates a service with full control over the
 // scheduler's configuration (batching window, engine-pool size,
-// background re-packing).
+// per-switch capacity vector, background re-packing).
 func NewServiceWith(t *topology.Tree, cfg sched.Config) *Service {
 	return &Service{s: sched.New(t, cfg)}
 }

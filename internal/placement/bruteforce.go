@@ -52,6 +52,23 @@ func (b BruteForce) AllOptima(t *topology.Tree, load []int, avail []bool, k int,
 	return optima, bestCost
 }
 
+// SearchCaps returns an optimal blue set and its φ under the
+// heterogeneous capacity model: U ranges over subsets of {v : caps[v] ≥ 1}
+// with Σ_{v ∈ U} caps[v] ≤ k (a blue at v consumes caps[v] of the
+// budget; caps == nil means every switch has capacity 1). It is the
+// exponential oracle certifying core.SolveCaps on small instances.
+func (b BruteForce) SearchCaps(t *topology.Tree, load []int, caps []int, k int) ([]bool, float64) {
+	best := make([]bool, t.N())
+	bestCost := math.Inf(1)
+	b.enumerateCaps(t, load, caps, k, func(cur []bool, cost float64) {
+		if cost < bestCost {
+			bestCost = cost
+			copy(best, cur)
+		}
+	})
+	return best, bestCost
+}
+
 // enumerate visits every subset of the available switches of size ≤ k
 // exactly once and reports its φ.
 func (b BruteForce) enumerate(t *topology.Tree, load []int, avail []bool, k int, visit func(cur []bool, cost float64)) {
@@ -74,6 +91,45 @@ func (b BruteForce) enumerate(t *topology.Tree, load []int, avail []bool, k int,
 		cur[cand[idx]] = true
 		rec(idx+1, budget-1)
 		cur[cand[idx]] = false
+		rec(idx+1, budget)
+	}
+	rec(0, k)
+}
+
+// enumerateCaps visits every subset U of {v : caps[v] ≥ 1} with
+// Σ caps ≤ k exactly once and reports its φ.
+func (b BruteForce) enumerateCaps(t *topology.Tree, load []int, caps []int, k int, visit func(cur []bool, cost float64)) {
+	max := b.MaxNodes
+	if max == 0 {
+		max = 20
+	}
+	capOf := func(v int) int {
+		if caps == nil {
+			return 1
+		}
+		return caps[v]
+	}
+	cand := make([]int, 0, t.N())
+	for v := 0; v < t.N(); v++ {
+		if capOf(v) >= 1 {
+			cand = append(cand, v)
+		}
+	}
+	if len(cand) > max {
+		panic("placement: BruteForce beyond MaxNodes")
+	}
+	cur := make([]bool, t.N())
+	var rec func(idx, budget int)
+	rec = func(idx, budget int) {
+		if idx == len(cand) {
+			visit(cur, reduce.Utilization(t, load, cur))
+			return
+		}
+		if c := capOf(cand[idx]); c <= budget {
+			cur[cand[idx]] = true
+			rec(idx+1, budget-c)
+			cur[cand[idx]] = false
+		}
 		rec(idx+1, budget)
 	}
 	rec(0, k)

@@ -1,0 +1,91 @@
+package sched
+
+import (
+	"testing"
+
+	"soar/internal/topology"
+)
+
+// TestSchedulerHeterogeneousCapacities runs the scheduler over a
+// ToR-only deployment: leaves serve two tenants each, every internal
+// switch is a plain forwarder. Leases must only ever land on leaves,
+// capacity accounting must stay exact, and exhausting the fabric must
+// degrade to all-red placements instead of oversubscribing.
+func TestSchedulerHeterogeneousCapacities(t *testing.T) {
+	tr := topology.MustBT(32)
+	caps := make([]int, tr.N())
+	for _, v := range tr.Leaves() {
+		caps[v] = 2
+	}
+	s := New(tr, Config{Capacities: caps, Workers: 2})
+	defer s.Close()
+
+	leaves := tr.Leaves()
+	totalSlots := 2 * len(leaves)
+	used := 0
+	for i := 0; i < totalSlots+5; i++ {
+		load := make([]int, tr.N())
+		for j, v := range leaves {
+			if (i+j)%3 == 0 {
+				load[v] = 1 + j%4
+			}
+		}
+		load[leaves[i%len(leaves)]] += 2
+		lease, err := s.Place(load, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, v := range lease.Blue {
+			if !tr.IsLeaf(v) {
+				t.Fatalf("tenant %d leased internal switch %d", i, v)
+			}
+		}
+		used += len(lease.Blue)
+	}
+	if used > totalSlots {
+		t.Fatalf("leased %d slots, fabric has %d", used, totalSlots)
+	}
+
+	st := s.Snapshot()
+	if st.CapacityTotal != int64(totalSlots) {
+		t.Fatalf("CapacityTotal = %d, want %d", st.CapacityTotal, totalSlots)
+	}
+	if st.CapacityUsed != int64(used) {
+		t.Fatalf("CapacityUsed = %d, want %d", st.CapacityUsed, used)
+	}
+	for v, r := range s.Residual() {
+		if r < 0 || r > caps[v] {
+			t.Fatalf("switch %d residual %d outside [0, %d]", v, r, caps[v])
+		}
+	}
+}
+
+func TestSchedulerRejectsBadCapacities(t *testing.T) {
+	tr := topology.MustBT(8)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("wrong-length Capacities accepted")
+		}
+	}()
+	s := New(tr, Config{Capacities: []int{1, 2}})
+	s.Close()
+}
+
+func TestLedgerFromCaps(t *testing.T) {
+	l := NewLedgerFromCaps([]int{0, 3, -2})
+	if l.N() != 3 {
+		t.Fatalf("N = %d, want 3", l.N())
+	}
+	for v, want := range []int{0, 3, 0} {
+		if l.Initial(v) != want || l.Residual(v) != want {
+			t.Fatalf("switch %d: initial %d residual %d, want %d", v, l.Initial(v), l.Residual(v), want)
+		}
+		if l.Avail()[v] != (want > 0) {
+			t.Fatalf("switch %d availability wrong", v)
+		}
+	}
+	l.Charge(1)
+	if l.Residual(1) != 2 || !l.Avail()[1] {
+		t.Fatal("charge bookkeeping wrong")
+	}
+}

@@ -48,6 +48,28 @@ func NewLedger(n, capacity int) *Ledger {
 	return l
 }
 
+// NewLedgerFromCaps creates a ledger with a per-switch capacity vector —
+// the heterogeneous-deployment constructor. Unlike NewLedger's uniform
+// capacity, entries are literal (as in SetCapacity): caps[v] = 0 makes
+// switch v permanently unavailable, negative values clamp to 0. The
+// vector is copied.
+func NewLedgerFromCaps(caps []int) *Ledger {
+	l := &Ledger{
+		initial:  make([]int, len(caps)),
+		residual: make([]int, len(caps)),
+		avail:    make([]bool, len(caps)),
+	}
+	for v, c := range caps {
+		if c < 0 {
+			c = 0
+		}
+		l.initial[v] = c
+		l.residual[v] = c
+		l.avail[v] = c > 0
+	}
+	return l
+}
+
 // N returns the number of switches tracked.
 func (l *Ledger) N() int { return len(l.residual) }
 

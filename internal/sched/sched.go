@@ -113,6 +113,12 @@ type RepackConfig struct {
 type Config struct {
 	// Capacity is the uniform per-switch lease capacity (≤ 0 unlimited).
 	Capacity int
+	// Capacities, when non-nil, is the per-switch lease capacity vector
+	// for heterogeneous deployments and overrides Capacity. Entries are
+	// literal: 0 makes a switch permanently unavailable (a plain
+	// forwarder), negative values clamp to 0. Its length must equal the
+	// tree's switch count.
+	Capacities []int
 	// Workers is the engine-pool size: the number of concurrent SOAR
 	// solves (default GOMAXPROCS). Each worker owns one reusable
 	// core.Incremental engine.
@@ -234,12 +240,19 @@ func New(t *topology.Tree, cfg Config) *Scheduler {
 	if cfg.Repack.MaxMoves <= 0 {
 		cfg.Repack.MaxMoves = 8
 	}
+	ledger := NewLedger(t.N(), cfg.Capacity)
+	if cfg.Capacities != nil {
+		if len(cfg.Capacities) != t.N() {
+			panic(fmt.Sprintf("sched: Capacities has %d entries for %d switches", len(cfg.Capacities), t.N()))
+		}
+		ledger = NewLedgerFromCaps(cfg.Capacities)
+	}
 	s := &Scheduler{
 		t:      t,
 		cfg:    cfg,
 		reqs:   make(chan *request, cfg.QueueDepth),
 		stop:   make(chan struct{}),
-		ledger: NewLedger(t.N(), cfg.Capacity),
+		ledger: ledger,
 		leases: make(map[int64]*tenant),
 		bgBlue: make([]bool, t.N()),
 		timer:  time.NewTimer(time.Hour),

@@ -1,0 +1,108 @@
+package topology
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// This file builds per-switch capacity profiles for the heterogeneous
+// deployments of the follow-up literature ("Constrained In-network
+// Computing with Low Congestion in Datacenter Networks"): real fabrics
+// mix fully-programmable switches, half-provisioned aggregation layers
+// and plain forwarders. A profile is a []int aligned with the tree's
+// switch ids; consumers interpret an entry either as a budget weight
+// (core.SolveCaps: a blue at v consumes caps[v] units) or as a lease
+// slot count (sched.Ledger: v serves at most caps[v] tenants). 0 always
+// means "plain forwarder — never aggregates".
+
+// CapsUniform returns the uniform profile caps[v] = c for every switch.
+// c must be ≥ 0; CapsUniform(t, 1) is exactly the classic model.
+func CapsUniform(t *Tree, c int) []int {
+	if c < 0 {
+		panic(fmt.Sprintf("topology: CapsUniform(%d): capacity must be ≥ 0", c))
+	}
+	caps := make([]int, t.N())
+	for v := range caps {
+		caps[v] = c
+	}
+	return caps
+}
+
+// CapsTiered assigns capacity by tree level, the tiered fat-tree
+// profile: byLevel[l] is the capacity of every switch at level l (the
+// root is level 0, i.e. Depth(v)−1), and the last entry extends to all
+// deeper levels. For example CapsTiered(t, 1, 2, 4) models cheap
+// programmable core switches above half-provisioned aggregation above
+// expensive-to-enable ToRs. At least one level must be given; entries
+// must be ≥ 0.
+func CapsTiered(t *Tree, byLevel ...int) []int {
+	if len(byLevel) == 0 {
+		panic("topology: CapsTiered needs at least one level capacity")
+	}
+	for i, c := range byLevel {
+		if c < 0 {
+			panic(fmt.Sprintf("topology: CapsTiered level %d capacity %d must be ≥ 0", i, c))
+		}
+	}
+	caps := make([]int, t.N())
+	for v := range caps {
+		l := t.Depth(v) - 1
+		if l >= len(byLevel) {
+			l = len(byLevel) - 1
+		}
+		caps[v] = byLevel[l]
+	}
+	return caps
+}
+
+// CapsTorOnly is the rack-local profile: only leaf (ToR) switches can
+// aggregate. Each leaf independently gets capacity c with probability p,
+// every other switch is a plain forwarder (capacity 0). p must be in
+// [0, 1] and c ≥ 1.
+func CapsTorOnly(t *Tree, c int, p float64, rng *rand.Rand) []int {
+	if c < 1 {
+		panic(fmt.Sprintf("topology: CapsTorOnly(%d): capacity must be ≥ 1", c))
+	}
+	if p < 0 || p > 1 {
+		panic(fmt.Sprintf("topology: CapsTorOnly probability %v outside [0, 1]", p))
+	}
+	caps := make([]int, t.N())
+	for _, v := range t.Leaves() {
+		if rng.Float64() < p {
+			caps[v] = c
+		}
+	}
+	return caps
+}
+
+// CapsPowerLaw draws every switch's capacity from a bounded power law
+// P(c) ∝ c^(−alpha) over {1, …, max}: many cheap switches, a heavy tail
+// of expensive ones — the skew scale-free provisioning studies assume.
+// max must be ≥ 1 and alpha > 0.
+func CapsPowerLaw(t *Tree, max int, alpha float64, rng *rand.Rand) []int {
+	if max < 1 {
+		panic(fmt.Sprintf("topology: CapsPowerLaw(%d): max must be ≥ 1", max))
+	}
+	if alpha <= 0 {
+		panic(fmt.Sprintf("topology: CapsPowerLaw alpha %v must be > 0", alpha))
+	}
+	// Cumulative weights for inverse-CDF sampling; max is small (a
+	// hardware tier count), so the table is negligible.
+	cum := make([]float64, max)
+	total := 0.0
+	for c := 1; c <= max; c++ {
+		total += math.Pow(float64(c), -alpha)
+		cum[c-1] = total
+	}
+	caps := make([]int, t.N())
+	for v := range caps {
+		u := rng.Float64() * total
+		lo := 0
+		for lo < max-1 && cum[lo] < u {
+			lo++
+		}
+		caps[v] = lo + 1
+	}
+	return caps
+}

@@ -1,0 +1,98 @@
+package topology
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestCapsUniform(t *testing.T) {
+	tr := MustBT(16)
+	caps := CapsUniform(tr, 3)
+	if len(caps) != tr.N() {
+		t.Fatalf("profile has %d entries for %d switches", len(caps), tr.N())
+	}
+	for v, c := range caps {
+		if c != 3 {
+			t.Fatalf("caps[%d] = %d, want 3", v, c)
+		}
+	}
+}
+
+func TestCapsTiered(t *testing.T) {
+	tr := MustBT(32) // 5 levels of switches
+	caps := CapsTiered(tr, 1, 2, 4)
+	for v, c := range caps {
+		want := []int{1, 2, 4, 4, 4}[tr.Depth(v)-1]
+		if c != want {
+			t.Fatalf("caps[%d] (level %d) = %d, want %d", v, tr.Depth(v)-1, c, want)
+		}
+	}
+}
+
+func TestCapsTorOnly(t *testing.T) {
+	tr := MustBT(64)
+	rng := rand.New(rand.NewSource(5))
+	caps := CapsTorOnly(tr, 2, 0.5, rng)
+	leaves := 0
+	for v, c := range caps {
+		if !tr.IsLeaf(v) && c != 0 {
+			t.Fatalf("internal switch %d has capacity %d", v, c)
+		}
+		if c != 0 && c != 2 {
+			t.Fatalf("leaf %d has capacity %d, want 0 or 2", v, c)
+		}
+		if c == 2 {
+			leaves++
+		}
+	}
+	if leaves == 0 || leaves == len(tr.Leaves()) {
+		t.Fatalf("p=0.5 selected %d of %d leaves", leaves, len(tr.Leaves()))
+	}
+	// p = 1 must select every leaf.
+	for _, v := range tr.Leaves() {
+		if CapsTorOnly(tr, 1, 1, rng)[v] != 1 {
+			t.Fatalf("p=1 skipped leaf %d", v)
+		}
+	}
+}
+
+func TestCapsPowerLaw(t *testing.T) {
+	tr := MustBT(256)
+	rng := rand.New(rand.NewSource(9))
+	caps := CapsPowerLaw(tr, 8, 2.5, rng)
+	hist := make(map[int]int)
+	for v, c := range caps {
+		if c < 1 || c > 8 {
+			t.Fatalf("caps[%d] = %d outside [1, 8]", v, c)
+		}
+		hist[c]++
+	}
+	// α = 2.5 concentrates mass at 1: the cheapest tier must dominate
+	// the most expensive one.
+	if hist[1] <= hist[8] {
+		t.Fatalf("power law not skewed: %d ones vs %d eights", hist[1], hist[8])
+	}
+}
+
+func TestCapsProfilesReject(t *testing.T) {
+	tr := MustBT(8)
+	rng := rand.New(rand.NewSource(1))
+	for name, f := range map[string]func(){
+		"uniform-negative":   func() { CapsUniform(tr, -1) },
+		"tiered-empty":       func() { CapsTiered(tr) },
+		"tiered-negative":    func() { CapsTiered(tr, 1, -2) },
+		"tor-zero-cap":       func() { CapsTorOnly(tr, 0, 0.5, rng) },
+		"tor-bad-p":          func() { CapsTorOnly(tr, 1, 1.5, rng) },
+		"powerlaw-zero-max":  func() { CapsPowerLaw(tr, 0, 2, rng) },
+		"powerlaw-bad-alpha": func() { CapsPowerLaw(tr, 4, 0, rng) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -52,6 +52,21 @@ func NewAllocator(t *topology.Tree, s placement.Strategy, k, capacity int) *Allo
 	return &Allocator{t: t, strategy: s, k: k, ledger: sched.NewLedger(t.N(), capacity)}
 }
 
+// NewAllocatorCaps creates an online allocator over a heterogeneous
+// deployment: caps[v] is the aggregation capacity a(v) of switch v, with
+// 0 marking a switch that may never aggregate (entries are literal, as
+// in sched.NewLedgerFromCaps). For uniform or unlimited capacity use
+// NewAllocator; caps must be a full-length vector here.
+func NewAllocatorCaps(t *topology.Tree, s placement.Strategy, k int, caps []int) *Allocator {
+	if caps == nil {
+		panic("workload: NewAllocatorCaps needs a capacity vector; use NewAllocator for uniform capacity")
+	}
+	if len(caps) != t.N() {
+		panic(fmt.Sprintf("workload: caps has %d entries for %d switches", len(caps), t.N()))
+	}
+	return &Allocator{t: t, strategy: s, k: k, ledger: sched.NewLedgerFromCaps(caps)}
+}
+
 // NewIncrementalAllocator creates an online SOAR allocator backed by a
 // stateful core.Incremental engine. Placements and φ values are exactly
 // those of NewAllocator(t, core.Strategy{}, k, capacity): the engine's

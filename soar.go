@@ -87,6 +87,17 @@ func SolveRestricted(t *Tree, loads []int, avail []bool, k int) Result {
 	return core.Solve(t, loads, avail, k)
 }
 
+// SolveCaps solves the heterogeneous-capacity generalization: switch v
+// consumes caps[v] units of the budget k when selected (caps[v] = 0
+// marks a plain forwarder that may never aggregate). A 0/1 vector is
+// exactly SolveRestricted; caps == nil is exactly Solve. The
+// capacity-profile builders (CapsUniform, CapsTiered, CapsTorOnly,
+// CapsPowerLaw) generate deployment mixes; see internal/core.SolveCaps
+// for the model.
+func SolveCaps(t *Tree, loads []int, caps []int, k int) Result {
+	return core.SolveCaps(t, loads, caps, k)
+}
+
 // SolveDistributed runs SOAR as an asynchronous message-passing protocol
 // (one goroutine per switch); the result is identical to Solve.
 func SolveDistributed(t *Tree, loads []int, k int) Result {
@@ -121,6 +132,13 @@ func NewIncremental(t *Tree, loads []int, avail []bool, k int) *Incremental {
 	return core.NewIncremental(t, loads, avail, k)
 }
 
+// NewIncrementalCaps is NewIncremental under the heterogeneous capacity
+// model: a blue at v consumes caps[v] budget units, and SetCap point
+// updates re-tier switches online.
+func NewIncrementalCaps(t *Tree, loads []int, caps []int, k int) *Incremental {
+	return core.NewIncrementalCaps(t, loads, caps, k)
+}
+
 // Scheduler is the concurrent multi-tenant placement service: batched
 // admissions solved on a pool of incremental engines against per-switch
 // lease capacities, with background re-packing. See internal/sched for
@@ -138,6 +156,25 @@ type Lease = sched.Lease
 // Close it.
 func NewScheduler(t *Tree, cfg SchedulerConfig) *Scheduler {
 	return sched.New(t, cfg)
+}
+
+// CapsUniform returns the uniform capacity profile caps[v] = c.
+func CapsUniform(t *Tree, c int) []int { return topology.CapsUniform(t, c) }
+
+// CapsTiered assigns capacities by tree level (root level first, the
+// last entry extends downward) — the tiered fat-tree profile.
+func CapsTiered(t *Tree, byLevel ...int) []int { return topology.CapsTiered(t, byLevel...) }
+
+// CapsTorOnly makes only leaf (ToR) switches available: each leaf gets
+// capacity c with probability p, everything else is a plain forwarder.
+func CapsTorOnly(t *Tree, c int, p float64, seed int64) []int {
+	return topology.CapsTorOnly(t, c, p, rand.New(rand.NewSource(seed)))
+}
+
+// CapsPowerLaw draws capacities from a bounded power law over
+// {1, …, max}: many cheap switches, a heavy tail of expensive ones.
+func CapsPowerLaw(t *Tree, max int, alpha float64, seed int64) []int {
+	return topology.CapsPowerLaw(t, max, alpha, rand.New(rand.NewSource(seed)))
 }
 
 // Utilization returns φ(T, L, U), the paper's network utilization cost of
