@@ -28,14 +28,20 @@ lint:
 	$(GO) run honnef.co/go/tools/cmd/staticcheck@2025.1.1 ./...
 
 # Bench trajectory: run the key benchmarks once and keep the raw
-# test2json stream as an artifact, so performance history accumulates
-# alongside the code (BENCH_sched.json is also uploaded by CI). One
+# test2json streams as artifacts, so performance history accumulates
+# alongside the code (both files are also uploaded by CI). One
 # iteration per benchmark keeps this fast enough to run on every push;
 # use `go test -bench . -benchtime 3s ./...` for real measurements.
+# BENCH_sched.json tracks the serving layer (scheduler, re-packer);
+# BENCH_core.json tracks the solver hot path (plain, memoized, sparse
+# and incremental Gather).
 bench:
-	$(GO) test -run '^$$' -bench 'BenchmarkScheduler|BenchmarkRepackRound|BenchmarkGather$$|BenchmarkIncremental' \
-		-benchtime 1x -json ./... > BENCH_sched.json
+	$(GO) test -run '^$$' -bench 'BenchmarkScheduler|BenchmarkRepackRound' \
+		-benchtime 1x -json ./internal/sched > BENCH_sched.json
 	@echo "BENCH_sched.json: $$(grep -c 'ns/op' BENCH_sched.json) benchmark results"
+	$(GO) test -run '^$$' -bench 'BenchmarkGather$$|BenchmarkGatherMemo|BenchmarkGatherSparse|BenchmarkIncremental' \
+		-benchtime 1x -json . > BENCH_core.json
+	@echo "BENCH_core.json: $$(grep -c 'ns/op' BENCH_core.json) benchmark results"
 
 clean:
-	rm -f BENCH_sched.json
+	rm -f BENCH_sched.json BENCH_core.json

@@ -155,6 +155,65 @@ func BenchmarkGatherBounded(b *testing.B) {
 	}
 }
 
+// BenchmarkGatherMemo measures the memoized Gather (hash-consed subtree
+// classes, tables aliased across class members) on the Fig. 9 cells
+// where symmetry is maximal: BT topologies with a uniform (constant)
+// leaf load, the regime of the companion congestion paper's fat-tree
+// deployments. Every level is then one equivalence class, so a warm
+// solve interns n classes but computes only O(levels) tables — compare
+// against BenchmarkGather at the same (n, k): the DP cost of the plain
+// engine is load-value-independent, so the cells are directly
+// comparable, and the n=2048/k=128 cell is the ≥ 5× acceptance gate.
+func BenchmarkGatherMemo(b *testing.B) {
+	for _, n := range []int{256, 2048} {
+		for _, k := range []int{4, 128} {
+			b.Run(fmt.Sprintf("n=%d/k=%d", n, k), func(b *testing.B) {
+				tr, err := topology.BT(n)
+				if err != nil {
+					b.Fatal(err)
+				}
+				loads := load.Generate(tr, load.Constant{V: 5}, load.LeavesOnly, rand.New(rand.NewSource(4)))
+				m := core.NewMemo(tr)
+				core.GatherMemo(m, loads, nil, k) // warm the class cache
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					core.GatherMemo(m, loads, nil, k)
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkGatherSparse isolates the zero-load fast path: a BT(2048)
+// tenant loading 8 racks leaves almost every subtree empty, and the
+// memoized engine serves all those tables from one shared all-zero
+// slab. ReportAllocs makes the contract visible: the plain engine
+// allocates its full O(n)-sized table slabs per solve, the warm
+// memoized engine only O(classes) table storage (amortized to zero)
+// plus constant per-solve bookkeeping.
+func BenchmarkGatherSparse(b *testing.B) {
+	tr := topology.MustBT(2048)
+	const k = 32
+	rng := rand.New(rand.NewSource(9))
+	loads := load.GenerateSparse(tr, load.PaperPowerLaw(), 8, rng)
+	b.Run("plain", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			core.Gather(tr, loads, nil, k)
+		}
+	})
+	b.Run("memo", func(b *testing.B) {
+		m := core.NewMemo(tr)
+		core.GatherMemo(m, loads, nil, k) // warm
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			core.GatherMemo(m, loads, nil, k)
+		}
+	})
+}
+
 // BenchmarkColor is the companion measurement: the paper reports
 // SOAR-Color to be orders of magnitude cheaper than SOAR-Gather.
 func BenchmarkColor(b *testing.B) {

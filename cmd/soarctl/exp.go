@@ -32,7 +32,7 @@ func runExp(args []string) error {
 		which = fs.Arg(0)
 	}
 	if which == "" || fs.NArg() > 1 {
-		return fmt.Errorf("usage: soarctl exp <fig6|fig7|fig8|fig9|fig10|fig11|ext-objectives|ext-topologies|ext-incremental|ext-hetero|all> [flags]")
+		return fmt.Errorf("usage: soarctl exp <fig6|fig7|fig8|fig9|fig10|fig11|ext-objectives|ext-topologies|ext-incremental|ext-hetero|ext-memo|all> [flags]")
 	}
 	// Validate up front: only fig7 consumes the engine and only
 	// ext-hetero consumes the caps profile, but a typo must not silently
@@ -141,6 +141,16 @@ func runExp(args []string) error {
 				cfg.Reps = *reps
 			}
 			return experiments.ExtIncremental(cfg)
+		}},
+		{"ext-memo", func() (*experiments.Figure, error) {
+			cfg := experiments.DefaultExtMemo()
+			if *quick {
+				cfg = experiments.QuickExtMemo()
+			}
+			if *reps > 0 {
+				cfg.Reps = *reps
+			}
+			return experiments.ExtMemo(cfg)
 		}},
 		{"ext-hetero", func() (*experiments.Figure, error) {
 			cfg := experiments.DefaultExtHetero()

@@ -59,8 +59,8 @@ func TestRunExpQuickAll(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(entries) != 10 { // fig6..fig11 + 4 extensions
-		t.Fatalf("wrote %d csv files, want 10", len(entries))
+	if len(entries) != 11 { // fig6..fig11 + 5 extensions
+		t.Fatalf("wrote %d csv files, want 11", len(entries))
 	}
 }
 
@@ -76,7 +76,7 @@ func TestRunExpIncrementalEngine(t *testing.T) {
 }
 
 func TestRunPlaceEngines(t *testing.T) {
-	for _, engine := range []string{"full", "compact", "parallel", "distributed", "incremental"} {
+	for _, engine := range []string{"full", "compact", "parallel", "distributed", "incremental", "memo"} {
 		if err := runPlace([]string{"-topo", "bt", "-n", "32", "-k", "4", "-engine", engine}); err != nil {
 			t.Fatalf("engine %s: %v", engine, err)
 		}
@@ -124,7 +124,7 @@ func TestRunPlaceCapsProfiles(t *testing.T) {
 		"tor:0.5,2",
 		"powerlaw:4,2.5",
 	} {
-		for _, engine := range []string{"full", "compact", "parallel", "distributed", "incremental"} {
+		for _, engine := range []string{"full", "compact", "parallel", "distributed", "incremental", "memo"} {
 			args := []string{"-topo", "bt", "-n", "32", "-k", "6", "-engine", engine, "-caps", spec}
 			if err := runPlace(args); err != nil {
 				t.Fatalf("caps %q engine %s: %v", spec, engine, err)

@@ -65,6 +65,14 @@ func soarEngine(name string, caps []int) (placement.Strategy, error) {
 			}
 			return core.NewIncremental(t, loads, avail, k).Solve().Blue
 		}), nil
+	case "memo":
+		return engineFunc(func(t *topology.Tree, loads []int, avail []bool, k int) []bool {
+			m := core.NewMemo(t)
+			if caps != nil {
+				return core.SolveMemoCaps(m, loads, caps, k).Blue
+			}
+			return core.SolveMemo(m, loads, avail, k).Blue
+		}), nil
 	default:
 		return nil, fmt.Errorf("unknown -engine %q", name)
 	}
@@ -106,7 +114,7 @@ func runPlace(args []string) error {
 	k := fs.Int("k", 16, "aggregation switch budget")
 	dist := fs.String("dist", "powerlaw", "load distribution: uniform, powerlaw or one (unit)")
 	rates := fs.String("rates", "constant", "link rates: constant, linear or exp")
-	engine := fs.String("engine", "full", "SOAR engine: full, compact, parallel, distributed or incremental")
+	engine := fs.String("engine", "full", "SOAR engine: full, compact, parallel, distributed, incremental or memo")
 	capsSpec := fs.String("caps", "", capsProfileHelp)
 	seed := fs.Int64("seed", 1, "random seed")
 	dot := fs.String("dot", "", "write the SOAR placement as Graphviz DOT to this file")

@@ -48,6 +48,16 @@ type Incremental struct {
 	sc      *scratch
 	cbuf    []*nodeTables // reusable child-table buffer for flushes
 	cs      colorState    // reusable SOAR-Color scratch for SolveInto
+
+	// Memo mode (NewIncrementalMemo): tables alias the shared solve
+	// cache and are immutable, so a flush re-interns the dirty classes
+	// instead of recomputing in place — a dirty-path update invalidates
+	// only the classes on the root path, and recurring classes (churning
+	// sparse tenants on a symmetric tree) are pure cache hits. classOf
+	// tracks each switch's current class; memoEpoch detects evictions.
+	memo      *Memo
+	classOf   []int32
+	memoEpoch uint64
 }
 
 // NewIncremental runs one full SOAR-Gather and returns an engine holding
@@ -56,14 +66,7 @@ type Incremental struct {
 // negative k is treated as 0.
 func NewIncremental(t *topology.Tree, load []int, avail []bool, k int) *Incremental {
 	validate(t, load, avail)
-	n := t.N()
-	caps := make([]int, n)
-	for v := 0; v < n; v++ {
-		if isAvail(avail, v) {
-			caps[v] = 1
-		}
-	}
-	return newIncremental(t, load, caps, k)
+	return newIncremental(t, load, capsFromAvail(t, avail), k, nil)
 }
 
 // NewIncrementalCaps is NewIncremental under the heterogeneous capacity
@@ -73,8 +76,46 @@ func NewIncremental(t *topology.Tree, load []int, avail []bool, k int) *Incremen
 // SetCap.
 func NewIncrementalCaps(t *topology.Tree, load []int, caps []int, k int) *Incremental {
 	validateCaps(t, load, caps)
-	n := t.N()
-	owned := make([]int, n)
+	return newIncremental(t, load, copyCaps(t, caps), k, nil)
+}
+
+// NewIncrementalMemo is NewIncremental backed by a shared solve cache:
+// the initial Gather and every subsequent flush run through m, so
+// recurring subtree classes — across updates and across engines sharing
+// the memo's goroutine — reuse cached tables instead of recomputing.
+// Results stay bitwise identical to NewIncremental. The memo's tables
+// are immutable; the engine never writes through them.
+func NewIncrementalMemo(m *Memo, load []int, avail []bool, k int) *Incremental {
+	t := m.Tree()
+	validate(t, load, avail)
+	return newIncremental(t, load, capsFromAvail(t, avail), k, m)
+}
+
+// NewIncrementalMemoCaps is NewIncrementalCaps backed by a shared solve
+// cache (see NewIncrementalMemo).
+func NewIncrementalMemoCaps(m *Memo, load []int, caps []int, k int) *Incremental {
+	t := m.Tree()
+	validateCaps(t, load, caps)
+	return newIncremental(t, load, copyCaps(t, caps), k, m)
+}
+
+// capsFromAvail lowers a uniform-model availability set (already
+// validated; nil = all available) to the 0/1 capacity vector the engine
+// owns.
+func capsFromAvail(t *topology.Tree, avail []bool) []int {
+	caps := make([]int, t.N())
+	for v := range caps {
+		if isAvail(avail, v) {
+			caps[v] = 1
+		}
+	}
+	return caps
+}
+
+// copyCaps returns an engine-owned copy of a (validated) capacity
+// vector; nil means capacity 1 everywhere.
+func copyCaps(t *topology.Tree, caps []int) []int {
+	owned := make([]int, t.N())
 	if caps == nil {
 		for v := range owned {
 			owned[v] = 1
@@ -82,11 +123,13 @@ func NewIncrementalCaps(t *topology.Tree, load []int, caps []int, k int) *Increm
 	} else {
 		copy(owned, caps)
 	}
-	return newIncremental(t, load, owned, k)
+	return owned
 }
 
-// newIncremental takes ownership of caps (already validated, never nil).
-func newIncremental(t *topology.Tree, load []int, caps []int, k int) *Incremental {
+// newIncremental takes ownership of caps (already validated, never
+// nil). A non-nil memo selects memo mode: tables alias the cache and
+// flushes go through flushMemo.
+func newIncremental(t *topology.Tree, load []int, caps []int, k int, memo *Memo) *Incremental {
 	if k < 0 {
 		k = 0
 	}
@@ -97,6 +140,7 @@ func newIncremental(t *topology.Tree, load []int, caps []int, k int) *Incrementa
 		caps:  caps,
 		k:     k,
 		dirty: make([]bool, n),
+		memo:  memo,
 	}
 	inc.subLoad = t.SubtreeLoads(inc.load)
 	inc.capSum = make([]int64, n)
@@ -106,6 +150,12 @@ func newIncremental(t *topology.Tree, load []int, caps []int, k int) *Incrementa
 			s += inc.capSum[ch]
 		}
 		inc.capSum[v] = s
+	}
+	if memo != nil {
+		inc.classOf = make([]int32, n)
+		inc.tb = memo.gather(inc.load, nil, inc.caps, k, inc.classOf)
+		inc.memoEpoch = memo.epoch
+		return inc
 	}
 	inc.sc = newScratch(k)
 	inc.tb = gatherSerial(t, inc.load, nil, inc.caps, k, true)
@@ -247,7 +297,10 @@ func (inc *Incremental) SetLoads(loads []int) {
 // SetAvails patches the engine's availability set to equal avail
 // (nil means every switch available), dirtying only the root paths of
 // switches whose membership in Λ actually changed — the bulk companion
-// of SetLoads for engine pooling.
+// of SetLoads for engine pooling. Like SetAvail, it is a uniform-model
+// operation: every available switch's capacity weight becomes 1, so on
+// an engine tracking heterogeneous capacities it discards the weights —
+// use SetCaps to bulk-patch those instead.
 func (inc *Incremental) SetAvails(avail []bool) {
 	if avail != nil && len(avail) != inc.t.N() {
 		panic(fmt.Sprintf("core: incremental SetAvails has %d entries for %d switches", len(avail), inc.t.N()))
@@ -268,7 +321,10 @@ func (inc *Incremental) markDirty(u int) {
 }
 
 // Flush recomputes every dirty table, children before parents. Shared
-// path prefixes from a batch of updates are recomputed once.
+// path prefixes from a batch of updates are recomputed once. In memo
+// mode the dirty switches are re-interned instead: only switches whose
+// class actually changed touch the cache, and of those only cache
+// misses run computeNode.
 func (inc *Incremental) Flush() {
 	if len(inc.queue) == 0 {
 		return
@@ -279,6 +335,10 @@ func (inc *Incremental) Flush() {
 	slices.SortFunc(inc.queue, func(a, b int) int {
 		return inc.t.Depth(b) - inc.t.Depth(a)
 	})
+	if inc.memo != nil {
+		inc.flushMemo()
+		return
+	}
 	for _, v := range inc.queue {
 		// Reuse the node's existing backing arrays (resized if SetAvail
 		// moved its cap), plus the engine-lifetime merge scratch and
@@ -291,6 +351,79 @@ func (inc *Incremental) Flush() {
 		inc.dirty[v] = false
 	}
 	inc.queue = inc.queue[:0]
+}
+
+// flushMemo is the memo-mode flush: re-intern each dirty switch's class
+// bottom-up (the queue is already sorted deepest-first) and realias its
+// table. Memo tables are immutable, so a miss computes into fresh
+// storage instead of recycling the old (possibly shared) arrays.
+func (inc *Incremental) flushMemo() {
+	m := inc.memo
+	m.maybeEvict()
+	if m.epoch != inc.memoEpoch {
+		inc.reclassAll()
+	}
+	t := inc.t
+	pd := t.PathDigests()
+	m.ensureScratch(inc.k)
+	for _, v := range inc.queue {
+		hasLoad := inc.subLoad[v] > 0
+		cid := m.internClassFor(v, inc.classOf, pd, inc.load[v], hasLoad, inc.caps[v], inc.cap(v))
+		inc.dirty[v] = false
+		if cid == inc.classOf[v] {
+			// The update restored this switch's exact inputs (or two
+			// updates cancelled): the aliased table is already right.
+			m.hits++
+			continue
+		}
+		inc.classOf[v] = cid
+		e := &m.entries[cid]
+		if e.ok {
+			m.hits++
+		} else {
+			m.misses++
+			inc.cbuf = appendChildTables(inc.cbuf[:0], inc.tb, v)
+			m.computeEntry(e, v, inc.load[v], hasLoad, inc.caps[v], inc.cap(v), inc.cbuf, m.sc)
+		}
+		inc.tb.nodes[v] = e.nt
+	}
+	inc.queue = inc.queue[:0]
+}
+
+// reclassAll rebuilds classOf against the memo's current epoch after an
+// eviction. Clean switches — whose tables are still exactly right —
+// re-intern and seed the fresh cache with their live tables; dirty
+// switches get the sentinel class -1 so the flush loop never skips
+// them. The dirty set is upward-closed, so every descendant of a clean
+// switch is clean and its children's fresh class ids are available
+// bottom-up.
+func (inc *Incremental) reclassAll() {
+	m := inc.memo
+	t := inc.t
+	pd := t.PathDigests()
+	for _, v := range t.PostOrder() {
+		if inc.dirty[v] {
+			inc.classOf[v] = -1
+			continue
+		}
+		hasLoad := inc.subLoad[v] > 0
+		cid := m.internClassFor(v, inc.classOf, pd, inc.load[v], hasLoad, inc.caps[v], inc.cap(v))
+		inc.classOf[v] = cid
+		e := &m.entries[cid]
+		if !e.ok {
+			e.nt = inc.tb.nodes[v]
+			if hasLoad {
+				e.bytes = tableBytes(&e.nt)
+			} else {
+				e.bytes = zeroTableBytes(t.NumChildren(v))
+			}
+			e.ok = true
+			m.bytes += e.bytes
+		}
+		// Realias so duplicate storage among class members can be freed.
+		inc.tb.nodes[v] = e.nt
+	}
+	inc.memoEpoch = m.epoch
 }
 
 // Cost flushes pending updates and returns the optimal utilization

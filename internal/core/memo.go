@@ -1,0 +1,542 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"soar/internal/topology"
+)
+
+// This file implements the structural solve cache behind the memoized
+// SOAR engines (see DESIGN.md "Structural memoization"). Fat-tree-like
+// evaluation topologies are overwhelmingly symmetric: in BT(2048)
+// thousands of subtrees are pairwise isomorphic with identical loads,
+// capacities and ρ-up profiles, yet the plain engines recompute every
+// switch's nodeTables on every solve. A Memo groups switches into exact
+// equivalence classes — switches whose computeNode inputs are provably
+// identical — runs the DP once per class, and aliases the resulting
+// tables across all class members. Because the representative runs the
+// very same computeNode, the aliased tables, breadcrumbs and placements
+// are bitwise identical to the unmemoized engines for every member.
+//
+// A class is the hash-consed tuple
+//
+//	(path digest, L(v), 1{subtree load > 0}, c(v), cap(v), children classes)
+//
+// where the path digest (topology.PathDigest) pins depth(v) and the full
+// ρ-up vector, cap(v) is the effective budget the tables are clamped to,
+// and the children classes appear in child order (the merge order and
+// the split breadcrumbs depend on it, so unordered canonization would
+// break bitwise traceback equality). Every component computeNode reads
+// is in the tuple, and interning compares tuples exactly — this is
+// hash-consing, not fingerprint hashing, so equal class ids imply equal
+// inputs with no collision risk.
+//
+// Zero-load subtrees — the dominant case under sparse multi-tenant
+// workloads — get a dedicated fast path: their tables are provably
+// all-zero (red everywhere, zero potential, zero splits), so every such
+// class is served by slicing one shared all-zero slab instead of
+// running computeNode.
+//
+// Ownership: tables inserted into a Memo are immutable from then on.
+// Engines alias them (struct copies sharing the backing slices) and must
+// never write through them; the incremental engine therefore computes
+// into fresh storage when a dirty switch misses the cache, instead of
+// recycling its (possibly shared) old storage in place.
+
+// defaultMemoBudget bounds the bytes a Memo retains before evicting.
+const defaultMemoBudget = 256 << 20
+
+// memo bookkeeping constants: rough per-entry overheads used for the
+// byte budget (struct headers, slice headers).
+const (
+	memoEntryOverhead = 128
+	sliceHeaderBytes  = 24
+)
+
+// classKey is the exact equivalence-class tuple of one switch. kids is
+// the interned id of the child-class list (-1 for leaves).
+type classKey struct {
+	path    int32
+	kids    int32
+	load    int64
+	capw    int32
+	ecap    int64
+	hasLoad bool
+}
+
+// listKey interns child-class lists as cons cells.
+type listKey struct{ prev, child int32 }
+
+// memoEntry is one class: its canonical tables, once computed.
+type memoEntry struct {
+	ok    bool
+	bytes int64
+	nt    nodeTables
+}
+
+// MemoStats reports a Memo's cumulative behavior.
+type MemoStats struct {
+	// Classes is the number of distinct equivalence classes interned in
+	// the current epoch.
+	Classes int
+	// Hits and Misses count class-table lookups across all solves.
+	Hits, Misses uint64
+	// Bytes approximates the retained table storage.
+	Bytes int64
+	// Epoch counts evictions: it increments every time the byte budget
+	// forces a full reset.
+	Epoch uint64
+}
+
+// Memo is a reusable cache of class tables for one tree. It serves any
+// number of solves — across differing loads, availability sets,
+// capacity vectors and budgets k — and keeps warm tables between them,
+// so request streams with recurring structure (symmetric topologies,
+// churning sparse tenants) skip most of the DP.
+//
+// A Memo is NOT safe for concurrent use: share one per goroutine (the
+// scheduler gives each pool worker its own, trading a little redundant
+// warmup for a lock-free hot path). GatherParallelMemo fans its own
+// workers out internally and is safe to call like any other method.
+type Memo struct {
+	t      *topology.Tree
+	budget int64
+	epoch  uint64
+
+	classes map[classKey]int32
+	lists   map[listKey]int32
+	entries []memoEntry
+
+	hits, misses uint64
+	bytes        int64
+
+	sc   *scratch
+	scK  int
+	cbuf []*nodeTables
+
+	// Shared all-zero storage for the zero-load fast path. Grows to the
+	// largest table shape seen; superseded slabs stay referenced by the
+	// tables sliced from them (still all zeros, still immutable).
+	zeroX      []float64
+	zeroIsBlue []bool
+	zeroSplits []int32
+}
+
+// NewMemo returns an empty solve cache for tree t with the default
+// eviction budget.
+func NewMemo(t *topology.Tree) *Memo {
+	return &Memo{
+		t:       t,
+		budget:  defaultMemoBudget,
+		classes: make(map[classKey]int32),
+		lists:   make(map[listKey]int32),
+	}
+}
+
+// Tree returns the tree the memo caches solves for.
+func (m *Memo) Tree() *topology.Tree { return m.t }
+
+// SetBudget sets the byte budget above which the next solve evicts the
+// cache (full reset). Non-positive values are ignored.
+func (m *Memo) SetBudget(bytes int64) {
+	if bytes > 0 {
+		m.budget = bytes
+	}
+}
+
+// Stats returns the memo's cumulative counters.
+func (m *Memo) Stats() MemoStats {
+	return MemoStats{
+		Classes: len(m.entries),
+		Hits:    m.hits,
+		Misses:  m.misses,
+		Bytes:   m.bytes,
+		Epoch:   m.epoch,
+	}
+}
+
+// Reset evicts every cached class and bumps the epoch. Tables already
+// aliased by live engines stay valid (they are immutable and keep their
+// backing slabs alive); the engines re-intern against the new epoch on
+// their next flush.
+func (m *Memo) Reset() {
+	m.epoch++
+	clear(m.classes)
+	clear(m.lists)
+	m.entries = m.entries[:0]
+	m.bytes = 0
+}
+
+// maybeEvict resets the memo when the retained bytes exceed the budget.
+// Called between solves only, never mid-solve.
+func (m *Memo) maybeEvict() {
+	if m.bytes > m.budget {
+		m.Reset()
+	}
+}
+
+// internList interns one cons cell of a child-class list.
+func (m *Memo) internList(prev, child int32) int32 {
+	key := listKey{prev, child}
+	id, ok := m.lists[key]
+	if !ok {
+		id = int32(len(m.lists))
+		m.lists[key] = id
+	}
+	return id
+}
+
+// internClass interns a class tuple, growing the entry table on first
+// sight.
+func (m *Memo) internClass(key classKey) int32 {
+	id, ok := m.classes[key]
+	if !ok {
+		id = int32(len(m.entries))
+		m.classes[key] = id
+		m.entries = append(m.entries, memoEntry{})
+	}
+	return id
+}
+
+// internClassFor builds and interns the class tuple of one switch: fold
+// v's children's class ids (in child order) into a cons-list, then
+// intern the full tuple. Every call site that classifies a switch —
+// the serial and parallel gathers, the incremental flush and the
+// post-eviction reclass — MUST go through this single helper: table
+// aliasing is sound only if all paths derive identical keys from
+// identical components.
+func (m *Memo) internClassFor(v int, classOf, pd []int32, loadV int, hasLoad bool, capw, ecap int) int32 {
+	kids := int32(-1)
+	for _, c := range m.t.Children(v) {
+		kids = m.internList(kids, classOf[c])
+	}
+	return m.internClass(classKey{
+		path:    pd[v],
+		kids:    kids,
+		load:    int64(loadV),
+		capw:    int32(capw),
+		ecap:    int64(ecap),
+		hasLoad: hasLoad,
+	})
+}
+
+// ensureScratch sizes the merge scratch and the shared zero slabs for
+// budget k. The zero slabs are pre-sized to the largest table shape the
+// tree can produce under k, so every zero-load class of a solve slices
+// the same slab (the aliasing the sparse fast path promises) instead of
+// racing a growing one.
+func (m *Memo) ensureScratch(k int) {
+	if m.sc == nil || m.scK < k {
+		m.sc = newScratch(k)
+		m.scK = k
+	}
+	sz := (m.t.Height() + 2) * (k + 1) // rows ≤ height+2, width ≤ k+1
+	if len(m.zeroX) < sz {
+		m.zeroX = make([]float64, sz)
+		m.zeroIsBlue = make([]bool, sz)
+	}
+	if len(m.zeroSplits) < 2*sz {
+		m.zeroSplits = make([]int32, 2*sz)
+	}
+}
+
+// zeroTable builds the canonical trivial table of a zero-load subtree:
+// X ≡ 0, red everywhere, zero splits — exactly what computeNode produces
+// when no message ever leaves the subtree. All zero classes slice the
+// same shared slabs, so the fast path allocates only the split headers.
+func (m *Memo) zeroTable(depth, capw, ecap, numChildren int) (nodeTables, int64) {
+	rows, w := depth+1, ecap+1
+	sz := rows * w
+	rowLen := 2 * sz
+	nt := nodeTables{
+		cap:    ecap,
+		capw:   capw,
+		x:      m.zeroX[:sz:sz],
+		isBlue: m.zeroIsBlue[:sz:sz],
+	}
+	bytes := int64(memoEntryOverhead)
+	if merges := numChildren - 1; merges > 0 {
+		nt.splits = make([][]int32, merges)
+		for i := range nt.splits {
+			nt.splits[i] = m.zeroSplits[:rowLen:rowLen]
+		}
+		bytes += int64(merges) * sliceHeaderBytes
+	}
+	return nt, bytes
+}
+
+// zeroTableBytes is the byte accounting of a zero-slab table (used when
+// seeding the memo from an engine's live tables after an eviction).
+func zeroTableBytes(numChildren int) int64 {
+	b := int64(memoEntryOverhead)
+	if merges := numChildren - 1; merges > 0 {
+		b += int64(merges) * sliceHeaderBytes
+	}
+	return b
+}
+
+// tableBytes approximates the retained storage of a computed table.
+func tableBytes(nt *nodeTables) int64 {
+	b := int64(memoEntryOverhead) + int64(len(nt.x))*9 // 8B float64 + 1B bool
+	for _, sp := range nt.splits {
+		b += int64(len(sp))*4 + sliceHeaderBytes
+	}
+	return b
+}
+
+// computeEntry fills entry e for a class, with v as its representative.
+// Zero-load classes take the shared-slab fast path; loaded classes run
+// the ordinary computeNode into fresh memo-owned storage.
+func (m *Memo) computeEntry(e *memoEntry, v, loadV int, hasLoad bool, capw, ecap int, children []*nodeTables, sc *scratch) {
+	if !hasLoad {
+		e.nt, e.bytes = m.zeroTable(m.t.Depth(v), capw, ecap, m.t.NumChildren(v))
+	} else {
+		nt := newNodeStorage(m.t.Depth(v), ecap, m.t.NumChildren(v), true)
+		computeNode(m.t, v, loadV, hasLoad, capw, &nt, children, sc)
+		e.nt = nt
+		e.bytes = tableBytes(&nt)
+	}
+	e.ok = true
+	m.bytes += e.bytes
+}
+
+// gather is the memoized SOAR-Gather shared by the serial entry points
+// and the stateful engines: one bottom-up pass interns every switch's
+// class and computes each class table at most once. classOf, when
+// non-nil, receives the per-switch class ids (the incremental engine
+// keeps them to re-intern only dirty paths later).
+func (m *Memo) gather(load []int, avail []bool, caps []int, k int, classOf []int32) *Tables {
+	m.maybeEvict()
+	t := m.t
+	n := t.N()
+	if classOf == nil {
+		classOf = make([]int32, n)
+	}
+	ecaps := effectiveCaps(t, avail, caps, k)
+	subLoad := t.SubtreeLoads(load)
+	pd := t.PathDigests()
+	m.ensureScratch(k)
+	tb := &Tables{t: t, load: load, k: k, nodes: make([]nodeTables, n)}
+	for _, v := range t.PostOrder() {
+		hasLoad := subLoad[v] > 0
+		capw := capAt(avail, caps, v)
+		cid := m.internClassFor(v, classOf, pd, load[v], hasLoad, capw, ecaps[v])
+		classOf[v] = cid
+		e := &m.entries[cid]
+		if !e.ok {
+			m.misses++
+			m.cbuf = m.cbuf[:0]
+			for _, c := range t.Children(v) {
+				m.cbuf = append(m.cbuf, &m.entries[classOf[c]].nt)
+			}
+			m.computeEntry(e, v, load[v], hasLoad, capw, ecaps[v], m.cbuf, m.sc)
+		} else {
+			m.hits++
+		}
+		tb.nodes[v] = e.nt
+	}
+	return tb
+}
+
+// GatherMemo is Gather through the solve cache: tables, breadcrumbs and
+// placements are bitwise identical to Gather on the same inputs, but the
+// DP runs once per equivalence class instead of once per switch, and a
+// warm memo skips even that.
+func GatherMemo(m *Memo, load []int, avail []bool, k int) *Tables {
+	validate(m.t, load, avail)
+	if k < 0 {
+		k = 0
+	}
+	return m.gather(load, avail, nil, k, nil)
+}
+
+// GatherMemoCaps is GatherMemo under the heterogeneous capacity model
+// (see GatherCaps). One Memo may serve uniform and capacity-vector
+// solves interchangeably: the class tuples carry the weights.
+func GatherMemoCaps(m *Memo, load []int, caps []int, k int) *Tables {
+	validateCaps(m.t, load, caps)
+	if k < 0 {
+		k = 0
+	}
+	return m.gather(load, nil, caps, k, nil)
+}
+
+// SolveMemo is Solve through the solve cache; the placement is bitwise
+// identical to Solve.
+func SolveMemo(m *Memo, load []int, avail []bool, k int) Result {
+	tb := GatherMemo(m, load, avail, k)
+	blue, cost := ColorPhase(tb)
+	return Result{Blue: blue, Cost: cost}
+}
+
+// SolveMemoCaps is SolveCaps through the solve cache.
+func SolveMemoCaps(m *Memo, load []int, caps []int, k int) Result {
+	tb := GatherMemoCaps(m, load, caps, k)
+	blue, cost := ColorPhase(tb)
+	return Result{Blue: blue, Cost: cost}
+}
+
+// SolveCompactMemo is SolveCompact through the solve cache: the compact
+// traceback (ColorPhaseCompact) re-derives splits against the aliased
+// class tables. The memoized engine already collapses table storage to
+// O(classes), so the compact and full memoized engines share the same
+// cached tables.
+func SolveCompactMemo(m *Memo, load []int, avail []bool, k int) Result {
+	tb := GatherMemo(m, load, avail, k)
+	blue, cost := ColorPhaseCompact(tb, load)
+	return Result{Blue: blue, Cost: cost}
+}
+
+// SolveCompactMemoCaps is SolveCompactCaps through the solve cache.
+func SolveCompactMemoCaps(m *Memo, load []int, caps []int, k int) Result {
+	tb := GatherMemoCaps(m, load, caps, k)
+	blue, cost := ColorPhaseCompact(tb, load)
+	return Result{Blue: blue, Cost: cost}
+}
+
+// GatherParallelMemo is the memoized parallel Gather: instead of
+// GatherParallel's node-level dependency counting, workers steal whole
+// equivalence classes from the class DAG, so symmetric trees schedule
+// O(classes) units of work rather than O(n). Tables are identical to
+// Gather. workers ≤ 0 selects GOMAXPROCS.
+func GatherParallelMemo(m *Memo, load []int, avail []bool, k, workers int) *Tables {
+	validate(m.t, load, avail)
+	if k < 0 {
+		k = 0
+	}
+	return m.gatherParallel(load, avail, nil, k, workers)
+}
+
+// GatherParallelMemoCaps is GatherParallelMemo under the heterogeneous
+// capacity model.
+func GatherParallelMemoCaps(m *Memo, load []int, caps []int, k, workers int) *Tables {
+	validateCaps(m.t, load, caps)
+	if k < 0 {
+		k = 0
+	}
+	return m.gatherParallel(load, nil, caps, k, workers)
+}
+
+// SolveParallelMemo runs the class-parallel Gather followed by the
+// serial Color phase; the result is identical to Solve.
+func SolveParallelMemo(m *Memo, load []int, avail []bool, k, workers int) Result {
+	tb := GatherParallelMemo(m, load, avail, k, workers)
+	blue, cost := ColorPhase(tb)
+	return Result{Blue: blue, Cost: cost}
+}
+
+// gatherParallel interns classes serially (the pass is inherently
+// bottom-up and cheap), then fans the uncached, loaded classes out over
+// a worker pool along the class DAG: a class becomes ready when all its
+// children classes have tables. Zero-load classes are served from the
+// shared slab during the interning pass itself.
+func (m *Memo) gatherParallel(load []int, avail []bool, caps []int, k, workers int) *Tables {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	m.maybeEvict()
+	t := m.t
+	n := t.N()
+	ecaps := effectiveCaps(t, avail, caps, k)
+	subLoad := t.SubtreeLoads(load)
+	pd := t.PathDigests()
+	m.ensureScratch(k)
+	classOf := make([]int32, n)
+	firstNew := int32(len(m.entries))
+	var reps []int32 // rep node of each class interned by this pass
+	for _, v := range t.PostOrder() {
+		hasLoad := subLoad[v] > 0
+		capw := capAt(avail, caps, v)
+		cid := m.internClassFor(v, classOf, pd, load[v], hasLoad, capw, ecaps[v])
+		classOf[v] = cid
+		if int(cid-firstNew) == len(reps) {
+			reps = append(reps, int32(v))
+			m.misses++
+			if !hasLoad {
+				e := &m.entries[cid]
+				e.nt, e.bytes = m.zeroTable(t.Depth(v), capw, ecaps[v], t.NumChildren(v))
+				e.ok = true
+				m.bytes += e.bytes
+			}
+		} else {
+			m.hits++
+		}
+	}
+
+	// Class DAG over the still-uncomputed classes: one pending unit per
+	// (parent, child-occurrence) edge, mirroring gatherParallel's
+	// node-level dependency counting at class granularity.
+	nNew := len(reps)
+	pending := make([]int32, nNew)
+	parents := make([][]int32, nNew)
+	count := 0
+	for li := 0; li < nNew; li++ {
+		cid := firstNew + int32(li)
+		if m.entries[cid].ok {
+			continue
+		}
+		count++
+		for _, c := range t.Children(int(reps[li])) {
+			ccid := classOf[c]
+			if ccid >= firstNew && !m.entries[ccid].ok {
+				pending[li]++
+				parents[ccid-firstNew] = append(parents[ccid-firstNew], int32(li))
+			}
+		}
+	}
+	if count > 0 {
+		ready := make(chan int32, count)
+		for li := 0; li < nNew; li++ {
+			if !m.entries[firstNew+int32(li)].ok && pending[li] == 0 {
+				ready <- int32(li)
+			}
+		}
+		if workers > count {
+			workers = count
+		}
+		var done int64
+		var retained atomic.Int64
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				sc := newScratch(k)
+				var cbuf []*nodeTables
+				for li := range ready {
+					cid := firstNew + li
+					rep := int(reps[li])
+					e := &m.entries[cid]
+					cbuf = cbuf[:0]
+					for _, c := range t.Children(rep) {
+						cbuf = append(cbuf, &m.entries[classOf[c]].nt)
+					}
+					nt := newNodeStorage(t.Depth(rep), ecaps[rep], t.NumChildren(rep), true)
+					computeNode(t, rep, load[rep], true, capAt(avail, caps, rep), &nt, cbuf, sc)
+					e.nt = nt
+					e.bytes = tableBytes(&nt)
+					e.ok = true
+					retained.Add(e.bytes)
+					for _, p := range parents[li] {
+						if atomic.AddInt32(&pending[p], -1) == 0 {
+							ready <- p
+						}
+					}
+					if atomic.AddInt64(&done, 1) == int64(count) {
+						close(ready) // all classes computed; release workers
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		m.bytes += retained.Load()
+	}
+
+	tb := &Tables{t: t, load: load, k: k, nodes: make([]nodeTables, n)}
+	for v := 0; v < n; v++ {
+		tb.nodes[v] = m.entries[classOf[v]].nt
+	}
+	return tb
+}

@@ -1,0 +1,152 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"soar/internal/core"
+	"soar/internal/load"
+	"soar/internal/stats"
+	"soar/internal/topology"
+)
+
+// ExtMemoConfig parameterizes the memoization extension experiment: a
+// sweep of topology symmetry (BT, the paper's evaluation family;
+// scale-free, its Appendix B family; a path, the adversarially
+// asymmetric extreme) against load sparsity (the fraction of leaves a
+// tenant actually occupies), measuring how much of the SOAR-Gather DP
+// the hash-consed solve cache (core.Memo) eliminates. The companion
+// congestion paper (arXiv:2201.04344) leans on exactly the fat-tree
+// regularity this cache exploits.
+type ExtMemoConfig struct {
+	// Switches is the approximate network size per family (BT rounds up
+	// to a power of two; the path is capped at 512 switches to keep the
+	// O(n·h·k) plain solves it is compared against tractable).
+	Switches int
+	// K is the aggregation budget.
+	K int
+	// Fracs are the load sparsities swept: the fraction of leaves with
+	// non-zero load (1 = the paper's fully loaded instances).
+	Fracs []float64
+	// Solves is the number of timed solves per measurement (the memoized
+	// engine is timed warm: one untimed solve populates the cache).
+	Solves int
+	// Reps averages over independent load vectors.
+	Reps int
+	Seed int64
+}
+
+// DefaultExtMemo sweeps the Fig. 9 flagship size.
+func DefaultExtMemo() ExtMemoConfig {
+	return ExtMemoConfig{
+		Switches: 2048,
+		K:        32,
+		Fracs:    []float64{1, 0.5, 0.25, 0.1, 0.02},
+		Solves:   8,
+		Reps:     3,
+		Seed:     11,
+	}
+}
+
+// QuickExtMemo is a reduced instance for tests.
+func QuickExtMemo() ExtMemoConfig {
+	return ExtMemoConfig{Switches: 64, K: 4, Fracs: []float64{1, 0.25}, Solves: 2, Reps: 1, Seed: 11}
+}
+
+// ExtMemo times plain SOAR-Gather against the warm memoized engine
+// across (family × sparsity) and reports the speedup plus the number of
+// distinct equivalence classes per switch (the structural compression
+// the cache achieves; 1.0 means no sharing at all). Series labels carry
+// each family's load-free topology symmetry (topology.SubtreeClasses).
+// As a built-in guard, every cell cross-checks the memoized optimum and
+// placement bitwise against the plain engine.
+func ExtMemo(cfg ExtMemoConfig) (*Figure, error) {
+	type family struct {
+		name  string
+		build func(rng *rand.Rand) (*topology.Tree, error)
+	}
+	pow2 := 2
+	for pow2 < cfg.Switches {
+		pow2 *= 2
+	}
+	families := []family{
+		{"BT", func(*rand.Rand) (*topology.Tree, error) { return topology.BT(pow2) }},
+		{"scale-free", func(rng *rand.Rand) (*topology.Tree, error) {
+			return topology.ScaleFree(cfg.Switches, rng), nil
+		}},
+		{"path", func(*rand.Rand) (*topology.Tree, error) {
+			return topology.Path(min(cfg.Switches, 512)), nil
+		}},
+	}
+
+	speedup := Subplot{Name: "warm memoized speedup (plain Gather / GatherMemo)", XLabel: "loaded leaf fraction", YLabel: "speedup"}
+	classes := Subplot{Name: "equivalence classes per switch (lower = more sharing)", XLabel: "loaded leaf fraction", YLabel: "classes / n"}
+	xs := cfg.Fracs
+
+	for _, fam := range families {
+		rng := rand.New(rand.NewSource(cfg.Seed))
+		tr, err := fam.build(rng)
+		if err != nil {
+			return nil, err
+		}
+		leaves := tr.Leaves()
+		sAcc := stats.NewAccumulator(len(cfg.Fracs))
+		cAcc := stats.NewAccumulator(len(cfg.Fracs))
+		for rep := 0; rep < cfg.Reps; rep++ {
+			sRow := make([]float64, len(cfg.Fracs))
+			cRow := make([]float64, len(cfg.Fracs))
+			for fi, frac := range cfg.Fracs {
+				m := max(1, int(frac*float64(len(leaves))+0.5))
+				loads := load.GenerateSparse(tr, load.PaperPowerLaw(), m, rng)
+
+				start := time.Now()
+				for s := 0; s < cfg.Solves; s++ {
+					core.Gather(tr, loads, nil, cfg.K)
+				}
+				plain := time.Since(start).Seconds() / float64(cfg.Solves)
+
+				memo := core.NewMemo(tr)
+				warm := core.GatherMemo(memo, loads, nil, cfg.K) // populate
+				start = time.Now()
+				for s := 0; s < cfg.Solves; s++ {
+					core.GatherMemo(memo, loads, nil, cfg.K)
+				}
+				cached := time.Since(start).Seconds() / float64(cfg.Solves)
+
+				// Guard: memoization must be invisible in the results —
+				// cost AND placement (equal φ with a different blue set
+				// would still be an aliasing bug).
+				ref := core.Gather(tr, loads, nil, cfg.K)
+				if warm.Optimum() != ref.Optimum() {
+					return nil, fmt.Errorf("ext-memo: %s frac=%v: memoized φ=%v, plain φ=%v",
+						fam.name, frac, warm.Optimum(), ref.Optimum())
+				}
+				warmBlue, _ := core.ColorPhase(warm)
+				refBlue, _ := core.ColorPhase(ref)
+				for v := range refBlue {
+					if warmBlue[v] != refBlue[v] {
+						return nil, fmt.Errorf("ext-memo: %s frac=%v: memoized placement differs at switch %d",
+							fam.name, frac, v)
+					}
+				}
+
+				if cached > 0 {
+					sRow[fi] = plain / cached
+				}
+				cRow[fi] = float64(memo.Stats().Classes) / float64(tr.N())
+			}
+			sAcc.Add(sRow)
+			cAcc.Add(cRow)
+		}
+		label := fmt.Sprintf("%s (n=%d, %.3f topo classes/switch)",
+			fam.name, tr.N(), float64(tr.SubtreeClasses())/float64(tr.N()))
+		speedup.Series = append(speedup.Series, Series{Label: label, X: xs, Y: sAcc.Mean(), Err: sAcc.StdErr()})
+		classes.Series = append(classes.Series, Series{Label: label, X: xs, Y: cAcc.Mean(), Err: cAcc.StdErr()})
+	}
+	return &Figure{
+		ID:       "ext-memo",
+		Title:    fmt.Sprintf("Extension: structural memoization across symmetry × sparsity (k=%d)", cfg.K),
+		Subplots: []Subplot{speedup, classes},
+	}, nil
+}

@@ -23,6 +23,30 @@ func TestExtIncrementalShapes(t *testing.T) {
 	}
 }
 
+func TestExtMemoShapes(t *testing.T) {
+	fig, err := ExtMemo(QuickExtMemo())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Subplots) != 2 {
+		t.Fatalf("got %d subplots, want 2 (speedup, classes)", len(fig.Subplots))
+	}
+	for _, s := range fig.Subplots[0].Series {
+		for i, y := range s.Y {
+			if y <= 0 {
+				t.Fatalf("speedup %s: non-positive ratio %v at frac=%v", s.Label, y, s.X[i])
+			}
+		}
+	}
+	for _, s := range fig.Subplots[1].Series {
+		for i, y := range s.Y {
+			if y <= 0 || y > 1 {
+				t.Fatalf("classes %s: fraction %v at frac=%v outside (0, 1]", s.Label, y, s.X[i])
+			}
+		}
+	}
+}
+
 func TestFig7IncrementalEngineMatchesFull(t *testing.T) {
 	// The incremental allocator is observationally identical to the
 	// from-scratch one, so fig7 must come out the same point for point.

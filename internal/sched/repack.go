@@ -3,8 +3,6 @@ package sched
 import (
 	"sort"
 	"time"
-
-	"soar/internal/core"
 )
 
 // The background re-packer. The online model is arrival-only in the
@@ -89,13 +87,8 @@ func (s *Scheduler) repackLocked(maxMoves int) (moved int, recovered float64) {
 		for _, v := range ten.blue {
 			s.ledger.Credit(v)
 		}
-		if s.bgEng == nil || s.bgEng.K() != ten.k {
-			s.bgEng = core.NewIncremental(s.t, ten.load, s.ledger.Avail(), ten.k)
-		} else {
-			s.bgEng.SetLoads(ten.load)
-			s.bgEng.SetAvails(s.ledger.Avail())
-		}
-		newPhi := s.bgEng.SolveInto(s.bgBlue)
+		eng := s.bgSol.ensure(s.t, ten.load, s.ledger.Avail(), ten.k)
+		newPhi := eng.SolveInto(s.bgBlue)
 		if newPhi < ten.phi*(1-s.cfg.Repack.MinGain) && newPhi < ten.phi {
 			moved++
 			recovered += ten.phi - newPhi

@@ -131,6 +131,15 @@ type Config struct {
 	// QueueDepth bounds the number of buffered requests (default
 	// max(64, 4·Workers)); submitters beyond it block.
 	QueueDepth int
+	// Memo enables the cross-request solve cache: every engine of the
+	// pool (and the dispatcher's background slot) keeps a core.Memo of
+	// hash-consed subtree classes, so churning tenants whose sparse
+	// loads revisit the same structures hit warm DP tables instead of
+	// recomputing them. Placements are bitwise identical either way.
+	Memo bool
+	// MemoBudget bounds the bytes each solve cache retains before it
+	// evicts (full reset; ≤ 0 selects the core default).
+	MemoBudget int64
 	// Repack tunes the background re-packer.
 	Repack RepackConfig
 }
@@ -215,7 +224,7 @@ type Scheduler struct {
 	places    []*request
 	batchNext atomic.Int64
 	batchWG   sync.WaitGroup
-	bgEng     *core.Incremental // dispatcher-owned: single solves, conflicts, re-packing
+	bgSol     solver // dispatcher-owned: single solves, conflicts, re-packing
 	bgBlue    []bool
 	timer     *time.Timer
 
@@ -261,9 +270,10 @@ func New(t *topology.Tree, cfg Config) *Scheduler {
 	s.met.started = time.Now()
 	s.reqPool.New = func() any { return &request{done: make(chan struct{}, 1)} }
 	s.tenPool.New = func() any { return new(tenant) }
+	s.bgSol.memo = s.newMemo()
 	s.workers = make([]*worker, cfg.Workers)
 	for i := range s.workers {
-		s.workers[i] = &worker{s: s, wake: make(chan struct{}, 1)}
+		s.workers[i] = &worker{s: s, sol: solver{memo: s.newMemo()}, wake: make(chan struct{}, 1)}
 	}
 	s.bg.Add(1 + len(s.workers))
 	go s.dispatch()
@@ -530,7 +540,7 @@ func (s *Scheduler) runBatch() {
 	// availability snapshot; the ledger is quiescent until batchWG is
 	// done, so workers read it without locks.
 	if len(s.places) == 1 {
-		s.bgEng = s.solveOn(s.bgEng, s.places[0])
+		s.solveOn(&s.bgSol, s.places[0])
 	} else {
 		s.batchNext.Store(0)
 		n := min(len(s.places), len(s.workers))
@@ -552,24 +562,28 @@ func (s *Scheduler) runBatch() {
 	}
 }
 
-// solveOn solves r's placement on eng — rebuilding it only if the
-// budget changed, otherwise patching loads and availability in place —
-// and records the outputs on r. It returns the (possibly rebuilt)
-// engine.
-func (s *Scheduler) solveOn(eng *core.Incremental, r *request) *core.Incremental {
-	if eng == nil || eng.K() != r.k {
-		eng = core.NewIncremental(s.t, r.load, s.ledger.Avail(), r.k)
-	} else {
-		eng.SetLoads(r.load)
-		eng.SetAvails(s.ledger.Avail())
-	}
+// solveOn solves r's placement on sol's engine — rebuilt only if the
+// budget changed, otherwise patched in place (see solver.ensure) — and
+// records the outputs on r.
+func (s *Scheduler) solveOn(sol *solver, r *request) {
+	eng := sol.ensure(s.t, r.load, s.ledger.Avail(), r.k)
 	if cap(r.blue) < s.t.N() {
 		r.blue = make([]bool, s.t.N())
 	}
 	r.blue = r.blue[:s.t.N()]
 	r.phi = eng.SolveInto(r.blue)
 	r.allRed = s.allRed(r.load)
-	return eng
+}
+
+// newMemo builds one solver's solve cache, or nil when memoization is
+// off.
+func (s *Scheduler) newMemo() *core.Memo {
+	if !s.cfg.Memo {
+		return nil
+	}
+	m := core.NewMemo(s.t)
+	m.SetBudget(s.cfg.MemoBudget)
+	return m
 }
 
 // allRed returns φ with no aggregation at all: every server's messages
@@ -594,7 +608,7 @@ func (s *Scheduler) commitLocked(r *request) {
 	for v, b := range r.blue {
 		if b && s.ledger.Residual(v) <= 0 {
 			s.met.conflicts++
-			s.bgEng = s.solveOn(s.bgEng, r)
+			s.solveOn(&s.bgSol, r)
 			break
 		}
 	}

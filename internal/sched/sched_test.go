@@ -78,9 +78,20 @@ func (b *seqBaseline) release(id int64) bool {
 // state. Run twice: with no batching window and with one, since the
 // window only changes coalescing, never results.
 func TestSchedulerMatchesSequential(t *testing.T) {
+	runSequentialEquivalence(t, false)
+}
+
+// TestSchedulerMemoMatchesSequential is the same acceptance test with
+// the cross-request solve cache on: memoized engines must stay
+// lease-for-lease identical to the from-scratch sequential model.
+func TestSchedulerMemoMatchesSequential(t *testing.T) {
+	runSequentialEquivalence(t, true)
+}
+
+func runSequentialEquivalence(t *testing.T, memo bool) {
 	for _, window := range []time.Duration{0, 200 * time.Microsecond} {
 		tr := topology.MustBT(128)
-		s := New(tr, Config{Capacity: 2, Workers: 3, Window: window})
+		s := New(tr, Config{Capacity: 2, Workers: 3, Window: window, Memo: memo})
 		base := newSeqBaseline(tr, 2)
 		rng := rand.New(rand.NewSource(42))
 		var live []int64

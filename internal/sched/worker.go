@@ -1,11 +1,42 @@
 package sched
 
-import "soar/internal/core"
+import (
+	"soar/internal/core"
+	"soar/internal/topology"
+)
+
+// solver is one reusable solving slot: an incremental engine plus,
+// when Config.Memo is on, its private cross-request solve cache. Each
+// pool worker (and the dispatcher's background slot) owns exactly one
+// solver, so the memo's hot path needs no locking — the cost is a
+// little redundant warmup per slot, paid once per recurring class.
+type solver struct {
+	eng  *core.Incremental
+	memo *core.Memo
+}
+
+// ensure points the solver's engine at (load, avail, k) — rebuilding it
+// only when the budget changed, otherwise patching loads and
+// availability in place — and returns it. A rebuild keeps the memo, so
+// even budget churn reuses warm class tables.
+func (sol *solver) ensure(t *topology.Tree, load []int, avail []bool, k int) *core.Incremental {
+	if sol.eng == nil || sol.eng.K() != k {
+		if sol.memo != nil {
+			sol.eng = core.NewIncrementalMemo(sol.memo, load, avail, k)
+		} else {
+			sol.eng = core.NewIncremental(t, load, avail, k)
+		}
+	} else {
+		sol.eng.SetLoads(load)
+		sol.eng.SetAvails(avail)
+	}
+	return sol.eng
+}
 
 // worker is one slot of the engine pool: a goroutine owning one
-// reusable core.Incremental engine. Workers steal placements from the
-// current batch via the scheduler's atomic cursor, so a skewed batch
-// (one huge tenant, many small ones) still balances.
+// reusable solver. Workers steal placements from the current batch via
+// the scheduler's atomic cursor, so a skewed batch (one huge tenant,
+// many small ones) still balances.
 //
 // Engine reuse is the point: a warm engine is patched to the next
 // tenant's load vector and the batch's availability snapshot with
@@ -13,10 +44,12 @@ import "soar/internal/core"
 // switches' root paths. For the sparse tenants a shared tree actually
 // sees (a few racks each), that is an order of magnitude less work than
 // the from-scratch solve the pre-scheduler serving path ran per
-// admission — and it allocates nothing.
+// admission — and it allocates nothing. With Config.Memo on, even the
+// recomputed paths mostly alias tables the worker's solve cache already
+// holds from earlier tenants.
 type worker struct {
 	s    *Scheduler
-	eng  *core.Incremental
+	sol  solver
 	wake chan struct{}
 }
 
@@ -28,7 +61,7 @@ func (w *worker) loop() {
 			if i >= len(w.s.places) {
 				break
 			}
-			w.eng = w.s.solveOn(w.eng, w.s.places[i])
+			w.s.solveOn(&w.sol, w.s.places[i])
 		}
 		w.s.batchWG.Done()
 	}

@@ -1,0 +1,132 @@
+package topology
+
+import "slices"
+
+// This file computes two families of structural digests used by the
+// memoized SOAR engines (internal/core.Memo) and by the symmetry
+// analytics of the ext-memo experiment:
+//
+//   - PathDigest(v): the identity of the ρ-up profile of v. Two switches
+//     share a path digest iff they sit at the same depth and the ρ
+//     sequence along their paths to the destination is identical, i.e.
+//     iff RhoUp(u, l) == RhoUp(v, l) for every l. Non-uniform ω therefore
+//     breaks sharing between positions whose upward paths price
+//     differently — exactly the false sharing the DP must not alias.
+//   - SubtreeDigest(v): the canonical code of the ρ-weighted subtree
+//     T_v as an *unordered* rooted tree (the AHU canonization with child
+//     codes sorted). Two switches share a subtree digest iff their
+//     subtrees are isomorphic under an isomorphism preserving every
+//     edge's ρ.
+//
+// Both digests are computed by hash-consing — interning exact keys in a
+// map, not hashing to a fixed-width value — so equal digests mean equal
+// structures, never a collision. Ids are small dense int32s, comparable
+// only within one Tree.
+//
+// The caches are built once, lazily, under a sync.Once. A Tree is
+// immutable after New (re-rating goes through ApplyRates, which
+// constructs a new Tree), so the cached digests can never go stale.
+
+// pathDigestKey interns one path step: the ρ of v's parent edge plus the
+// digest of the parent's path (-1 above the root).
+type pathDigestKey struct {
+	rho    float64
+	parent int32
+}
+
+// subDigestKey interns one subtree: the ρ of v's parent edge plus the
+// interned, sorted list of the children's subtree digests.
+type subDigestKey struct {
+	rho  float64
+	kids int32
+}
+
+// subListKey interns sorted child-digest lists as cons cells.
+type subListKey struct{ prev, child int32 }
+
+func (t *Tree) buildDigests() {
+	n := t.N()
+	t.dig.path = make([]int32, n)
+	t.dig.sub = make([]int32, n)
+
+	pathIDs := make(map[pathDigestKey]int32, n)
+	for _, v := range t.bfs { // parents before children
+		p := int32(-1)
+		if t.parent[v] != NoParent {
+			p = t.dig.path[t.parent[v]]
+		}
+		key := pathDigestKey{rho: t.rho[v], parent: p}
+		id, ok := pathIDs[key]
+		if !ok {
+			id = int32(len(pathIDs))
+			pathIDs[key] = id
+		}
+		t.dig.path[v] = id
+	}
+	t.dig.numPath = len(pathIDs)
+
+	subIDs := make(map[subDigestKey]int32, n)
+	listIDs := make(map[subListKey]int32)
+	var kidbuf []int32
+	for _, v := range t.post { // children before parents
+		kidbuf = kidbuf[:0]
+		for _, c := range t.children[v] {
+			kidbuf = append(kidbuf, t.dig.sub[c])
+		}
+		// Sorting the child codes makes the code canonical for unordered
+		// isomorphism: mirror-image subtrees share a digest.
+		slices.Sort(kidbuf)
+		kids := int32(-1)
+		for _, cid := range kidbuf {
+			key := subListKey{prev: kids, child: cid}
+			id, ok := listIDs[key]
+			if !ok {
+				id = int32(len(listIDs))
+				listIDs[key] = id
+			}
+			kids = id
+		}
+		key := subDigestKey{rho: t.rho[v], kids: kids}
+		id, ok := subIDs[key]
+		if !ok {
+			id = int32(len(subIDs))
+			subIDs[key] = id
+		}
+		t.dig.sub[v] = id
+	}
+	t.dig.numSub = len(subIDs)
+}
+
+func (t *Tree) digests() *treeDigests {
+	t.dig.once.Do(t.buildDigests)
+	return &t.dig
+}
+
+// PathDigests returns, for every switch v, the interned identity of its
+// ρ-up profile: PathDigests()[u] == PathDigests()[v] iff Depth(u) ==
+// Depth(v) and RhoUp(u, l) == RhoUp(v, l) for every l. The returned
+// slice is shared and must not be modified.
+func (t *Tree) PathDigests() []int32 { return t.digests().path }
+
+// PathDigest returns PathDigests()[v].
+func (t *Tree) PathDigest(v int) int32 { return t.digests().path[v] }
+
+// PathClasses returns the number of distinct path digests: how many
+// genuinely different upward price profiles the tree has. On a
+// uniform-ω complete tree this is the number of levels.
+func (t *Tree) PathClasses() int { return t.digests().numPath }
+
+// SubtreeDigests returns, for every switch v, the canonical code of the
+// ρ-weighted subtree T_v: SubtreeDigests()[u] == SubtreeDigests()[v] iff
+// T_u and T_v are isomorphic as unordered rooted trees under an
+// isomorphism preserving every edge's ρ. The returned slice is shared
+// and must not be modified.
+func (t *Tree) SubtreeDigests() []int32 { return t.digests().sub }
+
+// SubtreeDigest returns SubtreeDigests()[v].
+func (t *Tree) SubtreeDigest(v int) int32 { return t.digests().sub[v] }
+
+// SubtreeClasses returns the number of distinct subtree digests — a
+// direct measure of the tree's structural symmetry (h(T)+1 classes for a
+// complete uniform tree, n for a path).
+func (t *Tree) SubtreeClasses() int { return t.digests().numSub }

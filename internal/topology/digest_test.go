@@ -1,0 +1,117 @@
+package topology
+
+import "testing"
+
+func TestDigestsCompleteBinary(t *testing.T) {
+	tr := CompleteBinary(5) // 31 switches, 5 levels
+	// All switches of one level are pairwise isomorphic and price their
+	// upward paths identically; switches of different levels never do
+	// (different subtree sizes, different depths).
+	for u := 0; u < tr.N(); u++ {
+		for v := 0; v < tr.N(); v++ {
+			same := tr.Depth(u) == tr.Depth(v)
+			if got := tr.SubtreeDigest(u) == tr.SubtreeDigest(v); got != same {
+				t.Fatalf("SubtreeDigest(%d)==SubtreeDigest(%d) = %v, want %v", u, v, got, same)
+			}
+			if got := tr.PathDigest(u) == tr.PathDigest(v); got != same {
+				t.Fatalf("PathDigest(%d)==PathDigest(%d) = %v, want %v", u, v, got, same)
+			}
+		}
+	}
+	if got := tr.SubtreeClasses(); got != 5 {
+		t.Fatalf("SubtreeClasses = %d, want 5", got)
+	}
+	if got := tr.PathClasses(); got != 5 {
+		t.Fatalf("PathClasses = %d, want 5", got)
+	}
+}
+
+func TestSubtreeDigestUnorderedIsomorphism(t *testing.T) {
+	// Subtrees at 1 and 2 are mirror images: 1 has (leaf, cherry) in that
+	// child order, 2 has (cherry, leaf). The canonical code must identify
+	// them; the path digests must too (same depth, unit rates).
+	//
+	//            0
+	//          /   \
+	//         1     2
+	//        / \   / \
+	//       3   4 7  10
+	//          / \ \
+	//         5  6  8,9
+	parent := []int{NoParent, 0, 0, 1, 1, 4, 4, 2, 7, 7, 2}
+	tr := MustNew(parent, ones(len(parent)))
+	if tr.SubtreeDigest(1) != tr.SubtreeDigest(2) {
+		t.Fatal("mirror-image subtrees got different canonical codes")
+	}
+	if tr.SubtreeDigest(3) != tr.SubtreeDigest(10) {
+		t.Fatal("unit leaves got different canonical codes")
+	}
+	if tr.SubtreeDigest(1) == tr.SubtreeDigest(4) {
+		t.Fatal("non-isomorphic subtrees share a canonical code")
+	}
+}
+
+func TestDigestsNonUniformOmega(t *testing.T) {
+	// Same shape as a balanced cherry pair, but the edge above switch 2
+	// is twice as fast: the ρ-up profiles of the two subtrees now differ,
+	// so path digests must separate them (ρ-up must break false sharing),
+	// and the ρ-weighted canonical codes must separate the subtrees too.
+	parent := []int{NoParent, 0, 0, 1, 1, 2, 2}
+	uniform := MustNew(parent, []float64{1, 1, 1, 1, 1, 1, 1})
+	skewed := MustNew(parent, []float64{1, 1, 2, 1, 1, 1, 1})
+
+	if uniform.PathDigest(1) != uniform.PathDigest(2) {
+		t.Fatal("uniform ω: symmetric positions must share a path digest")
+	}
+	if uniform.SubtreeDigest(1) != uniform.SubtreeDigest(2) {
+		t.Fatal("uniform ω: symmetric subtrees must share a canonical code")
+	}
+	if skewed.PathDigest(1) == skewed.PathDigest(2) {
+		t.Fatal("non-uniform ω: different ρ-up profiles must not share a path digest")
+	}
+	if skewed.SubtreeDigest(1) == skewed.SubtreeDigest(2) {
+		t.Fatal("non-uniform ω: subtrees hanging off differently priced edges must not share a canonical code")
+	}
+	// The leaves below the fast edge still have identical subtrees (a
+	// bare unit-ρ leaf) but different ρ-up profiles.
+	if skewed.SubtreeDigest(3) != skewed.SubtreeDigest(5) {
+		t.Fatal("identical ρ-weighted leaf subtrees must share a canonical code")
+	}
+	if skewed.PathDigest(3) == skewed.PathDigest(5) {
+		t.Fatal("leaves whose paths price differently must not share a path digest")
+	}
+}
+
+func TestPathDigestMatchesRhoUp(t *testing.T) {
+	// Exhaustive cross-check on an irregular weighted tree: path digests
+	// coincide exactly when the full ρ-up vectors coincide.
+	parent := []int{NoParent, 0, 0, 1, 1, 2, 2, 3, 4, 5}
+	omega := []float64{1, 2, 2, 1, 4, 1, 4, 2, 2, 0.5}
+	tr := MustNew(parent, omega)
+	for u := 0; u < tr.N(); u++ {
+		for v := 0; v < tr.N(); v++ {
+			want := tr.Depth(u) == tr.Depth(v)
+			if want {
+				for l := 0; l <= tr.Depth(u); l++ {
+					if tr.RhoUp(u, l) != tr.RhoUp(v, l) {
+						want = false
+						break
+					}
+				}
+			}
+			if got := tr.PathDigest(u) == tr.PathDigest(v); got != want {
+				t.Fatalf("PathDigest(%d)==PathDigest(%d) = %v, want %v", u, v, got, want)
+			}
+		}
+	}
+}
+
+func TestDigestsPathTopology(t *testing.T) {
+	tr := Path(16)
+	if got := tr.SubtreeClasses(); got != 16 {
+		t.Fatalf("path SubtreeClasses = %d, want 16 (no symmetry)", got)
+	}
+	if got := tr.PathClasses(); got != 16 {
+		t.Fatalf("path PathClasses = %d, want 16", got)
+	}
+}

@@ -13,6 +13,7 @@ package topology
 import (
 	"errors"
 	"fmt"
+	"sync"
 )
 
 // NoParent marks the root in a parent vector.
@@ -38,6 +39,20 @@ type Tree struct {
 	rhoUpOff  []int
 	root      int
 	height    int // h(T): max hops from a switch to the root r
+	// dig caches the structural digests of digest.go. Built lazily on
+	// first use; a Tree is immutable after New, so the cache can never go
+	// stale (rate changes go through ApplyRates, which builds a fresh
+	// Tree and therefore fresh digests — the "invalidation" story).
+	dig treeDigests
+}
+
+// treeDigests holds the lazily built canonical-code caches (digest.go).
+type treeDigests struct {
+	once    sync.Once
+	path    []int32 // path[v]: interned id of the ρ sequence v → root
+	sub     []int32 // sub[v]: interned unordered canonical code of T_v
+	numPath int
+	numSub  int
 }
 
 // New builds a tree from a parent vector and per-edge rates.

@@ -98,6 +98,40 @@ func SolveCaps(t *Tree, loads []int, caps []int, k int) Result {
 	return core.SolveCaps(t, loads, caps, k)
 }
 
+// Memo is a reusable solve cache for one tree: switches with provably
+// identical DP inputs (isomorphic subtrees, equal loads, capacities and
+// ρ-up profiles) are grouped into hash-consed equivalence classes, the
+// DP runs once per class, and warm tables persist across solves. See
+// internal/core for the full model and ownership rules.
+type Memo = core.Memo
+
+// NewMemo returns an empty solve cache for t. Pass it to SolveMemo,
+// SolveMemoCaps or NewIncrementalMemo; reuse it across solves to keep
+// the class tables warm. A Memo is not safe for concurrent use.
+func NewMemo(t *Tree) *Memo { return core.NewMemo(t) }
+
+// SolveMemo is Solve through the solve cache: on symmetric topologies
+// (the paper's BT family) the Gather phase collapses from O(n) to
+// O(distinct classes) node computations, and repeated solves hit warm
+// tables. The placement is bitwise identical to Solve.
+func SolveMemo(m *Memo, loads []int, k int) Result {
+	return core.SolveMemo(m, loads, nil, k)
+}
+
+// SolveMemoCaps is SolveCaps through the solve cache; one Memo serves
+// uniform and capacity-vector solves interchangeably.
+func SolveMemoCaps(m *Memo, loads []int, caps []int, k int) Result {
+	return core.SolveMemoCaps(m, loads, caps, k)
+}
+
+// NewIncrementalMemo is NewIncremental backed by a shared solve cache:
+// point updates re-intern only the dirtied root path, and recurring
+// subtree classes are pure cache hits — the engine behind the
+// scheduler's `Memo` configuration.
+func NewIncrementalMemo(m *Memo, loads []int, avail []bool, k int) *Incremental {
+	return core.NewIncrementalMemo(m, loads, avail, k)
+}
+
 // SolveDistributed runs SOAR as an asynchronous message-passing protocol
 // (one goroutine per switch); the result is identical to Solve.
 func SolveDistributed(t *Tree, loads []int, k int) Result {

@@ -136,6 +136,35 @@ func TestFacadeScaleFree(t *testing.T) {
 	}
 }
 
+func TestFacadeMemo(t *testing.T) {
+	tr := CompleteBinaryTree(3)
+	loads := []int{0, 0, 0, 2, 6, 5, 4}
+	want := Solve(tr, loads, 2)
+	m := NewMemo(tr)
+	for rep := 0; rep < 2; rep++ { // cold, then warm
+		got := SolveMemo(m, loads, 2)
+		if got.Cost != want.Cost {
+			t.Fatalf("memo φ=%v, want %v", got.Cost, want.Cost)
+		}
+		for v := range want.Blue {
+			if got.Blue[v] != want.Blue[v] {
+				t.Fatalf("memo placement differs at switch %d", v)
+			}
+		}
+	}
+	caps := CapsTiered(tr, 1, 1, 2)
+	if got, want := SolveMemoCaps(m, loads, caps, 2), SolveCaps(tr, loads, caps, 2); got.Cost != want.Cost {
+		t.Fatalf("memo caps φ=%v, want %v", got.Cost, want.Cost)
+	}
+	eng := NewIncrementalMemo(m, loads, nil, 2)
+	eng.UpdateLoad(4, -3)
+	loads2 := append([]int(nil), loads...)
+	loads2[4] -= 3
+	if got, want := eng.Solve(), Solve(tr, loads2, 2); got.Cost != want.Cost {
+		t.Fatalf("incremental memo φ=%v, want %v", got.Cost, want.Cost)
+	}
+}
+
 func TestFacadeMessageCounts(t *testing.T) {
 	tr := CompleteBinaryTree(3)
 	loads := []int{0, 0, 0, 2, 6, 5, 4}
