@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench fmt vet lint clean
+.PHONY: all build test race bench fmt vet lint soarlint clean
 
 all: build test
 
@@ -23,9 +23,18 @@ fmt:
 vet:
 	$(GO) vet ./...
 
-# Same pinned staticcheck CI runs (network required on first run).
+# Same pinned staticcheck CI runs (network required on first run),
+# then the in-repo analyzer suite (pure stdlib, no network). soarlint
+# proves the //soar: annotation contracts: immutable, hotpath,
+# lockdiscipline, capclamp — see DESIGN.md "Statically-checked
+# invariants".
 lint:
 	$(GO) run honnef.co/go/tools/cmd/staticcheck@2025.1.1 ./...
+	$(GO) run ./cmd/soarlint ./...
+
+# Just the in-repo suite: fast, offline, run it on every save.
+soarlint:
+	$(GO) run ./cmd/soarlint ./...
 
 # Bench trajectory: run the key benchmarks once and keep the raw
 # test2json streams as artifacts, so performance history accumulates

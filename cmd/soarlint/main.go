@@ -1,0 +1,112 @@
+// Command soarlint runs the project's static analyzer suite
+// (internal/lint) over the module: immutable, hotpath, lockdiscipline
+// and capclamp — the invariants DESIGN.md's "Statically-checked
+// invariants" section documents. The driver is pure stdlib (go/parser
+// + go/types with a source-module importer), so the module stays at
+// zero external dependencies.
+//
+// Usage:
+//
+//	soarlint [-C dir] [-json] [-run analyzer[,analyzer]] [packages]
+//
+// Packages are ./...-style patterns relative to the module root
+// (default: everything). Exit status follows the benchgate convention:
+// 0 clean, 1 findings, 2 driver error.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"soar/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// report is the -json document: the findings plus the module they were
+// found in, so CI artifacts are self-describing.
+type report struct {
+	Module   string         `json:"module"`
+	Findings []lint.Finding `json:"findings"`
+	Count    int            `json:"count"`
+}
+
+func run(args []string, stdout, stderr *os.File) int {
+	fs := flag.NewFlagSet("soarlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	dir := fs.String("C", ".", "module root directory")
+	asJSON := fs.Bool("json", false, "emit findings as JSON")
+	runNames := fs.String("run", "", "comma-separated analyzer names to run (default: all)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	analyzers, err := selectAnalyzers(*runNames)
+	if err != nil {
+		fmt.Fprintf(stderr, "soarlint: %v\n", err)
+		return 2
+	}
+	findings, err := lint.RunAnalyzers(*dir, fs.Args(), analyzers)
+	if err != nil {
+		fmt.Fprintf(stderr, "soarlint: %v\n", err)
+		return 2
+	}
+	if *asJSON {
+		out := report{Module: *dir, Findings: findings, Count: len(findings)}
+		if out.Findings == nil {
+			out.Findings = []lint.Finding{}
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintf(stderr, "soarlint: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Fprintln(stdout, f)
+		}
+	}
+	if len(findings) > 0 {
+		if !*asJSON {
+			fmt.Fprintf(stdout, "soarlint: %d finding(s)\n", len(findings))
+		}
+		return 1
+	}
+	return 0
+}
+
+// selectAnalyzers resolves a -run list against the suite.
+func selectAnalyzers(names string) ([]*lint.Analyzer, error) {
+	if names == "" {
+		return lint.All, nil
+	}
+	var out []*lint.Analyzer
+	for _, name := range strings.Split(names, ",") {
+		name = strings.TrimSpace(name)
+		found := false
+		for _, a := range lint.All {
+			if a.Name == name {
+				out = append(out, a)
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("unknown analyzer %q (have: %s)", name, analyzerNames())
+		}
+	}
+	return out, nil
+}
+
+func analyzerNames() string {
+	names := make([]string, len(lint.All))
+	for i, a := range lint.All {
+		names[i] = a.Name
+	}
+	return strings.Join(names, ", ")
+}

@@ -1,0 +1,111 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// capture runs the CLI with stdout/stderr redirected to temp files and
+// returns the exit status plus both streams.
+func capture(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	mk := func(name string) *os.File {
+		f, err := os.CreateTemp(t.TempDir(), name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return f
+	}
+	stdout, stderr := mk("stdout"), mk("stderr")
+	defer stdout.Close()
+	defer stderr.Close()
+	code := run(args, stdout, stderr)
+	read := func(f *os.File) string {
+		b, err := os.ReadFile(f.Name())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b)
+	}
+	return code, read(stdout), read(stderr)
+}
+
+// golden points at one of the lint package's golden modules, which
+// conveniently have known findings.
+func golden(name string) string {
+	return filepath.Join("..", "..", "internal", "lint", "testdata", name)
+}
+
+func TestExitCleanIsZero(t *testing.T) {
+	// The capclamp module carries no immutable annotations, so the
+	// immutable analyzer alone reports nothing.
+	code, stdout, stderr := capture(t, "-C", golden("capclamp"), "-run", "immutable")
+	if code != 0 {
+		t.Fatalf("exit %d on a clean run, want 0 (stderr: %s)", code, stderr)
+	}
+	if stdout != "" {
+		t.Fatalf("clean run produced output: %q", stdout)
+	}
+}
+
+func TestExitFindingsIsOne(t *testing.T) {
+	code, stdout, _ := capture(t, "-C", golden("capclamp"))
+	if code != 1 {
+		t.Fatalf("exit %d on a module with findings, want 1", code)
+	}
+	if !strings.Contains(stdout, "capclamp:") || !strings.Contains(stdout, "finding(s)") {
+		t.Fatalf("findings output missing analyzer name or summary:\n%s", stdout)
+	}
+}
+
+func TestExitDriverErrorIsTwo(t *testing.T) {
+	if code, _, stderr := capture(t, "-C", filepath.Join(t.TempDir(), "nope")); code != 2 {
+		t.Fatalf("exit %d on a missing module, want 2 (stderr: %s)", code, stderr)
+	}
+	if code, _, stderr := capture(t, "-run", "bogus"); code != 2 {
+		t.Fatalf("exit %d on an unknown analyzer, want 2", code)
+	} else if !strings.Contains(stderr, "unknown analyzer") {
+		t.Fatalf("unknown-analyzer error not reported: %q", stderr)
+	}
+}
+
+func TestJSONReport(t *testing.T) {
+	code, stdout, _ := capture(t, "-C", golden("capclamp"), "-json")
+	if code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	var rep struct {
+		Module   string `json:"module"`
+		Findings []struct {
+			Analyzer string `json:"analyzer"`
+			File     string `json:"file"`
+			Line     int    `json:"line"`
+			Message  string `json:"message"`
+		} `json:"findings"`
+		Count int `json:"count"`
+	}
+	if err := json.Unmarshal([]byte(stdout), &rep); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, stdout)
+	}
+	if rep.Count != len(rep.Findings) || rep.Count == 0 {
+		t.Fatalf("count %d vs %d findings", rep.Count, len(rep.Findings))
+	}
+	for _, f := range rep.Findings {
+		if f.Analyzer != "capclamp" || f.File == "" || f.Line == 0 || f.Message == "" {
+			t.Fatalf("incomplete finding: %+v", f)
+		}
+	}
+}
+
+func TestJSONCleanHasEmptyArray(t *testing.T) {
+	code, stdout, _ := capture(t, "-C", golden("capclamp"), "-json", "-run", "immutable")
+	if code != 0 {
+		t.Fatalf("exit %d, want 0", code)
+	}
+	if !strings.Contains(stdout, `"findings": []`) {
+		t.Fatalf("clean JSON report must carry an empty array, not null:\n%s", stdout)
+	}
+}

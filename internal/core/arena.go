@@ -163,7 +163,11 @@ func newNodeStorage(depth, capv, numChildren int, recordSplits bool) nodeTables 
 // ensureNodeStorage resizes nt in place for a (possibly changed) cap,
 // reusing the existing backing arrays whenever they are large enough.
 // The incremental engine calls this on every recompute, so steady-state
-// flushes (loads changing, caps stable) allocate nothing.
+// flushes (loads changing, caps stable) allocate nothing; the grow
+// branches below only fire when a cap was raised, and carry coldpath
+// waivers so soarlint's hotpath analyzer enforces exactly that.
+//
+//soar:hotpath
 func ensureNodeStorage(nt *nodeTables, depth, capv, numChildren int, recordSplits bool) {
 	w := capv + 1
 	sz := (depth + 1) * w
@@ -171,40 +175,44 @@ func ensureNodeStorage(nt *nodeTables, depth, capv, numChildren int, recordSplit
 	if cap(nt.x) >= sz {
 		nt.x = nt.x[:sz]
 	} else {
-		nt.x = make([]float64, sz)
+		nt.x = make([]float64, sz) //soar:coldpath cap grew
 	}
 	if cap(nt.isBlue) >= sz {
 		nt.isBlue = nt.isBlue[:sz]
 	} else {
-		nt.isBlue = make([]bool, sz)
+		nt.isBlue = make([]bool, sz) //soar:coldpath cap grew
 	}
 	if !recordSplits || numChildren <= 1 {
 		nt.splits = nil
 		return
 	}
 	if nt.splits == nil {
-		nt.splits = make([][]int32, numChildren-1)
+		nt.splits = make([][]int32, numChildren-1) //soar:coldpath first use
 	}
 	rowLen := 2 * sz
 	for m := range nt.splits {
 		if cap(nt.splits[m]) >= rowLen {
 			nt.splits[m] = nt.splits[m][:rowLen]
 		} else {
-			nt.splits[m] = make([]int32, rowLen)
+			nt.splits[m] = make([]int32, rowLen) //soar:coldpath cap grew
 		}
 	}
 }
 
 // scratch holds the four Y merge rows computeNode ping-pongs between.
 // One scratch serves a whole serial run (or one worker, or one stateful
-// engine); it is sized once at width k+1 and re-sliced per node.
+// engine); it is sized once at the widest row any node can need and
+// re-sliced per node. maxCap is the root's effective cap: cap(v) ≤
+// cap(root) for every v, so width maxCap+1 covers the whole tree. A
+// budget of k=1<<30 with three available switches costs rows of width
+// 4, not four gigarows.
 type scratch struct {
 	yr, yb, newYR, newYB []float64
 }
 
-func newScratch(k int) *scratch {
-	buf := make([]float64, 4*(k+1))
-	w := k + 1
+func newScratch(maxCap int) *scratch {
+	buf := make([]float64, 4*(maxCap+1))
+	w := maxCap + 1
 	return &scratch{
 		yr:    buf[0*w : 1*w],
 		yb:    buf[1*w : 2*w],

@@ -18,7 +18,10 @@ type colorState struct {
 }
 
 // colorInto runs SOAR-Color over tb, writes the optimal blue set into
-// blue (which must have length N) and returns φ = X_r(1, k).
+// blue (which must have length N) and returns φ = X_r(1, k). It is the
+// allocation-free center of every pooled engine, so it is hotpath-checked.
+//
+//soar:hotpath
 func (cs *colorState) colorInto(tb *Tables, blue []bool) float64 {
 	t := tb.t
 	if len(blue) != t.N() {

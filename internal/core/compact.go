@@ -58,7 +58,6 @@ func GatherCompactCaps(t *topology.Tree, load []int, caps []int, k int) *Tables 
 func ColorPhaseCompact(tb *Tables, load []int) ([]bool, float64) {
 	t := tb.t
 	k := tb.k
-	stride := k + 1
 	subLoad := t.SubtreeLoads(load)
 	blue := make([]bool, t.N())
 
@@ -77,14 +76,23 @@ func ColorPhaseCompact(tb *Tables, load []int) ([]bool, float64) {
 			continue
 		}
 
-		// Rebuild Y^m rows for this node's (ℓ*, color), m = 1..C.
+		// Rebuild Y^m rows for this node's (ℓ*, color), m = 1..C. Rows
+		// are capv+1 wide — the node's effective cap, not the raw budget
+		// k: every Y^m is constant beyond its running prefix cap, the
+		// prefix cap never exceeds capv, and reads past capv clamp to
+		// the last column exactly like nodeTables.at. That keeps the
+		// rebuild identical to the unbounded scan (same values, same
+		// first-improvement argmins) while a huge-k sparse-Λ solve costs
+		// rows of width |Λ|+1 instead of k+1.
 		rho := t.RhoUp(v, f.l)
+		capv := tb.nodes[v].cap
 		capw := tb.nodes[v].capw // budget a blue v consumes (1 uniform)
 		bsend := 0.0
 		if subLoad[v] > 0 {
 			bsend = 1
 		}
 		rows := make([][]float64, len(children)) // rows[m-1][i] = Y^m for v's color
+		childCap := func(m int) int { return tb.nodes[children[m]].cap }
 		childX := func(m, j int) float64 {
 			nt := &tb.nodes[children[m]]
 			if isBlue {
@@ -92,35 +100,52 @@ func ColorPhaseCompact(tb *Tables, load []int) ([]bool, float64) {
 			}
 			return nt.at(f.l+1, j)
 		}
-		first := make([]float64, stride)
-		for i := 0; i <= k; i++ {
-			if isBlue {
-				if i >= capw {
-					first[i] = childX(0, i-capw) + rho*bsend
-				} else {
-					first[i] = math.Inf(1)
-				}
-			} else {
+		first := make([]float64, capv+1)
+		var capP int // running prefix cap; rows are constant beyond it
+		if isBlue {
+			capP = min(capv, capw+childCap(0)) // blue ⇒ capw ≤ capv
+			for i := 0; i < capw; i++ {
+				first[i] = math.Inf(1)
+			}
+			for i := capw; i <= capP; i++ {
+				first[i] = childX(0, i-capw) + rho*bsend
+			}
+		} else {
+			capP = min(capv, childCap(0))
+			for i := 0; i <= capP; i++ {
 				first[i] = childX(0, i) + rho*float64(load[v])
 			}
+		}
+		for i := capP + 1; i <= capv; i++ {
+			first[i] = first[capP]
 		}
 		rows[0] = first
 		for m := 1; m < len(children); m++ {
 			prev := rows[m-1]
-			row := make([]float64, stride)
-			for i := 0; i <= k; i++ {
+			row := make([]float64, capv+1)
+			cm := childCap(m)
+			newCapP := min(capv, capP+cm)
+			for i := 0; i <= newCapP; i++ {
 				best := math.Inf(1)
-				for j := 0; j <= i; j++ {
+				for j := 0; j <= min(i, cm); j++ {
 					if c := prev[i-j] + childX(m, j); c < best {
 						best = c
 					}
 				}
 				row[i] = best
 			}
+			for i := newCapP + 1; i <= capv; i++ {
+				row[i] = row[newCapP]
+			}
 			rows[m] = row
+			capP = newCapP
 		}
 
 		// mSplit (paper Alg. 4 lines 18-22), children in reverse order.
+		// remaining may exceed capv (the root frame starts at the raw
+		// k), so prev reads clamp; truncating the scan at cap(c_m) picks
+		// the same argmin because Y^m is non-increasing and X_{c_m} is
+		// constant beyond the child's cap.
 		remaining := f.i
 		childL := f.l + 1
 		if isBlue {
@@ -128,9 +153,10 @@ func ColorPhaseCompact(tb *Tables, load []int) ([]bool, float64) {
 		}
 		for m := len(children) - 1; m >= 1; m-- {
 			prev := rows[m-1]
+			cm := childCap(m)
 			bestJ, bestC := 0, math.Inf(1)
-			for j := 0; j <= remaining; j++ {
-				if c := prev[remaining-j] + childX(m, j); c < bestC {
+			for j := 0; j <= min(remaining, cm); j++ {
+				if c := prev[min(remaining-j, capv)] + childX(m, j); c < bestC {
 					bestC, bestJ = c, j
 				}
 			}

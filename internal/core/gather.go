@@ -35,6 +35,8 @@ type nodeTables struct {
 }
 
 // at returns X_v(ℓ=l, i), clamping i to the effective cap.
+//
+//soar:hotpath
 func (nt *nodeTables) at(l, i int) float64 {
 	if i > nt.cap {
 		i = nt.cap
@@ -44,6 +46,8 @@ func (nt *nodeTables) at(l, i int) float64 {
 
 // blueAt reports whether the optimum at X_v(ℓ=l, i) colors v blue,
 // clamping i to the effective cap.
+//
+//soar:hotpath
 func (nt *nodeTables) blueAt(l, i int) bool {
 	if i > nt.cap {
 		i = nt.cap
@@ -55,6 +59,8 @@ func (nt *nodeTables) blueAt(l, i int) bool {
 // (color, l, i), clamping i to the effective cap: for i ≥ cap the
 // unbounded DP records the same split at every column (the merge costs
 // no longer depend on i), so the cap column stands in for the tail.
+//
+//soar:hotpath
 func (nt *nodeTables) splitAt(m1, colorIdx, depth, l, i int) int {
 	if i > nt.cap {
 		i = nt.cap
@@ -94,7 +100,7 @@ func gatherSerial(t *topology.Tree, load []int, avail []bool, caps []int, k int,
 		nodes: make([]nodeTables, t.N()),
 	}
 	subLoad := t.SubtreeLoads(load)
-	sc := newScratch(k)
+	sc := newScratch(ecaps[t.Root()])
 	var cbuf []*nodeTables // reused across nodes: one growth, not one make per node
 	for _, v := range t.PostOrder() {
 		nt := ar.node(t, v)
@@ -105,11 +111,13 @@ func gatherSerial(t *topology.Tree, load []int, avail []bool, caps []int, k int,
 	return tb
 }
 
-func isAvail(avail []bool, v int) bool { return avail == nil || avail[v] }
+func isAvail(avail []bool, v int) bool { return avail == nil || avail[v] } //soar:hotpath
 
 // capAt returns the capacity weight of switch v: caps[v] when a capacity
 // vector is present, else 1 when v is available (the uniform model, in
 // which selecting any available switch consumes one unit of the budget).
+//
+//soar:hotpath
 func capAt(avail []bool, caps []int, v int) int {
 	if caps != nil {
 		return caps[v]
@@ -123,6 +131,8 @@ func capAt(avail []bool, caps []int, v int) int {
 // appendChildTables appends pointers to v's children's tables to dst, in
 // child order. Engines pass a reused buffer to keep the sweep
 // allocation-free; pass nil for fresh storage.
+//
+//soar:hotpath
 func appendChildTables(dst []*nodeTables, tb *Tables, v int) []*nodeTables {
 	for _, c := range tb.t.Children(v) {
 		dst = append(dst, &tb.nodes[c])
@@ -152,6 +162,8 @@ func appendChildTables(dst []*nodeTables, tb *Tables, v int) []*nodeTables {
 // into ~O(n·h·k) (the tree-knapsack bound Σ_v Σ_m cap_prefix·cap_child =
 // O(n·k)) while keeping tables, breadcrumbs and placements bitwise
 // identical to the unbounded DP.
+//
+//soar:hotpath
 func computeNode(t *topology.Tree, v, load int, hasLoad bool, capw int, nt *nodeTables, children []*nodeTables, sc *scratch) {
 	depth := t.Depth(v)
 	capv := nt.cap

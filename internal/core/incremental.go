@@ -46,6 +46,7 @@ type Incremental struct {
 	dirty   []bool
 	queue   []int // dirty switches, unordered; invariant: upward-closed
 	sc      *scratch
+	scCap   int           // the root effective cap sc is sized for
 	cbuf    []*nodeTables // reusable child-table buffer for flushes
 	cs      colorState    // reusable SOAR-Color scratch for SolveInto
 
@@ -157,48 +158,53 @@ func newIncremental(t *topology.Tree, load []int, caps []int, k int, memo *Memo)
 		inc.memoEpoch = memo.epoch
 		return inc
 	}
-	inc.sc = newScratch(k)
+	inc.scCap = inc.cap(t.Root())
+	inc.sc = newScratch(inc.scCap)
 	inc.tb = gatherSerial(t, inc.load, nil, inc.caps, k, true)
 	return inc
 }
 
 // cap returns the effective budget min(k, Σ_{u ∈ T_v} c(u)) under the
 // engine's current capacity vector.
+//
+//soar:hotpath
 func (inc *Incremental) cap(v int) int {
 	return int(min(int64(inc.k), inc.capSum[v]))
 }
 
 // K returns the budget the engine solves for.
-func (inc *Incremental) K() int { return inc.k }
+func (inc *Incremental) K() int { return inc.k } //soar:hotpath
 
 // Tree returns the tree the engine operates on.
-func (inc *Incremental) Tree() *topology.Tree { return inc.t }
+func (inc *Incremental) Tree() *topology.Tree { return inc.t } //soar:hotpath
 
 // Load returns the engine's current load at switch v.
-func (inc *Incremental) Load(v int) int { return inc.load[v] }
+func (inc *Incremental) Load(v int) int { return inc.load[v] } //soar:hotpath
 
 // Loads returns a copy of the engine's current load vector.
 func (inc *Incremental) Loads() []int { return append([]int(nil), inc.load...) }
 
 // Avail reports whether switch v is currently available (v ∈ Λ, i.e. its
 // capacity weight is positive).
-func (inc *Incremental) Avail(v int) bool { return inc.caps[v] > 0 }
+func (inc *Incremental) Avail(v int) bool { return inc.caps[v] > 0 } //soar:hotpath
 
 // Capacity returns the engine's current capacity weight of switch v (the
 // budget a blue at v consumes; 0 means v may never be blue).
-func (inc *Incremental) Capacity(v int) int { return inc.caps[v] }
+func (inc *Incremental) Capacity(v int) int { return inc.caps[v] } //soar:hotpath
 
 // Capacities returns a copy of the engine's current capacity vector.
 func (inc *Incremental) Capacities() []int { return append([]int(nil), inc.caps...) }
 
 // Pending returns the number of switches whose tables are stale; it is
 // zero right after a flush (Flush, Solve, Cost or Tables).
-func (inc *Incremental) Pending() int { return len(inc.queue) }
+func (inc *Incremental) Pending() int { return len(inc.queue) } //soar:hotpath
 
 // UpdateLoad adds delta to the load of switch v and marks the v→root
 // path dirty. It panics if the load would become negative. The
 // recomputation is deferred until the next flush, so consecutive updates
 // batch.
+//
+//soar:hotpath
 func (inc *Incremental) UpdateLoad(v, delta int) {
 	if delta == 0 {
 		return
@@ -218,6 +224,8 @@ func (inc *Incremental) UpdateLoad(v, delta int) {
 
 // SetLoad sets the load of switch v to value (a convenience wrapper
 // around UpdateLoad).
+//
+//soar:hotpath
 func (inc *Incremental) SetLoad(v, value int) {
 	if value < 0 {
 		panic(fmt.Sprintf("core: incremental SetLoad(%d, %d): negative load", v, value))
@@ -231,6 +239,8 @@ func (inc *Incremental) SetLoad(v, value int) {
 // no-op change dirties nothing. On an engine tracking heterogeneous
 // capacities, SetAvail(v, true) resets c(v) to 1 — use SetCap to restore
 // a different weight.
+//
+//soar:hotpath
 func (inc *Incremental) SetAvail(v int, ok bool) {
 	c := 0
 	if ok {
@@ -242,6 +252,8 @@ func (inc *Incremental) SetAvail(v int, ok bool) {
 // SetCap sets the capacity weight of switch v to c (≥ 0; 0 removes v
 // from Λ), marking the v→root path dirty. A no-op change dirties
 // nothing.
+//
+//soar:hotpath
 func (inc *Incremental) SetCap(v, c int) {
 	if c < 0 || c > MaxCapacity {
 		panic(fmt.Sprintf("core: incremental SetCap(%d, %d): capacity outside [0, %d]", v, c, MaxCapacity))
@@ -264,6 +276,8 @@ func (inc *Incremental) SetCap(v, c int) {
 // means capacity 1 everywhere), dirtying only the root paths of switches
 // whose weight actually changed — the bulk companion of SetLoads for the
 // heterogeneous model.
+//
+//soar:hotpath
 func (inc *Incremental) SetCaps(caps []int) {
 	if caps != nil && len(caps) != inc.t.N() {
 		panic(fmt.Sprintf("core: incremental SetCaps has %d entries for %d switches", len(caps), inc.t.N()))
@@ -283,6 +297,8 @@ func (inc *Incremental) SetCaps(caps []int) {
 // a warm engine at a different tenant's load vector costs one O(n)
 // comparison scan plus recomputation of the changed paths only, instead
 // of a from-scratch Gather.
+//
+//soar:hotpath
 func (inc *Incremental) SetLoads(loads []int) {
 	if len(loads) != inc.t.N() {
 		panic(fmt.Sprintf("core: incremental SetLoads has %d entries for %d switches", len(loads), inc.t.N()))
@@ -301,6 +317,8 @@ func (inc *Incremental) SetLoads(loads []int) {
 // operation: every available switch's capacity weight becomes 1, so on
 // an engine tracking heterogeneous capacities it discards the weights —
 // use SetCaps to bulk-patch those instead.
+//
+//soar:hotpath
 func (inc *Incremental) SetAvails(avail []bool) {
 	if avail != nil && len(avail) != inc.t.N() {
 		panic(fmt.Sprintf("core: incremental SetAvails has %d entries for %d switches", len(avail), inc.t.N()))
@@ -313,6 +331,8 @@ func (inc *Incremental) SetAvails(avail []bool) {
 // markDirty enqueues u once. Because every mutation marks a full
 // suffix-path up to the root, the dirty set is upward-closed; callers
 // that walk upward may stop at the first already-dirty switch.
+//
+//soar:hotpath
 func (inc *Incremental) markDirty(u int) {
 	if !inc.dirty[u] {
 		inc.dirty[u] = true
@@ -325,6 +345,8 @@ func (inc *Incremental) markDirty(u int) {
 // mode the dirty switches are re-interned instead: only switches whose
 // class actually changed touch the cache, and of those only cache
 // misses run computeNode.
+//
+//soar:hotpath
 func (inc *Incremental) Flush() {
 	if len(inc.queue) == 0 {
 		return
@@ -338,6 +360,12 @@ func (inc *Incremental) Flush() {
 	if inc.memo != nil {
 		inc.flushMemo()
 		return
+	}
+	if rootCap := inc.cap(inc.t.Root()); rootCap > inc.scCap {
+		// SetCap raised the root's capacity sum past the width the merge
+		// scratch was built for: regrow it (rare; capacity raises only).
+		inc.scCap = rootCap
+		inc.sc = newScratch(rootCap) //soar:coldpath capacity raise
 	}
 	for _, v := range inc.queue {
 		// Reuse the node's existing backing arrays (resized if SetAvail
@@ -357,15 +385,17 @@ func (inc *Incremental) Flush() {
 // bottom-up (the queue is already sorted deepest-first) and realias its
 // table. Memo tables are immutable, so a miss computes into fresh
 // storage instead of recycling the old (possibly shared) arrays.
+//
+//soar:hotpath
 func (inc *Incremental) flushMemo() {
 	m := inc.memo
 	m.maybeEvict()
 	if m.epoch != inc.memoEpoch {
-		inc.reclassAll()
+		inc.reclassAll() //soar:coldpath eviction recovery
 	}
 	t := inc.t
 	pd := t.PathDigests()
-	m.ensureScratch(inc.k)
+	m.ensureScratch(inc.cap(t.Root()))
 	for _, v := range inc.queue {
 		hasLoad := inc.subLoad[v] > 0
 		cid := m.internClassFor(v, inc.classOf, pd, inc.load[v], hasLoad, inc.caps[v], inc.cap(v))
@@ -380,7 +410,7 @@ func (inc *Incremental) flushMemo() {
 		e := &m.entries[cid]
 		if e.ok {
 			m.hits++
-		} else {
+		} else { //soar:coldpath cache miss: compute into fresh immutable storage
 			m.misses++
 			inc.cbuf = appendChildTables(inc.cbuf[:0], inc.tb, v)
 			m.computeEntry(e, v, inc.load[v], hasLoad, inc.caps[v], inc.cap(v), inc.cbuf, m.sc)
@@ -397,6 +427,8 @@ func (inc *Incremental) flushMemo() {
 // them. The dirty set is upward-closed, so every descendant of a clean
 // switch is clean and its children's fresh class ids are available
 // bottom-up.
+//
+//soar:ctor seeds memo entries (writes memoEntry.nt)
 func (inc *Incremental) reclassAll() {
 	m := inc.memo
 	t := inc.t
@@ -428,6 +460,8 @@ func (inc *Incremental) reclassAll() {
 
 // Cost flushes pending updates and returns the optimal utilization
 // φ-BIC(T, L, Λ, k) for the current inputs.
+//
+//soar:hotpath
 func (inc *Incremental) Cost() float64 {
 	inc.Flush()
 	return inc.tb.Optimum()
@@ -445,6 +479,8 @@ func (inc *Incremental) Solve() Result {
 // buffer (which must have length N) and returning φ. It reuses the
 // engine's color scratch, so a steady-state admission — SetLoads /
 // SetAvails followed by SolveInto — performs no allocations at all.
+//
+//soar:hotpath
 func (inc *Incremental) SolveInto(blue []bool) float64 {
 	inc.Flush()
 	return inc.cs.colorInto(inc.tb, blue)
@@ -453,6 +489,8 @@ func (inc *Incremental) SolveInto(blue []bool) float64 {
 // Tables flushes pending updates and exposes the maintained DP state.
 // The returned tables stay owned by the engine: they are valid until the
 // next mutating call.
+//
+//soar:hotpath
 func (inc *Incremental) Tables() *Tables {
 	inc.Flush()
 	return inc.tb

@@ -69,11 +69,15 @@ type classKey struct {
 // listKey interns child-class lists as cons cells.
 type listKey struct{ prev, child int32 }
 
-// memoEntry is one class: its canonical tables, once computed.
+// memoEntry is one class: its canonical tables, once computed. The nt
+// field is the aliasing contract of the cache made checkable: once an
+// entry is published, engines share its backing slices, so only the
+// constructors below may ever store through it.
 type memoEntry struct {
 	ok    bool
 	bytes int64
-	nt    nodeTables
+	//soar:immutable
+	nt nodeTables
 }
 
 // MemoStats reports a Memo's cumulative behavior.
@@ -112,15 +116,18 @@ type Memo struct {
 	hits, misses uint64
 	bytes        int64
 
-	sc   *scratch
-	scK  int
-	cbuf []*nodeTables
+	sc    *scratch
+	scCap int
+	cbuf  []*nodeTables
 
 	// Shared all-zero storage for the zero-load fast path. Grows to the
 	// largest table shape seen; superseded slabs stay referenced by the
 	// tables sliced from them (still all zeros, still immutable).
-	zeroX      []float64
+	//soar:immutable
+	zeroX []float64
+	//soar:immutable
 	zeroIsBlue []bool
+	//soar:immutable
 	zeroSplits []int32
 }
 
@@ -171,13 +178,17 @@ func (m *Memo) Reset() {
 
 // maybeEvict resets the memo when the retained bytes exceed the budget.
 // Called between solves only, never mid-solve.
+//
+//soar:hotpath
 func (m *Memo) maybeEvict() {
 	if m.bytes > m.budget {
-		m.Reset()
+		m.Reset() //soar:coldpath eviction
 	}
 }
 
 // internList interns one cons cell of a child-class list.
+//
+//soar:hotpath
 func (m *Memo) internList(prev, child int32) int32 {
 	key := listKey{prev, child}
 	id, ok := m.lists[key]
@@ -190,6 +201,8 @@ func (m *Memo) internList(prev, child int32) int32 {
 
 // internClass interns a class tuple, growing the entry table on first
 // sight.
+//
+//soar:hotpath
 func (m *Memo) internClass(key classKey) int32 {
 	id, ok := m.classes[key]
 	if !ok {
@@ -207,6 +220,8 @@ func (m *Memo) internClass(key classKey) int32 {
 // post-eviction reclass — MUST go through this single helper: table
 // aliasing is sound only if all paths derive identical keys from
 // identical components.
+//
+//soar:hotpath
 func (m *Memo) internClassFor(v int, classOf, pd []int32, loadV int, hasLoad bool, capw, ecap int) int32 {
 	kids := int32(-1)
 	for _, c := range m.t.Children(v) {
@@ -223,22 +238,28 @@ func (m *Memo) internClassFor(v int, classOf, pd []int32, loadV int, hasLoad boo
 }
 
 // ensureScratch sizes the merge scratch and the shared zero slabs for
-// budget k. The zero slabs are pre-sized to the largest table shape the
-// tree can produce under k, so every zero-load class of a solve slices
-// the same slab (the aliasing the sparse fast path promises) instead of
-// racing a growing one.
-func (m *Memo) ensureScratch(k int) {
-	if m.sc == nil || m.scK < k {
-		m.sc = newScratch(k)
-		m.scK = k
+// a solve whose root effective cap is maxCap — the widest row any node
+// can need (cap(v) ≤ cap(root) for all v), so sizing from it instead of
+// the raw budget keeps huge-k/sparse-Λ solves cheap. The zero slabs are
+// pre-sized to the largest table shape the tree can produce under
+// maxCap, so every zero-load class of a solve slices the same slab (the
+// aliasing the sparse fast path promises) instead of racing a growing
+// one.
+//
+//soar:hotpath
+//soar:ctor grows the shared zero slabs
+func (m *Memo) ensureScratch(maxCap int) {
+	if m.sc == nil || m.scCap < maxCap {
+		m.sc = newScratch(maxCap) //soar:coldpath first use or cap raise
+		m.scCap = maxCap
 	}
-	sz := (m.t.Height() + 2) * (k + 1) // rows ≤ height+2, width ≤ k+1
+	sz := (m.t.Height() + 2) * (maxCap + 1) // rows ≤ height+2, width ≤ maxCap+1
 	if len(m.zeroX) < sz {
-		m.zeroX = make([]float64, sz)
-		m.zeroIsBlue = make([]bool, sz)
+		m.zeroX = make([]float64, sz)   //soar:coldpath first use or cap raise
+		m.zeroIsBlue = make([]bool, sz) //soar:coldpath first use or cap raise
 	}
 	if len(m.zeroSplits) < 2*sz {
-		m.zeroSplits = make([]int32, 2*sz)
+		m.zeroSplits = make([]int32, 2*sz) //soar:coldpath first use or cap raise
 	}
 }
 
@@ -289,6 +310,8 @@ func tableBytes(nt *nodeTables) int64 {
 // computeEntry fills entry e for a class, with v as its representative.
 // Zero-load classes take the shared-slab fast path; loaded classes run
 // the ordinary computeNode into fresh memo-owned storage.
+//
+//soar:ctor publishes memoEntry.nt
 func (m *Memo) computeEntry(e *memoEntry, v, loadV int, hasLoad bool, capw, ecap int, children []*nodeTables, sc *scratch) {
 	if !hasLoad {
 		e.nt, e.bytes = m.zeroTable(m.t.Depth(v), capw, ecap, m.t.NumChildren(v))
@@ -317,7 +340,7 @@ func (m *Memo) gather(load []int, avail []bool, caps []int, k int, classOf []int
 	ecaps := effectiveCaps(t, avail, caps, k)
 	subLoad := t.SubtreeLoads(load)
 	pd := t.PathDigests()
-	m.ensureScratch(k)
+	m.ensureScratch(ecaps[t.Root()])
 	tb := &Tables{t: t, load: load, k: k, nodes: make([]nodeTables, n)}
 	for _, v := range t.PostOrder() {
 		hasLoad := subLoad[v] > 0
@@ -432,6 +455,8 @@ func SolveParallelMemo(m *Memo, load []int, avail []bool, k, workers int) Result
 // a worker pool along the class DAG: a class becomes ready when all its
 // children classes have tables. Zero-load classes are served from the
 // shared slab during the interning pass itself.
+//
+//soar:ctor publishes memoEntry.nt (zero-load fast path and worker loop)
 func (m *Memo) gatherParallel(load []int, avail []bool, caps []int, k, workers int) *Tables {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -442,7 +467,7 @@ func (m *Memo) gatherParallel(load []int, avail []bool, caps []int, k, workers i
 	ecaps := effectiveCaps(t, avail, caps, k)
 	subLoad := t.SubtreeLoads(load)
 	pd := t.PathDigests()
-	m.ensureScratch(k)
+	m.ensureScratch(ecaps[t.Root()])
 	classOf := make([]int32, n)
 	firstNew := int32(len(m.entries))
 	var reps []int32 // rep node of each class interned by this pass
@@ -503,7 +528,7 @@ func (m *Memo) gatherParallel(load []int, avail []bool, caps []int, k, workers i
 		for w := 0; w < workers; w++ {
 			go func() {
 				defer wg.Done()
-				sc := newScratch(k)
+				sc := newScratch(ecaps[t.Root()])
 				var cbuf []*nodeTables
 				for li := range ready {
 					cid := firstNew + li

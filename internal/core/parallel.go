@@ -64,7 +64,7 @@ func gatherParallel(t *topology.Tree, load []int, avail []bool, caps []int, k, w
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
-			sc := newScratch(k)
+			sc := newScratch(ecaps[t.Root()])
 			var cbuf []*nodeTables
 			for v := range ready {
 				nt := ar.node(t, v)

@@ -19,6 +19,8 @@ import (
 // childBudget is built by appending to dst, so a caller looping over a
 // whole tree can pass a reused buffer (ColorPhase does); pass nil for
 // fresh storage when the slice outlives the call.
+//
+//soar:hotpath
 func decide(t *topology.Tree, nt *nodeTables, v, budget, l int, dst []int) (isBlue bool, childBudget []int, childL int) {
 	isBlue = nt.blueAt(l, budget)
 	children := t.Children(v)
@@ -113,7 +115,7 @@ func NewNodeStateCaps(t *topology.Tree, v int, loadV int, hasLoad bool, capw, k 
 		k:  k,
 		nt: newNodeStorage(t.Depth(v), int(capv), len(children), true),
 	}
-	computeNode(t, v, loadV, hasLoad, capw, &ns.nt, tables, newScratch(k))
+	computeNode(t, v, loadV, hasLoad, capw, &ns.nt, tables, newScratch(int(capv)))
 	return ns, nil
 }
 

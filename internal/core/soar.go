@@ -92,7 +92,7 @@ type Tables struct {
 }
 
 // K returns the budget the tables were computed for.
-func (tb *Tables) K() int { return tb.k }
+func (tb *Tables) K() int { return tb.k } //soar:hotpath
 
 // Tree returns the tree the tables were computed on.
 func (tb *Tables) Tree() *topology.Tree { return tb.t }
@@ -102,11 +102,15 @@ func (tb *Tables) Tree() *topology.Tree { return tb.t }
 // ℓ must be in [0, Depth(v)] and i in [0, k]. Storage is clamped to the
 // effective budget (see EffectiveCaps): columns beyond Cap(v) read the
 // cap column, which the unbounded DP proves equal.
+//
+//soar:hotpath
 func (tb *Tables) X(v, l, i int) float64 {
 	return tb.nodes[v].at(l, i)
 }
 
 // Blue reports whether the optimum at X_v(ℓ, i) colors v blue.
+//
+//soar:hotpath
 func (tb *Tables) Blue(v, l, i int) bool {
 	return tb.nodes[v].blueAt(l, i)
 }
@@ -114,15 +118,17 @@ func (tb *Tables) Blue(v, l, i int) bool {
 // Cap returns the effective budget cap[v] = min(k, Σ_{u ∈ T_v} c(u)) the
 // tables of switch v were clamped to (min(k, |T_v ∩ Λ|) in the uniform
 // model).
-func (tb *Tables) Cap(v int) int { return tb.nodes[v].cap }
+func (tb *Tables) Cap(v int) int { return tb.nodes[v].cap } //soar:hotpath
 
 // Capacity returns the capacity weight c(v) the tables were computed
 // with: the budget a blue at v consumes. It is 1 for available switches
 // and 0 for unavailable ones in the uniform model.
-func (tb *Tables) Capacity(v int) int { return tb.nodes[v].capw }
+func (tb *Tables) Capacity(v int) int { return tb.nodes[v].capw } //soar:hotpath
 
 // Optimum returns the optimal utilization cost φ-BIC(T, L, Λ, k), which
 // is X_r(1, k) for the root r (paper Eq. 6).
+//
+//soar:hotpath
 func (tb *Tables) Optimum() float64 {
 	return tb.X(tb.t.Root(), 1, tb.k)
 }

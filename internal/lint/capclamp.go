@@ -1,0 +1,167 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// AnalyzerCapClamp enforces the effective-budget clamp on DP row
+// construction: a make() whose length or capacity derives from the raw
+// budget k — a parameter named k, a field named k (tb.k, inc.k, m.k)
+// or a K() getter — is an error. Rows must be sized from the
+// EffectiveCaps/EffectiveCapsVec result (or any other function result,
+// which the analyzer treats as clamped) or through a min() clamp.
+//
+// Taint propagates through local assignments, arithmetic, conversions
+// and max(); it is cut by min() (that is the clamp) and by ordinary
+// call results. The analyzer skips _test.go files — tests legitimately
+// exercise the unbounded reference engine at raw k+1 — and a statement
+// under a //soar:rawk comment is waived.
+var AnalyzerCapClamp = &Analyzer{
+	Name:      "capclamp",
+	Doc:       "DP rows sized from the raw budget k instead of the effective-cap clamp",
+	SkipTests: true,
+	Run:       runCapClamp,
+}
+
+func runCapClamp(p *Pass) {
+	for _, f := range p.Unit.Files {
+		if p.isTestFile(f) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			cc := &capChecker{p: p, tainted: make(map[types.Object]bool)}
+			cc.seedParams(fd)
+			cc.propagate(fd.Body)
+			cc.checkMakes(fd.Body)
+		}
+	}
+}
+
+type capChecker struct {
+	p       *Pass
+	tainted map[types.Object]bool
+}
+
+// seedParams taints integer parameters named k.
+func (cc *capChecker) seedParams(fd *ast.FuncDecl) {
+	if fd.Type.Params == nil {
+		return
+	}
+	for _, field := range fd.Type.Params.List {
+		for _, name := range field.Names {
+			if name.Name != "k" {
+				continue
+			}
+			obj := cc.p.Unit.Info.Defs[name]
+			if obj != nil && isIntegral(obj.Type()) {
+				cc.tainted[obj] = true
+			}
+		}
+	}
+}
+
+func isIntegral(t types.Type) bool {
+	b, ok := types.Unalias(t).Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+// propagate iterates assignment-based taint flow to a fixed point.
+func (cc *capChecker) propagate(body *ast.BlockStmt) {
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || len(as.Lhs) != len(as.Rhs) {
+				return true
+			}
+			for i, lhs := range as.Lhs {
+				id, ok := ast.Unparen(lhs).(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := cc.p.Unit.Info.Defs[id]
+				if obj == nil {
+					obj = cc.p.Unit.Info.Uses[id]
+				}
+				if obj == nil || cc.tainted[obj] {
+					continue
+				}
+				if cc.taintedExpr(as.Rhs[i]) {
+					cc.tainted[obj] = true
+					changed = true
+				}
+			}
+			return true
+		})
+	}
+}
+
+// taintedExpr reports whether the expression derives from the raw
+// budget. min() and ordinary call results sanitize; field reads named
+// k and K() getters are sources.
+func (cc *capChecker) taintedExpr(e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj := cc.p.Unit.Info.Uses[e]
+		return obj != nil && cc.tainted[obj]
+	case *ast.SelectorExpr:
+		if sel, ok := cc.p.Unit.Info.Selections[e]; ok && sel.Kind() == types.FieldVal && e.Sel.Name == "k" {
+			return true
+		}
+		return false
+	case *ast.BinaryExpr:
+		return cc.taintedExpr(e.X) || cc.taintedExpr(e.Y)
+	case *ast.UnaryExpr:
+		return cc.taintedExpr(e.X)
+	case *ast.IndexExpr:
+		return cc.taintedExpr(e.X)
+	case *ast.CallExpr:
+		if tv, ok := cc.p.Unit.Info.Types[e.Fun]; ok && tv.IsType() && len(e.Args) == 1 {
+			return cc.taintedExpr(e.Args[0]) // conversions keep the taint
+		}
+		if bi := calleeBuiltin(cc.p.Unit.Info, e); bi != "" {
+			if bi == "min" {
+				return false // min() is the clamp
+			}
+			for _, a := range e.Args {
+				if cc.taintedExpr(a) {
+					return true // max(k, 0) etc. stay raw
+				}
+			}
+			return false
+		}
+		if fn := calleeFunc(cc.p.Unit.Info, e); fn != nil && fn.Name() == "K" && len(e.Args) == 0 {
+			return true // budget getters re-introduce the raw k
+		}
+		return false // other call results are treated as clamped
+	default:
+		return false
+	}
+}
+
+// checkMakes flags make() calls sized from tainted expressions.
+func (cc *capChecker) checkMakes(body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || calleeBuiltin(cc.p.Unit.Info, call) != "make" {
+			return true
+		}
+		for _, size := range call.Args[1:] {
+			if !cc.taintedExpr(size) {
+				continue
+			}
+			pos := cc.p.Module.Fset.Position(call.Pos())
+			if cc.p.Module.Notes.RawkAt(pos) {
+				continue
+			}
+			cc.p.Reportf(call.Pos(), "DP row sized from the raw budget k; size from the EffectiveCaps/EffectiveCapsVec result (or a min clamp) instead")
+			break
+		}
+		return true
+	})
+}

@@ -1,0 +1,178 @@
+package lint
+
+import (
+	"bufio"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// The golden harness: each directory under testdata/ is a tiny
+// self-contained module exercising exactly one analyzer. Violating
+// lines carry a trailing `// want "regexp"` comment; the harness
+// requires a one-to-one correspondence — every want matched by a
+// finding on its line, every finding claimed by a want. Unmarked
+// lines are the negative cases: a finding there fails the test.
+
+var wantRe = regexp.MustCompile(`// want "([^"]*)"`)
+
+// expectation is one `// want` comment: a message regexp anchored to a
+// file and line of the golden module.
+type expectation struct {
+	file string // module-relative, matching Finding.File
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+// readWants scans every .go file of the golden module for want comments.
+func readWants(t *testing.T, dir string) []*expectation {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wants []*expectation
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := os.Open(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc := bufio.NewScanner(f)
+		for line := 1; sc.Scan(); line++ {
+			for _, m := range wantRe.FindAllStringSubmatch(sc.Text(), -1) {
+				re, err := regexp.Compile(m[1])
+				if err != nil {
+					t.Fatalf("%s:%d: bad want regexp %q: %v", e.Name(), line, m[1], err)
+				}
+				wants = append(wants, &expectation{file: e.Name(), line: line, re: re})
+			}
+		}
+		if err := sc.Err(); err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+	}
+	if len(wants) == 0 {
+		t.Fatalf("no want comments in %s — empty golden module", dir)
+	}
+	return wants
+}
+
+func TestGolden(t *testing.T) {
+	for _, a := range All {
+		t.Run(a.Name, func(t *testing.T) {
+			dir := filepath.Join("testdata", a.Name)
+			wants := readWants(t, dir)
+			findings, err := RunAnalyzers(dir, nil, []*Analyzer{a})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, f := range findings {
+				if f.Analyzer != a.Name {
+					t.Errorf("finding from analyzer %q in the %s golden run", f.Analyzer, a.Name)
+				}
+				claimed := false
+				for _, w := range wants {
+					if w.file == f.File && w.line == f.Line && w.re.MatchString(f.Message) {
+						w.hit = true
+						claimed = true
+					}
+				}
+				if !claimed {
+					t.Errorf("unexpected finding %s:%d: %s", f.File, f.Line, f.Message)
+				}
+			}
+			for _, w := range wants {
+				if !w.hit {
+					t.Errorf("%s:%d: want %q, no matching finding", w.file, w.line, w.re)
+				}
+			}
+		})
+	}
+}
+
+// TestGoldenModulesAreComplete pins the testdata layout itself: one
+// golden module per registered analyzer, so adding an analyzer without
+// golden coverage fails loudly.
+func TestGoldenModulesAreComplete(t *testing.T) {
+	entries, err := os.ReadDir("testdata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	have := make(map[string]bool)
+	for _, e := range entries {
+		if e.IsDir() {
+			have[e.Name()] = true
+		}
+	}
+	for _, a := range All {
+		if !have[a.Name] {
+			t.Errorf("no testdata/%s golden module for analyzer %s", a.Name, a.Name)
+		}
+		delete(have, a.Name)
+	}
+	for name := range have {
+		t.Errorf("testdata/%s matches no registered analyzer", name)
+	}
+}
+
+// TestSelfClean runs the full suite over this repository's own module:
+// the annotations in internal/core, internal/sched and friends must
+// hold. This is the same gate CI runs via cmd/soarlint.
+func TestSelfClean(t *testing.T) {
+	findings, err := Run(filepath.Join("..", ".."), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		t.Errorf("%s:%d:%d: %s: %s", f.File, f.Line, f.Col, f.Analyzer, f.Message)
+	}
+	if len(findings) > 0 {
+		t.Logf("soarlint must stay clean on its own module; fix or annotate (see DESIGN.md)")
+	}
+}
+
+// TestPatternFiltering exercises the package-pattern matcher against
+// a golden module: a pattern naming a package restricts the run.
+func TestPatternFiltering(t *testing.T) {
+	dir := filepath.Join("testdata", "capclamp")
+	all, err := RunAnalyzers(dir, []string{"./..."}, []*Analyzer{AnalyzerCapClamp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	root, err := RunAnalyzers(dir, []string{"."}, []*Analyzer{AnalyzerCapClamp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) == 0 || len(all) != len(root) {
+		t.Fatalf("pattern runs disagree: ./... gave %d findings, . gave %d", len(all), len(root))
+	}
+	none, err := RunAnalyzers(dir, []string{"./nosuchpkg"}, []*Analyzer{AnalyzerCapClamp})
+	if err == nil && len(none) != 0 {
+		t.Fatalf("pattern ./nosuchpkg matched %d findings, want none", len(none))
+	}
+}
+
+// TestFindingsAreOrdered pins the deterministic report order findings
+// are promised in: by file, then line, then column.
+func TestFindingsAreOrdered(t *testing.T) {
+	findings, err := RunAnalyzers(filepath.Join("testdata", "lockdiscipline"), nil, All)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(findings); i++ {
+		a, b := findings[i-1], findings[i]
+		if a.File > b.File || (a.File == b.File && a.Line > b.Line) {
+			t.Fatalf("findings out of order: %s:%d before %s:%d", a.File, a.Line, b.File, b.Line)
+		}
+	}
+	if len(findings) == 0 {
+		t.Fatal("lockdiscipline golden module produced no findings")
+	}
+}

@@ -1,0 +1,143 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// AnalyzerImmutable flags writes through //soar:immutable types and
+// fields outside //soar:ctor functions.
+//
+// A "write" is an assignment or IncDec whose target expression passes
+// through an immutable field or an immutable-typed value (selector,
+// index, dereference chains), or a copy/append whose destination does.
+// Rebinding a plain local variable is not a write — only stores into
+// memory reachable through an annotated type or field count. Aliasing
+// through intermediate locals (x := imm.slice; x[0] = ...) is out of
+// scope; the analyzer checks the syntactic access path.
+var AnalyzerImmutable = &Analyzer{
+	Name: "immutable",
+	Doc:  "writes through //soar:immutable types or fields outside //soar:ctor functions",
+	Run:  runImmutable,
+}
+
+func runImmutable(p *Pass) {
+	notes := p.Module.Notes
+	if len(notes.ImmType) == 0 && len(notes.ImmField) == 0 {
+		return
+	}
+	for _, f := range p.Unit.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if obj, _ := p.Unit.Info.Defs[fd.Name].(*types.Func); notes.Ctor[symbolOf(obj)] {
+				continue // constructors may write; FuncLits inside inherit the exemption
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.AssignStmt:
+					for _, lhs := range n.Lhs {
+						p.checkWrite(lhs, "assignment")
+					}
+				case *ast.IncDecStmt:
+					p.checkWrite(n.X, "update")
+				case *ast.CallExpr:
+					p.checkMutatingBuiltin(n)
+				}
+				return true
+			})
+		}
+	}
+}
+
+// checkMutatingBuiltin flags copy/append whose destination reaches
+// immutable memory: copy writes through its first argument, and
+// append may write into the first argument's backing array (and the
+// result is routinely assigned back over the immutable field).
+func (p *Pass) checkMutatingBuiltin(call *ast.CallExpr) {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || len(call.Args) == 0 {
+		return
+	}
+	if b, _ := p.Unit.Info.Uses[id].(*types.Builtin); b == nil || (b.Name() != "copy" && b.Name() != "append" && b.Name() != "clear") {
+		return
+	}
+	if desc := p.immutableTarget(call.Args[0], false); desc != "" {
+		p.Reportf(call.Pos(), "%s into %s annotated //soar:immutable (write outside a //soar:ctor function)", id.Name, desc)
+	}
+}
+
+// checkWrite reports a finding if lhs stores through immutable memory.
+func (p *Pass) checkWrite(lhs ast.Expr, kind string) {
+	if desc := p.immutableTarget(lhs, true); desc != "" {
+		p.Reportf(lhs.Pos(), "%s writes through %s annotated //soar:immutable (write outside a //soar:ctor function)", kind, desc)
+	}
+}
+
+// immutableTarget walks the access path of a write target and returns
+// a description of the first immutable thing it passes through, or "".
+// When topLevel is true a bare identifier target is a rebinding, not a
+// write, and is never flagged.
+func (p *Pass) immutableTarget(e ast.Expr, topLevel bool) string {
+	notes := p.Module.Notes
+	info := p.Unit.Info
+	if _, ok := ast.Unparen(e).(*ast.Ident); ok && topLevel {
+		return "" // rebinding a variable, not a store
+	}
+	for {
+		switch v := ast.Unparen(e).(type) {
+		case *ast.IndexExpr:
+			// Storing into x[i]: writes x's backing memory.
+			if key := namedKey(info.TypeOf(v.X)); notes.ImmType[key] {
+				return key
+			}
+			e = v.X
+		case *ast.StarExpr:
+			if key := namedKey(info.TypeOf(v)); notes.ImmType[key] {
+				return key
+			}
+			e = v.X
+		case *ast.SelectorExpr:
+			if sel, ok := info.Selections[v]; ok {
+				if key := fieldKey(sel); notes.ImmField[key] {
+					return key
+				}
+			}
+			if key := namedKey(info.TypeOf(v.X)); notes.ImmType[key] {
+				return key
+			}
+			e = v.X
+		case *ast.Ident:
+			// Access-path root: an immutable-typed variable itself.
+			if key := namedKey(info.TypeOf(v)); notes.ImmType[key] && !topLevel {
+				return key
+			}
+			return ""
+		case *ast.CallExpr, *ast.SliceExpr:
+			// f(...)[i] = ... or s[a:b][i] = ...: keep descending through
+			// slice expressions; stop at calls (fresh value).
+			if sl, ok := ast.Unparen(e).(*ast.SliceExpr); ok {
+				e = sl.X
+				continue
+			}
+			return ""
+		default:
+			return ""
+		}
+		topLevel = false
+	}
+}
+
+// fieldKey returns "pkgpath.TypeName.field" for a field selection.
+func fieldKey(sel *types.Selection) string {
+	if sel.Kind() != types.FieldVal {
+		return ""
+	}
+	owner := namedKey(sel.Recv())
+	if owner == "" {
+		return ""
+	}
+	return owner + "." + sel.Obj().Name()
+}

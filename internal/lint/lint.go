@@ -1,0 +1,178 @@
+// Package lint implements soarlint, a zero-dependency static analyzer
+// suite that machine-checks the repo's load-bearing invariants on every
+// push — the contracts that were previously enforced only by comments
+// and by benchmarks CI does not gate on:
+//
+//   - immutable: memo-interned nodeTables, the shared zero slabs and
+//     topology.Tree are immutable after construction. Any write through
+//     a type or field annotated `//soar:immutable` — assignment, index
+//     store, IncDec, copy-into, append-into — outside a function
+//     annotated `//soar:ctor` is an error.
+//   - hotpath: functions annotated `//soar:hotpath` (SolveInto,
+//     computeNode, the merge inner loops, the scheduler's batch
+//     admission path) must be free of allocating constructs — make/new,
+//     map and slice literals, escaping closures, interface boxing,
+//     string concatenation — and may only call other annotated
+//     functions, allowlisted stdlib, or code explicitly waived with
+//     `//soar:coldpath`; the check is transitive over the module call
+//     graph because every callee must carry the annotation itself.
+//   - lockdiscipline: while a mutex field annotated `//soar:critical`
+//     is held, no channel send/receive/select, no call to a
+//     Solve*-named function and no sync.Pool.Get may happen — directly
+//     or through any module function reachable from the critical
+//     section (per-function effect summaries make the check
+//     transitive). Lock acquisition must follow the package's
+//     `//soar:lockorder` directive, and re-acquiring a held lock is an
+//     error.
+//   - capclamp: every DP row construction must be sized from the
+//     effective budget (the EffectiveCaps/EffectiveCapsVec result, or a
+//     min-clamp of it), never from the raw budget k: a make() whose
+//     length derives from a parameter or field named k is an error
+//     unless waived with `//soar:rawk`.
+//
+// The driver (cmd/soarlint) loads every package in the module with
+// go/parser + go/types and a source-module importer, so the module
+// stays at zero external dependencies. See DESIGN.md
+// "Statically-checked invariants" for the annotation language.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Finding is one analyzer diagnostic.
+type Finding struct {
+	// Analyzer is the reporting analyzer's name.
+	Analyzer string `json:"analyzer"`
+	// File is the position's file path (relative to the module root
+	// when produced by Run).
+	File string `json:"file"`
+	// Line and Col locate the finding (1-based).
+	Line int `json:"line"`
+	Col  int `json:"col"`
+	// Message describes the violation.
+	Message string `json:"message"`
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", f.File, f.Line, f.Col, f.Analyzer, f.Message)
+}
+
+// Pass is the per-unit context handed to an analyzer.
+type Pass struct {
+	Unit   *Unit
+	Module *Module
+	found  *[]Finding
+	name   string
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Module.Fset.Position(pos)
+	file := position.Filename
+	if rel, ok := strings.CutPrefix(file, p.Module.Dir+"/"); ok {
+		file = rel
+	}
+	*p.found = append(*p.found, Finding{
+		Analyzer: p.name,
+		File:     file,
+		Line:     position.Line,
+		Col:      position.Column,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Analyzer is one member of the suite.
+type Analyzer struct {
+	// Name identifies the analyzer in findings and -run filters.
+	Name string
+	// Doc is a one-line description.
+	Doc string
+	// SkipTests excludes _test.go files from the analyzer (capclamp:
+	// test files legitimately exercise raw budgets against reference
+	// engines).
+	SkipTests bool
+	// Run analyzes one unit.
+	Run func(*Pass)
+}
+
+// All is the full suite, in reporting order.
+var All = []*Analyzer{AnalyzerImmutable, AnalyzerHotpath, AnalyzerLockDiscipline, AnalyzerCapClamp}
+
+// Run loads the module rooted at dir and runs every analyzer of the
+// suite over the packages matching patterns ("./..." or nil means all).
+// Findings are sorted by position. A non-nil error means the driver
+// itself failed (load or type-check error), not that findings exist.
+func Run(dir string, patterns []string) ([]Finding, error) {
+	return RunAnalyzers(dir, patterns, All)
+}
+
+// RunAnalyzers is Run restricted to the given analyzers.
+func RunAnalyzers(dir string, patterns []string, analyzers []*Analyzer) ([]Finding, error) {
+	mod, err := LoadModule(dir)
+	if err != nil {
+		return nil, err
+	}
+	var findings []Finding
+	for _, u := range mod.Units {
+		if !matchUnit(mod, u, patterns) {
+			continue
+		}
+		for _, a := range analyzers {
+			pass := &Pass{Unit: u, Module: mod, found: &findings, name: a.Name}
+			a.Run(pass)
+		}
+	}
+	sortFindings(findings)
+	return findings, nil
+}
+
+func sortFindings(fs []Finding) {
+	sort.Slice(fs, func(i, j int) bool {
+		if fs[i].File != fs[j].File {
+			return fs[i].File < fs[j].File
+		}
+		if fs[i].Line != fs[j].Line {
+			return fs[i].Line < fs[j].Line
+		}
+		if fs[i].Col != fs[j].Col {
+			return fs[i].Col < fs[j].Col
+		}
+		return fs[i].Analyzer < fs[j].Analyzer
+	})
+}
+
+// matchUnit reports whether the unit is selected by the patterns.
+// Supported forms: "./...", ".", "./pkg", "./pkg/..." and bare import
+// paths. nil or empty selects everything.
+func matchUnit(mod *Module, u *Unit, patterns []string) bool {
+	if len(patterns) == 0 {
+		return true
+	}
+	ip := strings.TrimSuffix(u.ImportPath, ".test")
+	for _, pat := range patterns {
+		pat = strings.TrimPrefix(pat, "./")
+		if pat == "..." || pat == "" || pat == "." {
+			return true
+		}
+		if rec, ok := strings.CutSuffix(pat, "/..."); ok {
+			if ip == mod.Path+"/"+rec || strings.HasPrefix(ip, mod.Path+"/"+rec+"/") || ip == rec || strings.HasPrefix(ip, rec+"/") {
+				return true
+			}
+			continue
+		}
+		if ip == pat || ip == mod.Path+"/"+pat {
+			return true
+		}
+	}
+	return false
+}
+
+// isTestFile reports whether the file containing pos is a _test.go file.
+func (p *Pass) isTestFile(f *ast.File) bool {
+	return strings.HasSuffix(p.Module.Fset.Position(f.FileStart).Filename, "_test.go")
+}

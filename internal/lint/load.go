@@ -1,0 +1,281 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Unit is one type-checked lint unit: a package's compiled files plus
+// its in-package _test.go files, or — as a separate unit with the
+// ".test" import-path suffix — a package's external test package
+// (package foo_test).
+type Unit struct {
+	// ImportPath is the unit's import path within the module; external
+	// test packages carry a ".test" suffix.
+	ImportPath string
+	// Dir is the unit's directory on disk.
+	Dir string
+	// Files are the parsed files of the unit, in file-name order.
+	Files []*ast.File
+	// Pkg is the type-checked package.
+	Pkg *types.Package
+	// Info holds the type-checker's results for Files.
+	Info *types.Info
+}
+
+// Module is a fully loaded and type-checked module.
+type Module struct {
+	// Fset positions every file of every unit.
+	Fset *token.FileSet
+	// Path is the module path from go.mod.
+	Path string
+	// Dir is the module root directory (absolute).
+	Dir string
+	// Units lists all lint units, sorted by import path.
+	Units []*Unit
+	// Notes holds the module-wide annotation facts.
+	Notes *Notes
+
+	// effects caches the lockdiscipline analyzer's per-function effect
+	// summaries, computed once per module.
+	effects map[string]*funcEffects
+}
+
+// LoadModule parses and type-checks every package under dir's module
+// using only the standard library: module-internal imports resolve
+// through the loader itself, standard-library imports through the
+// source importer. go.mod must exist at dir and declare no
+// requirements (the loader is deliberately unable to resolve external
+// modules — the repo's zero-dependency invariant keeps that honest).
+func LoadModule(dir string) (*Module, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	modPath, err := readModulePath(filepath.Join(abs, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	mod := &Module{Fset: fset, Path: modPath, Dir: abs}
+	l := &loader{
+		fset:    fset,
+		mod:     mod,
+		std:     importer.ForCompiler(fset, "source", nil),
+		pkgs:    make(map[string]*types.Package),
+		loading: make(map[string]bool),
+	}
+	dirs, err := packageDirs(abs)
+	if err != nil {
+		return nil, err
+	}
+	for _, d := range dirs {
+		ip := modPath
+		if rel, err := filepath.Rel(abs, d); err == nil && rel != "." {
+			ip = modPath + "/" + filepath.ToSlash(rel)
+		}
+		if _, err := l.importModulePackage(ip); err != nil {
+			return nil, fmt.Errorf("load %s: %w", ip, err)
+		}
+		if err := l.loadExternalTests(ip, d); err != nil {
+			return nil, fmt.Errorf("load %s external tests: %w", ip, err)
+		}
+	}
+	if len(l.errs) > 0 {
+		return nil, fmt.Errorf("type errors:\n%s", strings.Join(l.errs, "\n"))
+	}
+	sort.Slice(mod.Units, func(i, j int) bool { return mod.Units[i].ImportPath < mod.Units[j].ImportPath })
+	mod.Notes = collectNotes(mod)
+	return mod, nil
+}
+
+// readModulePath extracts the module path from a go.mod file.
+func readModulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if after, ok := strings.CutPrefix(strings.TrimSpace(line), "module "); ok {
+			return strings.TrimSpace(after), nil
+		}
+	}
+	return "", fmt.Errorf("%s: no module directive", gomod)
+}
+
+// packageDirs returns every directory under root holding .go files,
+// skipping testdata, hidden and underscore directories.
+func packageDirs(root string) ([]string, error) {
+	var dirs []string
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (name == "testdata" || name == "vendor" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		ents, err := os.ReadDir(path)
+		if err != nil {
+			return err
+		}
+		for _, e := range ents {
+			if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+				dirs = append(dirs, path)
+				break
+			}
+		}
+		return nil
+	})
+	return dirs, err
+}
+
+// loader resolves imports: module packages recursively through itself,
+// everything else through the standard library's source importer.
+type loader struct {
+	fset    *token.FileSet
+	mod     *Module
+	std     types.Importer
+	pkgs    map[string]*types.Package
+	loading map[string]bool
+	errs    []string
+}
+
+func (l *loader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if path == l.mod.Path || strings.HasPrefix(path, l.mod.Path+"/") {
+		return l.importModulePackage(path)
+	}
+	return l.std.Import(path)
+}
+
+// importModulePackage loads, parses and type-checks one module
+// package as a lint unit. The unit's view includes in-package _test.go
+// files — the Go toolchain forbids import cycles through those, so the
+// combined view stays acyclic and can double as the import view for
+// dependent packages.
+func (l *loader) importModulePackage(path string) (*types.Package, error) {
+	if pkg, ok := l.pkgs[path]; ok {
+		return pkg, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("import cycle through %s", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	dir := l.mod.Dir
+	if rel, ok := strings.CutPrefix(path, l.mod.Path+"/"); ok {
+		dir = filepath.Join(l.mod.Dir, filepath.FromSlash(rel))
+	}
+	names, err := goFileNames(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	pkgName := ""
+	for _, name := range names {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		if strings.HasSuffix(f.Name.Name, "_test") {
+			continue // external test package: loaded separately
+		}
+		if pkgName == "" {
+			pkgName = f.Name.Name
+		}
+		if f.Name.Name != pkgName {
+			return nil, fmt.Errorf("%s: mixed packages %s and %s", dir, pkgName, f.Name.Name)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("%s: no Go files", dir)
+	}
+	unit, err := l.check(path, dir, files)
+	if err != nil {
+		return nil, err
+	}
+	l.pkgs[path] = unit.Pkg
+	return unit.Pkg, nil
+}
+
+// loadExternalTests loads dir's external test package (package X_test),
+// if any, as its own unit with import path ip+".test".
+func (l *loader) loadExternalTests(ip, dir string) error {
+	names, err := goFileNames(dir)
+	if err != nil {
+		return err
+	}
+	var files []*ast.File
+	for _, name := range names {
+		if !strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return err
+		}
+		if strings.HasSuffix(f.Name.Name, "_test") {
+			files = append(files, f)
+		}
+	}
+	if len(files) == 0 {
+		return nil
+	}
+	_, err = l.check(ip+".test", dir, files)
+	return err
+}
+
+// check type-checks files as one unit and registers it on the module.
+func (l *loader) check(path, dir string, files []*ast.File) (*Unit, error) {
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := &types.Config{
+		Importer: l,
+		Error: func(err error) {
+			l.errs = append(l.errs, err.Error())
+		},
+	}
+	pkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil && len(l.errs) == 0 {
+		return nil, err
+	}
+	unit := &Unit{ImportPath: path, Dir: dir, Files: files, Pkg: pkg, Info: info}
+	l.mod.Units = append(l.mod.Units, unit)
+	return unit, nil
+}
+
+// goFileNames lists dir's .go files in name order.
+func goFileNames(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range ents {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}

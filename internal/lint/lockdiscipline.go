@@ -1,0 +1,540 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"slices"
+	"strings"
+)
+
+// AnalyzerLockDiscipline enforces the scheduler's locking contract on
+// mutex fields annotated //soar:critical:
+//
+//   - while a critical mutex is held, no channel send, receive, select
+//     or range-over-channel may execute, no Solve*-named function may be
+//     called, and no sync.Pool Get may run — a solve under the
+//     coordinator mutex serializes the whole scheduler, and a channel
+//     op under it can deadlock against the dispatcher;
+//   - the package's //soar:lockorder directive (outermost first) is
+//     enforced: acquiring an earlier lock while holding a later one is
+//     an inversion, and re-acquiring a held lock is a self-deadlock.
+//
+// The check is branch-sensitive (a branch that unlocks and returns does
+// not poison the fall-through path) and transitive: every module
+// function gets an effect summary (does it — directly or through
+// callees — perform channel ops, call Solve*, call pool Get, acquire
+// critical locks?), so a violation hidden behind a helper like the old
+// repackLocked is still caught at the locked call site. Goroutine
+// bodies are analyzed separately with no locks held, since they do not
+// run under the spawner's locks.
+var AnalyzerLockDiscipline = &Analyzer{
+	Name: "lockdiscipline",
+	Doc:  "channel ops, Solve* calls or pool Gets under //soar:critical mutexes; lock-order violations",
+	Run:  runLockDiscipline,
+}
+
+func runLockDiscipline(p *Pass) {
+	notes := p.Module.Notes
+	if len(notes.Critical) == 0 {
+		return
+	}
+	ld := &lockChecker{p: p, effects: moduleEffects(p.Module)}
+	for _, f := range p.Unit.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ld.fn(fd.Body)
+		}
+	}
+}
+
+// funcEffects summarizes what a module function does, transitively
+// through module callees (goroutine bodies excluded — they run outside
+// the spawner's critical section).
+type funcEffects struct {
+	chanOp  bool            // send, receive, select, range over channel
+	solve   bool            // calls a Solve*/solve*-named function
+	poolGet bool            // calls (*sync.Pool).Get
+	locks   map[string]bool // critical lock fields acquired
+	callees map[string]bool // module callee symbols (for propagation)
+}
+
+// moduleEffects computes (and caches on the module) the transitive
+// effect summary of every module function.
+func moduleEffects(mod *Module) map[string]*funcEffects {
+	if mod.effects != nil {
+		return mod.effects
+	}
+	eff := make(map[string]*funcEffects)
+	for _, u := range mod.Units {
+		for _, f := range u.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				obj, _ := u.Info.Defs[fd.Name].(*types.Func)
+				sym := symbolOf(obj)
+				if sym == "" {
+					continue
+				}
+				eff[sym] = directEffects(mod, u, fd.Body)
+			}
+		}
+	}
+	// Fixed-point propagation over the static module call graph.
+	for changed := true; changed; {
+		changed = false
+		for _, e := range eff {
+			for callee := range e.callees {
+				ce := eff[callee]
+				if ce == nil {
+					continue
+				}
+				if ce.chanOp && !e.chanOp {
+					e.chanOp = true
+					changed = true
+				}
+				if ce.solve && !e.solve {
+					e.solve = true
+					changed = true
+				}
+				if ce.poolGet && !e.poolGet {
+					e.poolGet = true
+					changed = true
+				}
+				for l := range ce.locks {
+					if !e.locks[l] {
+						e.locks[l] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	mod.effects = eff
+	return eff
+}
+
+// directEffects scans one function body for its own effects and module
+// call edges, skipping goroutine bodies.
+func directEffects(mod *Module, u *Unit, body *ast.BlockStmt) *funcEffects {
+	e := &funcEffects{locks: make(map[string]bool), callees: make(map[string]bool)}
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			return false // runs concurrently, not under the caller's locks
+		case *ast.SendStmt, *ast.SelectStmt:
+			e.chanOp = true
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				e.chanOp = true
+			}
+		case *ast.RangeStmt:
+			if t := u.Info.TypeOf(n.X); t != nil {
+				if _, ok := types.Unalias(t).Underlying().(*types.Chan); ok {
+					e.chanOp = true
+				}
+			}
+		case *ast.CallExpr:
+			fn := calleeFunc(u.Info, n)
+			if fn == nil {
+				break
+			}
+			sym := symbolOf(fn)
+			if isSolveName(fn.Name()) {
+				e.solve = true
+			}
+			if sym == "sync.Pool.Get" {
+				e.poolGet = true
+			}
+			if strings.HasPrefix(sym, mod.Path+".") || strings.HasPrefix(sym, mod.Path+"/") {
+				e.callees[sym] = true
+			}
+			if key, _ := criticalLockCall(mod.Notes, u.Info, n); key != "" {
+				e.locks[key] = true
+			}
+		}
+		return true
+	}
+	ast.Inspect(body, walk)
+	return e
+}
+
+func isSolveName(name string) bool {
+	return strings.HasPrefix(name, "Solve") || strings.HasPrefix(name, "solve")
+}
+
+// criticalLockCall matches m.Lock()/m.RLock() (and Try variants) on a
+// //soar:critical field; it returns the field key and whether the call
+// acquires (true) or releases (false). Empty key: not a lock call.
+func criticalLockCall(notes *Notes, info *types.Info, call *ast.CallExpr) (key string, acquire bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	var isAcquire bool
+	switch sel.Sel.Name {
+	case "Lock", "RLock", "TryLock", "TryRLock":
+		isAcquire = true
+	case "Unlock", "RUnlock":
+		isAcquire = false
+	default:
+		return "", false
+	}
+	field, ok := ast.Unparen(sel.X).(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	fsel, ok := info.Selections[field]
+	if !ok {
+		return "", false
+	}
+	k := fieldKey(fsel)
+	if !notes.Critical[k] {
+		return "", false
+	}
+	return k, isAcquire
+}
+
+type heldLock struct {
+	key string // critical field key
+}
+
+// lockState is the ordered set of critical locks held at a program
+// point, outermost first.
+type lockState struct {
+	held []heldLock
+}
+
+func (st *lockState) clone() *lockState {
+	return &lockState{held: slices.Clone(st.held)}
+}
+
+func (st *lockState) holding() bool { return len(st.held) > 0 }
+
+func (st *lockState) names() string {
+	parts := make([]string, len(st.held))
+	for i, h := range st.held {
+		parts[i] = lockName(h.key)
+	}
+	return strings.Join(parts, ", ")
+}
+
+// lockName shortens "pkg.Type.field" to "field" for messages and for
+// matching the //soar:lockorder directive.
+func lockName(key string) string {
+	if i := strings.LastIndex(key, "."); i >= 0 {
+		return key[i+1:]
+	}
+	return key
+}
+
+type lockChecker struct {
+	p       *Pass
+	effects map[string]*funcEffects
+	// queue holds FuncLits to analyze with a fresh (empty) lock state.
+	queue []*ast.FuncLit
+}
+
+// fn analyzes a function body starting with no locks held, then drains
+// any queued closures the same way.
+func (ld *lockChecker) fn(body *ast.BlockStmt) {
+	ld.stmts(body.List, &lockState{})
+	for len(ld.queue) > 0 {
+		fl := ld.queue[0]
+		ld.queue = ld.queue[1:]
+		ld.stmts(fl.Body.List, &lockState{})
+	}
+}
+
+// stmts walks a statement list, returning whether control definitely
+// leaves the enclosing function (return/panic) or block (branch).
+func (ld *lockChecker) stmts(list []ast.Stmt, st *lockState) bool {
+	for _, s := range list {
+		if ld.stmt(s, st) {
+			return true
+		}
+	}
+	return false
+}
+
+func (ld *lockChecker) stmt(s ast.Stmt, st *lockState) bool {
+	switch s := s.(type) {
+	case nil:
+		return false
+	case *ast.BlockStmt:
+		return ld.stmts(s.List, st)
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			ld.scanExpr(e, st)
+		}
+		return true
+	case *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok {
+			if key, acquire := criticalLockCall(ld.p.Module.Notes, ld.p.Unit.Info, call); key != "" {
+				if acquire {
+					ld.acquire(key, call.Pos(), st)
+				} else {
+					ld.release(key, st)
+				}
+				return false
+			}
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+				ld.scanExpr(s.X, st)
+				return true
+			}
+		}
+		ld.scanExpr(s.X, st)
+		return false
+	case *ast.SendStmt:
+		if st.holding() {
+			ld.p.Reportf(s.Pos(), "channel send while holding %s (//soar:critical)", st.names())
+		}
+		ld.scanExpr(s.Chan, st)
+		ld.scanExpr(s.Value, st)
+		return false
+	case *ast.AssignStmt:
+		for _, e := range s.Lhs {
+			ld.scanExpr(e, st)
+		}
+		for _, e := range s.Rhs {
+			ld.scanExpr(e, st)
+		}
+		return false
+	case *ast.IncDecStmt:
+		ld.scanExpr(s.X, st)
+		return false
+	case *ast.DeclStmt:
+		ast.Inspect(s, func(n ast.Node) bool {
+			if e, ok := n.(ast.Expr); ok {
+				ld.scanExpr(e, st)
+				return false
+			}
+			return true
+		})
+		return false
+	case *ast.DeferStmt:
+		// defer mu.Unlock() keeps the lock held to function end, which
+		// is exactly what the discipline should check against; other
+		// deferred calls only have their argument expressions scanned.
+		for _, a := range s.Call.Args {
+			ld.scanExpr(a, st)
+		}
+		return false
+	case *ast.GoStmt:
+		// The goroutine does not run under our locks; queue closures.
+		ld.queueFuncLits(s.Call)
+		for _, a := range s.Call.Args {
+			ld.scanExpr(a, st)
+		}
+		return false
+	case *ast.IfStmt:
+		ld.stmt(s.Init, st)
+		ld.scanExpr(s.Cond, st)
+		thenSt := st.clone()
+		thenTerm := ld.stmts(s.Body.List, thenSt)
+		elseSt := st.clone()
+		elseTerm := false
+		if s.Else != nil {
+			elseTerm = ld.stmt(s.Else, elseSt)
+		}
+		switch {
+		case thenTerm && elseTerm:
+			return true
+		case thenTerm:
+			st.held = elseSt.held
+		case elseTerm:
+			st.held = thenSt.held
+		default:
+			st.held = mergeHeld(thenSt.held, elseSt.held)
+		}
+		return false
+	case *ast.ForStmt:
+		ld.stmt(s.Init, st)
+		ld.scanExpr(s.Cond, st)
+		body := st.clone()
+		ld.stmts(s.Body.List, body)
+		ld.stmt(s.Post, body)
+		return false
+	case *ast.RangeStmt:
+		if st.holding() {
+			if t := ld.p.Unit.Info.TypeOf(s.X); t != nil {
+				if _, ok := types.Unalias(t).Underlying().(*types.Chan); ok {
+					ld.p.Reportf(s.Pos(), "range over channel while holding %s (//soar:critical)", st.names())
+				}
+			}
+		}
+		ld.scanExpr(s.X, st)
+		ld.stmts(s.Body.List, st.clone())
+		return false
+	case *ast.SelectStmt:
+		if st.holding() {
+			ld.p.Reportf(s.Pos(), "select while holding %s (//soar:critical)", st.names())
+		}
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				ld.stmts(cc.Body, st.clone())
+			}
+		}
+		return false
+	case *ast.SwitchStmt:
+		ld.stmt(s.Init, st)
+		ld.scanExpr(s.Tag, st)
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				for _, e := range cc.List {
+					ld.scanExpr(e, st)
+				}
+				ld.stmts(cc.Body, st.clone())
+			}
+		}
+		return false
+	case *ast.TypeSwitchStmt:
+		ld.stmt(s.Init, st)
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				ld.stmts(cc.Body, st.clone())
+			}
+		}
+		return false
+	case *ast.LabeledStmt:
+		return ld.stmt(s.Stmt, st)
+	default:
+		return false
+	}
+}
+
+// mergeHeld unions two branch outcomes conservatively: a lock held on
+// either path counts as held afterwards.
+func mergeHeld(a, b []heldLock) []heldLock {
+	out := slices.Clone(a)
+	for _, h := range b {
+		found := false
+		for _, g := range out {
+			if g.key == h.key {
+				found = true
+				break
+			}
+		}
+		if !found {
+			out = append(out, h)
+		}
+	}
+	return out
+}
+
+// acquire pushes a lock, checking re-acquisition and the declared
+// //soar:lockorder.
+func (ld *lockChecker) acquire(key string, pos token.Pos, st *lockState) {
+	order := ld.p.Module.Notes.LockOrder[unitPkgPath(ld.p.Unit)]
+	for _, h := range st.held {
+		if h.key == key {
+			ld.p.Reportf(pos, "acquires %s while already holding it (self-deadlock)", lockName(key))
+			continue
+		}
+		ni, hi := slices.Index(order, lockName(key)), slices.Index(order, lockName(h.key))
+		if ni >= 0 && hi >= 0 && ni < hi {
+			ld.p.Reportf(pos, "acquires %s while holding %s; //soar:lockorder requires %s", lockName(key), lockName(h.key), strings.Join(order, " before "))
+		}
+	}
+	st.held = append(st.held, heldLock{key: key})
+}
+
+func (ld *lockChecker) release(key string, st *lockState) {
+	for i := len(st.held) - 1; i >= 0; i-- {
+		if st.held[i].key == key {
+			st.held = slices.Delete(st.held, i, i+1)
+			return
+		}
+	}
+}
+
+// scanExpr checks an expression tree for channel receives and for
+// calls whose direct or summarized effects violate the discipline.
+// FuncLits are queued for separate analysis with no locks held only
+// when they sit under a go statement (handled by the caller); inline
+// FuncLits (e.g. sort comparators) run synchronously and are scanned
+// under the current state.
+func (ld *lockChecker) scanExpr(e ast.Expr, st *lockState) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW && st.holding() {
+				ld.p.Reportf(n.Pos(), "channel receive while holding %s (//soar:critical)", st.names())
+			}
+		case *ast.CallExpr:
+			ld.checkCall(n, st)
+		}
+		return true
+	})
+}
+
+// checkCall applies the held-lock rules to one call site.
+func (ld *lockChecker) checkCall(call *ast.CallExpr, st *lockState) {
+	info := ld.p.Unit.Info
+	fn := calleeFunc(info, call)
+	if fn == nil {
+		return
+	}
+	sym := symbolOf(fn)
+	if st.holding() {
+		switch {
+		case isSolveName(fn.Name()):
+			ld.p.Reportf(call.Pos(), "calls %s while holding %s (//soar:critical): no Solve* under a critical mutex", sym, st.names())
+		case sym == "sync.Pool.Get":
+			ld.p.Reportf(call.Pos(), "sync.Pool Get while holding %s (//soar:critical)", st.names())
+		default:
+			if eff := ld.effects[sym]; eff != nil {
+				if eff.chanOp {
+					ld.p.Reportf(call.Pos(), "calls %s, which performs a channel operation, while holding %s (//soar:critical)", sym, st.names())
+				}
+				if eff.solve {
+					ld.p.Reportf(call.Pos(), "calls %s, which reaches a Solve* call, while holding %s (//soar:critical)", sym, st.names())
+				}
+				if eff.poolGet {
+					ld.p.Reportf(call.Pos(), "calls %s, which reaches a sync.Pool Get, while holding %s (//soar:critical)", sym, st.names())
+				}
+			}
+		}
+	}
+	// Lock-order through callees: calling a function that acquires a
+	// critical lock is an acquisition at this site.
+	if eff := ld.effects[sym]; eff != nil && st.holding() {
+		order := ld.p.Module.Notes.LockOrder[unitPkgPath(ld.p.Unit)]
+		for lkey := range eff.locks {
+			for _, h := range st.held {
+				if h.key == lkey {
+					ld.p.Reportf(call.Pos(), "calls %s, which acquires %s, while already holding it (self-deadlock)", sym, lockName(lkey))
+					continue
+				}
+				ni, hi := slices.Index(order, lockName(lkey)), slices.Index(order, lockName(h.key))
+				if ni >= 0 && hi >= 0 && ni < hi {
+					ld.p.Reportf(call.Pos(), "calls %s, which acquires %s, while holding %s; //soar:lockorder requires %s", sym, lockName(lkey), lockName(h.key), strings.Join(order, " before "))
+				}
+			}
+		}
+	}
+}
+
+// queueFuncLits schedules closures under a go statement for analysis
+// with an empty lock state.
+func (ld *lockChecker) queueFuncLits(call *ast.CallExpr) {
+	if fl, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+		ld.queue = append(ld.queue, fl)
+	}
+	for _, a := range call.Args {
+		if fl, ok := ast.Unparen(a).(*ast.FuncLit); ok {
+			ld.queue = append(ld.queue, fl)
+		}
+	}
+}

@@ -1,0 +1,308 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// The annotation language. Annotations are ordinary comments beginning
+// with //soar: — they carry no semantics for the compiler, only for
+// soarlint:
+//
+//	//soar:immutable   on a type or struct field: no writes after
+//	                   construction (enforced by the immutable analyzer)
+//	//soar:ctor        on a function: exempt from the immutable analyzer
+//	                   (it constructs the immutable values)
+//	//soar:hotpath     on a function: allocation-free contract (enforced
+//	                   by the hotpath analyzer)
+//	//soar:coldpath    on or directly above a statement (or on a block's
+//	                   opening-brace line): waives the hotpath analyzer
+//	                   for that statement — slow-path branches such as
+//	                   storage growth or engine rebuilds
+//	//soar:rawk        on or directly above a statement: waives the
+//	                   capclamp analyzer for that statement
+//	//soar:critical    on a mutex struct field: lockdiscipline guards
+//	                   its critical sections
+//	//soar:lockorder A B   package-scoped directive: lock A must never
+//	                   be acquired while B is held
+type Notes struct {
+	// Hotpath maps function symbols (pkg.Type.name or pkg.name) to the
+	// annotation's position.
+	Hotpath map[string]token.Pos
+	// Ctor marks functions exempt from the immutable analyzer.
+	Ctor map[string]bool
+	// ImmType marks immutable named types ("pkgpath.TypeName").
+	ImmType map[string]bool
+	// ImmField marks immutable struct fields ("pkgpath.TypeName.field").
+	ImmField map[string]bool
+	// Critical marks mutex fields guarded by lockdiscipline
+	// ("pkgpath.TypeName.field").
+	Critical map[string]bool
+	// LockOrder maps a package path to its declared acquisition order,
+	// outermost first.
+	LockOrder map[string][]string
+	// lines maps filename -> line -> positional directive names
+	// (coldpath, rawk) found on that line.
+	lines map[string]map[int][]string
+}
+
+func newNotes() *Notes {
+	return &Notes{
+		Hotpath:   make(map[string]token.Pos),
+		Ctor:      make(map[string]bool),
+		ImmType:   make(map[string]bool),
+		ImmField:  make(map[string]bool),
+		Critical:  make(map[string]bool),
+		LockOrder: make(map[string][]string),
+		lines:     make(map[string]map[int][]string),
+	}
+}
+
+// waivedAt reports whether directive name appears on pos's line or the
+// line directly above it — the positional waiver rule. Putting the
+// directive on a block's opening-brace line waives the whole block,
+// since the block statement starts on that line.
+func (n *Notes) waivedAt(pos token.Position, name string) bool {
+	byLine := n.lines[pos.Filename]
+	if byLine == nil {
+		return false
+	}
+	for _, l := range [2]int{pos.Line, pos.Line - 1} {
+		for _, d := range byLine[l] {
+			if d == name {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// ColdAt reports whether a //soar:coldpath waiver covers pos.
+func (n *Notes) ColdAt(pos token.Position) bool { return n.waivedAt(pos, "coldpath") }
+
+// RawkAt reports whether a //soar:rawk waiver covers pos.
+func (n *Notes) RawkAt(pos token.Position) bool { return n.waivedAt(pos, "rawk") }
+
+// directiveNames extracts the //soar: directive names from one comment
+// line ("//soar:hotpath reason" -> "hotpath").
+func directiveNames(text string) []string {
+	var names []string
+	for _, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		after, ok := strings.CutPrefix(line, "//soar:")
+		if !ok {
+			continue
+		}
+		name, _, _ := strings.Cut(after, " ")
+		if name != "" {
+			names = append(names, name)
+		}
+	}
+	return names
+}
+
+// groupHas reports whether the comment group carries the directive.
+func groupHas(cg *ast.CommentGroup, name string) bool {
+	if cg == nil {
+		return false
+	}
+	for _, c := range cg.List {
+		for _, d := range directiveNames(c.Text) {
+			if d == name {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// collectNotes gathers the module-wide annotation facts. All units are
+// scanned before any analyzer runs, because hotpath's transitive check
+// consults callee annotations across package boundaries.
+func collectNotes(mod *Module) *Notes {
+	n := newNotes()
+	for _, u := range mod.Units {
+		for _, f := range u.Files {
+			n.scanComments(mod.Fset, u, f)
+		}
+	}
+	for _, u := range mod.Units {
+		for _, f := range u.Files {
+			n.scanDecls(mod.Fset, u, f)
+		}
+	}
+	return n
+}
+
+// scanComments records positional directives (coldpath, rawk) and
+// package-scoped lockorder directives.
+func (n *Notes) scanComments(fset *token.FileSet, u *Unit, f *ast.File) {
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			pos := fset.Position(c.Pos())
+			for _, d := range directiveNames(c.Text) {
+				switch d {
+				case "coldpath", "rawk":
+					byLine := n.lines[pos.Filename]
+					if byLine == nil {
+						byLine = make(map[int][]string)
+						n.lines[pos.Filename] = byLine
+					}
+					byLine[pos.Line] = append(byLine[pos.Line], d)
+				case "lockorder":
+					line := strings.TrimSpace(c.Text)
+					after, _ := strings.CutPrefix(line, "//soar:lockorder")
+					fields := strings.Fields(after)
+					if len(fields) >= 2 {
+						n.LockOrder[unitPkgPath(u)] = fields
+					}
+				}
+			}
+		}
+	}
+}
+
+// unitPkgPath is the unit's import path without the external-test
+// suffix, matching the package path annotations key on.
+func unitPkgPath(u *Unit) string {
+	return strings.TrimSuffix(u.ImportPath, ".test")
+}
+
+// scanDecls records declaration-attached annotations: hotpath/ctor on
+// functions, immutable on types and fields, critical on mutex fields.
+func (n *Notes) scanDecls(fset *token.FileSet, u *Unit, f *ast.File) {
+	for _, decl := range f.Decls {
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			obj, _ := u.Info.Defs[d.Name].(*types.Func)
+			sym := symbolOf(obj)
+			if sym == "" {
+				continue
+			}
+			if groupHas(d.Doc, "hotpath") || n.declLineHas(fset, f, d, "hotpath") {
+				n.Hotpath[sym] = d.Pos()
+			}
+			if groupHas(d.Doc, "ctor") || n.declLineHas(fset, f, d, "ctor") {
+				n.Ctor[sym] = true
+			}
+		case *ast.GenDecl:
+			if d.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range d.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				obj := u.Info.Defs[ts.Name]
+				if obj == nil || obj.Pkg() == nil {
+					continue
+				}
+				typeKey := obj.Pkg().Path() + "." + obj.Name()
+				if groupHas(d.Doc, "immutable") || groupHas(ts.Doc, "immutable") || groupHas(ts.Comment, "immutable") {
+					n.ImmType[typeKey] = true
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					continue
+				}
+				for _, field := range st.Fields.List {
+					imm := groupHas(field.Doc, "immutable") || groupHas(field.Comment, "immutable")
+					crit := groupHas(field.Doc, "critical") || groupHas(field.Comment, "critical")
+					if !imm && !crit {
+						continue
+					}
+					for _, name := range field.Names {
+						if imm {
+							n.ImmField[typeKey+"."+name.Name] = true
+						}
+						if crit {
+							n.Critical[typeKey+"."+name.Name] = true
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// declLineHas reports whether a directive comment sits on the
+// declaration's first line — the one-liner accessor form
+// `func (t *Tree) N() int { return t.n } //soar:hotpath`.
+func (n *Notes) declLineHas(fset *token.FileSet, f *ast.File, d *ast.FuncDecl, name string) bool {
+	declPos := fset.Position(d.Pos())
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			cpos := fset.Position(c.Pos())
+			if cpos.Filename != declPos.Filename || cpos.Line != declPos.Line {
+				continue
+			}
+			for _, dn := range directiveNames(c.Text) {
+				if dn == name {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// symbolOf returns the stable string key for a function object:
+// "pkgpath.name" for package functions, "pkgpath.Type.name" for
+// methods (pointer receivers are dereferenced). Empty for nil,
+// builtins and universe objects.
+func symbolOf(fn *types.Func) string {
+	if fn == nil {
+		return ""
+	}
+	fn = fn.Origin()
+	pkg := fn.Pkg()
+	if pkg == nil {
+		return ""
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	if sig != nil && sig.Recv() != nil {
+		rt := sig.Recv().Type()
+		if p, ok := rt.(*types.Pointer); ok {
+			rt = p.Elem()
+		}
+		if tn := namedName(rt); tn != "" {
+			return pkg.Path() + "." + tn + "." + fn.Name()
+		}
+		return pkg.Path() + ".(recv)." + fn.Name()
+	}
+	return pkg.Path() + "." + fn.Name()
+}
+
+// namedName returns the name of a named or alias type, or "".
+func namedName(t types.Type) string {
+	switch t := t.(type) {
+	case *types.Named:
+		return t.Obj().Name()
+	case *types.Alias:
+		return t.Obj().Name()
+	}
+	return ""
+}
+
+// namedKey returns "pkgpath.TypeName" for a (possibly pointer-wrapped)
+// named type, or "".
+func namedKey(t types.Type) string {
+	if t == nil {
+		return ""
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	obj := n.Obj()
+	if obj.Pkg() == nil {
+		return ""
+	}
+	return obj.Pkg().Path() + "." + obj.Name()
+}

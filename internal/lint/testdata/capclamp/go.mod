@@ -1,0 +1,3 @@
+module example.com/capclamp
+
+go 1.24

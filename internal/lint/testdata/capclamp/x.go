@@ -1,0 +1,53 @@
+// Package capclamp is golden-test input for the capclamp analyzer: DP
+// rows must never be sized from the raw budget k — only from a clamped
+// or computed effective cap.
+package capclamp
+
+type engine struct {
+	k    int
+	caps []int
+}
+
+func (e *engine) K() int { return e.k }
+
+// effectiveCap mirrors the real EffectiveCaps contract: a call result
+// sanitizes the taint.
+func effectiveCap(k int, caps []int) int {
+	sum := 0
+	for _, c := range caps {
+		sum += c
+	}
+	return min(k, sum)
+}
+
+func fromParam(k int) []float64 {
+	return make([]float64, k+1) // want "DP row sized from the raw budget k"
+}
+
+func fromField(e *engine) []float64 {
+	return make([]float64, e.k+1) // want "DP row sized from the raw budget k"
+}
+
+func fromGetter(e *engine) []float64 {
+	return make([]float64, e.K()+1) // want "DP row sized from the raw budget k"
+}
+
+func viaLocal(k int) []float64 {
+	rows := k + 1
+	return make([]float64, rows) // want "DP row sized from the raw budget k"
+}
+
+// clamped sizes from min(k, capacity): clean.
+func clamped(e *engine) []float64 {
+	return make([]float64, min(e.k, len(e.caps))+1)
+}
+
+// viaResult sizes from a computed effective cap: clean.
+func viaResult(e *engine) []float64 {
+	return make([]float64, effectiveCap(e.k, e.caps)+1)
+}
+
+// waived documents why the raw budget is safe here.
+func waived(k int) []float64 {
+	return make([]float64, k+1) //soar:rawk the caller pre-clamps k
+}

@@ -1,0 +1,63 @@
+// Package hotpath is golden-test input for the hotpath analyzer: a
+// //soar:hotpath function must not allocate, spawn, or call anything
+// outside the annotated/allowlisted set, and //soar:coldpath waives
+// exactly one statement.
+package hotpath
+
+import "math"
+
+func helper(x int) int { return x + 1 } //soar:hotpath
+
+// cold is deliberately unannotated.
+func cold(x int) int { return x * 2 }
+
+// sink accepts an interface, so passing a concrete value boxes it.
+//
+//soar:hotpath
+func sink(v any) { _ = v }
+
+// sum is clean: annotated callees, allowlisted stdlib, guard panic.
+//
+//soar:hotpath
+func sum(xs []float64) float64 {
+	total := 0.0
+	for _, x := range xs {
+		total += math.Sqrt(x)
+	}
+	if math.IsNaN(total) {
+		panic("NaN total") // guard position: auto-cold
+	}
+	return total
+}
+
+// grows waives its slow branch; the fast path stays checked.
+//
+//soar:hotpath
+func grows(buf []int, n int) []int {
+	if cap(buf) < n {
+		buf = make([]int, n) //soar:coldpath storage growth
+	}
+	buf = buf[:n]
+	for i := range buf {
+		buf[i] = helper(i)
+	}
+	return buf
+}
+
+//soar:hotpath
+func bad(n int) int {
+	buf := make([]int, n) // want "make allocates"
+	total := cold(n)      // want "calls example.com/hotpath.cold, which is not annotated //soar:hotpath"
+	sink(n)               // want "argument boxes int into"
+	go helper(n)          // want "go statement"
+	for _, x := range buf {
+		total += x
+	}
+	return total
+}
+
+//soar:hotpath
+func worse(s []byte) string {
+	defer helper(0)  // want "defer"
+	return string(s) // want "string conversion from slice allocates"
+}

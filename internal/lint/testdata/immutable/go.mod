@@ -1,0 +1,3 @@
+module example.com/immutable
+
+go 1.24

@@ -1,0 +1,45 @@
+// Package immutable is golden-test input for the immutable analyzer:
+// writes through //soar:immutable types and fields outside //soar:ctor
+// functions must be flagged; constructor writes and ordinary fields
+// must not.
+package immutable
+
+// Table freezes its rows after construction.
+type Table struct {
+	rows []int //soar:immutable
+	name string
+}
+
+// Frozen is wholly immutable after construction.
+//
+//soar:immutable
+type Frozen struct {
+	vals []int
+}
+
+// NewTable builds the table; as the constructor it may write rows.
+//
+//soar:ctor
+func NewTable(n int) *Table {
+	t := &Table{}
+	t.rows = make([]int, n)
+	t.rows[0] = 1
+	fill := func() { t.rows[1] = 2 } // FuncLits inside a ctor inherit the exemption
+	fill()
+	return t
+}
+
+func mutate(t *Table, f *Frozen) {
+	t.rows[0] = 2         // want "assignment writes through example.com/immutable.Table.rows annotated //soar:immutable"
+	t.rows = nil          // want "assignment writes through example.com/immutable.Table.rows"
+	t.rows[0]++           // want "update writes through example.com/immutable.Table.rows"
+	_ = append(t.rows, 3) // want "append into example.com/immutable.Table.rows"
+	copy(t.rows, f.vals)  // want "copy into example.com/immutable.Table.rows"
+	clear(f.vals)         // want "clear into example.com/immutable.Frozen"
+	f.vals[1] = 9         // want "assignment writes through example.com/immutable.Frozen"
+
+	t.name = "renamed" // plain field: fine
+	local := t.rows[0]
+	local++ // rebinding/updating a plain local: fine
+	_ = local
+}

@@ -1,0 +1,3 @@
+module example.com/lockdiscipline
+
+go 1.24

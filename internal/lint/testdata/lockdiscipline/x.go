@@ -1,0 +1,94 @@
+// Package lockdiscipline is golden-test input for the lockdiscipline
+// analyzer: no channel op, Solve* call, or blocking pool Get under a
+// //soar:critical mutex, and the declared lock order is enforced.
+package lockdiscipline
+
+import "sync"
+
+//soar:lockorder closeMu mu
+
+type coord struct {
+	closeMu sync.RWMutex //soar:critical
+	mu      sync.Mutex   //soar:critical
+	ch      chan int
+	pool    sync.Pool
+	n       int
+}
+
+// SolveBudget is a Solve*-named entry point: never under a critical mutex.
+func SolveBudget(c *coord) int { return c.n }
+
+// notify performs a channel operation, so it is tainted transitively.
+func notify(c *coord) { c.ch <- 1 }
+
+func (c *coord) sendLocked() {
+	c.mu.Lock()
+	c.ch <- 1 // want "channel send while holding mu"
+	c.mu.Unlock()
+}
+
+func (c *coord) recvLocked() {
+	c.mu.Lock()
+	<-c.ch // want "channel receive while holding mu"
+	c.mu.Unlock()
+}
+
+func (c *coord) selectLocked() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	select { // want "select while holding mu"
+	case <-c.ch:
+	default:
+	}
+}
+
+func (c *coord) solveLocked() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return SolveBudget(c) // want "calls example.com/lockdiscipline.SolveBudget while holding mu"
+}
+
+func (c *coord) poolLocked() any {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.pool.Get() // want "sync.Pool Get while holding mu"
+}
+
+func (c *coord) transitive() {
+	c.mu.Lock()
+	notify(c) // want "calls example.com/lockdiscipline.notify, which performs a channel operation, while holding mu"
+	c.mu.Unlock()
+}
+
+func (c *coord) reentrant() {
+	c.mu.Lock()
+	c.mu.Lock() // want "acquires mu while already holding it"
+	c.mu.Unlock()
+	c.mu.Unlock()
+}
+
+func (c *coord) inverted() {
+	c.mu.Lock()
+	c.closeMu.RLock() // want "acquires closeMu while holding mu; //soar:lockorder requires closeMu before mu"
+	c.closeMu.RUnlock()
+	c.mu.Unlock()
+}
+
+// ordered takes the locks in the declared order: clean.
+func (c *coord) ordered() int {
+	c.closeMu.RLock()
+	c.mu.Lock()
+	n := c.n
+	c.mu.Unlock()
+	c.closeMu.RUnlock()
+	return n
+}
+
+// unlockedOps releases before every blocking operation: clean.
+func (c *coord) unlockedOps() int {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+	c.ch <- 1
+	return SolveBudget(c)
+}

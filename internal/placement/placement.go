@@ -158,7 +158,7 @@ func (Level) Place(t *topology.Tree, _ []int, avail []bool, k int) []bool {
 	if j > t.Height() {
 		j = t.Height()
 	}
-	order := make([]int, 0, k)
+	order := make([]int, 0, k) //soar:rawk candidate buffer, not a DP row; k already validated small
 	for lvl := j; lvl <= t.Height() && len(order) < k; lvl++ {
 		for _, v := range t.NodesAtLevel(lvl) {
 			if a[v] {

@@ -71,7 +71,7 @@ func NewLedgerFromCaps(caps []int) *Ledger {
 }
 
 // N returns the number of switches tracked.
-func (l *Ledger) N() int { return len(l.residual) }
+func (l *Ledger) N() int { return len(l.residual) } //soar:hotpath
 
 // SetCapacity overrides both the initial and the residual capacity of
 // one switch; useful for heterogeneous deployments. Unlike the
@@ -88,19 +88,19 @@ func (l *Ledger) SetCapacity(v, c int) {
 }
 
 // Residual returns the residual capacity of switch v.
-func (l *Ledger) Residual(v int) int { return l.residual[v] }
+func (l *Ledger) Residual(v int) int { return l.residual[v] } //soar:hotpath
 
 // Initial returns the configured capacity of switch v.
-func (l *Ledger) Initial(v int) int { return l.initial[v] }
+func (l *Ledger) Initial(v int) int { return l.initial[v] } //soar:hotpath
 
 // Used returns the number of slots currently leased on switch v.
-func (l *Ledger) Used(v int) int { return l.initial[v] - l.residual[v] }
+func (l *Ledger) Used(v int) int { return l.initial[v] - l.residual[v] } //soar:hotpath
 
 // Avail returns the maintained availability vector Λ. The slice is the
 // ledger's own storage: callers may read it (engines do, between
 // mutations) but must never modify it and must not retain it across a
 // Charge/Credit.
-func (l *Ledger) Avail() []bool { return l.avail }
+func (l *Ledger) Avail() []bool { return l.avail } //soar:hotpath
 
 // AvailCopy returns a defensive copy of Λ.
 func (l *Ledger) AvailCopy() []bool {
@@ -116,6 +116,8 @@ func (l *Ledger) Residuals(dst []int) []int {
 // Charge takes one slot on switch v. It panics if v is exhausted: every
 // caller picks v from a solve restricted to Λ, so an exhausted pick is a
 // bookkeeping bug, not an input error.
+//
+//soar:hotpath
 func (l *Ledger) Charge(v int) {
 	if l.residual[v] <= 0 {
 		panic(fmt.Sprintf("sched: charge on exhausted switch %d", v))
@@ -126,6 +128,8 @@ func (l *Ledger) Charge(v int) {
 
 // Credit returns one slot on switch v. It panics if the slot was never
 // taken, which would silently inflate capacity.
+//
+//soar:hotpath
 func (l *Ledger) Credit(v int) {
 	if l.residual[v] >= l.initial[v] {
 		panic(fmt.Sprintf("sched: credit on full switch %d", v))

@@ -21,6 +21,7 @@ type latRing struct {
 	n   uint64 // total recorded; buf holds the last min(n, latWindow)
 }
 
+//soar:hotpath
 func (r *latRing) record(d time.Duration) {
 	r.buf[r.n%latWindow] = d.Seconds()
 	r.n++
@@ -54,11 +55,13 @@ type metrics struct {
 	started time.Time
 }
 
+//soar:hotpath
 func (m *metrics) notePlace(d time.Duration) {
 	m.placed++
 	m.placeLat.record(d)
 }
 
+//soar:hotpath
 func (m *metrics) noteRelease(ok bool, d time.Duration) {
 	if ok {
 		m.released++
@@ -68,6 +71,7 @@ func (m *metrics) noteRelease(ok bool, d time.Duration) {
 	m.releaseLat.record(d)
 }
 
+//soar:hotpath
 func (m *metrics) noteBatch(size int) {
 	m.batches++
 	m.batchSum += uint64(size)
@@ -76,6 +80,7 @@ func (m *metrics) noteBatch(size int) {
 	}
 }
 
+//soar:hotpath
 func (m *metrics) noteRepack(moved int, recovered float64) {
 	m.repackRounds++
 	m.repackMoves += uint64(moved)

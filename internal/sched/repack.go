@@ -41,17 +41,20 @@ func (s *Scheduler) repackTicker() {
 	}
 }
 
-// repackLocked runs one re-packing round. Callers hold s.mu; the
-// dispatcher is the only caller, so the background engine and the
-// ledger are safe to use. Returns the number of tenants migrated and
-// the aggregate Φ recovered.
-func (s *Scheduler) repackLocked(maxMoves int) (moved int, recovered float64) {
+// repack runs one re-packing round on the dispatcher goroutine. The
+// solve of each candidate runs outside s.mu — soarlint's lockdiscipline
+// analyzer proves no Solve* call ever happens under it — so the lock is
+// cycled per candidate: credit the tenant's slots under mu, solve
+// unlocked (the dispatcher is the ledger's only writer, so its own
+// unlocked availability reads cannot race), then re-take mu to either
+// commit the migration or restore the slots. A concurrent Residual or
+// Snapshot may therefore observe the candidate's slots transiently
+// free mid-migration; Lookup still sees each lease atomically old or
+// new. Returns the number of tenants migrated and the aggregate Φ
+// recovered.
+func (s *Scheduler) repack(maxMoves int) (moved int, recovered float64) {
 	if maxMoves <= 0 {
 		maxMoves = s.cfg.Repack.MaxMoves
-	}
-	if len(s.leases) == 0 {
-		s.met.noteRepack(0, 0)
-		return 0, 0
 	}
 	// Worst value delivered first; ids break ties so rounds are
 	// deterministic for a given lease set.
@@ -59,10 +62,17 @@ func (s *Scheduler) repackLocked(maxMoves int) (moved int, recovered float64) {
 		id    int64
 		ratio float64
 	}
+	s.mu.Lock()
+	if len(s.leases) == 0 {
+		s.met.noteRepack(0, 0)
+		s.mu.Unlock()
+		return 0, 0
+	}
 	cands := make([]cand, 0, len(s.leases))
 	for id, ten := range s.leases {
 		cands = append(cands, cand{id, ten.ratio()})
 	}
+	s.mu.Unlock()
 	sort.Slice(cands, func(i, j int) bool {
 		if cands[i].ratio != cands[j].ratio {
 			return cands[i].ratio > cands[j].ratio
@@ -82,16 +92,24 @@ func (s *Scheduler) repackLocked(maxMoves int) (moved int, recovered float64) {
 			break // foreground traffic waiting: yield
 		}
 		scanBudget--
-		ten := s.leases[c.id]
 		// Free the tenant's own slots so the solver may keep any of them.
+		// Only the dispatcher mutates leases, so ten cannot be released
+		// between the unlock and the commit below.
+		s.mu.Lock()
+		ten := s.leases[c.id]
 		for _, v := range ten.blue {
 			s.ledger.Credit(v)
 		}
+		oldPhi := ten.phi
+		s.mu.Unlock()
+
 		eng := s.bgSol.ensure(s.t, ten.load, s.ledger.Avail(), ten.k)
 		newPhi := eng.SolveInto(s.bgBlue)
-		if newPhi < ten.phi*(1-s.cfg.Repack.MinGain) && newPhi < ten.phi {
+
+		s.mu.Lock()
+		if newPhi < oldPhi*(1-s.cfg.Repack.MinGain) && newPhi < oldPhi {
 			moved++
-			recovered += ten.phi - newPhi
+			recovered += oldPhi - newPhi
 			ten.phi = newPhi
 			ten.blue = ten.blue[:0]
 			for v, b := range s.bgBlue {
@@ -106,7 +124,10 @@ func (s *Scheduler) repackLocked(maxMoves int) (moved int, recovered float64) {
 				s.ledger.Charge(v)
 			}
 		}
+		s.mu.Unlock()
 	}
+	s.mu.Lock()
 	s.met.noteRepack(moved, recovered)
+	s.mu.Unlock()
 	return moved, recovered
 }

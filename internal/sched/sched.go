@@ -174,6 +174,9 @@ type request struct {
 	// repack outputs
 	moved     int
 	recovered float64
+	// conflicted marks a placement re-solved during commit; the metric
+	// is counted under mu, the detection happens outside it.
+	conflicted bool
 
 	err  error
 	t0   time.Time
@@ -206,10 +209,16 @@ type Scheduler struct {
 	t   *topology.Tree
 	cfg Config
 
-	reqs     chan *request
-	stop     chan struct{}
-	bg       sync.WaitGroup // dispatcher + workers + re-pack ticker
-	closeMu  sync.RWMutex   // write-held only by Close to flip closed
+	reqs chan *request
+	stop chan struct{}
+	bg   sync.WaitGroup // dispatcher + workers + re-pack ticker
+	// closeMu is write-held only by Close to flip closed. soarlint's
+	// lockdiscipline analyzer enforces the discipline declared here: no
+	// channel op, Solve* call or blocking pool Get while either critical
+	// lock is held, and closeMu is only ever taken before mu.
+	//
+	//soar:lockorder closeMu mu
+	closeMu  sync.RWMutex //soar:critical
 	closed   bool
 	inflight sync.WaitGroup // submitted requests not yet answered
 
@@ -222,13 +231,14 @@ type Scheduler struct {
 	workers   []*worker
 	batch     []*request
 	places    []*request
+	repacks   []*request
 	batchNext atomic.Int64
 	batchWG   sync.WaitGroup
 	bgSol     solver // dispatcher-owned: single solves, conflicts, re-packing
 	bgBlue    []bool
 	timer     *time.Timer
 
-	mu     sync.Mutex // guards ledger, leases, nextID, met
+	mu     sync.Mutex //soar:critical guards ledger, leases, nextID, met
 	ledger *Ledger
 	leases map[int64]*tenant
 	nextID int64
@@ -308,6 +318,15 @@ func (s *Scheduler) Close() {
 
 // submit enqueues r unless the scheduler is closed. On success the
 // caller must wait on r.done and then call finish.
+//
+// The queue send happens after closeMu is released: a submitter stuck
+// on a full queue must not block Close (soarlint's lockdiscipline
+// analyzer rejects channel ops under a critical lock). The inflight
+// count — taken before the lock is dropped — is what keeps the late
+// send safe: drainAndFail closes reqs only once every in-flight
+// request has been answered and reclaimed.
+//
+//soar:hotpath
 func (s *Scheduler) submit(r *request) error {
 	s.closeMu.RLock()
 	if s.closed {
@@ -315,12 +334,14 @@ func (s *Scheduler) submit(r *request) error {
 		return ErrClosed
 	}
 	s.inflight.Add(1)
-	s.reqs <- r
 	s.closeMu.RUnlock()
+	s.reqs <- r
 	return nil
 }
 
 // finish reclaims an answered request.
+//
+//soar:hotpath
 func (s *Scheduler) finish(r *request) {
 	r.load = nil
 	r.lease = nil
@@ -334,21 +355,23 @@ func (s *Scheduler) finish(r *request) {
 // what makes steady-state admission allocation-free). load is borrowed
 // for the duration of the call and not retained. It returns ErrClosed
 // after Close, or a validation error for malformed input.
+//
+//soar:hotpath
 func (s *Scheduler) PlaceInto(load []int, k int, lease *Lease) error {
 	if lease == nil {
 		panic("sched: PlaceInto with nil lease")
 	}
-	if len(load) != s.t.N() {
+	if len(load) != s.t.N() { //soar:coldpath rejected input
 		s.rejected.Add(1)
 		return fmt.Errorf("sched: load has %d entries for %d switches", len(load), s.t.N())
 	}
 	for v, l := range load {
-		if l < 0 {
+		if l < 0 { //soar:coldpath rejected input
 			s.rejected.Add(1)
 			return fmt.Errorf("sched: negative load %d at switch %d", l, v)
 		}
 	}
-	if k < 0 {
+	if k < 0 { //soar:coldpath rejected input
 		s.rejected.Add(1)
 		return fmt.Errorf("sched: negative budget %d", k)
 	}
@@ -374,6 +397,8 @@ func (s *Scheduler) Place(load []int, k int) (*Lease, error) {
 }
 
 // Release ends a tenant's lease and reclaims its switches.
+//
+//soar:hotpath
 func (s *Scheduler) Release(id int64) error {
 	r := s.reqPool.Get().(*request)
 	r.op, r.id, r.t0 = opRelease, id, time.Now()
@@ -508,11 +533,15 @@ func (s *Scheduler) collectBatch(first *request) {
 	}
 }
 
-// runBatch executes one batch: releases (and explicit re-pack requests)
-// first in arrival order, then all placements solved in parallel against
-// the resulting availability snapshot, then commits in arrival order.
+// runBatch executes one batch: releases first in arrival order, then
+// re-pack rounds (so they see every freed slot), then all placements
+// solved in parallel against the resulting availability snapshot and
+// committed in arrival order.
+//
+//soar:hotpath
 func (s *Scheduler) runBatch() {
 	s.places = s.places[:0]
+	s.repacks = s.repacks[:0]
 	s.mu.Lock()
 	for _, r := range s.batch {
 		switch r.op {
@@ -520,13 +549,18 @@ func (s *Scheduler) runBatch() {
 			r.err = s.releaseLocked(r.id)
 			s.met.noteRelease(r.err == nil, time.Since(r.t0))
 		case opRepack:
-			r.moved, r.recovered = s.repackLocked(r.k)
+			s.repacks = append(s.repacks, r)
 		case opPlace:
 			s.places = append(s.places, r)
 		}
 	}
 	s.met.noteBatch(len(s.batch))
 	s.mu.Unlock()
+	// Re-pack rounds solve, so they run outside the lock (repack takes
+	// and drops it around each candidate's ledger edits).
+	for _, r := range s.repacks { //soar:coldpath re-packing is the low-priority slow path
+		r.moved, r.recovered = s.repack(r.k)
+	}
 	for _, r := range s.batch {
 		if r.op != opPlace {
 			r.done <- struct{}{}
@@ -552,11 +586,9 @@ func (s *Scheduler) runBatch() {
 	}
 
 	// Commit phase, in arrival order.
-	s.mu.Lock()
 	for _, r := range s.places {
-		s.commitLocked(r)
+		s.commit(r)
 	}
-	s.mu.Unlock()
 	for _, r := range s.places {
 		r.done <- struct{}{}
 	}
@@ -565,10 +597,12 @@ func (s *Scheduler) runBatch() {
 // solveOn solves r's placement on sol's engine — rebuilt only if the
 // budget changed, otherwise patched in place (see solver.ensure) — and
 // records the outputs on r.
+//
+//soar:hotpath
 func (s *Scheduler) solveOn(sol *solver, r *request) {
 	eng := sol.ensure(s.t, r.load, s.ledger.Avail(), r.k)
 	if cap(r.blue) < s.t.N() {
-		r.blue = make([]bool, s.t.N())
+		r.blue = make([]bool, s.t.N()) //soar:coldpath first use of a pooled request
 	}
 	r.blue = r.blue[:s.t.N()]
 	r.phi = eng.SolveInto(r.blue)
@@ -589,6 +623,8 @@ func (s *Scheduler) newMemo() *core.Memo {
 // allRed returns φ with no aggregation at all: every server's messages
 // pay the full path to the destination. Equal to
 // reduce.Utilization(t, load, no-blues) without the O(n) allocation.
+//
+//soar:hotpath
 func (s *Scheduler) allRed(load []int) float64 {
 	var phi float64
 	for v, l := range load {
@@ -599,27 +635,38 @@ func (s *Scheduler) allRed(load []int) float64 {
 	return phi
 }
 
-// commitLocked charges r's placement against the ledger and creates the
+// commit charges r's placement against the ledger and creates the
 // lease. If an earlier commit of this batch exhausted a switch the
 // optimistic solve picked, the placement is re-solved against the
 // updated availability set first — the slow path that keeps optimistic
 // batch parallelism oversubscription-free.
-func (s *Scheduler) commitLocked(r *request) {
+//
+// The conflict check, the re-solve and the tenant-record pool Get all
+// run before mu is taken: the dispatcher is the ledger's only writer,
+// so its own unlocked reads cannot race, and soarlint's lockdiscipline
+// analyzer proves no solve or blocking pool op ever happens under mu.
+// The lock protects exactly the ledger/lease mutation, so a concurrent
+// Lookup may observe a batch mid-commit — each lease appears atomically.
+//
+//soar:hotpath
+func (s *Scheduler) commit(r *request) {
 	for v, b := range r.blue {
 		if b && s.ledger.Residual(v) <= 0 {
-			s.met.conflicts++
 			s.solveOn(&s.bgSol, r)
+			r.conflicted = true
 			break
 		}
 	}
 	ten := s.tenPool.Get().(*tenant)
-	ten.id = s.nextID
-	s.nextID++
 	ten.k = r.k
 	ten.phi = r.phi
 	ten.allRed = r.allRed
 	ten.blue = ten.blue[:0]
 	ten.load = append(ten.load[:0], r.load...)
+
+	s.mu.Lock()
+	ten.id = s.nextID
+	s.nextID++
 	for v, b := range r.blue {
 		if b {
 			s.ledger.Charge(v)
@@ -627,7 +674,14 @@ func (s *Scheduler) commitLocked(r *request) {
 		}
 	}
 	s.leases[ten.id] = ten
+	if r.conflicted {
+		s.met.conflicts++
+		r.conflicted = false
+	}
+	s.met.notePlace(time.Since(r.t0))
+	s.mu.Unlock()
 
+	// r.lease is owned by the blocked submitter until done is signalled.
 	l := r.lease
 	l.ID = ten.id
 	l.K = ten.k
@@ -635,10 +689,11 @@ func (s *Scheduler) commitLocked(r *request) {
 	l.AllRed = ten.allRed
 	l.Blue = append(l.Blue[:0], ten.blue...)
 	l.Load = append(l.Load[:0], r.load...)
-	s.met.notePlace(time.Since(r.t0))
 }
 
 // releaseLocked reclaims a tenant's switches.
+//
+//soar:hotpath
 func (s *Scheduler) releaseLocked(id int64) error {
 	ten, ok := s.leases[id]
 	if !ok {

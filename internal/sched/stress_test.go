@@ -1,0 +1,144 @@
+package sched
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"soar/internal/load"
+	"soar/internal/topology"
+)
+
+// Regression tests for the lock restructuring soarlint's lockdiscipline
+// analyzer demanded: the queue send moved out from under closeMu, and
+// the re-packer cycles mu around each candidate's solve instead of
+// holding it across the round.
+
+// TestCloseDoesNotBlockOnFullQueue pins the deadlock the old submit
+// could cause: a submitter blocked on a full request queue while holding
+// closeMu.RLock would stall Close's write-lock forever. With the send
+// outside the lock, Close must return promptly no matter how many
+// submitters are wedged on the queue, and every one of them must still
+// get an answer (success or ErrClosed — never a hang).
+func TestCloseDoesNotBlockOnFullQueue(t *testing.T) {
+	tr := topology.MustBT(64)
+	s := New(tr, Config{Capacity: 8, Workers: 1, QueueDepth: 1})
+	rng := rand.New(rand.NewSource(7))
+	loads := load.GenerateSparse(tr, load.PaperUniform(), 4, rng)
+
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for g := 0; g < 32; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			var lease Lease
+			for i := 0; i < 8; i++ {
+				if err := s.PlaceInto(loads, 4, &lease); err != nil {
+					if !errors.Is(err, ErrClosed) {
+						t.Errorf("place: %v, want success or ErrClosed", err)
+					}
+					return
+				}
+				if err := s.Release(lease.ID); err != nil && !errors.Is(err, ErrClosed) {
+					t.Errorf("release: %v, want success or ErrClosed", err)
+					return
+				}
+			}
+		}()
+	}
+	close(start)
+	time.Sleep(2 * time.Millisecond) // let submitters stack up on the depth-1 queue
+
+	closed := make(chan struct{})
+	go func() {
+		s.Close()
+		close(closed)
+	}()
+	select {
+	case <-closed:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Close blocked behind submitters stuck on a full queue")
+	}
+	wg.Wait()
+}
+
+// TestRepackConcurrentObservers hammers the re-packer's per-candidate
+// lock cycling with concurrent foreground traffic and observers. Lookup
+// must always see a lease atomically old or new, and once everything is
+// released the ledger must balance back to its initial capacities —
+// a mid-migration credit that leaked would leave it off. Run with -race
+// to certify the unlocked availability reads of the dispatcher.
+func TestRepackConcurrentObservers(t *testing.T) {
+	tr := topology.MustBT(64)
+	s := New(tr, Config{
+		Capacity: 2,
+		Workers:  2,
+		Repack:   RepackConfig{Every: time.Millisecond, MaxMoves: 4},
+	})
+	defer s.Close()
+
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	for g := 0; g < 3; g++ {
+		readers.Add(1)
+		go func(g int) {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				s.Residual()
+				s.Snapshot()
+				time.Sleep(100 * time.Microsecond) // observer cadence; keep race pressure without spinning
+				if l, err := s.Lookup(int64(g)); err == nil {
+					if len(l.Blue) > l.K {
+						t.Errorf("lookup saw torn lease: %d blues for k=%d", len(l.Blue), l.K)
+					}
+				}
+			}
+		}(g)
+	}
+
+	rng := rand.New(rand.NewSource(11))
+	var live []int64
+	for i := 0; i < 120; i++ {
+		loads := load.GenerateSparse(tr, load.PaperUniform(), 4, rng)
+		lease, err := s.Place(loads, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		live = append(live, lease.ID)
+		// Release roughly half as we go, so the re-packer always has
+		// fragmentation to chew on while we run.
+		if len(live) > 4 && rng.Intn(2) == 0 {
+			idx := rng.Intn(len(live))
+			if err := s.Release(live[idx]); err != nil {
+				t.Fatal(err)
+			}
+			live = append(live[:idx], live[idx+1:]...)
+		}
+	}
+	for _, id := range live {
+		if err := s.Release(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	readers.Wait()
+
+	st := s.Snapshot()
+	if st.Tenants != 0 || st.CapacityUsed != 0 {
+		t.Fatalf("after releasing everything: %d tenants, %d capacity used", st.Tenants, st.CapacityUsed)
+	}
+	for _, r := range s.Residual() {
+		if r != 2 {
+			t.Fatalf("residual %d after full drain, want 2", r)
+		}
+	}
+}

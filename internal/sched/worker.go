@@ -19,12 +19,14 @@ type solver struct {
 // only when the budget changed, otherwise patching loads and
 // availability in place — and returns it. A rebuild keeps the memo, so
 // even budget churn reuses warm class tables.
+//
+//soar:hotpath
 func (sol *solver) ensure(t *topology.Tree, load []int, avail []bool, k int) *core.Incremental {
 	if sol.eng == nil || sol.eng.K() != k {
 		if sol.memo != nil {
-			sol.eng = core.NewIncrementalMemo(sol.memo, load, avail, k)
+			sol.eng = core.NewIncrementalMemo(sol.memo, load, avail, k) //soar:coldpath budget changed: rebuild
 		} else {
-			sol.eng = core.NewIncremental(t, load, avail, k)
+			sol.eng = core.NewIncremental(t, load, avail, k) //soar:coldpath budget changed: rebuild
 		}
 	} else {
 		sol.eng.SetLoads(load)
@@ -53,8 +55,9 @@ type worker struct {
 	wake chan struct{}
 }
 
+//soar:hotpath
 func (w *worker) loop() {
-	defer w.s.bg.Done()
+	defer w.s.bg.Done() //soar:coldpath runs once, at shutdown
 	for range w.wake {
 		for {
 			i := int(w.s.batchNext.Add(1)) - 1

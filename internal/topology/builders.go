@@ -50,7 +50,7 @@ func CompleteKAry(k, levels int) *Tree {
 		pow *= k
 		n += pow
 	}
-	parent := make([]int, n)
+	parent := make([]int, n) //soar:rawk k is the tree arity here, not a budget
 	parent[0] = NoParent
 	for v := 1; v < n; v++ {
 		parent[v] = (v - 1) / k

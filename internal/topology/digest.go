@@ -44,6 +44,7 @@ type subDigestKey struct {
 // subListKey interns sorted child-digest lists as cons cells.
 type subListKey struct{ prev, child int32 }
 
+//soar:ctor
 func (t *Tree) buildDigests() {
 	n := t.N()
 	t.dig.path = make([]int32, n)
@@ -97,6 +98,7 @@ func (t *Tree) buildDigests() {
 	t.dig.numSub = len(subIDs)
 }
 
+//soar:hotpath (the once.Do is a no-op after first use)
 func (t *Tree) digests() *treeDigests {
 	t.dig.once.Do(t.buildDigests)
 	return &t.dig
@@ -106,27 +108,27 @@ func (t *Tree) digests() *treeDigests {
 // ρ-up profile: PathDigests()[u] == PathDigests()[v] iff Depth(u) ==
 // Depth(v) and RhoUp(u, l) == RhoUp(v, l) for every l. The returned
 // slice is shared and must not be modified.
-func (t *Tree) PathDigests() []int32 { return t.digests().path }
+func (t *Tree) PathDigests() []int32 { return t.digests().path } //soar:hotpath
 
 // PathDigest returns PathDigests()[v].
-func (t *Tree) PathDigest(v int) int32 { return t.digests().path[v] }
+func (t *Tree) PathDigest(v int) int32 { return t.digests().path[v] } //soar:hotpath
 
 // PathClasses returns the number of distinct path digests: how many
 // genuinely different upward price profiles the tree has. On a
 // uniform-ω complete tree this is the number of levels.
-func (t *Tree) PathClasses() int { return t.digests().numPath }
+func (t *Tree) PathClasses() int { return t.digests().numPath } //soar:hotpath
 
 // SubtreeDigests returns, for every switch v, the canonical code of the
 // ρ-weighted subtree T_v: SubtreeDigests()[u] == SubtreeDigests()[v] iff
 // T_u and T_v are isomorphic as unordered rooted trees under an
 // isomorphism preserving every edge's ρ. The returned slice is shared
 // and must not be modified.
-func (t *Tree) SubtreeDigests() []int32 { return t.digests().sub }
+func (t *Tree) SubtreeDigests() []int32 { return t.digests().sub } //soar:hotpath
 
 // SubtreeDigest returns SubtreeDigests()[v].
-func (t *Tree) SubtreeDigest(v int) int32 { return t.digests().sub[v] }
+func (t *Tree) SubtreeDigest(v int) int32 { return t.digests().sub[v] } //soar:hotpath
 
 // SubtreeClasses returns the number of distinct subtree digests — a
 // direct measure of the tree's structural symmetry (h(T)+1 classes for a
 // complete uniform tree, n for a path).
-func (t *Tree) SubtreeClasses() int { return t.digests().numSub }
+func (t *Tree) SubtreeClasses() int { return t.digests().numSub } //soar:hotpath

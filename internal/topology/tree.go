@@ -24,7 +24,11 @@ const NoParent = -1
 // Construct trees with New or one of the builders (CompleteBinary, BT,
 // CompleteKAry, ScaleFree, RandomRecursive, Path, Star). A Tree carries
 // the topology and link rates only; per-switch loads are handled by
-// package load and passed alongside the tree.
+// package load and passed alongside the tree. soarlint's immutable
+// analyzer enforces the immutability: no field of a Tree is written
+// outside its //soar:ctor construction functions.
+//
+//soar:immutable
 type Tree struct {
 	parent   []int
 	children [][]int
@@ -60,6 +64,8 @@ type treeDigests struct {
 // parent[v] is the parent switch of v, or NoParent for the single root.
 // omega[v] is the rate ω of the edge from v to its parent; for the root it
 // is the rate of the edge (r, d). All rates must be strictly positive.
+//
+//soar:ctor
 func New(parent []int, omega []float64) (*Tree, error) {
 	n := len(parent)
 	if n == 0 {
@@ -114,6 +120,8 @@ func MustNew(parent []int, omega []float64) *Tree {
 
 // index computes depths, traversal orders and ρ prefix sums, and rejects
 // disconnected or cyclic parent vectors.
+//
+//soar:ctor
 func (t *Tree) index() error {
 	n := len(t.parent)
 	// BFS from the root establishes depths and detects unreachable nodes.
@@ -170,39 +178,41 @@ func (t *Tree) index() error {
 }
 
 // N returns the number of switches (the destination d is not counted).
-func (t *Tree) N() int { return len(t.parent) }
+func (t *Tree) N() int { return len(t.parent) } //soar:hotpath
 
 // Root returns the root switch r, the switch adjacent to the destination.
-func (t *Tree) Root() int { return t.root }
+func (t *Tree) Root() int { return t.root } //soar:hotpath
 
 // Parent returns the parent of v, or NoParent if v is the root.
-func (t *Tree) Parent(v int) int { return t.parent[v] }
+func (t *Tree) Parent(v int) int { return t.parent[v] } //soar:hotpath
 
 // Children returns the children of v. The returned slice is shared and
 // must not be modified.
-func (t *Tree) Children(v int) []int { return t.children[v] }
+func (t *Tree) Children(v int) []int { return t.children[v] } //soar:hotpath
 
 // NumChildren returns C(v), the number of children of v.
-func (t *Tree) NumChildren(v int) int { return len(t.children[v]) }
+func (t *Tree) NumChildren(v int) int { return len(t.children[v]) } //soar:hotpath
 
 // IsLeaf reports whether v has no children.
-func (t *Tree) IsLeaf(v int) bool { return len(t.children[v]) == 0 }
+func (t *Tree) IsLeaf(v int) bool { return len(t.children[v]) == 0 } //soar:hotpath
 
 // Depth returns the number of hops from v to the destination d.
 // The root has depth 1.
-func (t *Tree) Depth(v int) int { return t.depth[v] }
+func (t *Tree) Depth(v int) int { return t.depth[v] } //soar:hotpath
 
 // Height returns h(T), the maximum hop distance from any switch to the
 // root r.
-func (t *Tree) Height() int { return t.height }
+func (t *Tree) Height() int { return t.height } //soar:hotpath
 
 // Rho returns ρ(v) = 1/ω of the edge from v to its parent (for the root,
 // of the edge (r, d)).
-func (t *Tree) Rho(v int) float64 { return t.rho[v] }
+func (t *Tree) Rho(v int) float64 { return t.rho[v] } //soar:hotpath
 
 // RhoUp returns ρ(v, A^l_v): the summed ρ of the first l edges on the
 // path from v toward the destination. RhoUp(v, 0) == 0 and
 // RhoUp(v, Depth(v)) is the full path cost from v to d.
+//
+//soar:hotpath
 func (t *Tree) RhoUp(v, l int) float64 {
 	if l < 0 || l > t.depth[v] {
 		panic("topology: RhoUp distance out of range")
@@ -212,17 +222,17 @@ func (t *Tree) RhoUp(v, l int) float64 {
 
 // PostOrder returns a traversal visiting every child before its parent.
 // The returned slice is shared and must not be modified.
-func (t *Tree) PostOrder() []int { return t.post }
+func (t *Tree) PostOrder() []int { return t.post } //soar:hotpath
 
 // BFSOrder returns a traversal visiting every parent before its children,
 // starting at the root. The returned slice is shared and must not be
 // modified.
-func (t *Tree) BFSOrder() []int { return t.bfs }
+func (t *Tree) BFSOrder() []int { return t.bfs } //soar:hotpath
 
 // Leaves returns the switches with no children, in increasing id order.
 // The returned slice is shared and must not be modified; it is computed
 // once at construction time.
-func (t *Tree) Leaves() []int { return t.leaves }
+func (t *Tree) Leaves() []int { return t.leaves } //soar:hotpath
 
 // NodesAtLevel returns the switches at hop distance lvl from the root
 // (level 0 is the root itself), in increasing id order (the scan below
