@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench fmt vet lint soarlint clean
+.PHONY: all build test race soak bench fmt vet lint soarlint clean
 
 all: build test
 
@@ -16,6 +16,13 @@ test:
 # The concurrent scheduler makes race detection mandatory.
 race:
 	$(GO) test -race ./...
+
+# The robustness acceptance test: churning tenants under checkpoint/
+# kill/restore cycles plus the cluster protocol under injected
+# transport faults, all under the race detector (CI's chaos-soak job).
+soak:
+	$(GO) test -race -count=1 -run '^TestChaosSoak$$' -v ./internal/sched
+	$(GO) test -race -count=1 -run 'Chaos|Fallback|Retry|FrameTimeout' ./internal/cluster
 
 fmt:
 	gofmt -l .

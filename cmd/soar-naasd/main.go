@@ -10,6 +10,12 @@
 // a background re-packer (-repack-every, -repack-moves) recovers the
 // utilization that tenant departures fragment away.
 //
+// The control plane is crash-recoverable: with -checkpoint set, the
+// daemon restores the lease ledger from the file on start, snapshots it
+// every -checkpoint-every (atomic rename, never a torn file), on demand
+// via POST /v1/checkpoint, and once more on graceful shutdown (SIGINT
+// or SIGTERM).
+//
 // API (JSON):
 //
 //	POST   /v1/tenants    {"load": [...], "k": 4} → lease
@@ -17,6 +23,8 @@
 //	DELETE /v1/tenants/{id}
 //	GET    /v1/stats
 //	GET    /v1/residual
+//	GET    /v1/checkpoint  (octet-stream snapshot)
+//	POST   /v1/checkpoint  (persist to -checkpoint path)
 package main
 
 import (
@@ -24,11 +32,14 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"math/rand"
 	"net/http"
 	"os"
 	"os/signal"
+	"sync"
+	"syscall"
 	"time"
 
 	"soar/internal/naas"
@@ -47,6 +58,8 @@ func main() {
 	window := flag.Duration("window", 200*time.Microsecond, "admission batching window")
 	repackEvery := flag.Duration("repack-every", time.Second, "background re-packing period (0 = off)")
 	repackMoves := flag.Int("repack-moves", 8, "migration budget per re-packing round")
+	ckptPath := flag.String("checkpoint", "", "checkpoint file: restored on start if present, written periodically, on POST /v1/checkpoint and on shutdown (empty = off)")
+	ckptEvery := flag.Duration("checkpoint-every", 30*time.Second, "periodic checkpoint interval (0 = only on demand and shutdown)")
 	flag.Parse()
 
 	var tr *topology.Tree
@@ -80,13 +93,31 @@ func main() {
 		Repack:   sched.RepackConfig{Every: *repackEvery, MaxMoves: *repackMoves},
 	})
 	defer svc.Close()
+
+	// Crash recovery: restore the control plane from the last checkpoint
+	// before any traffic is served (Restore requires a quiescent
+	// scheduler), then keep the file fresh — periodically, on demand via
+	// POST /v1/checkpoint, and on shutdown.
+	if *ckptPath != "" {
+		if err := restoreCheckpoint(svc, *ckptPath); err != nil {
+			log.Fatalf("soar-naasd: restore %s: %v", *ckptPath, err)
+		}
+		svc.SetCheckpointSaver(func() (string, int64, error) {
+			size, err := saveCheckpoint(svc, *ckptPath)
+			return *ckptPath, size, err
+		})
+	}
+
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           svc.Handler(),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	// SIGTERM is how process supervisors (systemd, Kubernetes) stop a
+	// daemon; catching only os.Interrupt used to turn every supervised
+	// stop into a crash that lost the final checkpoint.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	go func() {
 		<-ctx.Done()
@@ -94,10 +125,92 @@ func main() {
 		defer cancel()
 		srv.Shutdown(shutdownCtx)
 	}()
+	if *ckptPath != "" && *ckptEvery > 0 {
+		go func() {
+			tick := time.NewTicker(*ckptEvery)
+			defer tick.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-tick.C:
+					if _, err := saveCheckpoint(svc, *ckptPath); err != nil {
+						log.Printf("soar-naasd: periodic checkpoint: %v", err)
+					}
+				}
+			}
+		}()
+	}
 
 	fmt.Printf("soar-naasd: %d switches (%s), capacity %d, listening on %s\n",
 		tr.N(), *topo, *capacity, *addr)
 	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Fatal(err)
 	}
+	// The listener has drained: no admission can race the final snapshot
+	// into staleness that matters. Checkpoint before Close.
+	if *ckptPath != "" {
+		if size, err := saveCheckpoint(svc, *ckptPath); err != nil {
+			log.Printf("soar-naasd: shutdown checkpoint: %v", err)
+		} else {
+			log.Printf("soar-naasd: checkpointed %d bytes to %s", size, *ckptPath)
+		}
+	}
+}
+
+// restoreCheckpoint replays path into svc; a missing file is a fresh
+// start, not an error.
+func restoreCheckpoint(svc *naas.Service, path string) error {
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := svc.Restore(f); err != nil {
+		return err
+	}
+	log.Printf("soar-naasd: restored %d tenants from %s", svc.Snapshot().Tenants, path)
+	return nil
+}
+
+// ckptMu serializes savers: the periodic ticker, POST /v1/checkpoint
+// and the shutdown save all share one temp file.
+var ckptMu sync.Mutex //soar:critical guards the checkpoint temp file
+
+// saveCheckpoint writes a checkpoint to path atomically: a crash while
+// writing leaves the previous checkpoint intact, never a torn file.
+func saveCheckpoint(svc *naas.Service, path string) (int64, error) {
+	ckptMu.Lock()
+	defer ckptMu.Unlock()
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return 0, err
+	}
+	if err := svc.Checkpoint(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return 0, err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return 0, err
+	}
+	size, err := f.Seek(0, io.SeekCurrent)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return 0, err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return 0, err
+	}
+	return size, nil
 }

@@ -1,0 +1,50 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"soar/internal/naas"
+	"soar/internal/paper"
+)
+
+func TestSaveAndRestoreCheckpointFile(t *testing.T) {
+	tr, loads := paper.Figure2()
+	svc := naas.NewService(tr, 2)
+	lease, err := svc.Place(loads, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "naas.ckpt")
+	size, err := saveCheckpoint(svc, path)
+	if err != nil {
+		t.Fatalf("save: %v", err)
+	}
+	st, err := os.Stat(path)
+	if err != nil || st.Size() != size {
+		t.Fatalf("checkpoint file: %v (size %d, reported %d)", err, st.Size(), size)
+	}
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Fatalf("temp file left behind: %v", err)
+	}
+	svc.Close()
+
+	fresh := naas.NewService(tr, 2)
+	t.Cleanup(fresh.Close)
+	if err := restoreCheckpoint(fresh, path); err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	if _, err := fresh.Lookup(lease.ID); err != nil {
+		t.Fatalf("lease lost across the daemon restart path: %v", err)
+	}
+}
+
+func TestRestoreMissingFileIsFreshStart(t *testing.T) {
+	tr, _ := paper.Figure2()
+	svc := naas.NewService(tr, 2)
+	t.Cleanup(svc.Close)
+	if err := restoreCheckpoint(svc, filepath.Join(t.TempDir(), "absent.ckpt")); err != nil {
+		t.Fatalf("missing checkpoint treated as error: %v", err)
+	}
+}

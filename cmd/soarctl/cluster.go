@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"time"
 
+	"soar/internal/chaos"
 	"soar/internal/cluster"
 	"soar/internal/core"
 	"soar/internal/load"
@@ -14,13 +15,19 @@ import (
 )
 
 // runCluster deploys SOAR over a loopback TCP mesh and cross-checks the
-// distributed result against the serial solver.
+// distributed result against the serial solver. The -chaos flags turn
+// the mesh hostile: injected dial failures, mid-frame cuts, connection
+// resets and delays, absorbed by bounded retries and — when a run still
+// cannot complete — a local fallback solve flagged as degraded.
 func runCluster(args []string) error {
 	fs := newFlagSet("cluster")
 	n := fs.Int("n", 64, "BT network size (including destination, power of two)")
 	k := fs.Int("k", 8, "aggregation switch budget")
 	seed := fs.Int64("seed", 1, "random seed")
 	timeout := fs.Duration("timeout", 30*time.Second, "overall deadline")
+	faults := fs.Float64("chaos", 0, "fault probability per injection point (0 = clean transport)")
+	delay := fs.Float64("chaos-delay", 0, "probability of an injected delay per I/O")
+	retries := fs.Int("retries", 4, "bounded retry attempts under chaos")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -33,8 +40,22 @@ func runCluster(args []string) error {
 
 	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
 	defer cancel()
+	var inj *chaos.Injector
+	opts := &cluster.Options{Retry: cluster.RetryPolicy{Attempts: *retries}}
+	if *faults > 0 || *delay > 0 {
+		inj = chaos.New(chaos.Config{
+			Seed:     *seed,
+			DialFail: *faults,
+			Cut:      *faults,
+			Reset:    *faults,
+			Delay:    *delay,
+			MaxDelay: 2 * time.Millisecond,
+		})
+		opts.Dial = inj.Dial
+		opts.WrapListener = inj.WrapListener
+	}
 	start := time.Now()
-	res, err := cluster.Run(ctx, tr, loads, nil, *k)
+	res, err := cluster.RunOrFallback(ctx, tr, loads, nil, *k, opts)
 	if err != nil {
 		return err
 	}
@@ -49,6 +70,17 @@ func runCluster(args []string) error {
 	fmt.Printf("  serial solver φ               : %.2f\n", serial.Cost)
 	fmt.Printf("  vs all-red                    : %.4f\n", res.Cost/allRed)
 	fmt.Printf("  messages reaching destination : %d\n", res.ReduceMessages)
+	if inj != nil {
+		st := inj.Stats()
+		fmt.Printf("  chaos: %d dials (%d failed), %d cuts, %d resets, %d delays\n",
+			st.Dials, st.DialsFailed, st.Cuts, st.Resets, st.Delays)
+	}
+	if res.Degraded {
+		fmt.Printf("  DEGRADED: distributed run failed after %d attempts (%v); result from local fallback solve\n",
+			res.Attempts, res.Cause)
+	} else if res.Attempts > 1 {
+		fmt.Printf("  recovered after %d attempts\n", res.Attempts)
+	}
 	if res.Cost != serial.Cost {
 		return fmt.Errorf("distributed cost %v disagrees with serial %v", res.Cost, serial.Cost)
 	}

@@ -16,6 +16,16 @@
 // The destination d is played by the coordinator, which accepts the
 // root's connection, reads the optimal cost from the root's table, sends
 // the budget k down, and receives the final Reduce result.
+//
+// The runtime no longer assumes a perfect network. Every frame exchange
+// carries its own I/O deadline (Options.FrameTimeout) independent of any
+// context deadline, so a dead peer fails the frame instead of hanging
+// the run; transient dial failures are retried with exponential backoff
+// and jitter (Options.Retry); and RunOrFallback (retry.go) degrades
+// gracefully — when whole-run retries are exhausted it answers from a
+// local core.SolveMemo solve, flagged Degraded, instead of erroring.
+// Faults can be injected deterministically through Options.Dial and
+// Options.WrapListener (see internal/chaos).
 package cluster
 
 import (
@@ -24,11 +34,113 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"time"
 
 	"soar/internal/core"
 	"soar/internal/topology"
 	"soar/internal/wire"
 )
+
+// DefaultFrameTimeout is the per-frame I/O deadline applied when
+// Options.FrameTimeout is unset. It bounds how long any single accept,
+// frame read or frame write may block — even when the caller's context
+// has no deadline — so one dead peer can never hang a run forever.
+const DefaultFrameTimeout = 10 * time.Second
+
+// RetryPolicy bounds retries of transient transport failures with
+// exponential backoff and jitter. The zero value selects the defaults
+// (4 attempts, 5ms base delay doubling up to 250ms).
+type RetryPolicy struct {
+	// Attempts is the total number of tries (1 = no retry; default 4).
+	Attempts int
+	// BaseDelay is the backoff before the first retry; it doubles every
+	// retry (default 5ms).
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff (default 250ms).
+	MaxDelay time.Duration
+}
+
+func (p RetryPolicy) attempts() int {
+	if p.Attempts <= 0 {
+		return 4
+	}
+	return p.Attempts
+}
+
+// backoff returns the jittered delay before retry number attempt (≥ 1):
+// uniform in [d/2, d] where d = min(MaxDelay, BaseDelay·2^(attempt−1)).
+// Full determinism is not a goal here (jitter exists to de-synchronize
+// retry storms), so the shared math/rand source is fine.
+func (p RetryPolicy) backoff(attempt int) time.Duration {
+	base, maxd := p.BaseDelay, p.MaxDelay
+	if base <= 0 {
+		base = 5 * time.Millisecond
+	}
+	if maxd <= 0 {
+		maxd = 250 * time.Millisecond
+	}
+	d := base << (attempt - 1)
+	if d <= 0 || d > maxd {
+		d = maxd
+	}
+	return d/2 + time.Duration(rngInt63n(int64(d/2)+1))
+}
+
+// sleepBackoff waits out the backoff for retry number attempt, honoring
+// ctx cancellation.
+func sleepBackoff(ctx context.Context, p RetryPolicy, attempt int) error {
+	t := time.NewTimer(p.backoff(attempt))
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Options tunes a run's transport behavior. The zero value (or a nil
+// *Options) selects plain TCP with the default frame timeout and retry
+// policy.
+type Options struct {
+	// Dial dials addr on behalf of the given node (switches 0..n−1; the
+	// destination never dials). nil uses a plain net.Dialer. Fault
+	// injectors substitute their own (chaos.Injector.Dial).
+	Dial func(ctx context.Context, node int, addr string) (net.Conn, error)
+	// WrapListener wraps node's freshly created listener (switches
+	// 0..n−1, the destination as node n). nil leaves listeners bare.
+	WrapListener func(node int, ln net.Listener) net.Listener
+	// FrameTimeout is the per-frame I/O deadline, applied to every
+	// accept, frame read and frame write independently of ctx (default
+	// DefaultFrameTimeout; < 0 disables, leaving only ctx to bound I/O).
+	FrameTimeout time.Duration
+	// Retry bounds transient-failure retries: per-node dial attempts in
+	// Run, whole-run attempts in RunOrFallback.
+	Retry RetryPolicy
+}
+
+func (o *Options) withDefaults() *Options {
+	var out Options
+	if o != nil {
+		out = *o
+	}
+	if out.Dial == nil {
+		out.Dial = func(ctx context.Context, _ int, addr string) (net.Conn, error) {
+			var d net.Dialer
+			return d.DialContext(ctx, "tcp", addr)
+		}
+	}
+	if out.WrapListener == nil {
+		out.WrapListener = func(_ int, ln net.Listener) net.Listener { return ln }
+	}
+	switch {
+	case out.FrameTimeout == 0:
+		out.FrameTimeout = DefaultFrameTimeout
+	case out.FrameTimeout < 0:
+		out.FrameTimeout = 0
+	}
+	return &out
+}
 
 // Result is the outcome of a cluster run.
 type Result struct {
@@ -42,6 +154,17 @@ type Result struct {
 	// ReducePhi is the utilization Σ msg_e·ρ(e) accumulated hop by hop
 	// during the distributed Reduce; it must equal Cost.
 	ReducePhi float64
+	// Degraded reports that the distributed run failed even after
+	// retries and the result was computed by a local solve instead
+	// (RunOrFallback). A degraded result is still exact — the local
+	// solver is the same DP — but no Reduce traffic actually crossed
+	// the network.
+	Degraded bool
+	// Attempts is the number of whole-run attempts RunOrFallback made
+	// (1 for a first-try success; 0 when Run was called directly).
+	Attempts int
+	// Cause is the last transport error when Degraded, nil otherwise.
+	Cause error
 }
 
 // Run executes SOAR and a Reduce over a loopback TCP mesh and returns the
@@ -68,17 +191,34 @@ func Run(ctx context.Context, t *topology.Tree, load []int, avail []bool, k int)
 // only reshape the effective budgets, and with them the width of the
 // Gather frames each parent accepts.
 func RunCaps(ctx context.Context, t *topology.Tree, load []int, caps []int, k int) (*Result, error) {
+	return RunWithOptions(ctx, t, load, caps, k, nil)
+}
+
+// validateInputs rejects malformed problems before any socket is opened.
+// These errors are permanent: neither retry nor fallback can fix them.
+func validateInputs(t *topology.Tree, load []int, caps []int) error {
 	if len(load) != t.N() {
-		return nil, fmt.Errorf("cluster: load has %d entries for %d switches", len(load), t.N())
+		return fmt.Errorf("cluster: load has %d entries for %d switches", len(load), t.N())
 	}
 	if caps != nil && len(caps) != t.N() {
-		return nil, fmt.Errorf("cluster: caps has %d entries for %d switches", len(caps), t.N())
+		return fmt.Errorf("cluster: caps has %d entries for %d switches", len(caps), t.N())
 	}
 	for v, c := range caps {
 		if c < 0 {
-			return nil, fmt.Errorf("cluster: switch %d has negative capacity %d", v, c)
+			return fmt.Errorf("cluster: switch %d has negative capacity %d", v, c)
 		}
 	}
+	return nil
+}
+
+// RunWithOptions is RunCaps with explicit transport options: custom
+// dialers and listener wrappers (fault injection), per-frame I/O
+// deadlines, and the dial retry policy.
+func RunWithOptions(ctx context.Context, t *topology.Tree, load []int, caps []int, k int, opts *Options) (*Result, error) {
+	if err := validateInputs(t, load, caps); err != nil {
+		return nil, err
+	}
+	opts = opts.withDefaults()
 	if k < 0 {
 		k = 0
 	}
@@ -102,7 +242,7 @@ func RunCaps(ctx context.Context, t *topology.Tree, load []int, caps []int, k in
 			}
 			return nil, fmt.Errorf("cluster: listen: %w", err)
 		}
-		listeners[i] = ln
+		listeners[i] = opts.WrapListener(i, ln)
 	}
 	defer func() {
 		for _, l := range listeners {
@@ -130,7 +270,7 @@ func RunCaps(ctx context.Context, t *topology.Tree, load []int, caps []int, k in
 				capw = caps[v]
 			}
 			if err := runNode(runCtx, t, v, load[v], subLoad[v] > 0, capw, k, ecaps,
-				listeners[v], addrOf, res.Blue); err != nil {
+				listeners[v], addrOf, res.Blue, opts); err != nil {
 				errCh <- fmt.Errorf("switch %d: %w", v, err)
 				cancel()
 			}
@@ -140,7 +280,7 @@ func RunCaps(ctx context.Context, t *topology.Tree, load []int, caps []int, k in
 	// Play the destination.
 	destErr := make(chan error, 1)
 	go func() {
-		err := runDestination(runCtx, destListener, k, ecaps[t.Root()], res)
+		err := runDestination(runCtx, destListener, k, ecaps[t.Root()], res, opts)
 		if err != nil {
 			cancel() // unblock the switches before Run waits on them
 		}
@@ -177,22 +317,37 @@ func RunCaps(ctx context.Context, t *topology.Tree, load []int, caps []int, k in
 // injection tests use it to attack the protocol from outside.
 var testListenerHook func([]net.Listener)
 
-// edge wraps one tree-edge connection with buffered framing.
+// edge wraps one tree-edge connection with buffered framing and a
+// per-frame I/O deadline: every send and recv is bounded by timeout on
+// its own, independent of any context deadline, so a peer that stops
+// mid-protocol fails the frame instead of blocking forever.
 type edge struct {
-	conn net.Conn
-	r    *bufio.Reader
-	w    *bufio.Writer
+	conn    net.Conn
+	r       *bufio.Reader
+	w       *bufio.Writer
+	timeout time.Duration
 }
 
-func newEdge(conn net.Conn) *edge {
-	return &edge{conn: conn, r: bufio.NewReader(conn), w: bufio.NewWriter(conn)}
+func newEdge(conn net.Conn, timeout time.Duration) *edge {
+	return &edge{conn: conn, r: bufio.NewReader(conn), w: bufio.NewWriter(conn), timeout: timeout}
 }
 
 func (e *edge) send(m wire.Message) error {
+	if e.timeout > 0 {
+		e.conn.SetWriteDeadline(time.Now().Add(e.timeout))
+	}
 	if err := wire.Write(e.w, m); err != nil {
 		return err
 	}
 	return e.w.Flush()
+}
+
+// recv reads one typed frame under the edge's per-frame deadline.
+func recv[M wire.Message](e *edge) (M, error) {
+	if e.timeout > 0 {
+		e.conn.SetReadDeadline(time.Now().Add(e.timeout))
+	}
+	return wire.ReadTyped[M](e.r)
 }
 
 func (e *edge) close() {
@@ -201,11 +356,49 @@ func (e *edge) close() {
 	}
 }
 
+// accept bounds one Accept call with the per-frame deadline when the
+// listener supports deadlines (*net.TCPListener and the chaos wrapper
+// both do).
+func accept(ln net.Listener, timeout time.Duration) (net.Conn, error) {
+	if d, ok := ln.(interface{ SetDeadline(time.Time) error }); ok {
+		if timeout > 0 {
+			d.SetDeadline(time.Now().Add(timeout))
+		} else {
+			d.SetDeadline(time.Time{})
+		}
+	}
+	return ln.Accept()
+}
+
+// dialWithRetry dials the node's parent with bounded retries: transient
+// dial failures (the network analogue of a lost SYN) back off
+// exponentially with jitter until the policy is exhausted or ctx dies.
+func dialWithRetry(ctx context.Context, opts *Options, node int, addr string) (net.Conn, error) {
+	var lastErr error
+	attempts := opts.Retry.attempts()
+	for attempt := 1; attempt <= attempts; attempt++ {
+		if attempt > 1 {
+			if err := sleepBackoff(ctx, opts.Retry, attempt-1); err != nil {
+				return nil, err
+			}
+		}
+		conn, err := opts.Dial(ctx, node, addr)
+		if err == nil {
+			return conn, nil
+		}
+		lastErr = err
+		if ctx.Err() != nil {
+			return nil, lastErr
+		}
+	}
+	return nil, fmt.Errorf("dial parent: %d attempts exhausted: %w", attempts, lastErr)
+}
+
 // runNode is the full lifecycle of one switch. capw is the switch's own
 // capacity weight; ecaps the tree-wide effective budgets bounding every
 // frame's width.
 func runNode(ctx context.Context, t *topology.Tree, v, loadV int, hasLoad bool,
-	capw, k int, ecaps []int, ln net.Listener, addrOf func(int) string, blueOut []bool) error {
+	capw, k int, ecaps []int, ln net.Listener, addrOf func(int) string, blueOut []bool, opts *Options) error {
 
 	children := t.Children(v)
 
@@ -217,13 +410,13 @@ func runNode(ctx context.Context, t *topology.Tree, v, loadV int, hasLoad bool,
 		}
 	}()
 	for range children {
-		conn, err := ln.Accept()
+		conn, err := accept(ln, opts.FrameTimeout)
 		if err != nil {
 			return fmt.Errorf("accept: %w", err)
 		}
-		applyDeadline(ctx, conn)
-		e := newEdge(conn)
-		hello, err := wire.ReadTyped[*wire.Hello](e.r)
+		bindToCtx(ctx, conn)
+		e := newEdge(conn, opts.FrameTimeout)
+		hello, err := recv[*wire.Hello](e)
 		if err != nil {
 			conn.Close()
 			return fmt.Errorf("hello: %w", err)
@@ -243,7 +436,7 @@ func runNode(ctx context.Context, t *topology.Tree, v, loadV int, hasLoad bool,
 	// SOAR-Gather: collect the children's X tables, in child order.
 	childX := make([][]float64, len(children))
 	for i, c := range children {
-		g, err := wire.ReadTyped[*wire.Gather](childEdge[c].r)
+		g, err := recv[*wire.Gather](childEdge[c])
 		if err != nil {
 			return fmt.Errorf("gather from %d: %w", c, err)
 		}
@@ -263,13 +456,12 @@ func runNode(ctx context.Context, t *topology.Tree, v, loadV int, hasLoad bool,
 	if p := t.Parent(v); p != topology.NoParent {
 		parentAddr = addrOf(p)
 	}
-	var d net.Dialer
-	conn, err := d.DialContext(ctx, "tcp", parentAddr)
+	conn, err := dialWithRetry(ctx, opts, v, parentAddr)
 	if err != nil {
-		return fmt.Errorf("dial parent: %w", err)
+		return err
 	}
-	applyDeadline(ctx, conn)
-	up := newEdge(conn)
+	bindToCtx(ctx, conn)
+	up := newEdge(conn, opts.FrameTimeout)
 	defer up.close()
 	if err := up.send(&wire.Hello{Child: uint32(v)}); err != nil {
 		return err
@@ -285,7 +477,7 @@ func runNode(ctx context.Context, t *topology.Tree, v, loadV int, hasLoad bool,
 	}
 
 	// SOAR-Color: receive our assignment, decide, forward the splits.
-	cm, err := wire.ReadTyped[*wire.Color](up.r)
+	cm, err := recv[*wire.Color](up)
 	if err != nil {
 		return fmt.Errorf("color: %w", err)
 	}
@@ -305,7 +497,7 @@ func runNode(ctx context.Context, t *topology.Tree, v, loadV int, hasLoad bool,
 	var inMsgs int64
 	var phi float64
 	for _, c := range children {
-		rd, err := wire.ReadTyped[*wire.ReduceDone](childEdge[c].r)
+		rd, err := recv[*wire.ReduceDone](childEdge[c])
 		if err != nil {
 			return fmt.Errorf("reduce from %d: %w", c, err)
 		}
@@ -327,18 +519,25 @@ func runNode(ctx context.Context, t *topology.Tree, v, loadV int, hasLoad bool,
 // the root's effective budget min(k, Σ c(u)) — min(k, |Λ|) in the
 // uniform model — the width (minus one) of the table frame the root must
 // ship.
-func runDestination(ctx context.Context, ln net.Listener, k, capRoot int, res *Result) error {
-	conn, err := ln.Accept()
+func runDestination(ctx context.Context, ln net.Listener, k, capRoot int, res *Result, opts *Options) error {
+	// The root dials d only after the whole tree below it has gathered,
+	// so this accept legitimately spans every lower phase (plus any
+	// dial retries): give it the whole retry envelope, not one frame.
+	acceptTimeout := opts.FrameTimeout
+	if acceptTimeout > 0 {
+		acceptTimeout *= time.Duration(opts.Retry.attempts())
+	}
+	conn, err := accept(ln, acceptTimeout)
 	if err != nil {
 		return fmt.Errorf("destination accept: %w", err)
 	}
-	applyDeadline(ctx, conn)
-	e := newEdge(conn)
+	bindToCtx(ctx, conn)
+	e := newEdge(conn, opts.FrameTimeout)
 	defer e.close()
-	if _, err := wire.ReadTyped[*wire.Hello](e.r); err != nil {
+	if _, err := recv[*wire.Hello](e); err != nil {
 		return fmt.Errorf("destination hello: %w", err)
 	}
-	g, err := wire.ReadTyped[*wire.Gather](e.r)
+	g, err := recv[*wire.Gather](e)
 	if err != nil {
 		return fmt.Errorf("destination gather: %w", err)
 	}
@@ -349,7 +548,7 @@ func runDestination(ctx context.Context, ln net.Listener, k, capRoot int, res *R
 	if err := e.send(&wire.Color{Budget: uint32(k), L: 1}); err != nil {
 		return err
 	}
-	rd, err := wire.ReadTyped[*wire.ReduceDone](e.r)
+	rd, err := recv[*wire.ReduceDone](e)
 	if err != nil {
 		return fmt.Errorf("destination reduce: %w", err)
 	}
@@ -358,14 +557,13 @@ func runDestination(ctx context.Context, ln net.Listener, k, capRoot int, res *R
 	return nil
 }
 
-// applyDeadline binds a connection's lifetime to the context: any context
-// deadline becomes the socket deadline, and cancellation closes the
-// socket so blocked reads and writes unwind promptly. The registration is
+// bindToCtx binds a connection's lifetime to the context: cancellation
+// closes the socket so blocked reads and writes unwind promptly. I/O
+// timeouts are NOT taken from the context anymore — every frame carries
+// its own deadline (edge.timeout) — so a context without a deadline no
+// longer means unbounded blocking on a dead peer. The registration is
 // released when the run's context is canceled (Run always cancels on
 // exit), so nothing leaks.
-func applyDeadline(ctx context.Context, conn net.Conn) {
-	if dl, ok := ctx.Deadline(); ok {
-		conn.SetDeadline(dl)
-	}
+func bindToCtx(ctx context.Context, conn net.Conn) {
 	context.AfterFunc(ctx, func() { conn.Close() })
 }

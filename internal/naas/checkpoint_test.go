@@ -1,0 +1,110 @@
+package naas
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"soar/internal/paper"
+)
+
+func TestServiceCheckpointRestore(t *testing.T) {
+	tr, loads := paper.Figure2()
+	s := NewService(tr, 2)
+	lease, err := s.Place(loads, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := s.Checkpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	fresh := NewService(tr, 2)
+	t.Cleanup(fresh.Close)
+	if err := fresh.Restore(&buf); err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	got, err := fresh.Lookup(lease.ID)
+	if err != nil {
+		t.Fatalf("lease lost across restart: %v", err)
+	}
+	if got.Phi != lease.Phi || len(got.Blue) != len(lease.Blue) {
+		t.Fatalf("restored lease %+v, placed %+v", got, lease)
+	}
+}
+
+func TestHTTPCheckpointStreamIsRestorable(t *testing.T) {
+	tr, loads := paper.Figure2()
+	svc := NewService(tr, 2)
+	t.Cleanup(svc.Close)
+	lease, err := svc.Place(loads, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(svc.Handler())
+	t.Cleanup(ts.Close)
+
+	var buf bytes.Buffer
+	c := NewClient(ts.URL, nil)
+	size, err := c.Checkpoint(context.Background(), &buf)
+	if err != nil {
+		t.Fatalf("GET /v1/checkpoint: %v", err)
+	}
+	if size != int64(buf.Len()) || size == 0 {
+		t.Fatalf("checkpoint size %d, buffered %d", size, buf.Len())
+	}
+
+	fresh := NewService(tr, 2)
+	t.Cleanup(fresh.Close)
+	if err := fresh.Restore(&buf); err != nil {
+		t.Fatalf("restore of HTTP checkpoint: %v", err)
+	}
+	if _, err := fresh.Lookup(lease.ID); err != nil {
+		t.Fatalf("lease lost through the HTTP checkpoint: %v", err)
+	}
+}
+
+func TestHTTPCheckpointSave(t *testing.T) {
+	tr, _ := paper.Figure2()
+	svc := NewService(tr, 2)
+	t.Cleanup(svc.Close)
+
+	// Without a configured saver, POST must refuse, not pretend.
+	ts := httptest.NewServer(svc.Handler())
+	resp, err := http.Post(ts.URL+"/v1/checkpoint", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("POST without saver: HTTP %d, want 503", resp.StatusCode)
+	}
+	ts.Close()
+
+	saved := 0
+	svc.SetCheckpointSaver(func() (string, int64, error) {
+		saved++
+		if saved > 1 {
+			return "", 0, errors.New("disk full")
+		}
+		return "/tmp/ckpt", 123, nil
+	})
+	ts = httptest.NewServer(svc.Handler())
+	t.Cleanup(ts.Close)
+	c := NewClient(ts.URL, nil)
+	path, size, err := c.SaveCheckpoint(context.Background())
+	if err != nil {
+		t.Fatalf("POST /v1/checkpoint: %v", err)
+	}
+	if path != "/tmp/ckpt" || size != 123 {
+		t.Fatalf("save reported %q/%d", path, size)
+	}
+	if _, _, err := c.SaveCheckpoint(context.Background()); err == nil {
+		t.Fatal("failing saver reported success")
+	}
+}

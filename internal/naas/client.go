@@ -104,6 +104,42 @@ func (c *Client) Residual(ctx context.Context) ([]int, error) {
 	return out.Residual, nil
 }
 
+// Checkpoint streams a consistent checkpoint of the service's control
+// plane into w (the bytes a fresh Service.Restore accepts) and returns
+// the size.
+func (c *Client) Checkpoint(ctx context.Context, w io.Writer) (int64, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/checkpoint", nil)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("naas: HTTP %d", resp.StatusCode)
+	}
+	return io.Copy(w, resp.Body)
+}
+
+// SaveCheckpoint asks the daemon to persist a checkpoint to its
+// configured path and returns where it landed.
+func (c *Client) SaveCheckpoint(ctx context.Context) (path string, size int64, err error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/checkpoint", nil)
+	if err != nil {
+		return "", 0, err
+	}
+	var out struct {
+		Path  string `json:"path"`
+		Bytes int64  `json:"bytes"`
+	}
+	if err := c.do(req, http.StatusOK, &out); err != nil {
+		return "", 0, err
+	}
+	return out.Path, out.Bytes, nil
+}
+
 func (c *Client) do(req *http.Request, wantStatus int, out interface{}) error {
 	resp, err := c.http.Do(req)
 	if err != nil {

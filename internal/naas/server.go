@@ -1,6 +1,7 @@
 package naas
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -16,6 +17,8 @@ import (
 //	DELETE /v1/tenants/{id}                                 → 204
 //	GET    /v1/stats                                        → Stats JSON
 //	GET    /v1/residual                                     → {"residual": [...]}
+//	GET    /v1/checkpoint                                   → checkpoint stream (octet-stream)
+//	POST   /v1/checkpoint                                   → {"path": ..., "bytes": n} (durable save)
 //
 // All request and response bodies are JSON; errors come back as
 // {"error": "..."} with an appropriate status code.
@@ -53,6 +56,7 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("/v1/tenants/", s.handleTenantByID)
 	mux.HandleFunc("/v1/stats", s.handleStats)
 	mux.HandleFunc("/v1/residual", s.handleResidual)
+	mux.HandleFunc("/v1/checkpoint", s.handleCheckpoint)
 	return mux
 }
 
@@ -116,6 +120,40 @@ func (s *Service) handleResidual(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string][]int{"residual": s.Residual()})
+}
+
+// handleCheckpoint serves the crash-recovery surface: GET streams a
+// consistent checkpoint of the control plane to the caller (an operator
+// pulling a backup), POST asks the daemon to persist one to its
+// configured path (503 when the daemon runs without one).
+func (s *Service) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		// Encode to a buffer first so a failure can still produce an
+		// error status instead of a torn stream.
+		var buf bytes.Buffer
+		if err := s.Checkpoint(&buf); err != nil {
+			httpError(w, http.StatusInternalServerError, err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Header().Set("Content-Length", strconv.Itoa(buf.Len()))
+		w.WriteHeader(http.StatusOK)
+		buf.WriteTo(w) // best effort; the status line is already out
+	case http.MethodPost:
+		if s.save == nil {
+			httpError(w, http.StatusServiceUnavailable, errors.New("no checkpoint path configured"))
+			return
+		}
+		path, size, err := s.save()
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]interface{}{"path": path, "bytes": size})
+	default:
+		httpError(w, http.StatusMethodNotAllowed, errors.New("GET or POST only"))
+	}
 }
 
 func writeJSON(w http.ResponseWriter, status int, v interface{}) {

@@ -20,6 +20,8 @@
 package naas
 
 import (
+	"io"
+
 	"soar/internal/sched"
 	"soar/internal/topology"
 )
@@ -38,6 +40,9 @@ type Stats = sched.Stats
 // Service is a concurrency-safe allocator over one physical tree.
 type Service struct {
 	s *sched.Scheduler
+	// save, when set, persists a checkpoint durably (POST /v1/checkpoint
+	// and the daemon's periodic/shutdown saves all funnel through it).
+	save func() (path string, size int64, err error)
 }
 
 // NewService creates a service over tree t where every switch can serve
@@ -95,3 +100,23 @@ func (s *Service) Snapshot() Stats { return s.s.Snapshot() }
 
 // Residual returns a copy of the per-switch residual capacities.
 func (s *Service) Residual() []int { return s.s.Residual() }
+
+// Checkpoint writes the service's durable control-plane state — the
+// capacity ledger and every active lease — to w in the internal/wire
+// checkpoint format. Safe to call while serving traffic; the snapshot
+// is consistent (see sched.Scheduler.Checkpoint).
+func (s *Service) Checkpoint(w io.Writer) error { return s.s.Checkpoint(w) }
+
+// Restore replays a checkpoint into a freshly created service. It must
+// run before the service admits any tenant or serves HTTP traffic; a
+// corrupted, truncated or wrong-topology checkpoint is rejected without
+// installing anything (see sched.Scheduler.Restore).
+func (s *Service) Restore(r io.Reader) error { return s.s.Restore(r) }
+
+// SetCheckpointSaver registers the durable checkpoint sink invoked by
+// POST /v1/checkpoint: fn persists a checkpoint and reports where and
+// how many bytes. It must be called before the service starts serving
+// HTTP traffic (it is not synchronized against the handler).
+func (s *Service) SetCheckpointSaver(fn func() (path string, size int64, err error)) {
+	s.save = fn
+}

@@ -1,0 +1,295 @@
+package sched
+
+import (
+	"fmt"
+	"hash"
+	"hash/fnv"
+	"io"
+
+	"soar/internal/wire"
+)
+
+// This file makes the scheduler's control-plane state durable. Before
+// it, a crash lost every tenant: the ledger residuals and lease records
+// lived only in process memory. Checkpoint serializes both as a stream
+// of internal/wire frames (CkptHeader, CkptLedger, one CkptTenant per
+// lease, CkptFooter carrying an FNV-1a checksum of everything before
+// it); Restore validates the stream — format, topology fingerprint,
+// checksum, and full capacity conservation — before installing any of
+// it, so a truncated or corrupted checkpoint is rejected atomically.
+//
+// The recovery model is snapshot-consistency: a checkpoint taken under
+// mu observes every lease either fully committed or not at all (commit
+// publishes each lease atomically under the same lock). Leases admitted
+// after the snapshot are lost on restore — exactly the contract of
+// periodic checkpointing; the chaos soak (soak_test.go) churns tenants
+// through kill/restore cycles and proves what survives is conserved:
+// lease-for-lease identical, residuals non-negative, no switch ever
+// double-committed.
+
+// ckptSnapshot is the under-lock copy Checkpoint serializes after
+// releasing mu, so slow sinks (disk, HTTP) never block admission.
+type ckptSnapshot struct {
+	initial  []int
+	residual []int
+	nextID   int64
+	tenants  []*tenant
+}
+
+// snapshotState deep-copies the durable state under mu. The lock is
+// the scheduler's //soar:critical commit lock, so soarlint's
+// lockdiscipline analyzer proves this snapshot never blocks admission
+// on a channel, a solve or a pool Get — it copies and releases.
+func (s *Scheduler) snapshotState() ckptSnapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	snap := ckptSnapshot{
+		initial:  append([]int(nil), s.ledger.initial...),
+		residual: append([]int(nil), s.ledger.residual...),
+		nextID:   s.nextID,
+		tenants:  make([]*tenant, 0, len(s.leases)),
+	}
+	for _, ten := range s.leases {
+		snap.tenants = append(snap.tenants, &tenant{
+			id:     ten.id,
+			k:      ten.k,
+			phi:    ten.phi,
+			allRed: ten.allRed,
+			blue:   append([]int(nil), ten.blue...),
+			load:   append([]int(nil), ten.load...),
+		})
+	}
+	return snap
+}
+
+// Checkpoint writes the scheduler's durable state — capacity ledger,
+// every active lease, and the tenant-id high-water mark — to w in the
+// internal/wire checkpoint format. The snapshot is consistent: it is
+// taken atomically with respect to commits and releases, then encoded
+// outside the lock. Checkpoint is safe to call concurrently with
+// serving traffic and with other Checkpoints.
+func (s *Scheduler) Checkpoint(w io.Writer) error {
+	snap := s.snapshotState()
+	h := fnv.New64a()
+	hw := io.MultiWriter(w, h)
+
+	hdr := &wire.CkptHeader{
+		Version:  wire.CkptVersion,
+		Switches: uint32(s.t.N()),
+		Tenants:  uint64(len(snap.tenants)),
+		NextID:   uint64(snap.nextID),
+		TreeSum:  s.t.Fingerprint(),
+	}
+	if err := wire.Write(hw, hdr); err != nil {
+		return fmt.Errorf("sched: checkpoint header: %w", err)
+	}
+	led := &wire.CkptLedger{
+		Initial:  make([]int32, len(snap.initial)),
+		Residual: make([]int32, len(snap.residual)),
+	}
+	for v := range snap.initial {
+		led.Initial[v] = int32(snap.initial[v])
+		led.Residual[v] = int32(snap.residual[v])
+	}
+	if err := wire.Write(hw, led); err != nil {
+		return fmt.Errorf("sched: checkpoint ledger: %w", err)
+	}
+	for _, ten := range snap.tenants {
+		tf := &wire.CkptTenant{
+			ID:   uint64(ten.id),
+			K:    uint32(ten.k),
+			Blue: make([]uint32, len(ten.blue)),
+		}
+		tf.SetPhi(ten.phi)
+		tf.SetAllRed(ten.allRed)
+		for i, v := range ten.blue {
+			tf.Blue[i] = uint32(v)
+		}
+		for v, l := range ten.load {
+			if l > 0 {
+				tf.LoadV = append(tf.LoadV, uint32(v))
+				tf.LoadN = append(tf.LoadN, uint32(l))
+			}
+		}
+		if err := wire.Write(hw, tf); err != nil {
+			return fmt.Errorf("sched: checkpoint tenant %d: %w", ten.id, err)
+		}
+	}
+	// The footer's checksum covers every byte before the footer; it goes
+	// to w alone so reader and writer hash the same prefix.
+	foot := &wire.CkptFooter{Tenants: uint64(len(snap.tenants)), Sum: h.Sum64()}
+	if err := wire.Write(w, foot); err != nil {
+		return fmt.Errorf("sched: checkpoint footer: %w", err)
+	}
+	return nil
+}
+
+// readCkpt reads one typed frame through the checksum.
+func readCkpt[M wire.Message](r io.Reader, h hash.Hash64) (M, error) {
+	return wire.ReadTyped[M](io.TeeReader(r, h))
+}
+
+// Restore replays a checkpoint into a freshly constructed scheduler: it
+// must be called before the scheduler has admitted any tenant (and
+// before traffic is offered — restoring mid-serve races the solve
+// pipeline's lock-free ledger reads). The entire stream is read and
+// validated first — version, topology fingerprint, checksum, ledger
+// shape, and conservation (residual[v] = initial[v] − Σ leases on v ≥ 0
+// for every switch) — and only then installed, atomically: a bad
+// checkpoint leaves the scheduler exactly as it was.
+//
+// The restored ledger replaces the capacities the scheduler was
+// constructed with: recovery reproduces the crashed instance, config
+// drift and all.
+func (s *Scheduler) Restore(r io.Reader) error {
+	h := fnv.New64a()
+	hdr, err := readCkpt[*wire.CkptHeader](r, h)
+	if err != nil {
+		return fmt.Errorf("sched: restore header: %w", err)
+	}
+	if hdr.Version != wire.CkptVersion {
+		return fmt.Errorf("sched: restore: checkpoint version %d, want %d", hdr.Version, wire.CkptVersion)
+	}
+	n := s.t.N()
+	if int(hdr.Switches) != n {
+		return fmt.Errorf("sched: restore: checkpoint for %d switches, tree has %d", hdr.Switches, n)
+	}
+	if sum := s.t.Fingerprint(); hdr.TreeSum != sum {
+		return fmt.Errorf("sched: restore: checkpoint topology fingerprint %x, tree is %x", hdr.TreeSum, sum)
+	}
+	led, err := readCkpt[*wire.CkptLedger](r, h)
+	if err != nil {
+		return fmt.Errorf("sched: restore ledger: %w", err)
+	}
+	if len(led.Initial) != n {
+		return fmt.Errorf("sched: restore: ledger has %d switches, tree has %d", len(led.Initial), n)
+	}
+
+	tenants := make([]*tenant, 0, hdr.Tenants)
+	used := make([]int, n)
+	seen := make(map[int64]bool, hdr.Tenants)
+	maxID := int64(-1)
+	for i := uint64(0); i < hdr.Tenants; i++ {
+		tf, err := readCkpt[*wire.CkptTenant](r, h)
+		if err != nil {
+			return fmt.Errorf("sched: restore tenant %d/%d: %w", i+1, hdr.Tenants, err)
+		}
+		ten := &tenant{
+			id:     int64(tf.ID),
+			k:      int(tf.K),
+			phi:    tf.Phi(),
+			allRed: tf.AllRed(),
+			blue:   make([]int, len(tf.Blue)),
+			load:   make([]int, n),
+		}
+		if seen[ten.id] {
+			return fmt.Errorf("sched: restore: duplicate tenant id %d", ten.id)
+		}
+		seen[ten.id] = true
+		if ten.id > maxID {
+			maxID = ten.id
+		}
+		tenBlue := make(map[uint32]bool, len(tf.Blue))
+		for j, v := range tf.Blue {
+			if int(v) >= n {
+				return fmt.Errorf("sched: restore: tenant %d leases switch %d of %d", ten.id, v, n)
+			}
+			if tenBlue[v] {
+				return fmt.Errorf("sched: restore: tenant %d leases switch %d twice", ten.id, v)
+			}
+			tenBlue[v] = true
+			ten.blue[j] = int(v)
+			used[v]++
+		}
+		for j, v := range tf.LoadV {
+			if int(v) >= n {
+				return fmt.Errorf("sched: restore: tenant %d has load at switch %d of %d", ten.id, v, n)
+			}
+			ten.load[v] = int(tf.LoadN[j])
+		}
+		tenants = append(tenants, ten)
+	}
+	// Checksum before the footer: the footer authenticates the prefix.
+	sum := h.Sum64()
+	foot, err := readCkpt[*wire.CkptFooter](r, h)
+	if err != nil {
+		return fmt.Errorf("sched: restore footer: %w", err)
+	}
+	if foot.Tenants != hdr.Tenants {
+		return fmt.Errorf("sched: restore: footer counts %d tenants, header %d", foot.Tenants, hdr.Tenants)
+	}
+	if foot.Sum != sum {
+		return fmt.Errorf("sched: restore: checksum %x, stream hashes to %x — checkpoint truncated or corrupted", foot.Sum, sum)
+	}
+	// Conservation: the ledger must equal initial minus exactly the
+	// restored leases — nothing double-committed, nothing leaked.
+	for v := 0; v < n; v++ {
+		if led.Residual[v] < 0 || led.Initial[v] < 0 {
+			return fmt.Errorf("sched: restore: negative capacity at switch %d", v)
+		}
+		if int(led.Initial[v])-used[v] != int(led.Residual[v]) {
+			return fmt.Errorf("sched: restore: switch %d conserves nothing: initial %d − %d leased ≠ residual %d",
+				v, led.Initial[v], used[v], led.Residual[v])
+		}
+	}
+	if nextID := int64(hdr.NextID); nextID <= maxID {
+		return fmt.Errorf("sched: restore: next id %d would reissue live id %d", nextID, maxID)
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.leases) != 0 {
+		return fmt.Errorf("sched: restore into a scheduler with %d active leases", len(s.leases))
+	}
+	for v := 0; v < n; v++ {
+		s.ledger.initial[v] = int(led.Initial[v])
+		s.ledger.residual[v] = int(led.Residual[v])
+		s.ledger.avail[v] = led.Residual[v] > 0
+	}
+	for _, ten := range tenants {
+		s.leases[ten.id] = ten
+	}
+	s.nextID = int64(hdr.NextID)
+	return nil
+}
+
+// Audit recomputes the capacity invariant from first principles and
+// returns an error if the ledger and the lease set disagree: for every
+// switch, residual = initial − (leases holding it) and residual ≥ 0,
+// with the availability set Λ exactly {v : residual > 0}. The chaos
+// soak calls it after every kill/restore cycle; it is cheap enough
+// (O(switches + leases)) to call in production health checks.
+func (s *Scheduler) Audit() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := s.ledger.N()
+	used := make([]int, n)
+	for id, ten := range s.leases {
+		if ten.id != id {
+			return fmt.Errorf("sched: audit: lease %d filed under id %d", ten.id, id)
+		}
+		if id >= s.nextID {
+			return fmt.Errorf("sched: audit: lease %d at or above next id %d", id, s.nextID)
+		}
+		for _, v := range ten.blue {
+			if v < 0 || v >= n {
+				return fmt.Errorf("sched: audit: lease %d holds switch %d of %d", id, v, n)
+			}
+			used[v]++
+		}
+	}
+	for v := 0; v < n; v++ {
+		if s.ledger.residual[v] < 0 {
+			return fmt.Errorf("sched: audit: switch %d residual %d < 0", v, s.ledger.residual[v])
+		}
+		if s.ledger.initial[v]-used[v] != s.ledger.residual[v] {
+			return fmt.Errorf("sched: audit: switch %d over-committed: initial %d − %d leased ≠ residual %d",
+				v, s.ledger.initial[v], used[v], s.ledger.residual[v])
+		}
+		if s.ledger.avail[v] != (s.ledger.residual[v] > 0) {
+			return fmt.Errorf("sched: audit: switch %d availability %v disagrees with residual %d",
+				v, s.ledger.avail[v], s.ledger.residual[v])
+		}
+	}
+	return nil
+}

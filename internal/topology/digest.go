@@ -1,6 +1,9 @@
 package topology
 
-import "slices"
+import (
+	"math"
+	"slices"
+)
 
 // This file computes two families of structural digests used by the
 // memoized SOAR engines (internal/core.Memo) and by the symmetry
@@ -132,3 +135,28 @@ func (t *Tree) SubtreeDigest(v int) int32 { return t.digests().sub[v] } //soar:h
 // direct measure of the tree's structural symmetry (h(T)+1 classes for a
 // complete uniform tree, n for a path).
 func (t *Tree) SubtreeClasses() int { return t.digests().numSub } //soar:hotpath
+
+// Fingerprint returns a stable 64-bit identity of the tree: FNV-1a over
+// the switch count and every switch's (parent, ρ) pair, in id order.
+// Unlike the interned digests above — dense ids meaningful only within
+// one Tree — the fingerprint is comparable across processes, so durable
+// state (scheduler checkpoints, internal/wire.CkptHeader.TreeSum) can
+// verify it is being restored against the network it was taken from.
+// Isomorphic but differently-numbered trees fingerprint differently by
+// design: leases name switches by id.
+func (t *Tree) Fingerprint() uint64 {
+	const offset64, prime64 = 14695981039346656037, 1099511628211
+	h := uint64(offset64)
+	mix := func(x uint64) {
+		for s := 0; s < 64; s += 8 {
+			h ^= (x >> s) & 0xFF
+			h *= prime64
+		}
+	}
+	mix(uint64(t.N()))
+	for v := 0; v < t.N(); v++ {
+		mix(uint64(int64(t.Parent(v))))
+		mix(math.Float64bits(t.Rho(v)))
+	}
+	return h
+}

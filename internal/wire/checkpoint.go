@@ -1,0 +1,211 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Checkpoint frames serialize the scheduler control plane's durable
+// state (internal/sched): the capacity ledger and every active lease.
+// A checkpoint stream is
+//
+//	CkptHeader  (version, tree fingerprint, counts)
+//	CkptLedger  (initial + residual capacity vectors)
+//	CkptTenant  × Tenants (one frame per lease, loads stored sparse)
+//	CkptFooter  (tenant count echo + FNV-1a checksum of all prior frames)
+//
+// Every frame reuses the package's length+type framing, so the one
+// decoder — and the FuzzDecodeFrame target — covers recovery inputs the
+// same way it covers network inputs: truncated, corrupt or oversized
+// checkpoints must produce errors, never panics or unbounded buffers.
+
+// CkptVersion is the current checkpoint stream version.
+const CkptVersion = 1
+
+// CkptHeader opens a checkpoint stream.
+type CkptHeader struct {
+	// Version is the stream format version (CkptVersion).
+	Version uint32
+	// Switches is the network size the ledger vectors must match.
+	Switches uint32
+	// Tenants is the number of CkptTenant frames that follow.
+	Tenants uint64
+	// NextID is the scheduler's next tenant id, preserved so recovered
+	// schedulers never reissue a live id.
+	NextID uint64
+	// TreeSum is the topology fingerprint (topology.Tree.Fingerprint)
+	// the checkpoint was taken against; restore refuses a different tree.
+	TreeSum uint64
+}
+
+// Type implements Message.
+func (CkptHeader) Type() Type { return TypeCkptHeader }
+
+func (h CkptHeader) appendBody(b []byte) []byte {
+	b = binary.BigEndian.AppendUint32(b, h.Version)
+	b = binary.BigEndian.AppendUint32(b, h.Switches)
+	b = binary.BigEndian.AppendUint64(b, h.Tenants)
+	b = binary.BigEndian.AppendUint64(b, h.NextID)
+	return binary.BigEndian.AppendUint64(b, h.TreeSum)
+}
+
+func (h *CkptHeader) parseBody(b []byte) error {
+	if len(b) != 32 {
+		return fmt.Errorf("wire: ckpt header body %d bytes, want 32", len(b))
+	}
+	h.Version = binary.BigEndian.Uint32(b)
+	h.Switches = binary.BigEndian.Uint32(b[4:])
+	h.Tenants = binary.BigEndian.Uint64(b[8:])
+	h.NextID = binary.BigEndian.Uint64(b[16:])
+	h.TreeSum = binary.BigEndian.Uint64(b[24:])
+	return nil
+}
+
+// CkptLedger carries the capacity ledger: per-switch initial and
+// residual lease capacities, both of length CkptHeader.Switches.
+type CkptLedger struct {
+	Initial  []int32
+	Residual []int32
+}
+
+// Type implements Message.
+func (CkptLedger) Type() Type { return TypeCkptLedger }
+
+func (l CkptLedger) appendBody(b []byte) []byte {
+	b = binary.BigEndian.AppendUint32(b, uint32(len(l.Initial)))
+	for _, v := range l.Initial {
+		b = binary.BigEndian.AppendUint32(b, uint32(v))
+	}
+	for _, v := range l.Residual {
+		b = binary.BigEndian.AppendUint32(b, uint32(v))
+	}
+	return b
+}
+
+func (l *CkptLedger) parseBody(b []byte) error {
+	if len(b) < 4 {
+		return fmt.Errorf("wire: ckpt ledger body %d bytes, want ≥ 4", len(b))
+	}
+	n := uint64(binary.BigEndian.Uint32(b))
+	if 8*n > MaxFrame {
+		return fmt.Errorf("wire: ckpt ledger for %d switches too large", n)
+	}
+	if uint64(len(b)-4) != 8*n {
+		return fmt.Errorf("wire: ckpt ledger body %d bytes for %d switches", len(b), n)
+	}
+	l.Initial = make([]int32, n)
+	l.Residual = make([]int32, n)
+	for i := range l.Initial {
+		l.Initial[i] = int32(binary.BigEndian.Uint32(b[4+4*i:]))
+	}
+	off := 4 + 4*int(n)
+	for i := range l.Residual {
+		l.Residual[i] = int32(binary.BigEndian.Uint32(b[off+4*i:]))
+	}
+	return nil
+}
+
+// CkptTenant carries one lease: identity, budget, the two costs, the
+// leased (blue) switches, and the tenant's load stored sparse as
+// (switch, count) pairs — loads are overwhelmingly leaf-sparse, so dense
+// n-vectors per tenant would dominate the checkpoint.
+type CkptTenant struct {
+	ID         uint64
+	K          uint32
+	PhiBits    uint64
+	AllRedBits uint64
+	Blue       []uint32
+	// LoadV[i] carries LoadN[i] servers; the two slices are parallel.
+	LoadV []uint32
+	LoadN []uint32
+}
+
+// Type implements Message.
+func (CkptTenant) Type() Type { return TypeCkptTenant }
+
+// Phi returns the lease's utilization cost.
+func (t CkptTenant) Phi() float64 { return math.Float64frombits(t.PhiBits) }
+
+// SetPhi stores the lease's utilization cost.
+func (t *CkptTenant) SetPhi(phi float64) { t.PhiBits = math.Float64bits(phi) }
+
+// AllRed returns the tenant's no-aggregation utilization.
+func (t CkptTenant) AllRed() float64 { return math.Float64frombits(t.AllRedBits) }
+
+// SetAllRed stores the tenant's no-aggregation utilization.
+func (t *CkptTenant) SetAllRed(phi float64) { t.AllRedBits = math.Float64bits(phi) }
+
+func (t CkptTenant) appendBody(b []byte) []byte {
+	b = binary.BigEndian.AppendUint64(b, t.ID)
+	b = binary.BigEndian.AppendUint32(b, t.K)
+	b = binary.BigEndian.AppendUint64(b, t.PhiBits)
+	b = binary.BigEndian.AppendUint64(b, t.AllRedBits)
+	b = binary.BigEndian.AppendUint32(b, uint32(len(t.Blue)))
+	b = binary.BigEndian.AppendUint32(b, uint32(len(t.LoadV)))
+	for _, v := range t.Blue {
+		b = binary.BigEndian.AppendUint32(b, v)
+	}
+	for i, v := range t.LoadV {
+		b = binary.BigEndian.AppendUint32(b, v)
+		b = binary.BigEndian.AppendUint32(b, t.LoadN[i])
+	}
+	return b
+}
+
+func (t *CkptTenant) parseBody(b []byte) error {
+	const fixed = 8 + 4 + 8 + 8 + 4 + 4
+	if len(b) < fixed {
+		return fmt.Errorf("wire: ckpt tenant body %d bytes, want ≥ %d", len(b), fixed)
+	}
+	t.ID = binary.BigEndian.Uint64(b)
+	t.K = binary.BigEndian.Uint32(b[8:])
+	t.PhiBits = binary.BigEndian.Uint64(b[12:])
+	t.AllRedBits = binary.BigEndian.Uint64(b[20:])
+	nb := uint64(binary.BigEndian.Uint32(b[28:]))
+	nl := uint64(binary.BigEndian.Uint32(b[32:]))
+	if 4*nb+8*nl > MaxFrame {
+		return fmt.Errorf("wire: ckpt tenant with %d blues, %d loads too large", nb, nl)
+	}
+	if uint64(len(b)-fixed) != 4*nb+8*nl {
+		return fmt.Errorf("wire: ckpt tenant body %d bytes for %d blues, %d loads", len(b), nb, nl)
+	}
+	t.Blue = make([]uint32, nb)
+	for i := range t.Blue {
+		t.Blue[i] = binary.BigEndian.Uint32(b[fixed+4*i:])
+	}
+	off := fixed + 4*int(nb)
+	t.LoadV = make([]uint32, nl)
+	t.LoadN = make([]uint32, nl)
+	for i := range t.LoadV {
+		t.LoadV[i] = binary.BigEndian.Uint32(b[off+8*i:])
+		t.LoadN[i] = binary.BigEndian.Uint32(b[off+8*i+4:])
+	}
+	return nil
+}
+
+// CkptFooter closes a checkpoint stream: Tenants must echo the header
+// and Sum is the FNV-1a hash of every frame byte written before the
+// footer, so a truncated or corrupted checkpoint is detected before any
+// of it is trusted.
+type CkptFooter struct {
+	Tenants uint64
+	Sum     uint64
+}
+
+// Type implements Message.
+func (CkptFooter) Type() Type { return TypeCkptFooter }
+
+func (f CkptFooter) appendBody(b []byte) []byte {
+	b = binary.BigEndian.AppendUint64(b, f.Tenants)
+	return binary.BigEndian.AppendUint64(b, f.Sum)
+}
+
+func (f *CkptFooter) parseBody(b []byte) error {
+	if len(b) != 16 {
+		return fmt.Errorf("wire: ckpt footer body %d bytes, want 16", len(b))
+	}
+	f.Tenants = binary.BigEndian.Uint64(b)
+	f.Sum = binary.BigEndian.Uint64(b[8:])
+	return nil
+}

@@ -1,0 +1,151 @@
+package wire
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestCkptHeaderRoundTrip(t *testing.T) {
+	in := &CkptHeader{Version: CkptVersion, Switches: 255, Tenants: 1 << 40, NextID: 77, TreeSum: 0xABCDEF0123456789}
+	got, ok := roundTrip(t, in).(*CkptHeader)
+	if !ok || *got != *in {
+		t.Fatalf("round trip %+v -> %+v", in, got)
+	}
+}
+
+func TestCkptLedgerRoundTrip(t *testing.T) {
+	in := &CkptLedger{
+		Initial:  []int32{0, 1, 4, 1 << 30},
+		Residual: []int32{0, 0, 3, 1 << 30},
+	}
+	got, ok := roundTrip(t, in).(*CkptLedger)
+	if !ok {
+		t.Fatalf("round trip returned %T", got)
+	}
+	for i := range in.Initial {
+		if got.Initial[i] != in.Initial[i] || got.Residual[i] != in.Residual[i] {
+			t.Fatalf("ledger differs at %d: %+v vs %+v", i, in, got)
+		}
+	}
+}
+
+func TestCkptLedgerEmptyRoundTrip(t *testing.T) {
+	got, ok := roundTrip(t, &CkptLedger{}).(*CkptLedger)
+	if !ok || len(got.Initial) != 0 || len(got.Residual) != 0 {
+		t.Fatalf("empty ledger round trip: %+v", got)
+	}
+}
+
+func TestCkptTenantRoundTrip(t *testing.T) {
+	in := &CkptTenant{ID: 42, K: 3, Blue: []uint32{1, 9, 31}, LoadV: []uint32{7, 15}, LoadN: []uint32{2, 8}}
+	in.SetPhi(123.456)
+	in.SetAllRed(789.5)
+	got, ok := roundTrip(t, in).(*CkptTenant)
+	if !ok {
+		t.Fatalf("round trip returned %T", got)
+	}
+	if got.ID != in.ID || got.K != in.K || got.Phi() != 123.456 || got.AllRed() != 789.5 {
+		t.Fatalf("tenant scalars differ: %+v vs %+v", in, got)
+	}
+	for i := range in.Blue {
+		if got.Blue[i] != in.Blue[i] {
+			t.Fatalf("blue differs at %d", i)
+		}
+	}
+	for i := range in.LoadV {
+		if got.LoadV[i] != in.LoadV[i] || got.LoadN[i] != in.LoadN[i] {
+			t.Fatalf("load differs at %d", i)
+		}
+	}
+}
+
+func TestCkptTenantNoBlueNoLoad(t *testing.T) {
+	// A tenant with zero load has no blues and no load entries; the
+	// frame must still round-trip (the paper's model allows it).
+	got, ok := roundTrip(t, &CkptTenant{ID: 1}).(*CkptTenant)
+	if !ok || got.ID != 1 || len(got.Blue) != 0 || len(got.LoadV) != 0 {
+		t.Fatalf("empty tenant round trip: %+v", got)
+	}
+}
+
+func TestCkptFooterRoundTrip(t *testing.T) {
+	in := &CkptFooter{Tenants: 12, Sum: 0x1122334455667788}
+	got, ok := roundTrip(t, in).(*CkptFooter)
+	if !ok || *got != *in {
+		t.Fatalf("round trip %+v -> %+v", in, got)
+	}
+}
+
+func TestCkptRejectsMalformedBodies(t *testing.T) {
+	cases := []struct {
+		name string
+		m    Message
+		body []byte
+	}{
+		{"header short", &CkptHeader{}, make([]byte, 31)},
+		{"header long", &CkptHeader{}, make([]byte, 33)},
+		{"ledger empty", &CkptLedger{}, nil},
+		{"ledger count lies", &CkptLedger{}, []byte{0, 0, 0, 9, 1, 2, 3}},
+		{"ledger oversized", &CkptLedger{}, []byte{0xFF, 0xFF, 0xFF, 0xFF}},
+		{"tenant short", &CkptTenant{}, make([]byte, 10)},
+		{"tenant counts lie", &CkptTenant{}, append(make([]byte, 28), 0, 0, 0, 200, 0, 0, 0, 0)},
+		{"footer short", &CkptFooter{}, make([]byte, 8)},
+	}
+	for _, tc := range cases {
+		if err := tc.m.parseBody(tc.body); err == nil {
+			t.Errorf("%s: parsed, want error", tc.name)
+		}
+	}
+}
+
+func TestCkptTenantOversizedCountsRejected(t *testing.T) {
+	// Counts whose implied body would exceed MaxFrame must be rejected
+	// before any allocation is attempted.
+	body := make([]byte, 36)
+	body[28], body[29], body[30], body[31] = 0xFF, 0xFF, 0xFF, 0xFF // nb
+	if err := (&CkptTenant{}).parseBody(body); err == nil || !strings.Contains(err.Error(), "too large") {
+		t.Fatalf("oversized blue count: %v, want too-large error", err)
+	}
+}
+
+func TestLargeFrameCrossesReadChunks(t *testing.T) {
+	// A frame bigger than one readBody chunk (64 KiB) must reassemble
+	// exactly.
+	x := make([]float64, 20_000) // 160 KB body
+	for i := range x {
+		x[i] = float64(i) * 0.5
+	}
+	in := &Gather{Child: 1, Rows: 100, Cols: 200, X: x}
+	got, ok := roundTrip(t, in).(*Gather)
+	if !ok || len(got.X) != len(x) {
+		t.Fatalf("large gather round trip: %T len %d", got, len(got.X))
+	}
+	for i := range x {
+		if got.X[i] != x[i] {
+			t.Fatalf("large gather differs at %d", i)
+		}
+	}
+}
+
+func TestLyingLengthHeaderFailsFast(t *testing.T) {
+	// A header claiming MaxFrame over a short stream must error via
+	// ReadFull, not hang or succeed.
+	var hdr bytes.Buffer
+	Write(&hdr, &Hello{Child: 1})
+	b := hdr.Bytes()
+	b[0], b[1], b[2], b[3] = 0x00, 0xFF, 0xFF, 0xFF // claim ~16 MiB
+	if _, err := Read(bytes.NewReader(b)); err == nil {
+		t.Fatal("lying length header decoded")
+	}
+}
+
+func TestReadBodyBoundedFirstAllocation(t *testing.T) {
+	// readBody must not allocate the advertised size up front: reading a
+	// claimed 8 MiB body from an empty stream errors after at most one
+	// chunk.
+	if _, err := readBody(io.MultiReader(), 8<<20); err == nil {
+		t.Fatal("readBody of empty stream succeeded")
+	}
+}

@@ -1,0 +1,60 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+// FuzzDecodeFrame drives the frame decoder with arbitrary bytes: it must
+// return an error on truncated, corrupt or oversized-length frames —
+// never panic, and never allocate beyond the bytes the stream actually
+// delivers (readBody grows in bounded chunks). Frames that do decode
+// must re-encode canonically: encode(decode(frame)) is byte-identical,
+// which pins the format for checkpoints that outlive the process that
+// wrote them.
+func FuzzDecodeFrame(f *testing.F) {
+	seed := func(m Message) {
+		var buf bytes.Buffer
+		if err := Write(&buf, m); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+	}
+	seed(&Hello{Child: 3})
+	seed(&Gather{Child: 1, Rows: 2, Cols: 3, X: []float64{1, 2, 3, 4.5, -1, 0}})
+	seed(&Color{Budget: 4, L: 2})
+	seed(&ReduceDone{Child: 7, Messages: 9, PhiBits: 0x3FF0000000000000})
+	seed(&CkptHeader{Version: CkptVersion, Switches: 8, Tenants: 2, NextID: 5, TreeSum: 0xDEADBEEF})
+	seed(&CkptLedger{Initial: []int32{4, 4, 0, 1 << 30}, Residual: []int32{4, 2, 0, 1 << 30}})
+	seed(&CkptTenant{ID: 3, K: 2, PhiBits: 1, AllRedBits: 2, Blue: []uint32{1, 5}, LoadV: []uint32{6, 7}, LoadN: []uint32{2, 9}})
+	seed(&CkptFooter{Tenants: 2, Sum: 0xFEEDFACE})
+	// Adversarial shapes: oversized length claim, length lying about a
+	// short stream, zero length, unknown type, truncated header.
+	f.Add(binary.BigEndian.AppendUint32(nil, MaxFrame+1))
+	f.Add(append(binary.BigEndian.AppendUint32(nil, 1<<20), byte(TypeGather)))
+	f.Add([]byte{0, 0, 0, 0, 1})
+	f.Add([]byte{0, 0, 0, 2, 99, 0})
+	f.Add([]byte{0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return // rejected input: exactly what malformed bytes deserve
+		}
+		var first bytes.Buffer
+		if err := Write(&first, m); err != nil {
+			t.Fatalf("decoded %T does not re-encode: %v", m, err)
+		}
+		m2, err := Read(bytes.NewReader(first.Bytes()))
+		if err != nil {
+			t.Fatalf("re-encoded %T does not decode: %v", m, err)
+		}
+		var second bytes.Buffer
+		if err := Write(&second, m2); err != nil {
+			t.Fatalf("re-decoded %T does not encode: %v", m2, err)
+		}
+		if !bytes.Equal(first.Bytes(), second.Bytes()) {
+			t.Fatalf("%T encoding is not canonical:\n  %x\nvs\n  %x", m, first.Bytes(), second.Bytes())
+		}
+	})
+}

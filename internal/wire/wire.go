@@ -39,6 +39,16 @@ const (
 	TypeReduceDone
 )
 
+// Checkpoint frame types (checkpoint.go) continue the numbering: the
+// scheduler's crash-recovery snapshots reuse this framing so one decoder
+// (and one fuzz target) covers every byte the system persists or ships.
+const (
+	TypeCkptHeader Type = iota + 16
+	TypeCkptLedger
+	TypeCkptTenant
+	TypeCkptFooter
+)
+
 // Message is one protocol message.
 type Message interface {
 	// Type returns the message's wire tag.
@@ -202,9 +212,9 @@ func Read(r io.Reader) (Message, error) {
 	if length > MaxFrame {
 		return nil, fmt.Errorf("wire: frame %d bytes exceeds MaxFrame", length)
 	}
-	body := make([]byte, length-1)
-	if _, err := io.ReadFull(r, body); err != nil {
-		return nil, fmt.Errorf("wire: read body: %w", err)
+	body, err := readBody(r, int(length-1))
+	if err != nil {
+		return nil, err
 	}
 	var m Message
 	switch Type(hdr[4]) {
@@ -216,6 +226,14 @@ func Read(r io.Reader) (Message, error) {
 		m = &Color{}
 	case TypeReduceDone:
 		m = &ReduceDone{}
+	case TypeCkptHeader:
+		m = &CkptHeader{}
+	case TypeCkptLedger:
+		m = &CkptLedger{}
+	case TypeCkptTenant:
+		m = &CkptTenant{}
+	case TypeCkptFooter:
+		m = &CkptFooter{}
 	default:
 		return nil, fmt.Errorf("wire: unknown message type %d", hdr[4])
 	}
@@ -223,6 +241,27 @@ func Read(r io.Reader) (Message, error) {
 		return nil, err
 	}
 	return m, nil
+}
+
+// bodyChunk bounds how much readBody allocates ahead of the bytes the
+// stream actually delivers.
+const bodyChunk = 64 << 10
+
+// readBody reads an n-byte frame body, growing the buffer in bounded
+// chunks: a frame header lying about its length (truncated stream,
+// corrupt peer, fuzz input) costs at most one chunk of allocation, never
+// the full advertised MaxFrame.
+func readBody(r io.Reader, n int) ([]byte, error) {
+	body := make([]byte, 0, min(n, bodyChunk))
+	for len(body) < n {
+		step := min(n-len(body), bodyChunk)
+		off := len(body)
+		body = append(body, make([]byte, step)...)
+		if _, err := io.ReadFull(r, body[off:]); err != nil {
+			return nil, fmt.Errorf("wire: read body: %w", err)
+		}
+	}
+	return body, nil
 }
 
 // ReadTyped reads one message and asserts its type, a convenience for
