@@ -16,6 +16,16 @@
 // via POST /v1/checkpoint, and once more on graceful shutdown (SIGINT
 // or SIGTERM).
 //
+// The daemon is observable in production terms: GET /metrics serves a
+// Prometheus text scrape of every subsystem (admissions, batching,
+// solve and memo behavior, re-packing, checkpoints, cluster runs),
+// GET /v1/trace dumps the newest per-stage spans from the in-memory
+// ring, and -debug-addr starts a second listener serving
+// net/http/pprof — kept off the tenant-facing address so profiling
+// endpoints are never exposed by accident. Degraded cluster runs
+// (transport faults answered by the local fallback solve) are logged
+// and summarized in /v1/stats.
+//
 // API (JSON):
 //
 //	POST   /v1/tenants    {"load": [...], "k": 4} → lease
@@ -25,6 +35,9 @@
 //	GET    /v1/residual
 //	GET    /v1/checkpoint  (octet-stream snapshot)
 //	POST   /v1/checkpoint  (persist to -checkpoint path)
+//	POST   /v1/cluster     {"id": 7} → loopback cluster replay of a lease
+//	GET    /v1/trace?n=64  (newest spans, JSON)
+//	GET    /metrics        (Prometheus text exposition)
 package main
 
 import (
@@ -36,6 +49,7 @@ import (
 	"log"
 	"math/rand"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"sync"
@@ -60,6 +74,7 @@ func main() {
 	repackMoves := flag.Int("repack-moves", 8, "migration budget per re-packing round")
 	ckptPath := flag.String("checkpoint", "", "checkpoint file: restored on start if present, written periodically, on POST /v1/checkpoint and on shutdown (empty = off)")
 	ckptEvery := flag.Duration("checkpoint-every", 30*time.Second, "periodic checkpoint interval (0 = only on demand and shutdown)")
+	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof on this second address (empty = off; keep it private)")
 	flag.Parse()
 
 	var tr *topology.Tree
@@ -93,6 +108,7 @@ func main() {
 		Repack:   sched.RepackConfig{Every: *repackEvery, MaxMoves: *repackMoves},
 	})
 	defer svc.Close()
+	svc.SetLogf(log.Printf) // surface degraded cluster runs in the daemon log
 
 	// Crash recovery: restore the control plane from the last checkpoint
 	// before any traffic is served (Restore requires a quiescent
@@ -112,6 +128,23 @@ func main() {
 		Addr:              *addr,
 		Handler:           svc.Handler(),
 		ReadHeaderTimeout: 5 * time.Second,
+	}
+
+	// Profiling lives on its own listener so an operator can bind it to
+	// localhost while tenants reach the control plane on a shared
+	// address; it dies with the process, no graceful shutdown needed.
+	if *debugAddr != "" {
+		go func() {
+			dsrv := &http.Server{
+				Addr:              *debugAddr,
+				Handler:           debugMux(),
+				ReadHeaderTimeout: 5 * time.Second,
+			}
+			log.Printf("soar-naasd: pprof on http://%s/debug/pprof/", *debugAddr)
+			if err := dsrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Printf("soar-naasd: debug server: %v", err)
+			}
+		}()
 	}
 
 	// SIGTERM is how process supervisors (systemd, Kubernetes) stop a
@@ -142,7 +175,7 @@ func main() {
 		}()
 	}
 
-	fmt.Printf("soar-naasd: %d switches (%s), capacity %d, listening on %s\n",
+	fmt.Printf("soar-naasd: %d switches (%s), capacity %d, listening on %s (metrics at /metrics)\n",
 		tr.N(), *topo, *capacity, *addr)
 	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Fatal(err)
@@ -156,6 +189,19 @@ func main() {
 			log.Printf("soar-naasd: checkpointed %d bytes to %s", size, *ckptPath)
 		}
 	}
+}
+
+// debugMux routes the standard pprof surface explicitly rather than
+// leaning on DefaultServeMux, so nothing else the process imports can
+// sneak handlers onto the debug listener.
+func debugMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
 }
 
 // restoreCheckpoint replays path into svc; a missing file is a fresh

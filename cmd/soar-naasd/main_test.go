@@ -1,6 +1,8 @@
 package main
 
 import (
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"testing"
@@ -8,6 +10,31 @@ import (
 	"soar/internal/naas"
 	"soar/internal/paper"
 )
+
+// TestDebugMuxServesPprof pins the -debug-addr surface: the explicit
+// mux must serve the pprof index and subhandlers, and nothing else.
+func TestDebugMuxServesPprof(t *testing.T) {
+	srv := httptest.NewServer(debugMux())
+	t.Cleanup(srv.Close)
+	for _, path := range []string{"/debug/pprof/", "/debug/pprof/cmdline", "/debug/pprof/symbol"} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s = %d, want 200", path, resp.StatusCode)
+		}
+	}
+	resp, err := http.Get(srv.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		t.Fatal("debug listener must not serve the control plane")
+	}
+}
 
 func TestSaveAndRestoreCheckpointFile(t *testing.T) {
 	tr, loads := paper.Figure2()

@@ -18,6 +18,7 @@
 //	                [-tenants 2000] [-clients 8] [-workers 0] [-window 200us]
 //	                [-racks 8] [-churn 0.5] [-repack-every 25ms]
 //	                [-repack-moves 16] [-seed 1] [-baseline]
+//	soarctl top     [-addr http://127.0.0.1:7070] [-every 1s] [-n 0] [-once]
 package main
 
 import (
@@ -45,6 +46,8 @@ func main() {
 		err = runSched(os.Args[2:])
 	case "verify":
 		err = runVerify(os.Args[2:])
+	case "top":
+		err = runTop(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -68,6 +71,7 @@ Commands:
   cluster    run SOAR + Reduce over a loopback TCP mesh
   sched      load-test the concurrent multi-tenant placement scheduler
   verify     certify the solver against brute force on random instances
+  top        poll a running soar-naasd's /metrics and render a live summary
 
 Run 'soarctl <command> -h' for flags.
 `)

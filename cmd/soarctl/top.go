@@ -1,0 +1,164 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"os/signal"
+	"time"
+
+	"soar/internal/naas"
+	"soar/internal/obs"
+)
+
+// runTop polls a running soar-naasd and renders a terminal summary of
+// the numbers an operator watches: admission rate and latency
+// quantiles (from the soar_sched_place_seconds histogram), batch
+// coalescing, memo hit ratio, conflicts, degraded cluster runs and
+// re-packer Φ recovered. It is a scrape consumer like any other — it
+// reads GET /metrics and computes rates from successive snapshots, so
+// what it shows is exactly what a Prometheus dashboard would.
+func runTop(args []string) error {
+	fs := newFlagSet("top")
+	addr := fs.String("addr", "http://127.0.0.1:7070", "daemon base URL")
+	every := fs.Duration("every", time.Second, "polling interval")
+	count := fs.Int("n", 0, "number of polls before exiting (0 = until interrupted)")
+	once := fs.Bool("once", false, "poll once and exit (shorthand for -n 1)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	polls := *count
+	if *once {
+		polls = 1
+	}
+	return topLoop(os.Stdout, *addr, *every, polls)
+}
+
+// topSnapshot is one scrape reduced to the dashboard's numbers.
+type topSnapshot struct {
+	admissions, releases, rejected, conflicts float64
+	batches, batchSizeSum                     float64
+	hits, misses                              float64
+	degraded, clusterRuns                     float64
+	phiRecovered                              float64
+	tenants, capUsed, capTotal                float64
+	p50, p95, p99                             float64
+}
+
+func scrapeTop(ctx context.Context, c *naas.Client) (*topSnapshot, error) {
+	fams, err := c.Metrics(ctx)
+	if err != nil {
+		return nil, err
+	}
+	byName := map[string]obs.TextFamily{}
+	for _, f := range fams {
+		byName[f.Name] = f
+	}
+	val := func(name string) float64 {
+		var total float64
+		for _, s := range byName[name].Samples {
+			total += s.Value
+		}
+		return total
+	}
+	snap := &topSnapshot{
+		admissions:   val("soar_sched_admissions_total"),
+		releases:     val("soar_sched_releases_total"),
+		rejected:     val("soar_sched_rejected_total"),
+		conflicts:    val("soar_sched_conflicts_total"),
+		batches:      val("soar_sched_batches_total"),
+		hits:         val("soar_memo_hits_total"),
+		misses:       val("soar_memo_misses_total"),
+		degraded:     val("soar_cluster_degraded_total"),
+		clusterRuns:  val("soar_cluster_runs_total"),
+		phiRecovered: val("soar_sched_repack_phi_recovered"),
+		tenants:      val("soar_sched_tenants"),
+		capUsed:      val("soar_sched_capacity_used"),
+		capTotal:     val("soar_sched_capacity_total"),
+	}
+	if f, ok := byName["soar_sched_batch_size"]; ok {
+		for _, s := range f.Samples {
+			if s.Name == "soar_sched_batch_size_sum" {
+				snap.batchSizeSum = s.Value
+			}
+		}
+	}
+	if f, ok := byName["soar_sched_place_seconds"]; ok {
+		bounds, cum, _, err := obs.HistogramSeries(f, nil)
+		if err != nil {
+			return nil, fmt.Errorf("place_seconds histogram: %w", err)
+		}
+		snap.p50 = obs.HistogramQuantile(0.50, bounds, cum)
+		snap.p95 = obs.HistogramQuantile(0.95, bounds, cum)
+		snap.p99 = obs.HistogramQuantile(0.99, bounds, cum)
+	}
+	return snap, nil
+}
+
+func topLoop(w io.Writer, addr string, every time.Duration, polls int) error {
+	if every <= 0 {
+		every = time.Second
+	}
+	c := naas.NewClient(addr, nil)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	fmt.Fprintf(w, "%-8s %9s %8s %8s %8s %8s %8s %7s %7s %9s %9s\n",
+		"time", "adm/s", "p50", "p95", "p99", "tenants", "cap%", "batch", "memo%", "degraded", "Φrec")
+	var prev *topSnapshot
+	prevAt := time.Now()
+	for i := 0; polls <= 0 || i < polls; i++ {
+		if i > 0 {
+			select {
+			case <-ctx.Done():
+				return nil
+			case <-time.After(every):
+			}
+		}
+		snap, err := scrapeTop(ctx, c)
+		if err != nil {
+			return err
+		}
+		now := time.Now()
+		rate := 0.0
+		if prev != nil {
+			if dt := now.Sub(prevAt).Seconds(); dt > 0 {
+				rate = (snap.admissions - prev.admissions) / dt
+			}
+		}
+		capPct := 0.0
+		if snap.capTotal > 0 {
+			capPct = 100 * snap.capUsed / snap.capTotal
+		}
+		meanBatch := 0.0
+		if snap.batches > 0 {
+			meanBatch = snap.batchSizeSum / snap.batches
+		}
+		memoPct := "-"
+		if ops := snap.hits + snap.misses; ops > 0 {
+			memoPct = fmt.Sprintf("%.1f", 100*snap.hits/ops)
+		}
+		fmt.Fprintf(w, "%-8s %9.1f %8s %8s %8s %8.0f %7.1f%% %7.2f %7s %9.0f %9.3f\n",
+			now.Format("15:04:05"), rate,
+			fmtSeconds(snap.p50), fmtSeconds(snap.p95), fmtSeconds(snap.p99),
+			snap.tenants, capPct, meanBatch, memoPct, snap.degraded, snap.phiRecovered)
+		prev, prevAt = snap, now
+	}
+	return nil
+}
+
+// fmtSeconds renders a latency in the friendliest unit.
+func fmtSeconds(s float64) string {
+	switch {
+	case math.IsNaN(s):
+		return "-"
+	case s < 1e-3:
+		return fmt.Sprintf("%.0fµs", s*1e6)
+	case s < 1:
+		return fmt.Sprintf("%.2fms", s*1e3)
+	default:
+		return fmt.Sprintf("%.2fs", s)
+	}
+}

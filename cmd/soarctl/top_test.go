@@ -1,0 +1,57 @@
+package main
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"soar/internal/naas"
+	"soar/internal/paper"
+)
+
+// TestTopLoopAgainstLiveService boots a real naas control plane,
+// admits a tenant, and runs two polling rounds of the top view: the
+// scrape must parse, the quantiles must compute, and the rendered
+// table must reflect the admission.
+func TestTopLoopAgainstLiveService(t *testing.T) {
+	tr, loads := paper.Figure2()
+	svc := naas.NewService(tr, 2)
+	t.Cleanup(svc.Close)
+	srv := httptest.NewServer(svc.Handler())
+	t.Cleanup(srv.Close)
+	if _, err := svc.Place(loads, 2); err != nil {
+		t.Fatal(err)
+	}
+
+	var sb strings.Builder
+	if err := topLoop(&sb, srv.URL, time.Millisecond, 2); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "adm/s") {
+		t.Fatalf("missing header:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("want header + 2 poll lines, got %d:\n%s", len(lines), out)
+	}
+	// One tenant is active; the tenants column must say so on each line.
+	for _, ln := range lines[1:] {
+		if !strings.Contains(ln, " 1 ") {
+			t.Fatalf("poll line does not show the active tenant: %q", ln)
+		}
+	}
+}
+
+// TestTopOnceFlag pins the -once shorthand against a live service.
+func TestTopOnceFlag(t *testing.T) {
+	tr, _ := paper.Figure2()
+	svc := naas.NewService(tr, 2)
+	t.Cleanup(svc.Close)
+	srv := httptest.NewServer(svc.Handler())
+	t.Cleanup(srv.Close)
+	if err := runTop([]string{"-addr", srv.URL, "-once"}); err != nil {
+		t.Fatal(err)
+	}
+}

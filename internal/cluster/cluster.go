@@ -117,6 +117,11 @@ type Options struct {
 	// Retry bounds transient-failure retries: per-node dial attempts in
 	// Run, whole-run attempts in RunOrFallback.
 	Retry RetryPolicy
+	// Metrics, when non-nil, receives the run's observability events:
+	// run/frame/dial counters, run-duration observations, and
+	// per-frame spans in the Metrics' trace ring (see NewMetrics).
+	// nil records nothing.
+	Metrics *Metrics
 }
 
 func (o *Options) withDefaults() *Options {
@@ -213,12 +218,21 @@ func validateInputs(t *topology.Tree, load []int, caps []int) error {
 
 // RunWithOptions is RunCaps with explicit transport options: custom
 // dialers and listener wrappers (fault injection), per-frame I/O
-// deadlines, and the dial retry policy.
+// deadlines, the dial retry policy, and optional metrics.
 func RunWithOptions(ctx context.Context, t *topology.Tree, load []int, caps []int, k int, opts *Options) (*Result, error) {
 	if err := validateInputs(t, load, caps); err != nil {
-		return nil, err
+		return nil, err // malformed problems are not "runs attempted"
 	}
 	opts = opts.withDefaults()
+	t0 := time.Now()
+	res, err := runWithOptions(ctx, t, load, caps, k, opts)
+	opts.Metrics.noteRun(t0, t.N(), err)
+	return res, err
+}
+
+// runWithOptions is the instrumentation-free body of RunWithOptions;
+// opts has already been defaulted and the inputs validated.
+func runWithOptions(ctx context.Context, t *topology.Tree, load []int, caps []int, k int, opts *Options) (*Result, error) {
 	if k < 0 {
 		k = 0
 	}
@@ -326,28 +340,35 @@ type edge struct {
 	r       *bufio.Reader
 	w       *bufio.Writer
 	timeout time.Duration
+	met     *Metrics // may be nil: then frames record nothing
 }
 
-func newEdge(conn net.Conn, timeout time.Duration) *edge {
-	return &edge{conn: conn, r: bufio.NewReader(conn), w: bufio.NewWriter(conn), timeout: timeout}
+func newEdge(conn net.Conn, timeout time.Duration, met *Metrics) *edge {
+	return &edge{conn: conn, r: bufio.NewReader(conn), w: bufio.NewWriter(conn), timeout: timeout, met: met}
 }
 
 func (e *edge) send(m wire.Message) error {
+	t0 := time.Now()
 	if e.timeout > 0 {
-		e.conn.SetWriteDeadline(time.Now().Add(e.timeout))
+		e.conn.SetWriteDeadline(t0.Add(e.timeout))
 	}
-	if err := wire.Write(e.w, m); err != nil {
-		return err
+	err := wire.Write(e.w, m)
+	if err == nil {
+		err = e.w.Flush()
 	}
-	return e.w.Flush()
+	e.met.noteFrame(false, t0, err)
+	return err
 }
 
 // recv reads one typed frame under the edge's per-frame deadline.
 func recv[M wire.Message](e *edge) (M, error) {
+	t0 := time.Now()
 	if e.timeout > 0 {
-		e.conn.SetReadDeadline(time.Now().Add(e.timeout))
+		e.conn.SetReadDeadline(t0.Add(e.timeout))
 	}
-	return wire.ReadTyped[M](e.r)
+	m, err := wire.ReadTyped[M](e.r)
+	e.met.noteFrame(true, t0, err)
+	return m, err
 }
 
 func (e *edge) close() {
@@ -374,23 +395,28 @@ func accept(ln net.Listener, timeout time.Duration) (net.Conn, error) {
 // dial failures (the network analogue of a lost SYN) back off
 // exponentially with jitter until the policy is exhausted or ctx dies.
 func dialWithRetry(ctx context.Context, opts *Options, node int, addr string) (net.Conn, error) {
+	t0 := time.Now()
 	var lastErr error
 	attempts := opts.Retry.attempts()
 	for attempt := 1; attempt <= attempts; attempt++ {
 		if attempt > 1 {
 			if err := sleepBackoff(ctx, opts.Retry, attempt-1); err != nil {
+				opts.Metrics.noteDial(t0, attempt-1, err)
 				return nil, err
 			}
 		}
 		conn, err := opts.Dial(ctx, node, addr)
 		if err == nil {
+			opts.Metrics.noteDial(t0, attempt, nil)
 			return conn, nil
 		}
 		lastErr = err
 		if ctx.Err() != nil {
+			opts.Metrics.noteDial(t0, attempt, lastErr)
 			return nil, lastErr
 		}
 	}
+	opts.Metrics.noteDial(t0, attempts, lastErr)
 	return nil, fmt.Errorf("dial parent: %d attempts exhausted: %w", attempts, lastErr)
 }
 
@@ -415,7 +441,7 @@ func runNode(ctx context.Context, t *topology.Tree, v, loadV int, hasLoad bool,
 			return fmt.Errorf("accept: %w", err)
 		}
 		bindToCtx(ctx, conn)
-		e := newEdge(conn, opts.FrameTimeout)
+		e := newEdge(conn, opts.FrameTimeout, opts.Metrics)
 		hello, err := recv[*wire.Hello](e)
 		if err != nil {
 			conn.Close()
@@ -461,7 +487,7 @@ func runNode(ctx context.Context, t *topology.Tree, v, loadV int, hasLoad bool,
 		return err
 	}
 	bindToCtx(ctx, conn)
-	up := newEdge(conn, opts.FrameTimeout)
+	up := newEdge(conn, opts.FrameTimeout, opts.Metrics)
 	defer up.close()
 	if err := up.send(&wire.Hello{Child: uint32(v)}); err != nil {
 		return err
@@ -532,7 +558,7 @@ func runDestination(ctx context.Context, ln net.Listener, k, capRoot int, res *R
 		return fmt.Errorf("destination accept: %w", err)
 	}
 	bindToCtx(ctx, conn)
-	e := newEdge(conn, opts.FrameTimeout)
+	e := newEdge(conn, opts.FrameTimeout, opts.Metrics)
 	defer e.close()
 	if _, err := recv[*wire.Hello](e); err != nil {
 		return fmt.Errorf("destination hello: %w", err)

@@ -155,7 +155,7 @@ func newIncremental(t *topology.Tree, load []int, caps []int, k int, memo *Memo)
 	if memo != nil {
 		inc.classOf = make([]int32, n)
 		inc.tb = memo.gather(inc.load, nil, inc.caps, k, inc.classOf)
-		inc.memoEpoch = memo.epoch
+		inc.memoEpoch = memo.epoch.Load()
 		return inc
 	}
 	inc.scCap = inc.cap(t.Root())
@@ -390,7 +390,7 @@ func (inc *Incremental) Flush() {
 func (inc *Incremental) flushMemo() {
 	m := inc.memo
 	m.maybeEvict()
-	if m.epoch != inc.memoEpoch {
+	if m.epoch.Load() != inc.memoEpoch {
 		inc.reclassAll() //soar:coldpath eviction recovery
 	}
 	t := inc.t
@@ -403,15 +403,15 @@ func (inc *Incremental) flushMemo() {
 		if cid == inc.classOf[v] {
 			// The update restored this switch's exact inputs (or two
 			// updates cancelled): the aliased table is already right.
-			m.hits++
+			m.hits.Add(1)
 			continue
 		}
 		inc.classOf[v] = cid
 		e := &m.entries[cid]
 		if e.ok {
-			m.hits++
+			m.hits.Add(1)
 		} else { //soar:coldpath cache miss: compute into fresh immutable storage
-			m.misses++
+			m.misses.Add(1)
 			inc.cbuf = appendChildTables(inc.cbuf[:0], inc.tb, v)
 			m.computeEntry(e, v, inc.load[v], hasLoad, inc.caps[v], inc.cap(v), inc.cbuf, m.sc)
 		}
@@ -450,12 +450,12 @@ func (inc *Incremental) reclassAll() {
 				e.bytes = zeroTableBytes(t.NumChildren(v))
 			}
 			e.ok = true
-			m.bytes += e.bytes
+			m.bytes.Add(e.bytes)
 		}
 		// Realias so duplicate storage among class members can be freed.
 		inc.tb.nodes[v] = e.nt
 	}
-	inc.memoEpoch = m.epoch
+	inc.memoEpoch = m.epoch.Load()
 }
 
 // Cost flushes pending updates and returns the optimal utilization

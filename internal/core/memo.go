@@ -104,17 +104,28 @@ type MemoStats struct {
 // scheduler gives each pool worker its own, trading a little redundant
 // warmup for a lock-free hot path). GatherParallelMemo fans its own
 // workers out internally and is safe to call like any other method.
+//
+// Stats is the one exception to the single-goroutine rule: its
+// counters (classes, hits, misses, bytes, epoch) are atomics, so any
+// goroutine may read Stats while the owning goroutine solves — this is
+// how the scheduler's metrics registry scrapes per-worker caches
+// without stopping them. The values form no consistent cut (a scrape
+// may see a miss counted before its bytes land), but each one is a
+// valid point-in-time read.
 type Memo struct {
 	t      *topology.Tree
 	budget int64
-	epoch  uint64
+	epoch  atomic.Uint64
 
 	classes map[classKey]int32
 	lists   map[listKey]int32
 	entries []memoEntry
+	// nclasses mirrors len(entries) atomically: Stats must not read the
+	// entries slice header while the owner appends to it.
+	nclasses atomic.Int64
 
-	hits, misses uint64
-	bytes        int64
+	hits, misses atomic.Uint64
+	bytes        atomic.Int64
 
 	sc    *scratch
 	scCap int
@@ -153,14 +164,17 @@ func (m *Memo) SetBudget(bytes int64) {
 	}
 }
 
-// Stats returns the memo's cumulative counters.
+// Stats returns the memo's cumulative counters. Unlike every other
+// method, Stats is safe to call from any goroutine while the owner
+// solves: each counter is read atomically (see the type comment for
+// the consistency caveat).
 func (m *Memo) Stats() MemoStats {
 	return MemoStats{
-		Classes: len(m.entries),
-		Hits:    m.hits,
-		Misses:  m.misses,
-		Bytes:   m.bytes,
-		Epoch:   m.epoch,
+		Classes: int(m.nclasses.Load()),
+		Hits:    m.hits.Load(),
+		Misses:  m.misses.Load(),
+		Bytes:   m.bytes.Load(),
+		Epoch:   m.epoch.Load(),
 	}
 }
 
@@ -169,11 +183,12 @@ func (m *Memo) Stats() MemoStats {
 // backing slabs alive); the engines re-intern against the new epoch on
 // their next flush.
 func (m *Memo) Reset() {
-	m.epoch++
+	m.epoch.Add(1)
 	clear(m.classes)
 	clear(m.lists)
 	m.entries = m.entries[:0]
-	m.bytes = 0
+	m.nclasses.Store(0)
+	m.bytes.Store(0)
 }
 
 // maybeEvict resets the memo when the retained bytes exceed the budget.
@@ -181,7 +196,7 @@ func (m *Memo) Reset() {
 //
 //soar:hotpath
 func (m *Memo) maybeEvict() {
-	if m.bytes > m.budget {
+	if m.bytes.Load() > m.budget {
 		m.Reset() //soar:coldpath eviction
 	}
 }
@@ -209,6 +224,7 @@ func (m *Memo) internClass(key classKey) int32 {
 		id = int32(len(m.entries))
 		m.classes[key] = id
 		m.entries = append(m.entries, memoEntry{})
+		m.nclasses.Add(1)
 	}
 	return id
 }
@@ -322,7 +338,7 @@ func (m *Memo) computeEntry(e *memoEntry, v, loadV int, hasLoad bool, capw, ecap
 		e.bytes = tableBytes(&nt)
 	}
 	e.ok = true
-	m.bytes += e.bytes
+	m.bytes.Add(e.bytes)
 }
 
 // gather is the memoized SOAR-Gather shared by the serial entry points
@@ -349,14 +365,14 @@ func (m *Memo) gather(load []int, avail []bool, caps []int, k int, classOf []int
 		classOf[v] = cid
 		e := &m.entries[cid]
 		if !e.ok {
-			m.misses++
+			m.misses.Add(1)
 			m.cbuf = m.cbuf[:0]
 			for _, c := range t.Children(v) {
 				m.cbuf = append(m.cbuf, &m.entries[classOf[c]].nt)
 			}
 			m.computeEntry(e, v, load[v], hasLoad, capw, ecaps[v], m.cbuf, m.sc)
 		} else {
-			m.hits++
+			m.hits.Add(1)
 		}
 		tb.nodes[v] = e.nt
 	}
@@ -478,15 +494,15 @@ func (m *Memo) gatherParallel(load []int, avail []bool, caps []int, k, workers i
 		classOf[v] = cid
 		if int(cid-firstNew) == len(reps) {
 			reps = append(reps, int32(v))
-			m.misses++
+			m.misses.Add(1)
 			if !hasLoad {
 				e := &m.entries[cid]
 				e.nt, e.bytes = m.zeroTable(t.Depth(v), capw, ecaps[v], t.NumChildren(v))
 				e.ok = true
-				m.bytes += e.bytes
+				m.bytes.Add(e.bytes)
 			}
 		} else {
-			m.hits++
+			m.hits.Add(1)
 		}
 	}
 
@@ -556,7 +572,7 @@ func (m *Memo) gatherParallel(load []int, avail []bool, caps []int, k, workers i
 			}()
 		}
 		wg.Wait()
-		m.bytes += retained.Load()
+		m.bytes.Add(retained.Load())
 	}
 
 	tb := &Tables{t: t, load: load, k: k, nodes: make([]nodeTables, n)}

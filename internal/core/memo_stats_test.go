@@ -1,0 +1,68 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"soar/internal/topology"
+)
+
+// TestMemoStatsConcurrentWithSolves is Memo.Stats' documented
+// concurrency exception made executable: the owning goroutine solves
+// while others read Stats. Under -race (the race CI job runs the whole
+// suite) this proves the counters are atomics; in any mode it checks
+// the reads are sane (monotone hits+misses, non-negative bytes).
+func TestMemoStatsConcurrentWithSolves(t *testing.T) {
+	tr, err := topology.BT(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMemo(tr)
+	load := make([]int, tr.N())
+	avail := make([]bool, tr.N())
+	for v := range avail {
+		avail[v] = true
+	}
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 200; i++ {
+			load[i%tr.N()] = i % 3
+			SolveMemo(m, load, avail, 4)
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var lastOps uint64
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				st := m.Stats()
+				if st.Bytes < 0 || st.Classes < 0 {
+					t.Errorf("negative stats: %+v", st)
+					return
+				}
+				if ops := st.Hits + st.Misses; ops < lastOps {
+					t.Errorf("hits+misses went backwards: %d then %d", lastOps, ops)
+					return
+				} else {
+					lastOps = ops
+				}
+			}
+		}()
+	}
+	<-done
+	wg.Wait()
+
+	if st := m.Stats(); st.Hits+st.Misses == 0 {
+		t.Fatal("no lookups recorded; the test exercised nothing")
+	}
+}

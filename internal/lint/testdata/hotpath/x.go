@@ -61,3 +61,35 @@ func worse(s []byte) string {
 	defer helper(0)  // want "defer"
 	return string(s) // want "string conversion from slice allocates"
 }
+
+// histo models a metrics histogram whose record path must stay
+// allocation-free — the contract the obs package's annotations
+// enforce. observe increments in place and is clean; observeSnapshot
+// materializes a copy of the bucket vector per observation, the exact
+// regression that would silently void the zero-alloc scrape-path
+// guarantee.
+type histo struct {
+	bounds []float64
+	counts []uint64
+}
+
+//soar:hotpath
+func (h *histo) observe(v float64) {
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i]++
+}
+
+//soar:hotpath
+func (h *histo) observeSnapshot(v float64) {
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	snap := make([]uint64, len(h.counts)) // want "make allocates"
+	copy(snap, h.counts)
+	snap[i]++
+	h.counts = snap
+}

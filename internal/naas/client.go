@@ -7,6 +7,8 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+
+	"soar/internal/obs"
 )
 
 // Client consumes the NaaS HTTP API from Go.
@@ -138,6 +140,71 @@ func (c *Client) SaveCheckpoint(ctx context.Context) (path string, size int64, e
 		return "", 0, err
 	}
 	return out.Path, out.Bytes, nil
+}
+
+// ClientClusterResult is the client-side view of a loopback cluster
+// replay (POST /v1/cluster).
+type ClientClusterResult struct {
+	Blue           []int   `json:"blue"`
+	Cost           float64 `json:"cost"`
+	ReduceMessages int64   `json:"reduce_messages"`
+	ReducePhi      float64 `json:"reduce_phi"`
+	Degraded       bool    `json:"degraded"`
+	Attempts       int     `json:"attempts"`
+	Cause          string  `json:"cause,omitempty"`
+}
+
+// ClusterRun asks the daemon to replay lease id's problem over its
+// loopback cluster runtime.
+func (c *Client) ClusterRun(ctx context.Context, id int64) (*ClientClusterResult, error) {
+	body, err := json.Marshal(clusterRequest{ID: id})
+	if err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/cluster", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	var out ClientClusterResult
+	if err := c.do(req, http.StatusOK, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Metrics scrapes GET /metrics and parses the exposition into
+// families (obs.ParseText).
+func (c *Client) Metrics(ctx context.Context) ([]obs.TextFamily, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/metrics", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("naas: HTTP %d", resp.StatusCode)
+	}
+	return obs.ParseText(resp.Body)
+}
+
+// Trace fetches the newest n spans from the daemon's trace ring.
+func (c *Client) Trace(ctx context.Context, n int) ([]obs.SpanEvent, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		fmt.Sprintf("%s/v1/trace?n=%d", c.base, n), nil)
+	if err != nil {
+		return nil, err
+	}
+	var out struct {
+		Spans []obs.SpanEvent `json:"spans"`
+	}
+	if err := c.do(req, http.StatusOK, &out); err != nil {
+		return nil, err
+	}
+	return out.Spans, nil
 }
 
 func (c *Client) do(req *http.Request, wantStatus int, out interface{}) error {

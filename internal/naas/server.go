@@ -8,6 +8,8 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+
+	"soar/internal/obs"
 )
 
 // HTTP API
@@ -15,13 +17,18 @@ import (
 //	POST   /v1/tenants        {"load": [...], "k": 4}      → Lease JSON
 //	GET    /v1/tenants/{id}                                 → Lease JSON
 //	DELETE /v1/tenants/{id}                                 → 204
-//	GET    /v1/stats                                        → Stats JSON
+//	GET    /v1/stats                                        → Stats JSON (+ cluster-run summary)
 //	GET    /v1/residual                                     → {"residual": [...]}
 //	GET    /v1/checkpoint                                   → checkpoint stream (octet-stream)
 //	POST   /v1/checkpoint                                   → {"path": ..., "bytes": n} (durable save)
+//	POST   /v1/cluster        {"id": 7}                     → cluster-run JSON (loopback replay)
+//	GET    /v1/trace?n=64                                   → {"spans": [...]} newest first
+//	GET    /metrics                                         → Prometheus text exposition
 //
-// All request and response bodies are JSON; errors come back as
-// {"error": "..."} with an appropriate status code.
+// All request and response bodies are JSON — except /metrics, which
+// speaks the Prometheus text format (obs.TextContentType) and
+// /v1/checkpoint GET, which streams the binary checkpoint; errors come
+// back as {"error": "..."} with an appropriate status code.
 
 // placeRequest is the admission request body.
 type placeRequest struct {
@@ -57,6 +64,9 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("/v1/stats", s.handleStats)
 	mux.HandleFunc("/v1/residual", s.handleResidual)
 	mux.HandleFunc("/v1/checkpoint", s.handleCheckpoint)
+	mux.HandleFunc("/v1/cluster", s.handleCluster)
+	mux.HandleFunc("/v1/trace", s.handleTrace)
+	mux.HandleFunc("/metrics", s.handleMetrics)
 	return mux
 }
 
@@ -111,7 +121,12 @@ func (s *Service) handleStats(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusMethodNotAllowed, errors.New("GET only"))
 		return
 	}
-	writeJSON(w, http.StatusOK, s.Snapshot())
+	// The cluster summary rides along as extra JSON fields; clients
+	// decoding into the bare Stats struct silently ignore them.
+	writeJSON(w, http.StatusOK, struct {
+		Stats
+		ClusterStats
+	}{s.Snapshot(), s.ClusterSnapshot()})
 }
 
 func (s *Service) handleResidual(w http.ResponseWriter, r *http.Request) {
@@ -154,6 +169,108 @@ func (s *Service) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
 	default:
 		httpError(w, http.StatusMethodNotAllowed, errors.New("GET or POST only"))
 	}
+}
+
+// clusterRequest asks for a loopback cluster replay of one lease.
+type clusterRequest struct {
+	ID int64 `json:"id"`
+}
+
+// clusterResultJSON is the wire form of a cluster.Result. Blue is the
+// list of blue switch ids, matching the lease JSON convention.
+type clusterResultJSON struct {
+	Blue           []int   `json:"blue"`
+	Cost           float64 `json:"cost"`
+	ReduceMessages int64   `json:"reduce_messages"`
+	ReducePhi      float64 `json:"reduce_phi"`
+	Degraded       bool    `json:"degraded"`
+	Attempts       int     `json:"attempts"`
+	Cause          string  `json:"cause,omitempty"`
+}
+
+// handleCluster replays a lease's problem over the loopback cluster
+// runtime (see Service.ClusterRun).
+func (s *Service) handleCluster(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, errors.New("POST only"))
+		return
+	}
+	var req clusterRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<16))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+		return
+	}
+	res, err := s.ClusterRun(r.Context(), req.ID)
+	if err != nil {
+		status := http.StatusInternalServerError
+		if errors.Is(err, ErrNotFound) {
+			status = http.StatusNotFound
+		}
+		httpError(w, status, err)
+		return
+	}
+	out := clusterResultJSON{
+		Blue:           []int{},
+		Cost:           res.Cost,
+		ReduceMessages: res.ReduceMessages,
+		ReducePhi:      res.ReducePhi,
+		Degraded:       res.Degraded,
+		Attempts:       res.Attempts,
+	}
+	for v, b := range res.Blue {
+		if b {
+			out.Blue = append(out.Blue, v)
+		}
+	}
+	if res.Cause != nil {
+		out.Cause = res.Cause.Error()
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleTrace dumps the newest spans from the service's trace ring.
+func (s *Service) handleTrace(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, errors.New("GET only"))
+		return
+	}
+	n := 64
+	if q := r.URL.Query().Get("n"); q != "" {
+		v, err := strconv.Atoi(q)
+		if err != nil || v <= 0 {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("bad span count %q", q))
+			return
+		}
+		n = v
+	}
+	spans := s.Trace().Dump(n)
+	if spans == nil {
+		spans = []obs.SpanEvent{}
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{"spans": spans})
+}
+
+// handleMetrics serves the Prometheus text exposition of every family
+// the service records: scheduler admission/batch/solve, memo, repack,
+// checkpoint, and loopback cluster runs.
+func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, errors.New("GET only"))
+		return
+	}
+	// Render to a buffer first so a (never-expected) encoding failure
+	// cannot emit a torn scrape.
+	var buf bytes.Buffer
+	if err := s.Registry().WriteText(&buf); err != nil {
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.Header().Set("Content-Type", obs.TextContentType)
+	w.Header().Set("Content-Length", strconv.Itoa(buf.Len()))
+	w.WriteHeader(http.StatusOK)
+	buf.WriteTo(w) // best effort; the status line is already out
 }
 
 func writeJSON(w http.ResponseWriter, status int, v interface{}) {

@@ -20,8 +20,13 @@
 package naas
 
 import (
+	"context"
+	"fmt"
 	"io"
+	"sync"
 
+	"soar/internal/cluster"
+	"soar/internal/obs"
 	"soar/internal/sched"
 	"soar/internal/topology"
 )
@@ -43,6 +48,21 @@ type Service struct {
 	// save, when set, persists a checkpoint durably (POST /v1/checkpoint
 	// and the daemon's periodic/shutdown saves all funnel through it).
 	save func() (path string, size int64, err error)
+
+	// cmet records the loopback cluster runs (POST /v1/cluster) into
+	// the scheduler's registry and trace ring, so one scrape covers
+	// scheduler, memo, checkpoint and cluster families alike.
+	cmet *cluster.Metrics
+
+	// cmu guards the last-run summary surfaced by ClusterSnapshot.
+	cmu          sync.Mutex
+	clusterRuns  int64
+	lastAttempts int
+	lastCause    string
+
+	// logf, when set, receives operational log lines (degraded or
+	// retried cluster runs). See SetLogf.
+	logf func(format string, args ...interface{})
 }
 
 // NewService creates a service over tree t where every switch can serve
@@ -65,7 +85,8 @@ func NewServiceCaps(t *topology.Tree, caps []int) *Service {
 // scheduler's configuration (batching window, engine-pool size,
 // per-switch capacity vector, background re-packing).
 func NewServiceWith(t *topology.Tree, cfg sched.Config) *Service {
-	return &Service{s: sched.New(t, cfg)}
+	sc := sched.New(t, cfg)
+	return &Service{s: sc, cmet: cluster.NewMetrics(sc.Registry(), sc.Trace())}
 }
 
 // Tree returns the service's network.
@@ -112,6 +133,85 @@ func (s *Service) Checkpoint(w io.Writer) error { return s.s.Checkpoint(w) }
 // corrupted, truncated or wrong-topology checkpoint is rejected without
 // installing anything (see sched.Scheduler.Restore).
 func (s *Service) Restore(r io.Reader) error { return s.s.Restore(r) }
+
+// Registry returns the service's metrics registry: every scheduler,
+// memo, checkpoint and cluster family this service records, ready for
+// GET /metrics (obs.Registry.WriteText).
+func (s *Service) Registry() *obs.Registry { return s.s.Registry() }
+
+// Trace returns the service's span ring: per-stage timings for
+// admissions, batches, solves, checkpoints and cluster frames, newest
+// first via Dump (GET /v1/trace).
+func (s *Service) Trace() *obs.Trace { return s.s.Trace() }
+
+// ClusterStats summarizes the service's loopback cluster runs for
+// /v1/stats. Degraded counts runs answered by the local fallback
+// solve after transport retries were exhausted.
+type ClusterStats struct {
+	ClusterRuns     int64  `json:"cluster_runs"`
+	ClusterDegraded int64  `json:"cluster_degraded"`
+	LastRunAttempts int    `json:"last_run_attempts"`
+	LastCause       string `json:"last_degraded_cause,omitempty"`
+}
+
+// ClusterSnapshot returns the cluster-run summary.
+func (s *Service) ClusterSnapshot() ClusterStats {
+	s.cmu.Lock()
+	defer s.cmu.Unlock()
+	return ClusterStats{
+		ClusterRuns:     s.clusterRuns,
+		ClusterDegraded: int64(s.cmet.Degraded()),
+		LastRunAttempts: s.lastAttempts,
+		LastCause:       s.lastCause,
+	}
+}
+
+// ClusterRun replays lease id's placement problem over the loopback
+// cluster runtime (internal/cluster): every switch gets a real TCP
+// listener, the SOAR tables travel as wire frames, and transport
+// faults degrade to a local solve instead of erroring
+// (cluster.RunOrFallback). The run solves the tenant's problem on the
+// bare tree — residual capacities from other tenants are not charged —
+// so it verifies the wire protocol against the tenant's own optimum,
+// not the admission-time placement. Results feed the soar_cluster_*
+// metric families and /v1/stats' degradation summary.
+func (s *Service) ClusterRun(ctx context.Context, id int64) (*cluster.Result, error) {
+	lease, err := s.Lookup(id)
+	if err != nil {
+		return nil, err
+	}
+	res, err := cluster.RunOrFallback(ctx, s.Tree(), lease.Load, nil, lease.K,
+		&cluster.Options{Metrics: s.cmet})
+	if err != nil {
+		return nil, err
+	}
+	s.cmu.Lock()
+	s.clusterRuns++
+	s.lastAttempts = res.Attempts
+	if res.Degraded {
+		s.lastCause = fmt.Sprint(res.Cause)
+	}
+	logf := s.logf
+	s.cmu.Unlock()
+	if logf != nil {
+		switch {
+		case res.Degraded:
+			logf("naas: cluster run for lease %d DEGRADED after %d attempts: %v", id, res.Attempts, res.Cause)
+		case res.Attempts > 1:
+			logf("naas: cluster run for lease %d recovered on attempt %d", id, res.Attempts)
+		}
+	}
+	return res, nil
+}
+
+// SetLogf routes the service's operational log lines — degraded or
+// retried cluster runs — to fn (e.g. log.Printf). It must be called
+// before the service serves traffic; nil (the default) silences them.
+func (s *Service) SetLogf(fn func(format string, args ...interface{})) {
+	s.cmu.Lock()
+	s.logf = fn
+	s.cmu.Unlock()
+}
 
 // SetCheckpointSaver registers the durable checkpoint sink invoked by
 // POST /v1/checkpoint: fn persists a checkpoint and reports where and

@@ -1,0 +1,153 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file renders the registry in the Prometheus text exposition
+// format (version 0.0.4): one `# HELP` and `# TYPE` line per family,
+// then one sample line per series, histograms expanded into cumulative
+// `_bucket{le="..."}` samples plus `_sum` and `_count`. parse.go is
+// the inverse; the round-trip test in expo_test.go holds the two to
+// each other.
+
+// TextContentType is the Content-Type for a /metrics response.
+const TextContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WriteText writes every registered family to w in the Prometheus text
+// format. Families are sorted by name so scrapes are diffable. Safe to
+// call concurrently with recording: each slot is read atomically, and
+// a histogram's count is derived from the very bucket vector being
+// written, so `le="+Inf"` always equals `_count` even mid-burst.
+func (r *Registry) WriteText(w io.Writer) error {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.families))
+	for name := range r.families {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fams := make([]*family, len(names))
+	for i, name := range names {
+		fams[i] = r.families[name]
+	}
+	r.mu.Unlock()
+
+	bw := bufio.NewWriter(w)
+	for _, f := range fams {
+		if f.help != "" {
+			fmt.Fprintf(bw, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		}
+		fmt.Fprintf(bw, "# TYPE %s %s\n", f.name, f.typ)
+		for _, c := range f.counters {
+			writeSample(bw, f.name, c.labels, float64(c.Value()))
+		}
+		for _, g := range f.gauges {
+			writeSample(bw, f.name, g.labels, g.Value())
+		}
+		for _, fm := range f.funcs {
+			writeSample(bw, f.name, fm.labels, fm.fn())
+		}
+		for _, h := range f.hists {
+			writeHistogram(bw, f.name, h)
+		}
+	}
+	return bw.Flush()
+}
+
+func writeSample(w io.Writer, name, labels string, v float64) {
+	if labels == "" {
+		fmt.Fprintf(w, "%s %s\n", name, formatValue(v))
+		return
+	}
+	fmt.Fprintf(w, "%s{%s} %s\n", name, labels, formatValue(v))
+}
+
+// writeHistogram expands one histogram into its cumulative bucket
+// samples. Bucket counts are loaded exactly once into a local vector
+// so the cumulative sums, the +Inf bucket and _count are all derived
+// from the same snapshot.
+func writeHistogram(w io.Writer, name string, h *Histogram) {
+	counts := make([]uint64, len(h.counts))
+	for i := range h.counts {
+		counts[i] = h.counts[i].Load()
+	}
+	var cum uint64
+	for i, b := range h.bounds {
+		cum += counts[i]
+		writeBucket(w, name, h.labels, formatValue(b), cum)
+	}
+	cum += counts[len(counts)-1]
+	writeBucket(w, name, h.labels, "+Inf", cum)
+	writeSample(w, name+"_sum", h.labels, h.Sum())
+	writeSample(w, name+"_count", h.labels, float64(cum))
+}
+
+func writeBucket(w io.Writer, name, labels, le string, cum uint64) {
+	if labels == "" {
+		fmt.Fprintf(w, "%s_bucket{le=\"%s\"} %d\n", name, le, cum)
+		return
+	}
+	fmt.Fprintf(w, "%s_bucket{%s,le=\"%s\"} %d\n", name, labels, le, cum)
+}
+
+// formatValue renders a float the way Prometheus expects: shortest
+// round-trippable decimal, +Inf/-Inf/NaN spelled out.
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeLabelValue escapes a label value per the exposition format:
+// backslash, double-quote and newline.
+func escapeLabelValue(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	var b strings.Builder
+	for _, c := range s {
+		switch c {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(c)
+		}
+	}
+	return b.String()
+}
+
+// escapeHelp escapes a HELP text: backslash and newline (quotes are
+// legal in help strings).
+func escapeHelp(s string) string {
+	if !strings.ContainsAny(s, "\\\n") {
+		return s
+	}
+	var b strings.Builder
+	for _, c := range s {
+		switch c {
+		case '\\':
+			b.WriteString(`\\`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(c)
+		}
+	}
+	return b.String()
+}

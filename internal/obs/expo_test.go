@@ -1,0 +1,182 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestRoundTrip is the satellite exposition-format test: write a
+// registry with every metric kind and hostile label values, re-parse
+// the output, and check type lines, label escaping, and the histogram
+// invariants (bucket monotonicity, +Inf == _count, sum).
+func TestRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("soar_rt_total", "a counter", Labels{"path": `C:\soar "quoted"` + "\nline2"})
+	c.Add(7)
+	g := r.Gauge("soar_rt_gauge", "a gauge\nwith newline", nil)
+	g.Set(-2.5)
+	h := r.Histogram("soar_rt_seconds", "a histogram", Labels{"op": "solve"}, []float64{0.001, 0.01, 0.1})
+	for _, v := range []float64{0.0005, 0.005, 0.05, 0.5, 5} {
+		h.Observe(v)
+	}
+	r.CounterFunc("soar_rt_func_total", "func-valued", Labels{"kind": "x"}, func() float64 { return 3 })
+
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	text := b.String()
+
+	fams, err := ParseText(strings.NewReader(text))
+	if err != nil {
+		t.Fatalf("re-parse failed: %v\npayload:\n%s", err, text)
+	}
+	byName := make(map[string]TextFamily)
+	for _, f := range fams {
+		byName[f.Name] = f
+	}
+
+	cf, ok := byName["soar_rt_total"]
+	if !ok {
+		t.Fatalf("counter family missing; payload:\n%s", text)
+	}
+	if cf.Type != "counter" {
+		t.Errorf("counter TYPE = %q", cf.Type)
+	}
+	if len(cf.Samples) != 1 || cf.Samples[0].Value != 7 {
+		t.Errorf("counter samples = %+v", cf.Samples)
+	}
+	if got := cf.Samples[0].Labels["path"]; got != `C:\soar "quoted"`+"\nline2" {
+		t.Errorf("label escaping broke round-trip: %q", got)
+	}
+
+	gf := byName["soar_rt_gauge"]
+	if gf.Type != "gauge" || len(gf.Samples) != 1 || gf.Samples[0].Value != -2.5 {
+		t.Errorf("gauge family = %+v", gf)
+	}
+	if gf.Help != "a gauge\nwith newline" {
+		t.Errorf("help escaping broke round-trip: %q", gf.Help)
+	}
+
+	ff := byName["soar_rt_func_total"]
+	if ff.Type != "counter" || len(ff.Samples) != 1 || ff.Samples[0].Value != 3 {
+		t.Errorf("func family = %+v", ff)
+	}
+
+	hf, ok := byName["soar_rt_seconds"]
+	if !ok {
+		t.Fatalf("histogram family missing; payload:\n%s", text)
+	}
+	if hf.Type != "histogram" {
+		t.Errorf("histogram TYPE = %q", hf.Type)
+	}
+	bounds, cum, sum, err := HistogramSeries(hf, Labels{"op": "solve"})
+	if err != nil {
+		t.Fatalf("histogram invariants: %v\npayload:\n%s", err, text)
+	}
+	wantBounds := []float64{0.001, 0.01, 0.1, math.Inf(1)}
+	wantCum := []uint64{1, 2, 3, 5}
+	if len(bounds) != len(wantBounds) {
+		t.Fatalf("bounds = %v, want %v", bounds, wantBounds)
+	}
+	for i := range wantBounds {
+		if bounds[i] != wantBounds[i] || cum[i] != wantCum[i] {
+			t.Errorf("bucket %d = (%v, %d), want (%v, %d)", i, bounds[i], cum[i], wantBounds[i], wantCum[i])
+		}
+	}
+	if math.Abs(sum-5.5555) > 1e-9 {
+		t.Errorf("sum = %v, want 5.5555", sum)
+	}
+}
+
+func TestWriteTextSortsFamilies(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("zzz_total", "", nil)
+	r.Counter("aaa_total", "", nil)
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Index(b.String(), "aaa_total") > strings.Index(b.String(), "zzz_total") {
+		t.Fatalf("families not sorted:\n%s", b.String())
+	}
+}
+
+func TestHistogramCountConsistentUnderConcurrency(t *testing.T) {
+	// The +Inf bucket must equal _count in any scrape, even one racing
+	// a recorder: both are derived from the same bucket snapshot.
+	r := NewRegistry()
+	h := r.Histogram("soar_rt_conc_seconds", "", nil, []float64{1, 2})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 5000; i++ {
+			h.Observe(float64(i % 4))
+		}
+	}()
+	for i := 0; i < 50; i++ {
+		var b strings.Builder
+		if err := r.WriteText(&b); err != nil {
+			t.Fatal(err)
+		}
+		fams, err := ParseText(strings.NewReader(b.String()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, f := range fams {
+			if f.Name != "soar_rt_conc_seconds" {
+				continue
+			}
+			if _, _, _, err := HistogramSeries(f, nil); err != nil {
+				t.Fatalf("scrape %d: %v\npayload:\n%s", i, err, b.String())
+			}
+		}
+	}
+	<-done
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	bounds := []float64{1, 2, 4, math.Inf(1)}
+	cum := []uint64{10, 20, 40, 40}
+	if got := HistogramQuantile(0.5, bounds, cum); math.Abs(got-2) > 1e-9 {
+		t.Errorf("p50 = %v, want 2", got)
+	}
+	// p95 → rank 38 of 40, inside (2,4]: 2 + 2*(38-20)/20 = 3.8
+	if got := HistogramQuantile(0.95, bounds, cum); math.Abs(got-3.8) > 1e-9 {
+		t.Errorf("p95 = %v, want 3.8", got)
+	}
+	// Empty histogram → NaN.
+	if got := HistogramQuantile(0.5, bounds, []uint64{0, 0, 0, 0}); !math.IsNaN(got) {
+		t.Errorf("empty quantile = %v, want NaN", got)
+	}
+	// Quantile in the +Inf bucket caps at the last finite bound.
+	if got := HistogramQuantile(0.99, []float64{1, math.Inf(1)}, []uint64{1, 100}); got != 1 {
+		t.Errorf("overflow quantile = %v, want 1", got)
+	}
+}
+
+func TestParseTolerance(t *testing.T) {
+	payload := "# some random comment\n" +
+		"# TYPE x_total counter\n" +
+		"x_total 5 1700000000\n" + // trailing timestamp tolerated
+		"\n" +
+		"naked_sample 1.5\n"
+	fams, err := ParseText(strings.NewReader(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := make(map[string]TextFamily)
+	for _, f := range fams {
+		byName[f.Name] = f
+	}
+	if byName["x_total"].Samples[0].Value != 5 {
+		t.Errorf("timestamped sample = %+v", byName["x_total"])
+	}
+	if byName["naked_sample"].Type != "untyped" {
+		t.Errorf("untyped family = %+v", byName["naked_sample"])
+	}
+	if _, err := ParseText(strings.NewReader("garbage without value\n")); err == nil {
+		t.Error("unparseable sample line did not error")
+	}
+}

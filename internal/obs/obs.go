@@ -1,0 +1,348 @@
+// Package obs is the repo's zero-dependency observability substrate: a
+// metrics registry (counters, gauges, fixed-bucket histograms) whose
+// hot-path record operations are allocation-free and lock-free, a
+// Prometheus-text-format exposition writer (expo.go) with a matching
+// parser (parse.go), and a ring-buffered span trace (trace.go) that
+// answers "where did this request's time go" on a live daemon.
+//
+// The split between registration and recording is the whole design:
+// everything that allocates — family interning, label rendering, bucket
+// sizing — happens once, at registration, under the registry lock.
+// What remains on the serving path is an atomic add into a
+// pre-allocated slot, which is why the scheduler's admission loop keeps
+// its 0 allocs/op contract with metrics recording enabled (enforced by
+// soarlint's hotpath analyzer on Counter.Inc/Add, Gauge.Set/Add,
+// Histogram.Observe and Trace.Record, and by the bench-smoke
+// allocation gate in CI).
+//
+// Concurrency: every recording method is safe for concurrent use from
+// any number of goroutines. Scrapes (WriteText) run concurrently with
+// recording; a scrape observes each slot atomically but the family as
+// a whole is not a consistent cut — standard Prometheus semantics.
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Labels is a set of constant label pairs attached to one metric at
+// registration time. Label sets are rendered and interned once — the
+// hot path never touches them again.
+type Labels map[string]string
+
+// Registry holds metric families and hands out recording handles. All
+// registration methods are safe for concurrent use; they panic on
+// invalid names, duplicate (name, labels) registrations, or a name
+// re-registered as a different type, because every caller is
+// initialization code where a silent mis-registration would surface as
+// a missing time series much later.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// family is one exposition family: every sample sharing a metric name.
+type family struct {
+	name string
+	help string
+	typ  string // "counter", "gauge", "histogram"
+
+	seen     map[string]bool // label bodies already registered
+	counters []*Counter
+	gauges   []*Gauge
+	hists    []*Histogram
+	funcs    []funcMetric
+}
+
+// funcMetric is a callback-valued sample, evaluated at scrape time:
+// the bridge for subsystems that already keep their own atomic
+// counters (chaos injector, memo stats) or need a locked read
+// (tenant counts).
+type funcMetric struct {
+	labels string
+	fn     func() float64
+}
+
+// NewRegistry returns an empty metrics registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+func (r *Registry) family(name, help, typ string) *family {
+	if err := checkMetricName(name); err != nil {
+		panic("obs: " + err.Error())
+	}
+	f := r.families[name]
+	if f == nil {
+		f = &family{name: name, help: help, typ: typ, seen: make(map[string]bool)}
+		r.families[name] = f
+		return f
+	}
+	if f.typ != typ {
+		panic(fmt.Sprintf("obs: family %s registered as %s, re-registered as %s", name, f.typ, typ))
+	}
+	return f
+}
+
+func (f *family) addLabels(body string) {
+	if f.seen[body] {
+		panic(fmt.Sprintf("obs: duplicate registration of %s{%s}", f.name, body))
+	}
+	f.seen[body] = true
+}
+
+// Counter registers a monotonically increasing counter. labels may be
+// nil for an unlabeled sample.
+func (r *Registry) Counter(name, help string, labels Labels) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.family(name, help, "counter")
+	c := &Counter{labels: renderLabels(labels)}
+	f.addLabels(c.labels)
+	f.counters = append(f.counters, c)
+	return c
+}
+
+// CounterFunc registers a counter-typed sample whose value is read
+// from fn at scrape time. fn must be monotone non-decreasing and safe
+// to call from any goroutine.
+func (r *Registry) CounterFunc(name, help string, labels Labels, fn func() float64) {
+	r.registerFunc(name, help, "counter", labels, fn)
+}
+
+// Gauge registers a gauge: a float64 that can go up and down.
+func (r *Registry) Gauge(name, help string, labels Labels) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.family(name, help, "gauge")
+	g := &Gauge{labels: renderLabels(labels)}
+	f.addLabels(g.labels)
+	f.gauges = append(f.gauges, g)
+	return g
+}
+
+// GaugeFunc registers a gauge-typed sample whose value is read from fn
+// at scrape time. fn must be safe to call from any goroutine.
+func (r *Registry) GaugeFunc(name, help string, labels Labels, fn func() float64) {
+	r.registerFunc(name, help, "gauge", labels, fn)
+}
+
+func (r *Registry) registerFunc(name, help, typ string, labels Labels, fn func() float64) {
+	if fn == nil {
+		panic("obs: nil func for " + name)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.family(name, help, typ)
+	body := renderLabels(labels)
+	f.addLabels(body)
+	f.funcs = append(f.funcs, funcMetric{labels: body, fn: fn})
+}
+
+// Histogram registers a fixed-bucket histogram. bounds are the
+// inclusive upper bounds of the buckets, strictly increasing and
+// finite; the +Inf overflow bucket is implicit. The bucket layout is
+// frozen here so Observe never allocates.
+func (r *Registry) Histogram(name, help string, labels Labels, bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		panic("obs: histogram " + name + " needs at least one bucket bound")
+	}
+	for i, b := range bounds {
+		if math.IsInf(b, 0) || math.IsNaN(b) {
+			panic("obs: histogram " + name + " has a non-finite bucket bound")
+		}
+		if i > 0 && b <= bounds[i-1] {
+			panic("obs: histogram " + name + " bounds are not strictly increasing")
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.family(name, help, "histogram")
+	h := &Histogram{
+		labels: renderLabels(labels),
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]atomic.Uint64, len(bounds)+1),
+	}
+	f.addLabels(h.labels)
+	f.hists = append(f.hists, h)
+	return h
+}
+
+// Counter is a monotone uint64 counter. The zero value is NOT usable:
+// counters are created by Registry.Counter so their label set is
+// interned before the first Inc.
+type Counter struct {
+	labels string
+	v      atomic.Uint64
+}
+
+// Inc adds one.
+//
+//soar:hotpath
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+//
+//soar:hotpath
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a float64 gauge stored as atomic bits.
+type Gauge struct {
+	labels string
+	bits   atomic.Uint64
+}
+
+// Set stores v.
+//
+//soar:hotpath
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adds v (CAS loop; lock-free).
+//
+//soar:hotpath
+func (g *Gauge) Add(v float64) {
+	for {
+		old := g.bits.Load()
+		if g.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram is a fixed-bucket histogram. Observations land in the
+// first bucket whose upper bound is ≥ v; counts[len(bounds)] is the
+// +Inf overflow bucket. All slots are atomic, so Observe is lock-free
+// and allocation-free.
+type Histogram struct {
+	labels string
+	bounds []float64
+	counts []atomic.Uint64 // len(bounds)+1; last is +Inf
+	sum    atomic.Uint64   // float64 bits, CAS-accumulated
+}
+
+// Observe records one value.
+//
+//soar:hotpath
+func (h *Histogram) Observe(v float64) {
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	for {
+		old := h.sum.Load()
+		if h.sum.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// Count returns the total number of observations (the sum of every
+// bucket, so it is always consistent with a concurrently scraped
+// bucket vector).
+func (h *Histogram) Count() uint64 {
+	var total uint64
+	for i := range h.counts {
+		total += h.counts[i].Load()
+	}
+	return total
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// ExpBuckets returns n bucket bounds growing geometrically from start
+// by factor — the standard layout for latencies and sizes.
+func ExpBuckets(start, factor float64, n int) []float64 {
+	if start <= 0 || factor <= 1 || n < 1 {
+		panic("obs: ExpBuckets needs start > 0, factor > 1, n ≥ 1")
+	}
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// LatencyBuckets is the default bucket layout for request latencies in
+// seconds: 2µs to ~8.4s in powers of ~2, wide enough for both the
+// sub-100µs admission path and multi-second cluster runs.
+func LatencyBuckets() []float64 { return ExpBuckets(2e-6, 2, 22) }
+
+// SizeBuckets is the default layout for counts and byte sizes: 1 to
+// 32768 in powers of 2.
+func SizeBuckets() []float64 { return ExpBuckets(1, 2, 16) }
+
+// renderLabels interns a label set into its exposition body
+// (`k1="v1",k2="v2"` with keys sorted), or "" for no labels.
+func renderLabels(labels Labels) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		if err := checkLabelName(k); err != nil {
+			panic("obs: " + err.Error())
+		}
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	body := ""
+	for i, k := range keys {
+		if i > 0 {
+			body += ","
+		}
+		body += k + `="` + escapeLabelValue(labels[k]) + `"`
+	}
+	return body
+}
+
+func checkMetricName(name string) error {
+	if !validName(name, true) {
+		return fmt.Errorf("invalid metric name %q", name)
+	}
+	return nil
+}
+
+func checkLabelName(name string) error {
+	if name == "le" {
+		return fmt.Errorf("label name %q is reserved for histogram buckets", name)
+	}
+	if !validName(name, false) {
+		return fmt.Errorf("invalid label name %q", name)
+	}
+	return nil
+}
+
+// validName implements the Prometheus name grammar:
+// [a-zA-Z_:][a-zA-Z0-9_:]* for metrics, colons excluded for labels.
+func validName(s string, allowColon bool) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_':
+		case c == ':' && allowColon:
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}

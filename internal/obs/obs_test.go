@@ -1,0 +1,140 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestCounter(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("soar_test_total", "help", nil)
+	c.Inc()
+	c.Add(41)
+	if got := c.Value(); got != 42 {
+		t.Fatalf("counter = %d, want 42", got)
+	}
+}
+
+func TestGauge(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("soar_test_gauge", "help", nil)
+	g.Set(3.5)
+	g.Add(-1.25)
+	if got := g.Value(); got != 2.25 {
+		t.Fatalf("gauge = %v, want 2.25", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("soar_test_seconds", "help", nil, []float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1, 1.5, 3, 100} {
+		h.Observe(v)
+	}
+	// Bucket assignment: ≤1 gets 0.5 and 1; ≤2 gets 1.5; ≤4 gets 3;
+	// +Inf gets 100.
+	want := []uint64{2, 1, 1, 1}
+	for i := range want {
+		if got := h.counts[i].Load(); got != want[i] {
+			t.Errorf("bucket %d = %d, want %d", i, got, want[i])
+		}
+	}
+	if got := h.Count(); got != 5 {
+		t.Errorf("count = %d, want 5", got)
+	}
+	if got := h.Sum(); got != 106 {
+		t.Errorf("sum = %v, want 106", got)
+	}
+}
+
+func TestConcurrentRecording(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("soar_test_total", "h", nil)
+	g := r.Gauge("soar_test_gauge", "h", nil)
+	h := r.Histogram("soar_test_seconds", "h", nil, []float64{1, 10})
+	var wg sync.WaitGroup
+	const goroutines, per = 8, 1000
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < per; j++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(j % 20))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != goroutines*per {
+		t.Errorf("counter = %d, want %d", got, goroutines*per)
+	}
+	if got := g.Value(); got != goroutines*per {
+		t.Errorf("gauge = %v, want %d", got, goroutines*per)
+	}
+	if got := h.Count(); got != goroutines*per {
+		t.Errorf("histogram count = %d, want %d", got, goroutines*per)
+	}
+}
+
+func TestRegistrationPanics(t *testing.T) {
+	cases := []struct {
+		name string
+		fn   func(r *Registry)
+	}{
+		{"bad metric name", func(r *Registry) { r.Counter("1bad", "", nil) }},
+		{"bad label name", func(r *Registry) { r.Counter("ok_total", "", Labels{"1bad": "v"}) }},
+		{"reserved le label", func(r *Registry) { r.Histogram("ok_seconds", "", Labels{"le": "x"}, []float64{1}) }},
+		{"duplicate registration", func(r *Registry) {
+			r.Counter("dup_total", "", Labels{"a": "b"})
+			r.Counter("dup_total", "", Labels{"a": "b"})
+		}},
+		{"type conflict", func(r *Registry) {
+			r.Counter("both", "", nil)
+			r.Gauge("both", "", Labels{"a": "b"})
+		}},
+		{"empty histogram bounds", func(r *Registry) { r.Histogram("h_seconds", "", nil, nil) }},
+		{"non-increasing bounds", func(r *Registry) { r.Histogram("h_seconds", "", nil, []float64{2, 1}) }},
+		{"infinite bound", func(r *Registry) { r.Histogram("h_seconds", "", nil, []float64{1, math.Inf(1)}) }},
+		{"nil func", func(r *Registry) { r.GaugeFunc("g", "", nil, nil) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: no panic", tc.name)
+				}
+			}()
+			tc.fn(NewRegistry())
+		})
+	}
+}
+
+func TestDifferentLabelsSameFamily(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("soar_multi_total", "h", Labels{"dir": "send"})
+	b := r.Counter("soar_multi_total", "h", Labels{"dir": "recv"})
+	a.Inc()
+	b.Add(2)
+	if a.Value() != 1 || b.Value() != 2 {
+		t.Fatalf("labeled counters share state: %d, %d", a.Value(), b.Value())
+	}
+}
+
+func TestExpBuckets(t *testing.T) {
+	got := ExpBuckets(1, 2, 4)
+	want := []float64{1, 2, 4, 8}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ExpBuckets = %v, want %v", got, want)
+		}
+	}
+	for _, bounds := range [][]float64{LatencyBuckets(), SizeBuckets()} {
+		for i := 1; i < len(bounds); i++ {
+			if bounds[i] <= bounds[i-1] {
+				t.Fatalf("default buckets not increasing: %v", bounds)
+			}
+		}
+	}
+}

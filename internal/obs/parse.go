@@ -1,0 +1,329 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file is the scrape side of the exposition format: a parser for
+// the Prometheus text format that WriteText emits. It exists for two
+// consumers — `soarctl top`, which polls a live daemon's /metrics and
+// needs the histogram vectors back as numbers, and the round-trip
+// tests, which hold the writer to the format by re-parsing everything
+// it produces. It parses the subset the writer emits (HELP, TYPE,
+// sample lines with optional labels) and tolerates unknown lines the
+// way real scrapers do: comments it does not understand are skipped,
+// unparseable sample lines are errors.
+
+// TextFamily is one parsed metric family.
+type TextFamily struct {
+	Name    string
+	Help    string
+	Type    string // "counter", "gauge", "histogram", or "untyped"
+	Samples []Sample
+}
+
+// Sample is one parsed sample line. For histograms, Name keeps the
+// full sample name (`..._bucket`, `..._sum`, `..._count`) so invariant
+// checks can tell the series apart.
+type Sample struct {
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// ParseText parses a Prometheus text-format payload into families,
+// sorted by name. Samples belong to the family whose name prefixes
+// them (exact, or with a _bucket/_sum/_count suffix for histograms).
+func ParseText(r io.Reader) ([]TextFamily, error) {
+	fams := make(map[string]*TextFamily)
+	var order []string
+	family := func(name string) *TextFamily {
+		if f, ok := fams[name]; ok {
+			return f
+		}
+		f := &TextFamily{Name: name, Type: "untyped"}
+		fams[name] = f
+		order = append(order, name)
+		return f
+	}
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) >= 3 && fields[1] == "TYPE" {
+				family(fields[2]).Type = strings.TrimSpace(strings.Join(fields[3:], " "))
+			}
+			if len(fields) >= 4 && fields[1] == "HELP" {
+				family(fields[2]).Help = unescapeHelp(fields[3])
+			}
+			continue
+		}
+		s, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("obs: parse line %d: %w", lineNo, err)
+		}
+		f := family(baseName(s.Name, fams))
+		f.Samples = append(f.Samples, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	sort.Strings(order)
+	out := make([]TextFamily, 0, len(order))
+	for _, name := range order {
+		out = append(out, *fams[name])
+	}
+	return out, nil
+}
+
+// baseName strips a histogram suffix if (and only if) the stripped
+// name names a family the TYPE lines already declared.
+func baseName(sample string, fams map[string]*TextFamily) string {
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		if base, ok := strings.CutSuffix(sample, suf); ok {
+			if f, exists := fams[base]; exists && f.Type == "histogram" {
+				return base
+			}
+		}
+	}
+	return sample
+}
+
+// parseSample parses `name{k="v",...} value` or `name value`.
+func parseSample(line string) (Sample, error) {
+	s := Sample{}
+	i := strings.IndexAny(line, "{ ")
+	if i < 0 {
+		return s, fmt.Errorf("no value in %q", line)
+	}
+	s.Name = line[:i]
+	rest := line[i:]
+	if rest[0] == '{' {
+		labels, tail, err := parseLabels(rest)
+		if err != nil {
+			return s, err
+		}
+		s.Labels = labels
+		rest = tail
+	}
+	valStr := strings.TrimSpace(rest)
+	// A timestamp may follow the value; the writer never emits one, but
+	// tolerate it like a real scraper.
+	if j := strings.IndexByte(valStr, ' '); j >= 0 {
+		valStr = valStr[:j]
+	}
+	v, err := parseValue(valStr)
+	if err != nil {
+		return s, fmt.Errorf("value %q: %w", valStr, err)
+	}
+	s.Value = v
+	return s, nil
+}
+
+// parseLabels parses `{k="v",...}` and returns the remainder of the
+// line. Values are unescaped (\\, \", \n).
+func parseLabels(s string) (map[string]string, string, error) {
+	labels := make(map[string]string)
+	i := 1 // past '{'
+	for {
+		for i < len(s) && (s[i] == ',' || s[i] == ' ') {
+			i++
+		}
+		if i < len(s) && s[i] == '}' {
+			return labels, s[i+1:], nil
+		}
+		eq := strings.IndexByte(s[i:], '=')
+		if eq < 0 {
+			return nil, "", fmt.Errorf("label without '=' in %q", s)
+		}
+		key := s[i : i+eq]
+		i += eq + 1
+		if i >= len(s) || s[i] != '"' {
+			return nil, "", fmt.Errorf("unquoted label value in %q", s)
+		}
+		i++
+		var b strings.Builder
+		for {
+			if i >= len(s) {
+				return nil, "", fmt.Errorf("unterminated label value in %q", s)
+			}
+			c := s[i]
+			if c == '"' {
+				i++
+				break
+			}
+			if c == '\\' && i+1 < len(s) {
+				switch s[i+1] {
+				case '\\':
+					b.WriteByte('\\')
+				case '"':
+					b.WriteByte('"')
+				case 'n':
+					b.WriteByte('\n')
+				default:
+					b.WriteByte(c)
+					b.WriteByte(s[i+1])
+				}
+				i += 2
+				continue
+			}
+			b.WriteByte(c)
+			i++
+		}
+		labels[key] = b.String()
+	}
+}
+
+func parseValue(s string) (float64, error) {
+	switch s {
+	case "+Inf", "Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+func unescapeHelp(s string) string {
+	if !strings.Contains(s, `\`) {
+		return s
+	}
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\\' && i+1 < len(s) {
+			switch s[i+1] {
+			case '\\':
+				b.WriteByte('\\')
+				i++
+				continue
+			case 'n':
+				b.WriteByte('\n')
+				i++
+				continue
+			}
+		}
+		b.WriteByte(s[i])
+	}
+	return b.String()
+}
+
+// HistogramSeries extracts one histogram's cumulative bucket vector
+// from a parsed family: ascending upper bounds (ending at +Inf) and
+// the cumulative counts, filtered to samples whose labels include
+// match. It returns an error if bucket counts are not monotone, the
+// +Inf bucket is missing, or the +Inf bucket disagrees with _count —
+// the invariants a correct writer can never violate.
+func HistogramSeries(f TextFamily, match map[string]string) (bounds []float64, cum []uint64, sum float64, err error) {
+	type bkt struct {
+		le float64
+		n  uint64
+	}
+	var bkts []bkt
+	var count float64
+	haveCount := false
+	for _, s := range f.Samples {
+		if !labelsMatch(s.Labels, match) {
+			continue
+		}
+		switch {
+		case strings.HasSuffix(s.Name, "_bucket"):
+			le, perr := parseValue(s.Labels["le"])
+			if perr != nil {
+				return nil, nil, 0, fmt.Errorf("obs: bucket le %q: %w", s.Labels["le"], perr)
+			}
+			bkts = append(bkts, bkt{le: le, n: uint64(s.Value)})
+		case strings.HasSuffix(s.Name, "_sum"):
+			sum = s.Value
+		case strings.HasSuffix(s.Name, "_count"):
+			count = s.Value
+			haveCount = true
+		}
+	}
+	if len(bkts) == 0 {
+		return nil, nil, 0, fmt.Errorf("obs: no buckets in family %s", f.Name)
+	}
+	sort.Slice(bkts, func(i, j int) bool { return bkts[i].le < bkts[j].le })
+	for i, b := range bkts {
+		if i > 0 && b.n < bkts[i-1].n {
+			return nil, nil, 0, fmt.Errorf("obs: %s buckets not monotone: le=%v count %d < le=%v count %d",
+				f.Name, b.le, b.n, bkts[i-1].le, bkts[i-1].n)
+		}
+		bounds = append(bounds, b.le)
+		cum = append(cum, b.n)
+	}
+	last := bkts[len(bkts)-1]
+	if !math.IsInf(last.le, 1) {
+		return nil, nil, 0, fmt.Errorf("obs: %s has no +Inf bucket", f.Name)
+	}
+	if !haveCount {
+		return nil, nil, 0, fmt.Errorf("obs: %s has no _count sample", f.Name)
+	}
+	if float64(last.n) != count {
+		return nil, nil, 0, fmt.Errorf("obs: %s +Inf bucket %d disagrees with _count %v", f.Name, last.n, count)
+	}
+	return bounds, cum, sum, nil
+}
+
+// labelsMatch reports whether every pair in want appears in got
+// (ignoring le, which varies per bucket).
+func labelsMatch(got, want map[string]string) bool {
+	for k, v := range want {
+		if got[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// HistogramQuantile estimates the q-quantile (0 ≤ q ≤ 1) from a
+// cumulative bucket vector, linearly interpolating within the owning
+// bucket — the same estimate PromQL's histogram_quantile computes. It
+// returns NaN for an empty histogram; a quantile landing in the +Inf
+// bucket reports the last finite bound (the histogram cannot resolve
+// beyond its layout).
+func HistogramQuantile(q float64, bounds []float64, cum []uint64) float64 {
+	if len(bounds) == 0 || len(bounds) != len(cum) {
+		return math.NaN()
+	}
+	total := cum[len(cum)-1]
+	if total == 0 {
+		return math.NaN()
+	}
+	rank := q * float64(total)
+	i := sort.Search(len(cum), func(i int) bool { return float64(cum[i]) >= rank })
+	if i == len(cum) {
+		i = len(cum) - 1
+	}
+	if math.IsInf(bounds[i], 1) {
+		// Beyond the finite layout: report the last finite bound.
+		if len(bounds) >= 2 {
+			return bounds[len(bounds)-2]
+		}
+		return math.NaN()
+	}
+	lo, cumLo := 0.0, uint64(0)
+	if i > 0 {
+		lo, cumLo = bounds[i-1], cum[i-1]
+	}
+	width := float64(cum[i] - cumLo)
+	if width == 0 {
+		return bounds[i]
+	}
+	return lo + (bounds[i]-lo)*(rank-float64(cumLo))/width
+}

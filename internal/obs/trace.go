@@ -1,0 +1,144 @@
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// This file is the span side of the observability layer: a fixed-size
+// ring of span events answering "where did the last N operations'
+// time go" on a live daemon. Metrics aggregate; spans itemize. The
+// scheduler records enqueue→batch→solve→commit stages per admission,
+// the cluster runtime records dial/send/gather/validate per frame, the
+// memo records class builds, and the checkpoint path records
+// encode/validate/install — all through one Trace, dumped over
+// /v1/trace?n= as JSON.
+//
+// The design constraint is the same as the metrics registry's: Record
+// sits on //soar:hotpath functions, so it must not allocate, lock, or
+// branch on anything but atomics. Operation names are interned up
+// front (Op returns a dense integer id); a span is six atomic words in
+// a pre-allocated ring slot claimed by a single fetch-add. Torn spans
+// — a reader overlapping a writer on the same slot — are detected by
+// sequence number and dropped from dumps, the standard seqlock trade:
+// readers never block writers.
+
+// OpID names a registered span operation. The zero OpID is valid only
+// if it was returned by Op.
+type OpID uint32
+
+// span is one ring slot. All fields are atomics so Dump can read
+// concurrently with Record without a data race; seq is written last
+// (release) and checked by readers to discard torn slots.
+type span struct {
+	seq   atomic.Uint64 // 1-based publication counter; 0 = never written
+	op    atomic.Uint32
+	start atomic.Int64 // unix nanos
+	dur   atomic.Int64 // nanoseconds
+	v1    atomic.Int64 // operation-defined (e.g. batch size, bytes)
+	v2    atomic.Int64 // operation-defined (e.g. Φ, hit count)
+}
+
+// SpanEvent is one dumped span, newest first.
+type SpanEvent struct {
+	Seq   uint64        `json:"seq"`
+	Op    string        `json:"op"`
+	Start time.Time     `json:"start"`
+	Dur   time.Duration `json:"dur_ns"`
+	V1    int64         `json:"v1"`
+	V2    int64         `json:"v2"`
+}
+
+// Trace is a lock-free ring of span events. The zero value is not
+// usable; call NewTrace.
+type Trace struct {
+	mu   sync.Mutex // guards ops registration only, never Record
+	ops  []string
+	ring []span
+	mask uint64
+	next atomic.Uint64
+}
+
+// NewTrace returns a trace ring holding the most recent size spans
+// (rounded up to a power of two, minimum 64).
+func NewTrace(size int) *Trace {
+	n := 64
+	for n < size {
+		n <<= 1
+	}
+	return &Trace{ring: make([]span, n), mask: uint64(n - 1)}
+}
+
+// Op interns an operation name and returns its id. Call once per
+// operation at wiring time, not per record. Safe for concurrent use.
+func (t *Trace) Op(name string) OpID {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for i, existing := range t.ops {
+		if existing == name {
+			return OpID(i)
+		}
+	}
+	t.ops = append(t.ops, name)
+	return OpID(len(t.ops) - 1)
+}
+
+// Record publishes one span: op with the given start time, duration,
+// and two operation-defined values. Allocation-free and lock-free; the
+// slot is claimed by a single atomic fetch-add, so concurrent
+// recorders never contend on more than the ring cursor.
+//
+//soar:hotpath
+func (t *Trace) Record(op OpID, start time.Time, dur time.Duration, v1, v2 int64) {
+	seq := t.next.Add(1)
+	s := &t.ring[seq&t.mask]
+	// Invalidate the slot while rewriting it so a concurrent Dump drops
+	// it instead of reading a torn mix of old and new fields.
+	s.seq.Store(0)
+	s.op.Store(uint32(op))
+	s.start.Store(start.UnixNano())
+	s.dur.Store(int64(dur))
+	s.v1.Store(v1)
+	s.v2.Store(v2)
+	s.seq.Store(seq)
+}
+
+// Dump returns up to n of the most recent spans, newest first. Safe
+// concurrently with Record; spans being rewritten while read are
+// skipped rather than returned torn.
+func (t *Trace) Dump(n int) []SpanEvent {
+	if n <= 0 || n > len(t.ring) {
+		n = len(t.ring)
+	}
+	t.mu.Lock()
+	ops := append([]string(nil), t.ops...)
+	t.mu.Unlock()
+
+	newest := t.next.Load()
+	out := make([]SpanEvent, 0, n)
+	for seq := newest; seq > 0 && len(out) < n && newest-seq < uint64(len(t.ring)); seq-- {
+		s := &t.ring[seq&t.mask]
+		if s.seq.Load() != seq {
+			continue // torn or already overwritten
+		}
+		ev := SpanEvent{
+			Seq:   seq,
+			Start: time.Unix(0, s.start.Load()),
+			Dur:   time.Duration(s.dur.Load()),
+			V1:    s.v1.Load(),
+			V2:    s.v2.Load(),
+		}
+		op := s.op.Load()
+		// Re-check publication after reading the fields: if the slot was
+		// reclaimed mid-read, the fields may be torn — drop it.
+		if s.seq.Load() != seq {
+			continue
+		}
+		if int(op) < len(ops) {
+			ev.Op = ops[op]
+		}
+		out = append(out, ev)
+	}
+	return out
+}

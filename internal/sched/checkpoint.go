@@ -5,6 +5,7 @@ import (
 	"hash"
 	"hash/fnv"
 	"io"
+	"time"
 
 	"soar/internal/wire"
 )
@@ -62,6 +63,19 @@ func (s *Scheduler) snapshotState() ckptSnapshot {
 	return snap
 }
 
+// countingWriter counts bytes through to w, feeding the
+// soar_ckpt_bytes_total family and the ckpt.encode span.
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
 // Checkpoint writes the scheduler's durable state — capacity ledger,
 // every active lease, and the tenant-id high-water mark — to w in the
 // internal/wire checkpoint format. The snapshot is consistent: it is
@@ -69,6 +83,25 @@ func (s *Scheduler) snapshotState() ckptSnapshot {
 // outside the lock. Checkpoint is safe to call concurrently with
 // serving traffic and with other Checkpoints.
 func (s *Scheduler) Checkpoint(w io.Writer) error {
+	t0 := time.Now()
+	cw := &countingWriter{w: w}
+	err := s.checkpoint(cw)
+	d := time.Since(t0)
+	if err == nil {
+		s.met.ckptSaves.Inc()
+		s.met.ckptBytes.Add(uint64(cw.n))
+		s.met.ckptSaveSeconds.Observe(d.Seconds())
+	}
+	// Span v1 is bytes encoded, v2 flags failure.
+	v2 := int64(0)
+	if err != nil {
+		v2 = 1
+	}
+	s.met.tr.Record(s.met.opCkptEncode, t0, d, cw.n, v2)
+	return err
+}
+
+func (s *Scheduler) checkpoint(w io.Writer) error {
 	snap := s.snapshotState()
 	h := fnv.New64a()
 	hw := io.MultiWriter(w, h)
@@ -142,6 +175,16 @@ func readCkpt[M wire.Message](r io.Reader, h hash.Hash64) (M, error) {
 // constructed with: recovery reproduces the crashed instance, config
 // drift and all.
 func (s *Scheduler) Restore(r io.Reader) error {
+	if err := s.restore(r); err != nil {
+		s.met.ckptRestoreFail.Inc()
+		return err
+	}
+	s.met.ckptRestores.Inc()
+	return nil
+}
+
+func (s *Scheduler) restore(r io.Reader) error {
+	t0 := time.Now()
 	h := fnv.New64a()
 	hdr, err := readCkpt[*wire.CkptHeader](r, h)
 	if err != nil {
@@ -235,6 +278,10 @@ func (s *Scheduler) Restore(r io.Reader) error {
 	if nextID := int64(hdr.NextID); nextID <= maxID {
 		return fmt.Errorf("sched: restore: next id %d would reissue live id %d", nextID, maxID)
 	}
+	// Everything read and proved; what remains is installation. The two
+	// spans split restore latency into its phases.
+	s.met.tr.Record(s.met.opCkptValidate, t0, time.Since(t0), int64(hdr.Tenants), 0)
+	t1 := time.Now()
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -250,6 +297,7 @@ func (s *Scheduler) Restore(r io.Reader) error {
 		s.leases[ten.id] = ten
 	}
 	s.nextID = int64(hdr.NextID)
+	s.met.tr.Record(s.met.opCkptInstall, t1, time.Since(t1), int64(len(tenants)), 0)
 	return nil
 }
 

@@ -4,8 +4,20 @@ import (
 	"sort"
 	"time"
 
+	"soar/internal/core"
+	"soar/internal/obs"
 	"soar/internal/stats"
 )
+
+// This file is the scheduler's observability surface. Since PR 8 the
+// counters live in an obs.Registry instead of a private struct: every
+// count, histogram and gauge the scheduler keeps is a registered
+// family, scrapeable as Prometheus text through Registry().WriteText
+// (naas serves it as GET /metrics), while the exported Metrics()
+// summary keeps its exact sliding-window quantiles via latRing. The
+// note* recording methods stay //soar:hotpath — obs record ops are
+// atomic slot updates, so instrumentation does not cost the admission
+// path its 0 allocs/op contract (bench-smoke holds the line in CI).
 
 // latWindow is the size of the sliding latency window the quantiles are
 // computed over. A power of two keeps the ring index cheap; 4096
@@ -15,7 +27,9 @@ const latWindow = 4096
 
 // latRing is a fixed-size sliding window of request latencies, in
 // seconds. Recording is a store and an increment — no allocation, so
-// the admission fast path can afford it unconditionally.
+// the admission fast path can afford it unconditionally. It exists
+// next to the obs histograms because quantiles from fixed buckets are
+// estimates; Metrics() promises exact ones over the recent window.
 type latRing struct {
 	buf [latWindow]float64
 	n   uint64 // total recorded; buf holds the last min(n, latWindow)
@@ -33,58 +47,217 @@ func (r *latRing) snapshot(dst []float64) []float64 {
 	return append(dst, r.buf[:n]...)
 }
 
-// metrics is the scheduler-internal counter state, guarded by
-// Scheduler.mu.
+// metrics holds the scheduler's recording handles, all registered in
+// New. The handles themselves are lock-free; the latRings and
+// batchMaxN are guarded by Scheduler.mu (every note* call happens
+// under it, except the span records which are seqlock-safe anywhere).
 type metrics struct {
-	placed    uint64
-	released  uint64
-	notFound  uint64
-	conflicts uint64
+	reg *obs.Registry
+	tr  *obs.Trace
 
-	batches  uint64
-	batchSum uint64
-	batchMax int
+	placed    *obs.Counter
+	released  *obs.Counter
+	notFound  *obs.Counter
+	conflicts *obs.Counter
+	batches   *obs.Counter
+	batchSize *obs.Histogram
+	batchMax  *obs.Gauge
+
+	placeSeconds   *obs.Histogram
+	releaseSeconds *obs.Histogram
+
+	repackRounds *obs.Counter
+	repackMoves  *obs.Counter
+	phiRecovered *obs.Gauge
+
+	ckptSaves       *obs.Counter
+	ckptBytes       *obs.Counter
+	ckptSaveSeconds *obs.Histogram
+	ckptRestores    *obs.Counter
+	ckptRestoreFail *obs.Counter
+
+	opPlace, opRelease, opBatch, opSolve, opRepack obs.OpID
+	opCkptEncode, opCkptValidate, opCkptInstall    obs.OpID
 
 	placeLat   latRing
 	releaseLat latRing
-
-	repackRounds uint64
-	repackMoves  uint64
-	phiRecovered float64
+	batchMaxN  int
 
 	started time.Time
 }
 
-//soar:hotpath
-func (m *metrics) notePlace(d time.Duration) {
-	m.placed++
-	m.placeLat.record(d)
+// initMetrics registers every scheduler family in reg and interns the
+// span operations in tr. Called once from New, after the worker pool
+// exists (the memo gauge funcs walk it) and before any goroutine
+// starts. A registry belongs to one Scheduler: registering a second
+// one in the same registry panics on the duplicate families.
+func (s *Scheduler) initMetrics(reg *obs.Registry, tr *obs.Trace) {
+	m := &s.met
+	m.reg, m.tr = reg, tr
+	m.started = time.Now()
+
+	m.placed = reg.Counter("soar_sched_admissions_total",
+		"Tenants admitted (successful Place commits).", nil)
+	m.released = reg.Counter("soar_sched_releases_total",
+		"Leases released.", nil)
+	m.notFound = reg.Counter("soar_sched_release_notfound_total",
+		"Releases of unknown tenant ids.", nil)
+	m.conflicts = reg.Counter("soar_sched_conflicts_total",
+		"Batch placements re-solved at commit after losing a capacity race.", nil)
+	m.batches = reg.Counter("soar_sched_batches_total",
+		"Batches dispatched.", nil)
+	m.batchSize = reg.Histogram("soar_sched_batch_size",
+		"Requests coalesced per batch.", nil, obs.SizeBuckets())
+	m.batchMax = reg.Gauge("soar_sched_batch_max",
+		"Largest batch observed.", nil)
+	m.placeSeconds = reg.Histogram("soar_sched_place_seconds",
+		"Admission latency, submission to commit.", nil, obs.LatencyBuckets())
+	m.releaseSeconds = reg.Histogram("soar_sched_release_seconds",
+		"Release latency, submission to ledger credit.", nil, obs.LatencyBuckets())
+	m.repackRounds = reg.Counter("soar_sched_repack_rounds_total",
+		"Background re-packing rounds run.", nil)
+	m.repackMoves = reg.Counter("soar_sched_repack_moves_total",
+		"Tenants migrated by the re-packer.", nil)
+	m.phiRecovered = reg.Gauge("soar_sched_repack_phi_recovered",
+		"Aggregate utilization cost recovered by re-packing.", nil)
+
+	m.ckptSaves = reg.Counter("soar_ckpt_saves_total",
+		"Checkpoints encoded.", nil)
+	m.ckptBytes = reg.Counter("soar_ckpt_bytes_total",
+		"Checkpoint bytes written.", nil)
+	m.ckptSaveSeconds = reg.Histogram("soar_ckpt_save_seconds",
+		"Checkpoint snapshot-and-encode duration.", nil, obs.LatencyBuckets())
+	m.ckptRestores = reg.Counter("soar_ckpt_restores_total",
+		"Checkpoints restored.", nil)
+	m.ckptRestoreFail = reg.Counter("soar_ckpt_restore_failures_total",
+		"Checkpoint restores rejected (version, fingerprint, checksum or conservation).", nil)
+
+	reg.CounterFunc("soar_sched_rejected_total",
+		"Requests failing validation before reaching the queue.", nil,
+		func() float64 { return float64(s.rejected.Load()) })
+	reg.GaugeFunc("soar_sched_uptime_seconds",
+		"Seconds since the scheduler started.", nil,
+		func() float64 { return time.Since(m.started).Seconds() })
+	reg.GaugeFunc("soar_sched_tenants",
+		"Active leases.", nil,
+		func() float64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			return float64(len(s.leases))
+		})
+	reg.GaugeFunc("soar_sched_capacity_used",
+		"Lease slots currently charged across all switches.", nil,
+		func() float64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			var used int64
+			for v := 0; v < s.ledger.N(); v++ {
+				used += int64(s.ledger.Used(v))
+			}
+			return float64(used)
+		})
+	reg.GaugeFunc("soar_sched_capacity_total",
+		"Total lease slots across all switches.", nil,
+		func() float64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			var total int64
+			for v := 0; v < s.ledger.N(); v++ {
+				total += int64(s.ledger.Initial(v))
+			}
+			return float64(total)
+		})
+
+	// Memo stats aggregate over the per-worker solve caches; the reads
+	// are atomic (core.Memo.Stats is documented concurrency-safe), so no
+	// lock is involved at scrape time.
+	reg.CounterFunc("soar_memo_hits_total",
+		"Solve-cache hits across the engine pool.", nil,
+		func() float64 { return float64(s.MemoStats().Hits) })
+	reg.CounterFunc("soar_memo_misses_total",
+		"Solve-cache misses across the engine pool.", nil,
+		func() float64 { return float64(s.MemoStats().Misses) })
+	reg.GaugeFunc("soar_memo_classes",
+		"Hash-consed subtree classes retained across the engine pool.", nil,
+		func() float64 { return float64(s.MemoStats().Classes) })
+	reg.GaugeFunc("soar_memo_bytes",
+		"Bytes retained by the solve caches.", nil,
+		func() float64 { return float64(s.MemoStats().Bytes) })
+
+	m.opPlace = tr.Op("sched.place")
+	m.opRelease = tr.Op("sched.release")
+	m.opBatch = tr.Op("sched.batch")
+	m.opSolve = tr.Op("sched.solve")
+	m.opRepack = tr.Op("sched.repack")
+	m.opCkptEncode = tr.Op("ckpt.encode")
+	m.opCkptValidate = tr.Op("ckpt.validate")
+	m.opCkptInstall = tr.Op("ckpt.install")
 }
 
+// notePlace records one committed admission: span v1 is the number of
+// leased switches, v2 is 1 if the placement was re-solved at commit.
+//
 //soar:hotpath
-func (m *metrics) noteRelease(ok bool, d time.Duration) {
-	if ok {
-		m.released++
-	} else {
-		m.notFound++
+func (m *metrics) notePlace(t0 time.Time, blues int64, conflicted bool) {
+	d := time.Since(t0)
+	m.placed.Inc()
+	m.placeSeconds.Observe(d.Seconds())
+	m.placeLat.record(d)
+	v2 := int64(0)
+	if conflicted {
+		v2 = 1
 	}
+	m.tr.Record(m.opPlace, t0, d, blues, v2)
+}
+
+// noteRelease records one release: span v1 is 1 on success, 0 for an
+// unknown tenant.
+//
+//soar:hotpath
+func (m *metrics) noteRelease(ok bool, t0 time.Time) {
+	d := time.Since(t0)
+	v1 := int64(0)
+	if ok {
+		m.released.Inc()
+		v1 = 1
+	} else {
+		m.notFound.Inc()
+	}
+	m.releaseSeconds.Observe(d.Seconds())
 	m.releaseLat.record(d)
+	m.tr.Record(m.opRelease, t0, d, v1, 0)
 }
 
 //soar:hotpath
 func (m *metrics) noteBatch(size int) {
-	m.batches++
-	m.batchSum += uint64(size)
-	if size > m.batchMax {
-		m.batchMax = size
+	m.batches.Inc()
+	m.batchSize.Observe(float64(size))
+	if size > m.batchMaxN {
+		m.batchMaxN = size
+		m.batchMax.Set(float64(size))
 	}
+}
+
+// noteBatchSpan records the whole batch's span: v1 is the batch size,
+// v2 the number of placements solved.
+//
+//soar:hotpath
+func (m *metrics) noteBatchSpan(t0 time.Time, size, places int) {
+	m.tr.Record(m.opBatch, t0, time.Since(t0), int64(size), int64(places))
+}
+
+// noteSolve records one engine solve's span: v1 is the budget k.
+//
+//soar:hotpath
+func (m *metrics) noteSolve(t0 time.Time, k int64) {
+	m.tr.Record(m.opSolve, t0, time.Since(t0), k, 0)
 }
 
 //soar:hotpath
 func (m *metrics) noteRepack(moved int, recovered float64) {
-	m.repackRounds++
-	m.repackMoves += uint64(moved)
-	m.phiRecovered += recovered
+	m.repackRounds.Inc()
+	m.repackMoves.Add(uint64(moved))
+	m.phiRecovered.Add(recovered)
 }
 
 // Metrics is a point-in-time summary of the scheduler's request stream.
@@ -122,22 +295,22 @@ func (s *Scheduler) Metrics() Metrics {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	m := Metrics{
-		Placed:       s.met.placed,
-		Released:     s.met.released,
-		NotFound:     s.met.notFound,
+		Placed:       s.met.placed.Value(),
+		Released:     s.met.released.Value(),
+		NotFound:     s.met.notFound.Value(),
 		Rejected:     s.rejected.Load(),
-		Conflicts:    s.met.conflicts,
-		Batches:      s.met.batches,
-		MaxBatch:     s.met.batchMax,
-		RepackRounds: s.met.repackRounds,
-		RepackMoves:  s.met.repackMoves,
-		PhiRecovered: s.met.phiRecovered,
+		Conflicts:    s.met.conflicts.Value(),
+		Batches:      s.met.batches.Value(),
+		MaxBatch:     s.met.batchMaxN,
+		RepackRounds: s.met.repackRounds.Value(),
+		RepackMoves:  s.met.repackMoves.Value(),
+		PhiRecovered: s.met.phiRecovered.Value(),
 	}
-	if s.met.batches > 0 {
-		m.MeanBatch = float64(s.met.batchSum) / float64(s.met.batches)
+	if m.Batches > 0 {
+		m.MeanBatch = s.met.batchSize.Sum() / float64(m.Batches)
 	}
 	if elapsed := time.Since(s.met.started).Seconds(); elapsed > 0 {
-		m.PlacePerSec = float64(s.met.placed) / elapsed
+		m.PlacePerSec = float64(m.Placed) / elapsed
 	}
 	lat := s.met.placeLat.snapshot(nil)
 	sort.Float64s(lat)
@@ -148,6 +321,43 @@ func (s *Scheduler) Metrics() Metrics {
 	sort.Float64s(rel)
 	m.ReleaseP50 = secondsToDuration(stats.QuantileSorted(rel, 0.50))
 	return m
+}
+
+// Registry returns the scheduler's metrics registry — the one Config.Obs
+// supplied, or the private registry New created. Scrape it with
+// WriteText; naas serves it as GET /metrics.
+func (s *Scheduler) Registry() *obs.Registry { return s.met.reg }
+
+// Trace returns the scheduler's span ring: per-stage timings for the
+// most recent operations (sched.place, sched.batch, sched.solve,
+// sched.release, sched.repack, ckpt.*).
+func (s *Scheduler) Trace() *obs.Trace { return s.met.tr }
+
+// MemoStats aggregates the solve-cache statistics across the engine
+// pool (the dispatcher's background solver and every worker). Safe to
+// call concurrently with serving traffic: the underlying Memo counters
+// are atomic. Epoch reports the largest epoch among the caches. Zero
+// when memoization is off.
+func (s *Scheduler) MemoStats() core.MemoStats {
+	var agg core.MemoStats
+	add := func(m *core.Memo) {
+		if m == nil {
+			return
+		}
+		st := m.Stats()
+		agg.Classes += st.Classes
+		agg.Hits += st.Hits
+		agg.Misses += st.Misses
+		agg.Bytes += st.Bytes
+		if st.Epoch > agg.Epoch {
+			agg.Epoch = st.Epoch
+		}
+	}
+	add(s.bgSol.memo)
+	for _, w := range s.workers {
+		add(w.sol.memo)
+	}
+	return agg
 }
 
 func secondsToDuration(s float64) time.Duration {

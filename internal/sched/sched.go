@@ -38,6 +38,7 @@ import (
 	"time"
 
 	"soar/internal/core"
+	"soar/internal/obs"
 	"soar/internal/topology"
 )
 
@@ -142,6 +143,14 @@ type Config struct {
 	MemoBudget int64
 	// Repack tunes the background re-packer.
 	Repack RepackConfig
+	// Obs, when non-nil, is the metrics registry the scheduler registers
+	// its families in (soar_sched_*, soar_memo_*, soar_ckpt_*); nil gets
+	// a private registry. A registry belongs to at most one Scheduler —
+	// a second registration of the same families panics.
+	Obs *obs.Registry
+	// Trace, when non-nil, is the span ring per-stage timings are
+	// recorded in; nil gets a private 1024-span ring.
+	Trace *obs.Trace
 }
 
 type opcode uint8
@@ -277,7 +286,6 @@ func New(t *topology.Tree, cfg Config) *Scheduler {
 		timer:  time.NewTimer(time.Hour),
 	}
 	s.timer.Stop()
-	s.met.started = time.Now()
 	s.reqPool.New = func() any { return &request{done: make(chan struct{}, 1)} }
 	s.tenPool.New = func() any { return new(tenant) }
 	s.bgSol.memo = s.newMemo()
@@ -285,6 +293,14 @@ func New(t *topology.Tree, cfg Config) *Scheduler {
 	for i := range s.workers {
 		s.workers[i] = &worker{s: s, sol: solver{memo: s.newMemo()}, wake: make(chan struct{}, 1)}
 	}
+	reg, trace := cfg.Obs, cfg.Trace
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	if trace == nil {
+		trace = obs.NewTrace(1024)
+	}
+	s.initMetrics(reg, trace)
 	s.bg.Add(1 + len(s.workers))
 	go s.dispatch()
 	for _, w := range s.workers {
@@ -540,6 +556,7 @@ func (s *Scheduler) collectBatch(first *request) {
 //
 //soar:hotpath
 func (s *Scheduler) runBatch() {
+	t0 := time.Now()
 	s.places = s.places[:0]
 	s.repacks = s.repacks[:0]
 	s.mu.Lock()
@@ -547,7 +564,7 @@ func (s *Scheduler) runBatch() {
 		switch r.op {
 		case opRelease:
 			r.err = s.releaseLocked(r.id)
-			s.met.noteRelease(r.err == nil, time.Since(r.t0))
+			s.met.noteRelease(r.err == nil, r.t0)
 		case opRepack:
 			s.repacks = append(s.repacks, r)
 		case opPlace:
@@ -559,7 +576,10 @@ func (s *Scheduler) runBatch() {
 	// Re-pack rounds solve, so they run outside the lock (repack takes
 	// and drops it around each candidate's ledger edits).
 	for _, r := range s.repacks { //soar:coldpath re-packing is the low-priority slow path
+		rt0 := time.Now()
 		r.moved, r.recovered = s.repack(r.k)
+		// Span v2 carries milli-Φ: spans are integer-valued.
+		s.met.tr.Record(s.met.opRepack, rt0, time.Since(rt0), int64(r.moved), int64(r.recovered*1e3))
 	}
 	for _, r := range s.batch {
 		if r.op != opPlace {
@@ -567,6 +587,9 @@ func (s *Scheduler) runBatch() {
 		}
 	}
 	if len(s.places) == 0 {
+		// The batch span is recorded at both exits: runBatch is a hotpath
+		// function, so no defer.
+		s.met.noteBatchSpan(t0, len(s.batch), 0)
 		return
 	}
 
@@ -592,6 +615,7 @@ func (s *Scheduler) runBatch() {
 	for _, r := range s.places {
 		r.done <- struct{}{}
 	}
+	s.met.noteBatchSpan(t0, len(s.batch), len(s.places))
 }
 
 // solveOn solves r's placement on sol's engine — rebuilt only if the
@@ -600,6 +624,7 @@ func (s *Scheduler) runBatch() {
 //
 //soar:hotpath
 func (s *Scheduler) solveOn(sol *solver, r *request) {
+	t0 := time.Now()
 	eng := sol.ensure(s.t, r.load, s.ledger.Avail(), r.k)
 	if cap(r.blue) < s.t.N() {
 		r.blue = make([]bool, s.t.N()) //soar:coldpath first use of a pooled request
@@ -607,6 +632,7 @@ func (s *Scheduler) solveOn(sol *solver, r *request) {
 	r.blue = r.blue[:s.t.N()]
 	r.phi = eng.SolveInto(r.blue)
 	r.allRed = s.allRed(r.load)
+	s.met.noteSolve(t0, int64(r.k))
 }
 
 // newMemo builds one solver's solve cache, or nil when memoization is
@@ -674,11 +700,12 @@ func (s *Scheduler) commit(r *request) {
 		}
 	}
 	s.leases[ten.id] = ten
-	if r.conflicted {
-		s.met.conflicts++
+	conflicted := r.conflicted
+	if conflicted {
+		s.met.conflicts.Inc()
 		r.conflicted = false
 	}
-	s.met.notePlace(time.Since(r.t0))
+	s.met.notePlace(r.t0, int64(len(ten.blue)), conflicted)
 	s.mu.Unlock()
 
 	// r.lease is owned by the blocked submitter until done is signalled.
