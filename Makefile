@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race soak bench fmt vet lint soarlint clean
+.PHONY: all build test race soak bench cover fmt vet lint soarlint clean
 
 all: build test
 
@@ -59,5 +59,22 @@ bench:
 		-benchtime 1x -json . > BENCH_core.json
 	@echo "BENCH_core.json: $$(grep -c 'ns/op' BENCH_core.json) benchmark results"
 
+# Coverage gate (CI's coverage job): the solver core must stay at or
+# above 85% statement coverage and the module overall at or above 70%.
+# cover.html is the browsable annotated source. The core floor uses a
+# dedicated profile so cross-package test coverage cannot inflate it.
+cover:
+	$(GO) test -coverprofile=cover.out ./...
+	$(GO) test -coverprofile=cover_core.out ./internal/core
+	$(GO) tool cover -html=cover.out -o cover.html
+	@total=$$($(GO) tool cover -func=cover.out | awk '/^total:/ {sub(/%/,"",$$3); print $$3}'); \
+	core=$$($(GO) tool cover -func=cover_core.out | awk '/^total:/ {sub(/%/,"",$$3); print $$3}'); \
+	echo "coverage: module $$total% (floor 70%), internal/core $$core% (floor 85%)"; \
+	awk -v t="$$total" -v c="$$core" 'BEGIN { \
+		bad = 0; \
+		if (t+0 < 70) { print "FAIL: module coverage " t "% below the 70% floor"; bad = 1 } \
+		if (c+0 < 85) { print "FAIL: internal/core coverage " c "% below the 85% floor"; bad = 1 } \
+		exit bad }'
+
 clean:
-	rm -f BENCH_sched.json BENCH_core.json
+	rm -f BENCH_sched.json BENCH_core.json cover.out cover_core.out cover.html

@@ -214,6 +214,52 @@ func BenchmarkGatherSparse(b *testing.B) {
 	})
 }
 
+// BenchmarkSolveBatch measures the fused batch engine on the
+// scheduler's regime: 64 sparse BT(2048) tenants (8 loaded racks each)
+// solved in one node-outer pass against shared zero-load class tables,
+// versus pushing the same batch through per-instance memoized solves on
+// an equally warm cache. The batch cell is gated ≥ 2× under the
+// sequential cell by benchgate, and bench-smoke asserts its steady
+// state allocates nothing.
+func BenchmarkSolveBatch(b *testing.B) {
+	tr := topology.MustBT(2048)
+	const k = 32
+	const batch = 64
+	rng := rand.New(rand.NewSource(9))
+	loads := make([][]int, batch)
+	for i := range loads {
+		loads[i] = load.GenerateSparse(tr, load.PaperPowerLaw(), 8, rng)
+	}
+	b.Run(fmt.Sprintf("batch=%d/k=%d", batch, k), func(b *testing.B) {
+		m := core.NewMemo(tr)
+		bs := core.NewBatchSolver(m)
+		blue := make([][]bool, batch)
+		costs := make([]float64, batch)
+		for i := range blue {
+			blue[i] = make([]bool, tr.N())
+		}
+		bs.Solve(loads, nil, k, blue, costs) // warm classes and scratch
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			bs.Solve(loads, nil, k, blue, costs)
+		}
+	})
+	b.Run(fmt.Sprintf("sequential=%d/k=%d", batch, k), func(b *testing.B) {
+		m := core.NewMemo(tr)
+		for i := range loads {
+			core.SolveMemo(m, loads[i], nil, k) // warm the same classes
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for j := range loads {
+				core.SolveMemo(m, loads[j], nil, k)
+			}
+		}
+	})
+}
+
 // BenchmarkColor is the companion measurement: the paper reports
 // SOAR-Color to be orders of magnitude cheaper than SOAR-Gather.
 func BenchmarkColor(b *testing.B) {

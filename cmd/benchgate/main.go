@@ -7,6 +7,7 @@
 // Usage:
 //
 //	benchgate -base base.txt -head head.txt [-threshold 0.30] [-match regexp]
+//	          [-min-speedup ratio -speedup-match regexp]
 //
 // Each benchmark's samples (from -count N) collapse to their minimum —
 // the most noise-robust central tendency for "how fast can this go" on
@@ -14,6 +15,13 @@
 // min(head) > min(base)·(1+threshold); benchmarks present in only one
 // file are reported but never fail the gate (they were added or
 // removed). Exit status 1 on any regression.
+//
+// The -min-speedup mode is the inverse gate, for PRs that land an
+// optimization and must prove it: every benchmark matching
+// -speedup-match and present in BOTH files must satisfy
+// min(base)/min(head) ≥ ratio. A match with no benchmark present on
+// both sides fails too — a renamed benchmark must not silently disarm
+// the gate.
 package main
 
 import (
@@ -33,6 +41,8 @@ func main() {
 	head := flag.String("head", "", "bench output of the head commit")
 	threshold := flag.Float64("threshold", 0.30, "maximum allowed relative slowdown (0.30 = +30%)")
 	match := flag.String("match", "", "only gate benchmarks whose name matches this regexp (empty = all)")
+	minSpeedup := flag.Float64("min-speedup", 0, "require min(base)/min(head) ≥ this ratio for benchmarks matching -speedup-match (0 disables)")
+	speedupMatch := flag.String("speedup-match", "", "regexp selecting the benchmarks the -min-speedup requirement applies to")
 	flag.Parse()
 	if *base == "" || *head == "" {
 		fmt.Fprintln(os.Stderr, "benchgate: -base and -head are required")
@@ -55,12 +65,33 @@ func main() {
 	}
 	report, regressions := Compare(baseNs, headNs, re, *threshold)
 	fmt.Print(report)
+	failed := false
 	if len(regressions) > 0 {
 		fmt.Printf("\nFAIL: %d benchmark(s) regressed beyond +%.0f%%: %s\n",
 			len(regressions), *threshold*100, strings.Join(regressions, ", "))
+		failed = true
+	} else {
+		fmt.Printf("\nPASS: no benchmark regressed beyond +%.0f%%\n", *threshold*100)
+	}
+	if *minSpeedup > 0 {
+		spRe, err := compileMatch(*speedupMatch)
+		if err != nil || spRe == nil {
+			fmt.Fprintf(os.Stderr, "benchgate: -min-speedup needs a valid -speedup-match: %v\n", err)
+			os.Exit(2)
+		}
+		spReport, misses := CompareSpeedup(baseNs, headNs, spRe, *minSpeedup)
+		fmt.Print(spReport)
+		if len(misses) > 0 {
+			fmt.Printf("\nFAIL: %d benchmark(s) below the required %.2fx speedup: %s\n",
+				len(misses), *minSpeedup, strings.Join(misses, ", "))
+			failed = true
+		} else {
+			fmt.Printf("\nPASS: all gated benchmarks hold ≥ %.2fx over base\n", *minSpeedup)
+		}
+	}
+	if failed {
 		os.Exit(1)
 	}
-	fmt.Printf("\nPASS: no benchmark regressed beyond +%.0f%%\n", *threshold*100)
 }
 
 func compileMatch(expr string) (*regexp.Regexp, error) {
@@ -161,6 +192,40 @@ func Compare(base, head map[string][]float64, re *regexp.Regexp, threshold float
 		}
 	}
 	return b.String(), regressions
+}
+
+// CompareSpeedup renders the speedup table and returns the names
+// failing the ≥ minRatio requirement. Only benchmarks matching re and
+// present in both maps count; if re selects nothing present on both
+// sides, the gate fails with a synthetic "(no benchmark matched)"
+// entry, so a renamed benchmark cannot silently disarm it.
+func CompareSpeedup(base, head map[string][]float64, re *regexp.Regexp, minRatio float64) (string, []string) {
+	names := make([]string, 0, len(base))
+	for name := range base {
+		if _, ok := head[name]; ok && re.MatchString(name) {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "\n%-60s %14s %14s %9s\n", "speedup gate", "base ns/op", "head ns/op", "ratio")
+	var misses []string
+	if len(names) == 0 {
+		fmt.Fprintf(&b, "%-60s\n", "(no benchmark matched on both sides)")
+		return b.String(), []string{"(no benchmark matched)"}
+	}
+	for _, name := range names {
+		bm, hm := minOf(base[name]), minOf(head[name])
+		ratio := bm / hm
+		mark := ""
+		if ratio < minRatio {
+			mark = " !"
+			misses = append(misses, name)
+		}
+		fmt.Fprintf(&b, "%-60s %14.0f %14.0f %8.2fx%s\n", name, bm, hm, ratio, mark)
+	}
+	return b.String(), misses
 }
 
 func minOf(xs []float64) float64 {

@@ -75,6 +75,39 @@ func TestCompareMatchFilter(t *testing.T) {
 	}
 }
 
+func TestCompareSpeedup(t *testing.T) {
+	base := map[string][]float64{
+		"BenchmarkGatherMemo/n=2048/k=128": {240000, 250000},
+		"BenchmarkSchedulerSparse/memo":    {66000},
+		"BenchmarkUnrelated/other":         {100},
+		"BenchmarkOnlyInBase/n=2048/k=128": {500},
+	}
+	head := map[string][]float64{
+		"BenchmarkGatherMemo/n=2048/k=128": {100000, 95000},
+		"BenchmarkSchedulerSparse/memo":    {31000},
+		"BenchmarkUnrelated/other":         {100000}, // slower, but not matched
+	}
+	re := regexp.MustCompile(`^BenchmarkGatherMemo/n=2048/k=128$|^BenchmarkSchedulerSparse/memo$`)
+	// 240000/95000 = 2.53x and 66000/31000 = 2.13x: both hold at 2.0.
+	report, misses := CompareSpeedup(base, head, re, 2.0)
+	if len(misses) != 0 {
+		t.Fatalf("unexpected misses at 2.0x: %v\nreport:\n%s", misses, report)
+	}
+	if strings.Contains(report, "Unrelated") || strings.Contains(report, "OnlyInBase") {
+		t.Fatalf("unmatched/one-sided benchmarks leaked into the gate:\n%s", report)
+	}
+	// At 2.25x the scheduler cell (2.13x) fails, the gather cell holds.
+	report, misses = CompareSpeedup(base, head, re, 2.25)
+	if len(misses) != 1 || misses[0] != "BenchmarkSchedulerSparse/memo" {
+		t.Fatalf("misses at 2.25x = %v\nreport:\n%s", misses, report)
+	}
+	// A pattern matching nothing present on both sides must fail loudly.
+	_, misses = CompareSpeedup(base, head, regexp.MustCompile(`^BenchmarkRenamed$`), 2.0)
+	if len(misses) != 1 {
+		t.Fatalf("empty match did not fail the gate: %v", misses)
+	}
+}
+
 func TestStripProcs(t *testing.T) {
 	for in, want := range map[string]string{
 		"BenchmarkGather-8":          "BenchmarkGather",

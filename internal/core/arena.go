@@ -38,10 +38,20 @@ func EffectiveCapsVec(t *topology.Tree, caps []int, k int) []int {
 // The running sum accumulates in int64 so the clamp is exact even with
 // MaxCapacity weights and a near-MaxInt budget on 32-bit platforms.
 func effectiveCaps(t *topology.Tree, avail []bool, caps []int, k int) []int {
+	out := make([]int, t.N())
+	effectiveCapsInto(out, t, avail, caps, k)
+	return out
+}
+
+// effectiveCapsInto is effectiveCaps writing into a caller-owned buffer
+// of length N(): stateless solves allocate, but the memo and the batch
+// solver recompute caps every call and reuse one buffer.
+//
+//soar:hotpath
+func effectiveCapsInto(out []int, t *topology.Tree, avail []bool, caps []int, k int) {
 	if k < 0 {
 		k = 0
 	}
-	out := make([]int, t.N())
 	for _, v := range t.PostOrder() {
 		c := int64(capAt(avail, caps, v))
 		if c < int64(k) {
@@ -57,7 +67,26 @@ func effectiveCaps(t *topology.Tree, avail []bool, caps []int, k int) []int {
 		}
 		out[v] = int(c)
 	}
-	return out
+}
+
+// effectiveCapRoot returns the root's effective cap min(k, Σ_v c(v))
+// without materializing the whole vector — the memoized gather fuses
+// the per-switch caps into its sweep and only needs the root bound to
+// size its merge scratch, and only when a solve actually misses.
+//
+//soar:hotpath
+func effectiveCapRoot(t *topology.Tree, avail []bool, caps []int, k int) int {
+	if k < 0 {
+		k = 0
+	}
+	var c int64
+	for v := 0; v < t.N(); v++ {
+		c += int64(capAt(avail, caps, v))
+		if c >= int64(k) {
+			return k
+		}
+	}
+	return int(c)
 }
 
 // arena owns the backing storage of one Gather run: one float64 slab for
@@ -79,31 +108,15 @@ type arena struct {
 }
 
 // newArena sizes and allocates the slabs for one run over t with the
-// given effective caps. recordSplits selects whether the breadcrumb slab
-// is allocated (the compact engine re-derives splits instead).
+// given effective caps, with per-switch windows laid out in level order
+// (levelOrderOffsets): the bottom-up sweep fills each slab back to
+// front, siblings adjacent — the SoA layout the merge kernel streams
+// over. recordSplits selects whether the breadcrumb slab is allocated
+// (the compact engine re-derives splits instead).
 func newArena(t *topology.Tree, caps []int, recordSplits bool) *arena {
 	n := t.N()
-	a := &arena{
-		caps: caps,
-		xOff: make([]int, n+1),
-	}
-	if recordSplits {
-		a.spOff = make([]int, n+1)
-		a.hdOff = make([]int, n+1)
-	}
-	for v := 0; v < n; v++ {
-		rows := t.Depth(v) + 1
-		w := caps[v] + 1
-		a.xOff[v+1] = a.xOff[v] + rows*w
-		if recordSplits {
-			merges := t.NumChildren(v) - 1
-			if merges < 0 {
-				merges = 0
-			}
-			a.spOff[v+1] = a.spOff[v] + merges*2*rows*w
-			a.hdOff[v+1] = a.hdOff[v] + merges
-		}
-	}
+	a := &arena{caps: caps}
+	a.xOff, a.spOff, a.hdOff = levelOrderOffsets(t, caps, recordSplits)
 	a.x = make([]float64, a.xOff[n])
 	a.isBlue = make([]bool, a.xOff[n])
 	if recordSplits {

@@ -241,12 +241,13 @@ func computeNode(t *topology.Tree, v, load int, hasLoad bool, capw int, nt *node
 				yb[i] = math.Inf(1)
 			}
 		}
-		// m ≥ 2 (paper Alg. 3 lines 20-25): min-plus merge per child,
-		// recording the argmin split for the traceback. The assignment j
-		// to child m never usefully exceeds cap[c_m] (its table is
-		// constant there and Y is non-increasing, so j = cap[c_m] is at
-		// least as good and scanned first), hence j ≤ min(i, cap[c_m])
-		// visits every candidate the unbounded scan could have picked.
+		// m ≥ 2 (paper Alg. 3 lines 20-25): min-plus merge per child via
+		// the SoA kernel (kernel.go), recording the argmin split for the
+		// traceback. The assignment j to child m never usefully exceeds
+		// cap[c_m] (its table is constant there and Y is non-increasing,
+		// so j = cap[c_m] is at least as good and scanned first), hence
+		// j ≤ min(i, cap[c_m]) visits every candidate the unbounded scan
+		// could have picked.
 		for m := 1; m < len(children); m++ {
 			cm := children[m]
 			wcm := cm.cap + 1
@@ -259,18 +260,7 @@ func computeNode(t *topology.Tree, v, load int, hasLoad bool, capw int, nt *node
 				spBlue = sp[(1*(depth+1)+l)*w:]
 			}
 			newCapR := min(capv, capR+cm.cap)
-			for i := 0; i <= newCapR; i++ {
-				bestR, argR := math.Inf(1), 0
-				for j := 0; j <= min(i, cm.cap); j++ {
-					if c := yr[i-j] + xRed[j]; c < bestR {
-						bestR, argR = c, j
-					}
-				}
-				newYR[i] = bestR
-				if recordSplits {
-					spRed[i] = int32(argR)
-				}
-			}
+			mergeMinPlus(newYR, spRed, yr, xRed, newCapR, cm.cap)
 			for i := newCapR + 1; i <= capv; i++ {
 				newYR[i] = newYR[newCapR]
 				if recordSplits {
@@ -281,18 +271,7 @@ func computeNode(t *topology.Tree, v, load int, hasLoad bool, capw int, nt *node
 			capR = newCapR
 			if blueOK {
 				newCapB := min(capv, capB+cm.cap)
-				for i := 0; i <= newCapB; i++ {
-					bestB, argB := math.Inf(1), 0
-					for j := 0; j <= min(i, cm.cap); j++ {
-						if c := yb[i-j] + xBlue[j]; c < bestB {
-							bestB, argB = c, j
-						}
-					}
-					newYB[i] = bestB
-					if recordSplits {
-						spBlue[i] = int32(argB)
-					}
-				}
+				mergeMinPlus(newYB, spBlue, yb, xBlue, newCapB, cm.cap)
 				for i := newCapB + 1; i <= capv; i++ {
 					newYB[i] = newYB[newCapB]
 					if recordSplits {

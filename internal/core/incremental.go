@@ -2,7 +2,6 @@ package core
 
 import (
 	"fmt"
-	"slices"
 
 	"soar/internal/topology"
 )
@@ -44,7 +43,9 @@ type Incremental struct {
 	k       int
 	tb      *Tables
 	dirty   []bool
-	queue   []int // dirty switches, unordered; invariant: upward-closed
+	queue   []int   // dirty switches, unordered; invariant: upward-closed
+	dcount  []int32 // depth-bucket counters for the flush order (len height+2)
+	qbuf    []int   // scatter buffer for the counting sort
 	sc      *scratch
 	scCap   int           // the root effective cap sc is sized for
 	cbuf    []*nodeTables // reusable child-table buffer for flushes
@@ -351,12 +352,7 @@ func (inc *Incremental) Flush() {
 	if len(inc.queue) == 0 {
 		return
 	}
-	// Deeper switches first; a parent on the queue is always strictly
-	// shallower than its dirty children, so this is a valid bottom-up
-	// order over the (upward-closed) dirty set.
-	slices.SortFunc(inc.queue, func(a, b int) int {
-		return inc.t.Depth(b) - inc.t.Depth(a)
-	})
+	inc.orderQueue()
 	if inc.memo != nil {
 		inc.flushMemo()
 		return
@@ -381,6 +377,48 @@ func (inc *Incremental) Flush() {
 	inc.queue = inc.queue[:0]
 }
 
+// orderQueue orders the dirty queue deeper switches first; a parent on
+// the queue is always strictly shallower than its dirty children, so
+// this is a valid bottom-up order over the (upward-closed) dirty set.
+// Depths are bounded by the tree height, so a counting sort over
+// engine-owned depth buckets replaces the comparison sort: O(q + h),
+// no comparator calls, no allocation once warm.
+//
+//soar:hotpath
+func (inc *Incremental) orderQueue() {
+	t := inc.t
+	if inc.dcount == nil {
+		inc.dcount = make([]int32, t.Height()+2) //soar:coldpath first flush
+	}
+	maxd := 0
+	for _, v := range inc.queue {
+		d := t.Depth(v)
+		inc.dcount[d]++
+		if d > maxd {
+			maxd = d
+		}
+	}
+	pos := int32(0)
+	for d := maxd; d >= 0; d-- { // deepest bucket first
+		c := inc.dcount[d]
+		inc.dcount[d] = pos
+		pos += c
+	}
+	if cap(inc.qbuf) < len(inc.queue) {
+		inc.qbuf = make([]int, len(inc.queue)) //soar:coldpath queue grew
+	}
+	qb := inc.qbuf[:len(inc.queue)]
+	for _, v := range inc.queue {
+		d := t.Depth(v)
+		qb[inc.dcount[d]] = v
+		inc.dcount[d]++
+	}
+	copy(inc.queue, qb)
+	for d := 0; d <= maxd; d++ {
+		inc.dcount[d] = 0 // leave the buckets clean for the next flush
+	}
+}
+
 // flushMemo is the memo-mode flush: re-intern each dirty switch's class
 // bottom-up (the queue is already sorted deepest-first) and realias its
 // table. Memo tables are immutable, so a miss computes into fresh
@@ -396,6 +434,7 @@ func (inc *Incremental) flushMemo() {
 	t := inc.t
 	pd := t.PathDigests()
 	m.ensureScratch(inc.cap(t.Root()))
+	var hits, misses uint64
 	for _, v := range inc.queue {
 		hasLoad := inc.subLoad[v] > 0
 		cid := m.internClassFor(v, inc.classOf, pd, inc.load[v], hasLoad, inc.caps[v], inc.cap(v))
@@ -403,20 +442,22 @@ func (inc *Incremental) flushMemo() {
 		if cid == inc.classOf[v] {
 			// The update restored this switch's exact inputs (or two
 			// updates cancelled): the aliased table is already right.
-			m.hits.Add(1)
+			hits++
 			continue
 		}
 		inc.classOf[v] = cid
 		e := &m.entries[cid]
 		if e.ok {
-			m.hits.Add(1)
+			hits++
 		} else { //soar:coldpath cache miss: compute into fresh immutable storage
-			m.misses.Add(1)
+			misses++
 			inc.cbuf = appendChildTables(inc.cbuf[:0], inc.tb, v)
 			m.computeEntry(e, v, inc.load[v], hasLoad, inc.caps[v], inc.cap(v), inc.cbuf, m.sc)
 		}
 		inc.tb.nodes[v] = e.nt
 	}
+	m.hits.Add(hits)
+	m.misses.Add(misses)
 	inc.queue = inc.queue[:0]
 }
 
@@ -477,13 +518,16 @@ func (inc *Incremental) Solve() Result {
 
 // SolveInto is Solve writing the optimal blue set into a caller-owned
 // buffer (which must have length N) and returning φ. It reuses the
-// engine's color scratch, so a steady-state admission — SetLoads /
-// SetAvails followed by SolveInto — performs no allocations at all.
+// engine's color scratch and the engine's maintained subtree loads to
+// skip zero-load subtrees (colorIntoSparse — identical placement), so a
+// steady-state admission — SetLoads / SetAvails followed by SolveInto —
+// performs no allocations and touches O(loaded spine) switches in the
+// traceback.
 //
 //soar:hotpath
 func (inc *Incremental) SolveInto(blue []bool) float64 {
 	inc.Flush()
-	return inc.cs.colorInto(inc.tb, blue)
+	return inc.cs.colorIntoSparse(inc.tb, blue, inc.subLoad)
 }
 
 // Tables flushes pending updates and exposes the maintained DP state.

@@ -1,0 +1,38 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// BenchmarkMerge measures the (min,+) kernel variants in isolation on
+// one row merge. w counts the merge candidates per output cell (the
+// child cap width is w−1), so w=4 and w=8 exercise the fully unrolled
+// chains and w=32 the generic j-outer kernel. hi=128 matches the widest
+// running rows of the Fig. 9 grid's k=128 cells. CI's bench-gate tracks
+// these cells: a branch reintroduced into the inner loop shows up here
+// first, before it is diluted inside a whole gather.
+func BenchmarkMerge(b *testing.B) {
+	const hi = 128
+	rng := rand.New(rand.NewSource(1))
+	y := make([]float64, hi+1)
+	newY := make([]float64, hi+1)
+	sp := make([]int32, hi+1)
+	for i := range y {
+		y[i] = rng.Float64() * 100
+	}
+	for _, w := range []int{4, 8, 32} {
+		cw := w - 1
+		x := make([]float64, cw+1)
+		for j := range x {
+			x[j] = rng.Float64() * 100
+		}
+		b.Run(fmt.Sprintf("w=%d", w), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				mergeMinPlus(newY, sp, y, x, hi, cw)
+			}
+		})
+	}
+}

@@ -1,0 +1,316 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"soar/internal/topology"
+)
+
+// scalarComputeNode is the pre-kernel merge loop kept as an executable
+// reference: computeNode with every (min,+) merge done by the naive
+// i-outer, branch-per-candidate scan (mergeScalar). The kernel variants
+// must reproduce it bitwise — values, color flags and split breadcrumbs.
+func scalarComputeNode(t *topology.Tree, v, load int, hasLoad bool, capw int, nt *nodeTables, children []*nodeTables, sc *scratch) {
+	depth := t.Depth(v)
+	capv := nt.cap
+	nt.capw = capw
+	w := capv + 1
+	bsend := 0.0
+	if hasLoad {
+		bsend = 1.0
+	}
+	blueOK := capw >= 1 && capw <= capv
+	if len(children) == 0 {
+		for l := 0; l <= depth; l++ {
+			rho := t.RhoUp(v, l)
+			red := rho * float64(load)
+			for i := 0; i <= capv; i++ {
+				idx := l*w + i
+				nt.x[idx] = red
+				nt.isBlue[idx] = false
+			}
+			if blueOK {
+				idx := l*w + capw
+				if blue := rho * bsend; blue < red {
+					nt.x[idx] = blue
+					nt.isBlue[idx] = true
+				}
+			}
+		}
+		return
+	}
+	recordSplits := nt.splits != nil
+	yr := sc.yr[:w]
+	yb := sc.yb[:w]
+	newYR := sc.newYR[:w]
+	newYB := sc.newYB[:w]
+	for l := 0; l <= depth; l++ {
+		rho := t.RhoUp(v, l)
+		c1 := children[0]
+		w1 := c1.cap + 1
+		redRow := c1.x[(l+1)*w1:]
+		redBase := rho * float64(load)
+		capR := min(capv, c1.cap)
+		for i := 0; i <= capR; i++ {
+			yr[i] = redRow[i] + redBase
+		}
+		for i := capR + 1; i <= capv; i++ {
+			yr[i] = yr[capR]
+		}
+		capB := 0
+		if blueOK {
+			blueRow := c1.x[1*w1:]
+			blueBase := rho * bsend
+			capB = min(capv, c1.cap+capw)
+			for i := 0; i < capw; i++ {
+				yb[i] = math.Inf(1)
+			}
+			for i := capw; i <= capB; i++ {
+				yb[i] = blueRow[i-capw] + blueBase
+			}
+			for i := capB + 1; i <= capv; i++ {
+				yb[i] = yb[capB]
+			}
+		} else {
+			for i := 0; i <= capv; i++ {
+				yb[i] = math.Inf(1)
+			}
+		}
+		for m := 1; m < len(children); m++ {
+			cm := children[m]
+			wcm := cm.cap + 1
+			xBlue := cm.x[1*wcm : 1*wcm+wcm]
+			xRed := cm.x[(l+1)*wcm : (l+1)*wcm+wcm]
+			var spRed, spBlue []int32
+			if recordSplits {
+				sp := nt.splits[m-1]
+				spRed = sp[(0*(depth+1)+l)*w:]
+				spBlue = sp[(1*(depth+1)+l)*w:]
+			}
+			newCapR := min(capv, capR+cm.cap)
+			mergeScalar(newYR, spRed, yr, xRed, 0, newCapR, cm.cap)
+			for i := newCapR + 1; i <= capv; i++ {
+				newYR[i] = newYR[newCapR]
+				if recordSplits {
+					spRed[i] = spRed[newCapR]
+				}
+			}
+			yr, newYR = newYR, yr
+			capR = newCapR
+			if blueOK {
+				newCapB := min(capv, capB+cm.cap)
+				mergeScalar(newYB, spBlue, yb, xBlue, 0, newCapB, cm.cap)
+				for i := newCapB + 1; i <= capv; i++ {
+					newYB[i] = newYB[newCapB]
+					if recordSplits {
+						spBlue[i] = spBlue[newCapB]
+					}
+				}
+				yb, newYB = newYB, yb
+				capB = newCapB
+			} else if recordSplits {
+				for i := 0; i <= capv; i++ {
+					spBlue[i] = 0
+				}
+			}
+		}
+		for i := 0; i <= capv; i++ {
+			idx := l*w + i
+			if yb[i] < yr[i] {
+				nt.x[idx] = yb[i]
+				nt.isBlue[idx] = true
+			} else {
+				nt.x[idx] = yr[i]
+				nt.isBlue[idx] = false
+			}
+		}
+	}
+}
+
+// gatherScalar is gatherSerial with scalarComputeNode: the whole-DP
+// reference the kernel-backed Gather must match bitwise.
+func gatherScalar(t *topology.Tree, load []int, avail []bool, caps []int, k int) *Tables {
+	if k < 0 {
+		k = 0
+	}
+	ecaps := effectiveCaps(t, avail, caps, k)
+	tb := &Tables{t: t, load: load, k: k, nodes: make([]nodeTables, t.N())}
+	subLoad := t.SubtreeLoads(load)
+	sc := newScratch(ecaps[t.Root()])
+	var cbuf []*nodeTables
+	for _, v := range t.PostOrder() {
+		nt := newNodeStorage(t.Depth(v), ecaps[v], t.NumChildren(v), true)
+		cbuf = appendChildTables(cbuf[:0], tb, v)
+		scalarComputeNode(t, v, load[v], subLoad[v] > 0, capAt(avail, caps, v), &nt, cbuf, sc)
+		tb.nodes[v] = nt
+	}
+	return tb
+}
+
+// requireTablesBitwise fails unless got and want agree bitwise on every
+// value, color flag and split breadcrumb of every switch.
+func requireKernelTables(t *testing.T, seed int64, name string, tr *topology.Tree, got, want *Tables) {
+	t.Helper()
+	for v := 0; v < tr.N(); v++ {
+		g, w := &got.nodes[v], &want.nodes[v]
+		if g.cap != w.cap || g.capw != w.capw {
+			t.Fatalf("seed %d: %s switch %d caps (%d,%d), want (%d,%d)", seed, name, v, g.cap, g.capw, w.cap, w.capw)
+		}
+		for i := range w.x {
+			if g.x[i] != w.x[i] || g.isBlue[i] != w.isBlue[i] {
+				t.Fatalf("seed %d: %s switch %d table cell %d: (%v,%v) want (%v,%v)",
+					seed, name, v, i, g.x[i], g.isBlue[i], w.x[i], w.isBlue[i])
+			}
+		}
+		if len(g.splits) != len(w.splits) {
+			t.Fatalf("seed %d: %s switch %d has %d split tables, want %d", seed, name, v, len(g.splits), len(w.splits))
+		}
+		for m := range w.splits {
+			for i := range w.splits[m] {
+				if g.splits[m][i] != w.splits[m][i] {
+					t.Fatalf("seed %d: %s switch %d merge %d split %d: %d want %d",
+						seed, name, v, m, i, g.splits[m][i], w.splits[m][i])
+				}
+			}
+		}
+	}
+}
+
+// randomMergeRows builds one random kernel invocation: row widths, a Y
+// row and a child row with occasional +Inf cells (the infeasible-blue
+// prefix of real merges).
+func randomMergeRows(rng *rand.Rand) (y, x []float64, hi, cw int) {
+	hi = rng.Intn(41)
+	cw = rng.Intn(13)
+	y = make([]float64, hi+1)
+	x = make([]float64, max(cw, hi)+1)
+	fill := func(row []float64) {
+		for i := range row {
+			switch rng.Intn(8) {
+			case 0:
+				row[i] = math.Inf(1)
+			case 1:
+				row[i] = 0
+			case 2:
+				// Duplicate small integers force argmin ties.
+				row[i] = float64(rng.Intn(3))
+			default:
+				row[i] = rng.Float64() * 10
+			}
+		}
+	}
+	fill(y)
+	fill(x)
+	return y, x, hi, cw
+}
+
+// TestMergeKernelMatchesScalar sweeps every (hi, cw) shape through the
+// dispatcher and checks values and first-argmin breadcrumbs against
+// mergeScalar bitwise, with and without split recording.
+func TestMergeKernelMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for round := 0; round < 5000; round++ {
+		y, x, hi, cw := randomMergeRows(rng)
+		wantY := make([]float64, hi+1)
+		wantSp := make([]int32, hi+1)
+		mergeScalar(wantY, wantSp, y, x, 0, hi, min(cw, hi))
+		gotY := make([]float64, hi+1)
+		gotSp := make([]int32, hi+1)
+		mergeMinPlus(gotY, gotSp, y, x, hi, cw)
+		for i := 0; i <= hi; i++ {
+			if gotY[i] != wantY[i] || gotSp[i] != wantSp[i] {
+				t.Fatalf("round %d (hi=%d cw=%d): cell %d got (%v,%d) want (%v,%d)",
+					round, hi, cw, i, gotY[i], gotSp[i], wantY[i], wantSp[i])
+			}
+		}
+		for i := range gotY {
+			gotY[i] = -1
+		}
+		mergeMinPlus(gotY, nil, y, x, hi, cw)
+		for i := 0; i <= hi; i++ {
+			if gotY[i] != wantY[i] {
+				t.Fatalf("round %d (hi=%d cw=%d): no-split cell %d got %v want %v", round, hi, cw, i, gotY[i], wantY[i])
+			}
+		}
+	}
+}
+
+// TestMergeKernelAllInfinite pins the all-infinite row convention: the
+// merge of an unaffordable blue track keeps value +Inf and argmin 0 in
+// every variant (the recycled-storage contract of computeNode).
+func TestMergeKernelAllInfinite(t *testing.T) {
+	for _, cw := range []int{0, 2, 5, 11} {
+		hi := 20
+		y := make([]float64, hi+1)
+		x := make([]float64, cw+1)
+		for i := range y {
+			y[i] = math.Inf(1)
+		}
+		for j := range x {
+			x[j] = math.Inf(1)
+		}
+		newY := make([]float64, hi+1)
+		sp := make([]int32, hi+1)
+		for i := range sp {
+			sp[i] = 99
+		}
+		mergeMinPlus(newY, sp, y, x, hi, cw)
+		for i := 0; i <= hi; i++ {
+			if !math.IsInf(newY[i], 1) || sp[i] != 0 {
+				t.Fatalf("cw=%d cell %d: got (%v,%d), want (+Inf,0)", cw, i, newY[i], sp[i])
+			}
+		}
+	}
+}
+
+// FuzzKernelMatchesGather is the kernel's bitwise-identity fuzz target:
+// on fuzzer-chosen instances the kernel-backed Gather must reproduce the
+// scalar-merge reference gather cell for cell — values, color flags and
+// split breadcrumbs — under uniform availability and capacity vectors,
+// and the resulting placements must match. Random raw rows (widths the
+// DP may never hit) are fuzzed against mergeScalar too.
+func FuzzKernelMatchesGather(f *testing.F) {
+	f.Add(int64(1))
+	f.Add(int64(42))
+	f.Add(int64(-9))
+	f.Add(int64(1 << 35))
+	f.Fuzz(func(t *testing.T, seed int64) {
+		rng := rand.New(rand.NewSource(seed))
+		for round := 0; round < 32; round++ {
+			y, x, hi, cw := randomMergeRows(rng)
+			wantY := make([]float64, hi+1)
+			wantSp := make([]int32, hi+1)
+			mergeScalar(wantY, wantSp, y, x, 0, hi, min(cw, hi))
+			gotY := make([]float64, hi+1)
+			gotSp := make([]int32, hi+1)
+			mergeMinPlus(gotY, gotSp, y, x, hi, cw)
+			for i := 0; i <= hi; i++ {
+				if gotY[i] != wantY[i] || gotSp[i] != wantSp[i] {
+					t.Fatalf("seed %d row (hi=%d cw=%d): cell %d got (%v,%d) want (%v,%d)",
+						seed, hi, cw, i, gotY[i], gotSp[i], wantY[i], wantSp[i])
+				}
+			}
+		}
+
+		tr, loads, avail, k := randomInstance(seed, 25, 6)
+		requireKernelTables(t, seed, "uniform", tr, Gather(tr, loads, avail, k), gatherScalar(tr, loads, avail, nil, k))
+		res := Solve(tr, loads, avail, k)
+		wantBlue, wantCost := ColorPhase(gatherScalar(tr, loads, avail, nil, k))
+		if res.Cost != wantCost {
+			t.Fatalf("seed %d: kernel φ=%v, scalar φ=%v", seed, res.Cost, wantCost)
+		}
+		for v := range wantBlue {
+			if res.Blue[v] != wantBlue[v] {
+				t.Fatalf("seed %d: placement differs at switch %d", seed, v)
+			}
+		}
+
+		caps := make([]int, tr.N())
+		for v := range caps {
+			caps[v] = rng.Intn(4)
+		}
+		requireKernelTables(t, seed, "caps", tr, GatherCaps(tr, loads, caps, k), gatherScalar(tr, loads, nil, caps, k))
+	})
+}

@@ -55,19 +55,40 @@ const (
 	sliceHeaderBytes  = 24
 )
 
-// classKey is the exact equivalence-class tuple of one switch. kids is
-// the interned id of the child-class list (-1 for leaves).
+// classKey is the exact equivalence-class tuple of one switch. The
+// children's class ids are inlined for the common fan-outs — kid0/kid1
+// hold them directly for ≤ 2 children (-1 absent) — so interning a
+// binary-tree switch costs one map operation, not one per cons cell.
+// Wider switches fall back to the cons-list: kid0 is then the interned
+// list id over all children and kid1 is listSentinel, a value no class
+// id can take, so the two encodings can never collide.
 type classKey struct {
-	path    int32
-	kids    int32
 	load    int64
-	capw    int32
 	ecap    int64
+	path    int32
+	kid0    int32
+	kid1    int32
+	capw    int32
 	hasLoad bool
 }
 
+// listSentinel marks kid0 as a cons-list id (> 2 children).
+const listSentinel int32 = -2
+
 // listKey interns child-class lists as cons cells.
 type listKey struct{ prev, child int32 }
+
+// cachedClass is one slot of the per-switch class cache: the last
+// classKey interned at a switch and the id it resolved to. Hash-consing
+// makes the memo exact, but on a warm solve the map lookups ARE the
+// solve — and a switch's key stream is extremely repetitive (sparse
+// churn leaves most switches in one of two states: their zero class and
+// their last loaded class). A 2-slot direct-mapped cache in front of
+// the map turns those into two struct compares.
+type cachedClass struct {
+	key classKey
+	cid int32 // -1: empty slot
+}
 
 // memoEntry is one class: its canonical tables, once computed. The nt
 // field is the aliasing contract of the cache made checkable: once an
@@ -131,6 +152,22 @@ type Memo struct {
 	scCap int
 	cbuf  []*nodeTables
 
+	// ccache is the per-switch 2-way class cache (2 slots per switch,
+	// most recent first); see cachedClass. Invalidated on Reset: slot
+	// hits must never resurrect a pre-eviction class id.
+	ccache []cachedClass
+
+	// slab backs the class tables computed on misses (newNodeStorageSlab):
+	// classes interned together share chunks, so a warm epoch's working
+	// set is a few dense slabs instead of thousands of small objects.
+	slab slabAlloc
+
+	// Reused per-solve scratch (effective caps, subtree loads, class
+	// ids): a warm gather allocates nothing but the returned Tables.
+	ecapsBuf []int
+	subBuf   []int64
+	classBuf []int32
+
 	// Shared all-zero storage for the zero-load fast path. Grows to the
 	// largest table shape seen; superseded slabs stay referenced by the
 	// tables sliced from them (still all zeros, still immutable).
@@ -145,12 +182,17 @@ type Memo struct {
 // NewMemo returns an empty solve cache for tree t with the default
 // eviction budget.
 func NewMemo(t *topology.Tree) *Memo {
-	return &Memo{
+	m := &Memo{
 		t:       t,
 		budget:  defaultMemoBudget,
 		classes: make(map[classKey]int32),
 		lists:   make(map[listKey]int32),
+		ccache:  make([]cachedClass, 2*t.N()),
 	}
+	for i := range m.ccache {
+		m.ccache[i].cid = -1
+	}
+	return m
 }
 
 // Tree returns the tree the memo caches solves for.
@@ -187,6 +229,9 @@ func (m *Memo) Reset() {
 	clear(m.classes)
 	clear(m.lists)
 	m.entries = m.entries[:0]
+	for i := range m.ccache {
+		m.ccache[i].cid = -1 // stale class ids must never hit
+	}
 	m.nclasses.Store(0)
 	m.bytes.Store(0)
 }
@@ -229,28 +274,63 @@ func (m *Memo) internClass(key classKey) int32 {
 	return id
 }
 
-// internClassFor builds and interns the class tuple of one switch: fold
-// v's children's class ids (in child order) into a cons-list, then
-// intern the full tuple. Every call site that classifies a switch —
-// the serial and parallel gathers, the incremental flush and the
+// classKeyFor builds the class tuple of one switch: the first two
+// children's class ids inline (in child order — merge order and split
+// breadcrumbs depend on it), a cons-list id for wider fan-outs.
+//
+//soar:hotpath
+func (m *Memo) classKeyFor(v int, classOf, pd []int32, loadV int, hasLoad bool, capw, ecap int) classKey {
+	kids := m.t.Children(v)
+	k0, k1 := int32(-1), int32(-1)
+	switch len(kids) {
+	case 0:
+	case 1:
+		k0 = classOf[kids[0]]
+	case 2:
+		k0, k1 = classOf[kids[0]], classOf[kids[1]]
+	default:
+		cons := int32(-1)
+		for _, c := range kids {
+			cons = m.internList(cons, classOf[c])
+		}
+		k0, k1 = cons, listSentinel
+	}
+	return classKey{
+		load:    int64(loadV),
+		ecap:    int64(ecap),
+		path:    pd[v],
+		kid0:    k0,
+		kid1:    k1,
+		capw:    int32(capw),
+		hasLoad: hasLoad,
+	}
+}
+
+// internClassFor classifies one switch: build its class tuple, then
+// resolve it to a class id — through the per-switch cache when the
+// switch was recently in the same state, through the hash-consing map
+// otherwise. Every call site that classifies a switch — the serial,
+// parallel and batch gathers, the incremental flush and the
 // post-eviction reclass — MUST go through this single helper: table
 // aliasing is sound only if all paths derive identical keys from
 // identical components.
 //
 //soar:hotpath
 func (m *Memo) internClassFor(v int, classOf, pd []int32, loadV int, hasLoad bool, capw, ecap int) int32 {
-	kids := int32(-1)
-	for _, c := range m.t.Children(v) {
-		kids = m.internList(kids, classOf[c])
+	key := m.classKeyFor(v, classOf, pd, loadV, hasLoad, capw, ecap)
+	s0 := &m.ccache[2*v]
+	if s0.cid >= 0 && s0.key == key {
+		return s0.cid
 	}
-	return m.internClass(classKey{
-		path:    pd[v],
-		kids:    kids,
-		load:    int64(loadV),
-		capw:    int32(capw),
-		ecap:    int64(ecap),
-		hasLoad: hasLoad,
-	})
+	s1 := &m.ccache[2*v+1]
+	if s1.cid >= 0 && s1.key == key {
+		*s0, *s1 = *s1, *s0 // promote: keep the most recent state first
+		return s0.cid
+	}
+	cid := m.internClass(key)
+	*s1 = *s0
+	*s0 = cachedClass{key, cid}
+	return cid
 }
 
 // ensureScratch sizes the merge scratch and the shared zero slabs for
@@ -332,7 +412,7 @@ func (m *Memo) computeEntry(e *memoEntry, v, loadV int, hasLoad bool, capw, ecap
 	if !hasLoad {
 		e.nt, e.bytes = m.zeroTable(m.t.Depth(v), capw, ecap, m.t.NumChildren(v))
 	} else {
-		nt := newNodeStorage(m.t.Depth(v), ecap, m.t.NumChildren(v), true)
+		nt := newNodeStorageSlab(&m.slab, m.t.Depth(v), ecap, m.t.NumChildren(v))
 		computeNode(m.t, v, loadV, hasLoad, capw, &nt, children, sc)
 		e.nt = nt
 		e.bytes = tableBytes(&nt)
@@ -351,32 +431,87 @@ func (m *Memo) gather(load []int, avail []bool, caps []int, k int, classOf []int
 	t := m.t
 	n := t.N()
 	if classOf == nil {
-		classOf = make([]int32, n)
+		classOf = m.classScratch()
 	}
-	ecaps := effectiveCaps(t, avail, caps, k)
-	subLoad := t.SubtreeLoads(load)
+	ecaps, subLoad := m.solveScratch()
 	pd := t.PathDigests()
-	m.ensureScratch(ecaps[t.Root()])
+	if k < 0 {
+		k = 0
+	}
+	k64 := int64(k)
 	tb := &Tables{t: t, load: load, k: k, nodes: make([]nodeTables, n)}
+	// The atomic hit/miss counters batch per solve: Stats readers only
+	// need monotone totals, and per-switch atomic adds were measurable
+	// on the warm path. Effective caps and subtree loads are postorder
+	// recurrences over the very values this loop walks, so they fuse
+	// into the classification sweep instead of running as two extra
+	// O(n) passes (the clamp matches effectiveCaps: children are
+	// already clamped to k, so the int64 sum cannot wrap).
+	var hits, misses uint64
+	scratchReady := false
 	for _, v := range t.PostOrder() {
-		hasLoad := subLoad[v] > 0
 		capw := capAt(avail, caps, v)
-		cid := m.internClassFor(v, classOf, pd, load[v], hasLoad, capw, ecaps[v])
+		sub := int64(load[v])
+		c := int64(capw)
+		for _, ch := range t.Children(v) {
+			sub += subLoad[ch]
+			c += int64(ecaps[ch])
+		}
+		if c > k64 {
+			c = k64
+		}
+		ecap := int(c)
+		ecaps[v] = ecap
+		subLoad[v] = sub
+		hasLoad := sub > 0
+		cid := m.internClassFor(v, classOf, pd, load[v], hasLoad, capw, ecap)
 		classOf[v] = cid
 		e := &m.entries[cid]
 		if !e.ok {
-			m.misses.Add(1)
-			m.cbuf = m.cbuf[:0]
-			for _, c := range t.Children(v) {
-				m.cbuf = append(m.cbuf, &m.entries[classOf[c]].nt)
+			misses++
+			if !scratchReady {
+				// Sized from the root cap = min(k, whole-tree capacity),
+				// which bounds every cap this solve can see.
+				m.ensureScratch(effectiveCapRoot(t, avail, caps, k)) //soar:coldpath miss in this solve
+				scratchReady = true
 			}
-			m.computeEntry(e, v, load[v], hasLoad, capw, ecaps[v], m.cbuf, m.sc)
+			m.cbuf = m.cbuf[:0]
+			for _, ch := range t.Children(v) {
+				m.cbuf = append(m.cbuf, &m.entries[classOf[ch]].nt)
+			}
+			m.computeEntry(e, v, load[v], hasLoad, capw, ecap, m.cbuf, m.sc)
 		} else {
-			m.hits.Add(1)
+			hits++
 		}
 		tb.nodes[v] = e.nt
 	}
+	m.hits.Add(hits)
+	m.misses.Add(misses)
 	return tb
+}
+
+// classScratch returns the memo-owned class-id buffer for solves whose
+// caller does not keep class ids (GatherMemo and friends; the
+// incremental engine passes its own persistent classOf).
+//
+//soar:hotpath
+func (m *Memo) classScratch() []int32 {
+	if len(m.classBuf) != m.t.N() {
+		m.classBuf = make([]int32, m.t.N()) //soar:coldpath first use
+	}
+	return m.classBuf
+}
+
+// solveScratch returns the memo-owned effective-caps and subtree-load
+// buffers recomputed by every solve.
+//
+//soar:hotpath
+func (m *Memo) solveScratch() ([]int, []int64) {
+	if len(m.ecapsBuf) != m.t.N() {
+		m.ecapsBuf = make([]int, m.t.N()) //soar:coldpath first use
+		m.subBuf = make([]int64, m.t.N()) //soar:coldpath first use
+	}
+	return m.ecapsBuf, m.subBuf
 }
 
 // GatherMemo is Gather through the solve cache: tables, breadcrumbs and
@@ -480,13 +615,15 @@ func (m *Memo) gatherParallel(load []int, avail []bool, caps []int, k, workers i
 	m.maybeEvict()
 	t := m.t
 	n := t.N()
-	ecaps := effectiveCaps(t, avail, caps, k)
-	subLoad := t.SubtreeLoads(load)
+	ecaps, subLoad := m.solveScratch()
+	effectiveCapsInto(ecaps, t, avail, caps, k)
+	t.SubtreeLoadsInto(subLoad, load)
 	pd := t.PathDigests()
 	m.ensureScratch(ecaps[t.Root()])
 	classOf := make([]int32, n)
 	firstNew := int32(len(m.entries))
 	var reps []int32 // rep node of each class interned by this pass
+	var hits, misses uint64
 	for _, v := range t.PostOrder() {
 		hasLoad := subLoad[v] > 0
 		capw := capAt(avail, caps, v)
@@ -494,7 +631,7 @@ func (m *Memo) gatherParallel(load []int, avail []bool, caps []int, k, workers i
 		classOf[v] = cid
 		if int(cid-firstNew) == len(reps) {
 			reps = append(reps, int32(v))
-			m.misses.Add(1)
+			misses++
 			if !hasLoad {
 				e := &m.entries[cid]
 				e.nt, e.bytes = m.zeroTable(t.Depth(v), capw, ecaps[v], t.NumChildren(v))
@@ -502,9 +639,11 @@ func (m *Memo) gatherParallel(load []int, avail []bool, caps []int, k, workers i
 				m.bytes.Add(e.bytes)
 			}
 		} else {
-			m.hits.Add(1)
+			hits++
 		}
 	}
+	m.hits.Add(hits)
+	m.misses.Add(misses)
 
 	// Class DAG over the still-uncomputed classes: one pending unit per
 	// (parent, child-occurrence) edge, mirroring gatherParallel's

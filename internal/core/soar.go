@@ -133,6 +133,7 @@ func (tb *Tables) Optimum() float64 {
 	return tb.X(tb.t.Root(), 1, tb.k)
 }
 
+//soar:hotpath
 func validate(t *topology.Tree, load []int, avail []bool) {
 	if len(load) != t.N() {
 		panic(fmt.Sprintf("core: tree has %d switches but load has %d entries", t.N(), len(load)))

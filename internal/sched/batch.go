@@ -1,0 +1,67 @@
+package sched
+
+import "time"
+
+// solveBatched is the Config.BatchSolve solve phase: instead of fanning
+// the batch's placements out over per-worker incremental engines, the
+// dispatcher groups them by budget and runs each group through the
+// fused batch engine (core.BatchSolver) in one pass over the tree. All
+// groups solve against the same quiescent availability snapshot the
+// worker path would have used, so commit-phase semantics (arrival
+// order, conflict re-solves) are unchanged, and the batch engine's
+// bitwise-identity contract makes the placements exactly those of the
+// per-engine path. Runs on the dispatcher goroutine; the marshalling
+// buffers are dispatcher-owned and reused, so a steady stream of
+// batches allocates nothing.
+//
+//soar:hotpath
+func (s *Scheduler) solveBatched() {
+	avail := s.ledger.Avail()
+	n := s.t.N()
+	s.bks = s.bks[:0]
+	for _, r := range s.places {
+		seen := false
+		for _, k := range s.bks {
+			if k == r.k {
+				seen = true
+				break
+			}
+		}
+		if !seen {
+			s.bks = append(s.bks, r.k)
+		}
+	}
+	for _, k := range s.bks {
+		s.bgrp, s.bload, s.bblue = s.bgrp[:0], s.bload[:0], s.bblue[:0]
+		for _, r := range s.places {
+			if r.k != k {
+				continue
+			}
+			if cap(r.blue) < n {
+				r.blue = make([]bool, n) //soar:coldpath first use of a pooled request
+			}
+			r.blue = r.blue[:n]
+			s.bgrp = append(s.bgrp, r)
+			s.bload = append(s.bload, r.load)
+			s.bblue = append(s.bblue, r.blue)
+		}
+		if cap(s.bcost) < len(s.bgrp) {
+			s.bcost = make([]float64, len(s.bgrp)) //soar:coldpath group grew
+		}
+		costs := s.bcost[:len(s.bgrp)]
+		t0 := time.Now()
+		s.bsol.Solve(s.bload, avail, k, s.bblue, costs)
+		for i, r := range s.bgrp {
+			r.phi = costs[i]
+			r.allRed = s.allRed(r.load)
+			s.met.noteSolve(t0, int64(r.k))
+		}
+	}
+	// Keep no references to pooled requests or borrowed load slices past
+	// the batch (the full capacity: earlier, larger groups may have
+	// written beyond the last group's length): the submitters reclaim
+	// them once done is signalled.
+	clear(s.bgrp[:cap(s.bgrp)])
+	clear(s.bload[:cap(s.bload)])
+	clear(s.bblue[:cap(s.bblue)])
+}

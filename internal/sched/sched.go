@@ -141,6 +141,18 @@ type Config struct {
 	// MemoBudget bounds the bytes each solve cache retains before it
 	// evicts (full reset; ≤ 0 selects the core default).
 	MemoBudget int64
+	// BatchSolve routes multi-placement batches through the fused batch
+	// engine (core.BatchSolver): the dispatcher groups a batch's
+	// placements by budget and solves each group in one pass over the
+	// tree against shared zero-load class tables, instead of fanning the
+	// placements out over per-worker engines. Placements are bitwise
+	// identical either way (the batch engine is an exact rearrangement
+	// of the memoized solve); the win is sparse tenants, whose solves
+	// are dominated by the zero-load subtrees the batch engine shares.
+	// Single-placement batches still use the incremental background
+	// engine. BatchSolve implies its own solve cache and is independent
+	// of Memo (which tunes the per-worker engines).
+	BatchSolve bool
 	// Repack tunes the background re-packer.
 	Repack RepackConfig
 	// Obs, when non-nil, is the metrics registry the scheduler registers
@@ -246,6 +258,15 @@ type Scheduler struct {
 	bgSol     solver // dispatcher-owned: single solves, conflicts, re-packing
 	bgBlue    []bool
 	timer     *time.Timer
+	// Batch-solve state (nil/empty unless Config.BatchSolve): the fused
+	// engine plus the reusable per-group marshalling buffers. Dispatcher-
+	// owned, like the rest of the dispatch state.
+	bsol  *core.BatchSolver
+	bks   []int
+	bgrp  []*request
+	bload [][]int
+	bblue [][]bool
+	bcost []float64
 
 	mu     sync.Mutex //soar:critical guards ledger, leases, nextID, met
 	ledger *Ledger
@@ -289,6 +310,11 @@ func New(t *topology.Tree, cfg Config) *Scheduler {
 	s.reqPool.New = func() any { return &request{done: make(chan struct{}, 1)} }
 	s.tenPool.New = func() any { return new(tenant) }
 	s.bgSol.memo = s.newMemo()
+	if cfg.BatchSolve {
+		m := core.NewMemo(t)
+		m.SetBudget(cfg.MemoBudget)
+		s.bsol = core.NewBatchSolver(m)
+	}
 	s.workers = make([]*worker, cfg.Workers)
 	for i := range s.workers {
 		s.workers[i] = &worker{s: s, sol: solver{memo: s.newMemo()}, wake: make(chan struct{}, 1)}
@@ -598,6 +624,8 @@ func (s *Scheduler) runBatch() {
 	// done, so workers read it without locks.
 	if len(s.places) == 1 {
 		s.solveOn(&s.bgSol, s.places[0])
+	} else if s.bsol != nil {
+		s.solveBatched()
 	} else {
 		s.batchNext.Store(0)
 		n := min(len(s.places), len(s.workers))

@@ -5,6 +5,8 @@ import (
 	"context"
 	"errors"
 	"math/rand"
+	"os"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -31,6 +33,15 @@ func TestChaosSoak(t *testing.T) {
 	rounds, churners := 10, 4
 	if testing.Short() {
 		rounds, churners = 4, 2
+	}
+	// SOAR_SOAK_ROUNDS scales the kill/restore cycles: nightly CI soaks
+	// at 4× the per-push depth without a second copy of this test.
+	if s := os.Getenv("SOAR_SOAK_ROUNDS"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil || n <= 0 {
+			t.Fatalf("bad SOAR_SOAK_ROUNDS=%q: %v", s, err)
+		}
+		rounds = n
 	}
 
 	tr := topology.MustBT(64)

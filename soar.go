@@ -124,6 +124,24 @@ func SolveMemoCaps(m *Memo, loads []int, caps []int, k int) Result {
 	return core.SolveMemoCaps(m, loads, caps, k)
 }
 
+// BatchSolver solves batches of sparse instances sharing one
+// availability set and budget in a single fused pass over the tree,
+// against shared zero-load class tables. Placements are bitwise
+// identical to per-instance Solve calls. See internal/core.BatchSolver.
+type BatchSolver = core.BatchSolver
+
+// NewBatchSolver returns a reusable batch solver over the solve cache m.
+// Like the Memo it wraps, it is not safe for concurrent use.
+func NewBatchSolver(m *Memo) *BatchSolver { return core.NewBatchSolver(m) }
+
+// SolveBatch solves every load vector of the batch (every switch
+// available, shared budget k) through the solve cache and returns one
+// Result per instance; each is bitwise identical to the corresponding
+// Solve call.
+func SolveBatch(m *Memo, loads [][]int, k int) []Result {
+	return core.SolveBatch(m, loads, nil, k)
+}
+
 // NewIncrementalMemo is NewIncremental backed by a shared solve cache:
 // point updates re-intern only the dirtied root path, and recurring
 // subtree classes are pure cache hits — the engine behind the
