@@ -14,17 +14,33 @@
 // daemon restores the lease ledger from the file on start, snapshots it
 // every -checkpoint-every (atomic rename, never a torn file), on demand
 // via POST /v1/checkpoint, and once more on graceful shutdown (SIGINT
-// or SIGTERM).
+// or SIGTERM). Every save is bounded by -checkpoint-timeout: a hung
+// disk abandons the write (it finishes in the background if the disk
+// recovers) instead of wedging the ticker or blocking shutdown.
+//
+// The daemon is also replication-aware (internal/ha):
+//
+//	soar-naasd -shard 1 -replicas 2        # replicated, sharded control plane
+//	soar-naasd -shard 1 -join HOST:PORT -join-shard 0
+//
+// With -shard L the fabric splits into per-pod shards rooted at tree
+// level L, each served by one primary scheduler with -replicas warm
+// standbys; failover is automatic and epoch-fenced, and clients keep
+// talking to this one endpoint (admissions route to the shard their
+// load lives in). GET /v1/shards shows membership. With -join the
+// daemon instead attaches to a running primary's replication listener
+// as an out-of-process warm replica: it mirrors the checkpoint and
+// per-commit deltas, serves /v1/readyz as a standby (503), and
+// promotes itself into a serving primary when the primary falls silent
+// past the heartbeat budget.
 //
 // The daemon is observable in production terms: GET /metrics serves a
-// Prometheus text scrape of every subsystem (admissions, batching,
-// solve and memo behavior, re-packing, checkpoints, cluster runs),
-// GET /v1/trace dumps the newest per-stage spans from the in-memory
-// ring, and -debug-addr starts a second listener serving
-// net/http/pprof — kept off the tenant-facing address so profiling
-// endpoints are never exposed by accident. Degraded cluster runs
-// (transport faults answered by the local fallback solve) are logged
-// and summarized in /v1/stats.
+// Prometheus text scrape of every subsystem, GET /v1/trace dumps the
+// newest per-stage spans, GET /v1/healthz and /v1/readyz are the
+// probes a supervisor points at (readiness means restored and not
+// draining — it flips before the final checkpoint so routing stops
+// during drain), and -debug-addr starts a second listener serving
+// net/http/pprof.
 //
 // API (JSON):
 //
@@ -33,19 +49,23 @@
 //	DELETE /v1/tenants/{id}
 //	GET    /v1/stats
 //	GET    /v1/residual
+//	GET    /v1/healthz     (liveness)
+//	GET    /v1/readyz      (readiness: restored + not draining)
+//	GET    /v1/shards      (sharded and join modes: membership)
 //	GET    /v1/checkpoint  (octet-stream snapshot)
 //	POST   /v1/checkpoint  (persist to -checkpoint path)
 //	POST   /v1/cluster     {"id": 7} → loopback cluster replay of a lease
 //	GET    /v1/trace?n=64  (newest spans, JSON)
-//	GET    /metrics        (Prometheus text exposition)
+//	GET    /metrics        (Prometheus text; sharded mode: ?shard=K)
 package main
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
-	"io"
 	"log"
 	"math/rand"
 	"net/http"
@@ -53,9 +73,11 @@ import (
 	"os"
 	"os/signal"
 	"sync"
+	"sync/atomic"
 	"syscall"
 	"time"
 
+	"soar/internal/ha"
 	"soar/internal/naas"
 	"soar/internal/sched"
 	"soar/internal/topology"
@@ -74,6 +96,13 @@ func main() {
 	repackMoves := flag.Int("repack-moves", 8, "migration budget per re-packing round")
 	ckptPath := flag.String("checkpoint", "", "checkpoint file: restored on start if present, written periodically, on POST /v1/checkpoint and on shutdown (empty = off)")
 	ckptEvery := flag.Duration("checkpoint-every", 30*time.Second, "periodic checkpoint interval (0 = only on demand and shutdown)")
+	ckptTimeout := flag.Duration("checkpoint-timeout", 10*time.Second, "deadline per checkpoint save; a write that outlives it is abandoned to the background instead of wedging the ticker or shutdown (0 = wait forever)")
+	shardLevel := flag.Int("shard", -1, "replicated mode: shard the fabric into per-pod subtrees rooted at this tree level, one primary + -replicas standbys each (-1 = single-node)")
+	replicas := flag.Int("replicas", 1, "warm standbys per shard (with -shard)")
+	haHeartbeat := flag.Duration("ha-heartbeat", 250*time.Millisecond, "primary heartbeat period (with -shard or -join)")
+	haMiss := flag.Int("ha-miss", 4, "missed heartbeats before failover (with -shard or -join)")
+	joinAddr := flag.String("join", "", "join a running primary's replication listener (host:port) as an out-of-process warm replica; requires -shard for the pod level")
+	joinShard := flag.Int("join-shard", 0, "shard index to mirror (with -join)")
 	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof on this second address (empty = off; keep it private)")
 	flag.Parse()
 
@@ -101,34 +130,18 @@ func main() {
 		log.Fatalf("unknown -topo %q", *topo)
 	}
 
-	svc := naas.NewServiceWith(tr, sched.Config{
+	schedCfg := sched.Config{
 		Capacity: *capacity,
 		Workers:  *workers,
 		Window:   *window,
 		Repack:   sched.RepackConfig{Every: *repackEvery, MaxMoves: *repackMoves},
-	})
-	defer svc.Close()
-	svc.SetLogf(log.Printf) // surface degraded cluster runs in the daemon log
-
-	// Crash recovery: restore the control plane from the last checkpoint
-	// before any traffic is served (Restore requires a quiescent
-	// scheduler), then keep the file fresh — periodically, on demand via
-	// POST /v1/checkpoint, and on shutdown.
-	if *ckptPath != "" {
-		if err := restoreCheckpoint(svc, *ckptPath); err != nil {
-			log.Fatalf("soar-naasd: restore %s: %v", *ckptPath, err)
-		}
-		svc.SetCheckpointSaver(func() (string, int64, error) {
-			size, err := saveCheckpoint(svc, *ckptPath)
-			return *ckptPath, size, err
-		})
 	}
 
-	srv := &http.Server{
-		Addr:              *addr,
-		Handler:           svc.Handler(),
-		ReadHeaderTimeout: 5 * time.Second,
-	}
+	// SIGTERM is how process supervisors (systemd, Kubernetes) stop a
+	// daemon; catching only os.Interrupt used to turn every supervised
+	// stop into a crash that lost the final checkpoint.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	// Profiling lives on its own listener so an operator can bind it to
 	// localhost while tenants reach the control plane on a shared
@@ -147,27 +160,82 @@ func main() {
 		}()
 	}
 
-	// SIGTERM is how process supervisors (systemd, Kubernetes) stop a
-	// daemon; catching only os.Interrupt used to turn every supervised
-	// stop into a crash that lost the final checkpoint.
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
+	switch {
+	case *joinAddr != "":
+		if *shardLevel < 0 {
+			log.Fatal("soar-naasd: -join requires -shard (the pod level the primary's cluster was built at)")
+		}
+		runJoin(ctx, tr, schedCfg, *addr, *joinAddr, *shardLevel, *joinShard, *haHeartbeat, *haMiss)
+	case *shardLevel >= 0:
+		if *ckptPath != "" {
+			log.Fatal("soar-naasd: -checkpoint is incompatible with -shard: shards replicate to standbys instead of a file")
+		}
+		runSharded(ctx, tr, schedCfg, *addr, *shardLevel, *replicas, *haHeartbeat, *haMiss)
+	default:
+		runSingle(ctx, tr, schedCfg, *addr, *topo, *ckptPath, *ckptEvery, *ckptTimeout)
+	}
+}
+
+// runSingle is the original one-process control plane, now with probe
+// wiring (drain flips readiness before the final checkpoint) and
+// deadline-bounded checkpoint saves.
+func runSingle(ctx context.Context, tr *topology.Tree, cfg sched.Config, addr, topo, ckptPath string, ckptEvery, ckptTimeout time.Duration) {
+	svc := naas.NewServiceWith(tr, cfg)
+	defer svc.Close()
+	svc.SetLogf(log.Printf) // surface degraded cluster runs in the daemon log
+
+	bounded := func() (int64, error) {
+		sctx := context.Background()
+		if ckptTimeout > 0 {
+			var cancel context.CancelFunc
+			sctx, cancel = context.WithTimeout(sctx, ckptTimeout)
+			defer cancel()
+		}
+		return saveCheckpointBounded(sctx, svc, ckptPath, writeCkptFile)
+	}
+
+	// Crash recovery: restore the control plane from the last checkpoint
+	// before any traffic is served (Restore requires a quiescent
+	// scheduler), then keep the file fresh — periodically, on demand via
+	// POST /v1/checkpoint, and on shutdown. The service is not ready
+	// until the restore lands.
+	if ckptPath != "" {
+		svc.SetReady(false)
+		if err := restoreCheckpoint(svc, ckptPath); err != nil {
+			log.Fatalf("soar-naasd: restore %s: %v", ckptPath, err)
+		}
+		svc.SetReady(true)
+		svc.SetCheckpointSaver(func() (string, int64, error) {
+			size, err := bounded()
+			return ckptPath, size, err
+		})
+	}
+
+	srv := &http.Server{
+		Addr:              addr,
+		Handler:           svc.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
 	go func() {
 		<-ctx.Done()
+		// Flip readiness first so supervisors stop routing, then drain
+		// in-flight requests; the final checkpoint happens after the
+		// listener closes, while /v1/readyz has long answered 503.
+		svc.SetDraining(true)
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
 		srv.Shutdown(shutdownCtx)
 	}()
-	if *ckptPath != "" && *ckptEvery > 0 {
+	if ckptPath != "" && ckptEvery > 0 {
 		go func() {
-			tick := time.NewTicker(*ckptEvery)
+			tick := time.NewTicker(ckptEvery)
 			defer tick.Stop()
 			for {
 				select {
 				case <-ctx.Done():
 					return
 				case <-tick.C:
-					if _, err := saveCheckpoint(svc, *ckptPath); err != nil {
+					if _, err := bounded(); err != nil {
 						log.Printf("soar-naasd: periodic checkpoint: %v", err)
 					}
 				}
@@ -175,20 +243,162 @@ func main() {
 		}()
 	}
 
-	fmt.Printf("soar-naasd: %d switches (%s), capacity %d, listening on %s (metrics at /metrics)\n",
-		tr.N(), *topo, *capacity, *addr)
+	fmt.Printf("soar-naasd: %d switches (%s), listening on %s (metrics at /metrics)\n",
+		tr.N(), topo, addr)
 	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Fatal(err)
 	}
 	// The listener has drained: no admission can race the final snapshot
 	// into staleness that matters. Checkpoint before Close.
-	if *ckptPath != "" {
-		if size, err := saveCheckpoint(svc, *ckptPath); err != nil {
+	if ckptPath != "" {
+		if size, err := bounded(); err != nil {
 			log.Printf("soar-naasd: shutdown checkpoint: %v", err)
 		} else {
-			log.Printf("soar-naasd: checkpointed %d bytes to %s", size, *ckptPath)
+			log.Printf("soar-naasd: checkpointed %d bytes to %s", size, ckptPath)
 		}
 	}
+}
+
+// runSharded serves the fabric as a replicated, sharded control plane:
+// per-pod primaries with warm standbys, epoch-fenced failover, and a
+// shard-aware routing front on one address.
+func runSharded(ctx context.Context, tr *topology.Tree, cfg sched.Config, addr string, level, replicas int, heartbeat time.Duration, miss int) {
+	cl, err := ha.NewCluster(tr, ha.Options{
+		Level:      level,
+		Replicas:   replicas,
+		Heartbeat:  heartbeat,
+		MissBudget: miss,
+		Sched:      cfg,
+		Logf:       log.Printf,
+	})
+	if err != nil {
+		log.Fatalf("soar-naasd: %v", err)
+	}
+	defer cl.Close()
+	front := naas.NewSharded(cl)
+
+	srv := &http.Server{
+		Addr:              addr,
+		Handler:           front.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	go func() {
+		<-ctx.Done()
+		front.SetDraining(true)
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(shutdownCtx)
+	}()
+
+	fmt.Printf("soar-naasd: %d switches, %d shards × (1 primary + %d standbys), listening on %s\n",
+		tr.N(), cl.Shards(), replicas, addr)
+	for _, st := range cl.Status() {
+		log.Printf("soar-naasd: shard %d: pod root %d, primary node %d at %s",
+			st.Index, st.Root, st.PrimaryNode, st.PrimaryAddr)
+	}
+	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatal(err)
+	}
+}
+
+// joinNode tags the out-of-process replica in logs and protocol frames;
+// in-process replicas use (shard+1)*100+slot, so 999 cannot collide.
+const joinNode = 999
+
+// runJoin attaches to a running primary as an out-of-process warm
+// replica. While mirroring it serves probes and metrics only (readyz
+// 503 standby); when the primary falls silent past the heartbeat
+// budget it promotes — checkpoint restore, delta replay, Audit — and
+// swaps in the full serving API.
+func runJoin(ctx context.Context, tr *topology.Tree, cfg sched.Config, addr, primary string, level, shard int, heartbeat time.Duration, miss int) {
+	var handler atomic.Value // http.Handler, swapped on promotion
+	var promoted atomic.Bool
+	var mirror *ha.Mirror
+
+	promote := func(lastEpoch uint64) {
+		if !promoted.CompareAndSwap(false, true) {
+			return
+		}
+		log.Printf("soar-naasd: primary silent past budget (last epoch %d), promoting", lastEpoch)
+		sch, err := mirror.Promote(cfg)
+		if err != nil {
+			// The mirror is spent; without state there is nothing to
+			// serve and a supervisor should restart us to re-join.
+			log.Fatalf("soar-naasd: promotion failed: %v", err)
+		}
+		svc := naas.FromScheduler(sch)
+		svc.SetLogf(log.Printf)
+		handler.Store(svc.Handler())
+		log.Printf("soar-naasd: serving shard %d as promoted primary (%d tenants)", shard, svc.Snapshot().Tenants)
+	}
+
+	m, err := ha.NewMirror(tr, level, primary, ha.MirrorConfig{
+		Shard:      shard,
+		Node:       joinNode,
+		Heartbeat:  heartbeat,
+		MissBudget: miss,
+		Logf:       log.Printf,
+		OnSilence:  promote,
+	})
+	if err != nil {
+		log.Fatalf("soar-naasd: %v", err)
+	}
+	mirror = m
+	defer m.Close()
+	handler.Store(standbyMux(m))
+
+	srv := &http.Server{
+		Addr: addr,
+		Handler: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			handler.Load().(http.Handler).ServeHTTP(w, r)
+		}),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	go func() {
+		<-ctx.Done()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(shutdownCtx)
+	}()
+
+	fmt.Printf("soar-naasd: joined %s as warm replica of shard %d, probes on %s\n", primary, shard, addr)
+	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatal(err)
+	}
+}
+
+// standbyMux is the join-mode surface before promotion: liveness,
+// standby readiness, replication progress, and the mirror's metrics.
+func standbyMux(m *ha.Mirror) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("/v1/readyz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "standby"})
+	})
+	mux.HandleFunc("/v1/shards", func(w http.ResponseWriter, r *http.Request) {
+		st := m.Status()
+		writeJSON(w, http.StatusOK, map[string]interface{}{
+			"shard": m.Shard(), "synced": st.Synced, "epoch": st.Epoch,
+			"seq": st.Seq, "journal": st.Journal,
+		})
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		var buf bytes.Buffer
+		if err := m.Registry().WriteText(&buf); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		buf.WriteTo(w)
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
 }
 
 // debugMux routes the standard pprof surface explicitly rather than
@@ -223,30 +433,69 @@ func restoreCheckpoint(svc *naas.Service, path string) error {
 }
 
 // ckptMu serializes savers: the periodic ticker, POST /v1/checkpoint
-// and the shutdown save all share one temp file.
+// and the shutdown save all share one temp file. Saves try the lock
+// rather than queue on it, so a save wedged on a hung disk surfaces as
+// errCkptBusy instead of a pileup of blocked goroutines.
 var ckptMu sync.Mutex //soar:critical guards the checkpoint temp file
 
-// saveCheckpoint writes a checkpoint to path atomically: a crash while
-// writing leaves the previous checkpoint intact, never a torn file.
+// errCkptBusy reports a save attempted while another holds the disk.
+var errCkptBusy = errors.New("a checkpoint save is already in flight")
+
+// ckptSink persists encoded checkpoint bytes durably; split out so the
+// hung-disk regression test can inject a sink that never returns.
+type ckptSink func(path string, data []byte) (int64, error)
+
+// saveCheckpoint writes a checkpoint to path with no deadline, for
+// callers that own their own timeout.
 func saveCheckpoint(svc *naas.Service, path string) (int64, error) {
-	ckptMu.Lock()
-	defer ckptMu.Unlock()
+	return saveCheckpointBounded(context.Background(), svc, path, writeCkptFile)
+}
+
+// saveCheckpointBounded snapshots svc in memory (fast, in-process) and
+// hands the bytes to sink with ctx as the deadline. A sink that
+// outlives ctx is abandoned: it keeps ckptMu until it returns — so no
+// second writer can race it for the temp file and no goroutines pile
+// up behind it — while the caller (the periodic ticker, the SIGTERM
+// path) gets its error and moves on.
+func saveCheckpointBounded(ctx context.Context, svc *naas.Service, path string, sink ckptSink) (int64, error) {
+	if !ckptMu.TryLock() {
+		return 0, errCkptBusy
+	}
+	var buf bytes.Buffer
+	if err := svc.Checkpoint(&buf); err != nil {
+		ckptMu.Unlock()
+		return 0, err
+	}
+	type result struct {
+		size int64
+		err  error
+	}
+	done := make(chan result, 1)
+	go func() {
+		defer ckptMu.Unlock()
+		size, err := sink(path, buf.Bytes())
+		done <- result{size, err}
+	}()
+	select {
+	case r := <-done:
+		return r.size, r.err
+	case <-ctx.Done():
+		return 0, fmt.Errorf("save to %s abandoned: %w", path, ctx.Err())
+	}
+}
+
+// writeCkptFile lands data at path atomically: a crash while writing
+// leaves the previous checkpoint intact, never a torn file.
+func writeCkptFile(path string, data []byte) (int64, error) {
 	tmp := path + ".tmp"
 	f, err := os.Create(tmp)
 	if err != nil {
 		return 0, err
 	}
-	if err := svc.Checkpoint(f); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return 0, err
+	_, err = f.Write(data)
+	if err == nil {
+		err = f.Sync()
 	}
-	if err := f.Sync(); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return 0, err
-	}
-	size, err := f.Seek(0, io.SeekCurrent)
 	if cerr := f.Close(); err == nil {
 		err = cerr
 	}
@@ -258,5 +507,5 @@ func saveCheckpoint(svc *naas.Service, path string) (int64, error) {
 		os.Remove(tmp)
 		return 0, err
 	}
-	return size, nil
+	return int64(len(data)), nil
 }

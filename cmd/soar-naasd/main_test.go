@@ -1,11 +1,14 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"net/http"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"testing"
+	"time"
 
 	"soar/internal/naas"
 	"soar/internal/paper"
@@ -64,6 +67,62 @@ func TestSaveAndRestoreCheckpointFile(t *testing.T) {
 	}
 	if _, err := fresh.Lookup(lease.ID); err != nil {
 		t.Fatalf("lease lost across the daemon restart path: %v", err)
+	}
+}
+
+// TestSaveCheckpointBoundedHungDisk is the satellite regression test:
+// a sink wedged on a hung disk must not wedge the caller. The bounded
+// save returns the deadline error, concurrent saves surface as
+// errCkptBusy rather than queueing goroutines behind the dead disk,
+// and once the disk recovers the saver works again.
+func TestSaveCheckpointBoundedHungDisk(t *testing.T) {
+	tr, loads := paper.Figure2()
+	svc := naas.NewService(tr, 2)
+	t.Cleanup(svc.Close)
+	if _, err := svc.Place(loads, 2); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "naas.ckpt")
+
+	release := make(chan struct{})
+	hung := func(path string, data []byte) (int64, error) {
+		<-release
+		return writeCkptFile(path, data)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	if _, err := saveCheckpointBounded(ctx, svc, path, hung); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("hung sink: err = %v, want deadline exceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("bounded save blocked %v on a hung disk", elapsed)
+	}
+
+	// The abandoned write still owns the temp file: a second save must
+	// fail fast with busy, not stack up behind it.
+	if _, err := saveCheckpointBounded(context.Background(), svc, path, writeCkptFile); !errors.Is(err, errCkptBusy) {
+		t.Fatalf("save during hung save: err = %v, want errCkptBusy", err)
+	}
+
+	// Disk recovers: the abandoned write completes in the background and
+	// the saver is usable again.
+	close(release)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, err := saveCheckpoint(svc, path); err == nil {
+			break
+		} else if !errors.Is(err, errCkptBusy) {
+			t.Fatalf("save after recovery: %v", err)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("saver never recovered after the disk unwedged")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("no checkpoint landed after recovery: %v", err)
 	}
 }
 

@@ -19,6 +19,7 @@
 //	                [-racks 8] [-churn 0.5] [-repack-every 25ms]
 //	                [-repack-moves 16] [-seed 1] [-baseline]
 //	soarctl top     [-addr http://127.0.0.1:7070] [-every 1s] [-n 0] [-once]
+//	soarctl shards  [-addr http://127.0.0.1:7070] [-timeout 5s]
 package main
 
 import (
@@ -48,6 +49,8 @@ func main() {
 		err = runVerify(os.Args[2:])
 	case "top":
 		err = runTop(os.Args[2:])
+	case "shards":
+		err = runShards(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -72,6 +75,7 @@ Commands:
   sched      load-test the concurrent multi-tenant placement scheduler
   verify     certify the solver against brute force on random instances
   top        poll a running soar-naasd's /metrics and render a live summary
+  shards     show a sharded soar-naasd's membership: primaries, epochs, standbys
 
 Run 'soarctl <command> -h' for flags.
 `)

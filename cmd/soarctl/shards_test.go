@@ -1,0 +1,57 @@
+package main
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"soar/internal/ha"
+	"soar/internal/naas"
+	"soar/internal/sched"
+	"soar/internal/topology"
+)
+
+// TestShardsRendersMembership runs `soarctl shards` against a real
+// sharded front and checks every shard shows up with a serving primary.
+func TestShardsRendersMembership(t *testing.T) {
+	cl, err := ha.NewCluster(topology.CompleteKAry(3, 4), ha.Options{
+		Level:      1,
+		Replicas:   1,
+		Heartbeat:  25 * time.Millisecond,
+		MissBudget: 4,
+		Sched:      sched.Config{Capacity: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cl.Close)
+	srv := httptest.NewServer(naas.NewSharded(cl).Handler())
+	t.Cleanup(srv.Close)
+
+	if err := runShards([]string{"-addr", srv.URL}); err != nil {
+		t.Fatal(err)
+	}
+
+	shards, err := naas.NewClient(srv.URL, nil).Shards(t.Context())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := printShards(&out, shards); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) != 1+cl.Shards() {
+		t.Fatalf("got %d lines, want header + %d shards:\n%s", len(lines), cl.Shards(), out.String())
+	}
+	if !strings.HasPrefix(lines[0], "SHARD") {
+		t.Fatalf("missing header: %q", lines[0])
+	}
+	for _, line := range lines[1:] {
+		if !strings.Contains(line, "node ") {
+			t.Fatalf("shard row without a serving primary: %q", line)
+		}
+	}
+}

@@ -15,7 +15,11 @@
 //     deadlines independent of any context deadline;
 //   - per-node crash schedules: all connections belonging to one node
 //     share a byte budget after which every one of them is severed,
-//     simulating the node's process dying mid-protocol.
+//     simulating the node's process dying mid-protocol;
+//   - targeted kills: KillNode severs a node's live connections with a
+//     hard RST and fails its future dials and accepts until HealNode,
+//     the primitive the failover soak (internal/ha) uses to take a
+//     shard primary down at a chosen moment rather than a drawn one.
 //
 // All randomness flows from one seeded source, so a given seed yields a
 // reproducible sequence of fault draws (the interleaving of concurrent
@@ -87,6 +91,8 @@ type Stats struct {
 	Delays int64
 	// Crashes counts connections severed by a node crash schedule.
 	Crashes int64
+	// Kills counts connections severed or refused by KillNode.
+	Kills int64
 }
 
 // Injector draws fault fates from one seeded source and applies them to
@@ -102,7 +108,16 @@ type Injector struct {
 
 	crash sync.Map // node int → *atomic.Int64 remaining byte budget
 
-	dials, dialsFailed, conns, cuts, resets, delays, crashes atomic.Int64
+	// killMu guards the administrative kill state: which nodes are down
+	// and which wrapped connections are live per node. Never nested with
+	// mu (fate draws and kill bookkeeping are separate steps).
+	//
+	//soar:lockorder killMu
+	killMu sync.Mutex //soar:critical guards killed, live
+	killed map[int]bool
+	live   map[int]map[*faultConn]struct{}
+
+	dials, dialsFailed, conns, cuts, resets, delays, crashes, kills atomic.Int64
 }
 
 // New creates an injector for the given fault plan.
@@ -113,7 +128,12 @@ func New(cfg Config) *Injector {
 	if cfg.MaxDelay <= 0 {
 		cfg.MaxDelay = 2 * time.Millisecond
 	}
-	in := &Injector{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+	in := &Injector{
+		cfg:    cfg,
+		rng:    rand.New(rand.NewSource(cfg.Seed)),
+		killed: make(map[int]bool),
+		live:   make(map[int]map[*faultConn]struct{}),
+	}
 	for v, b := range cfg.Crash {
 		if b < 0 {
 			b = 0
@@ -143,6 +163,7 @@ func (in *Injector) Stats() Stats {
 		Resets:      in.resets.Load(),
 		Delays:      in.delays.Load(),
 		Crashes:     in.crashes.Load(),
+		Kills:       in.kills.Load(),
 	}
 }
 
@@ -167,12 +188,70 @@ func (in *Injector) RegisterMetrics(reg *obs.Registry) {
 		{"reset", &in.resets},
 		{"delay", &in.delays},
 		{"crash", &in.crashes},
+		{"kill", &in.kills},
 	} {
 		c := f.c
 		reg.CounterFunc("soar_chaos_faults_total",
 			"Faults delivered by the injector, by kind.", obs.Labels{"kind": f.kind},
 			func() float64 { return float64(c.Load()) })
 	}
+}
+
+// KillNode takes node down administratively: every live connection the
+// injector has wrapped for it — dialed by it or accepted on its
+// listener — is severed with a hard RST, and until HealNode every
+// future dial from it fails and every connection accepted on its
+// listener arrives already dead. Unlike the seeded Crash schedule this
+// is deterministic in time, not in bytes: the failover soak calls it to
+// kill a shard primary at a chosen moment mid-batch. Returns the number
+// of live connections severed; killing an already-dead node is a no-op.
+func (in *Injector) KillNode(node int) int {
+	in.killMu.Lock()
+	if in.killed[node] {
+		in.killMu.Unlock()
+		return 0
+	}
+	in.killed[node] = true
+	conns := in.live[node]
+	delete(in.live, node)
+	in.killMu.Unlock()
+	severed := 0
+	for c := range conns {
+		if c.downed.CompareAndSwap(false, true) {
+			if tc, ok := c.Conn.(*net.TCPConn); ok {
+				tc.SetLinger(0)
+			}
+			c.Conn.Close()
+			in.kills.Add(1)
+			severed++
+		}
+	}
+	return severed
+}
+
+// HealNode brings a killed node back: future dials and accepts for it
+// behave normally again (connections severed by the kill stay dead —
+// the node's transport must reconnect, as a restarted process would).
+func (in *Injector) HealNode(node int) {
+	in.killMu.Lock()
+	delete(in.killed, node)
+	in.killMu.Unlock()
+}
+
+// NodeKilled reports whether node is currently administratively down.
+func (in *Injector) NodeKilled(node int) bool {
+	in.killMu.Lock()
+	defer in.killMu.Unlock()
+	return in.killed[node]
+}
+
+// dropLive removes a closed connection from the node registry.
+func (in *Injector) dropLive(c *faultConn) {
+	in.killMu.Lock()
+	if set := in.live[c.node]; set != nil {
+		delete(set, c)
+	}
+	in.killMu.Unlock()
 }
 
 // fate is one connection's drawn fault plan.
@@ -209,6 +288,13 @@ func (in *Injector) draw(node int) fate {
 // with the node's drawn fate.
 func (in *Injector) Dial(ctx context.Context, node int, addr string) (net.Conn, error) {
 	in.dials.Add(1)
+	in.killMu.Lock()
+	dead := in.killed[node]
+	in.killMu.Unlock()
+	if dead {
+		in.kills.Add(1)
+		return nil, fmt.Errorf("chaos: dial %s from killed node %d: %w", addr, node, ErrInjected)
+	}
 	in.mu.Lock()
 	fail := in.cfg.DialFail > 0 && in.rng.Float64() < in.cfg.DialFail
 	in.mu.Unlock()
@@ -233,12 +319,33 @@ func (in *Injector) WrapListener(node int, ln net.Listener) net.Listener {
 func (in *Injector) wrapConn(node int, conn net.Conn) net.Conn {
 	in.conns.Add(1)
 	f := in.draw(node)
-	return &faultConn{
+	c := &faultConn{
 		Conn: conn,
 		in:   in,
+		node: node,
 		fate: f,
 		rng:  rand.New(rand.NewSource(f.delaySeed)),
 	}
+	in.killMu.Lock()
+	dead := in.killed[node]
+	if !dead {
+		set := in.live[node]
+		if set == nil {
+			set = make(map[*faultConn]struct{})
+			in.live[node] = set
+		}
+		set[c] = struct{}{}
+	}
+	in.killMu.Unlock()
+	if dead {
+		// A killed node's listener still accepts at the TCP layer, but
+		// the connection arrives already severed: returning it (rather
+		// than an Accept error) keeps the host's accept loop alive.
+		c.downed.Store(true)
+		conn.Close()
+		in.kills.Add(1)
+	}
+	return c
 }
 
 // faultListener wraps Accept; deadline control is forwarded so the
@@ -267,14 +374,16 @@ func (l *faultListener) SetDeadline(t time.Time) error {
 }
 
 // faultConn applies one fate to a real connection. The per-operation rng
-// is connection-local: the cluster runtime drives each edge from one
-// goroutine (only asynchronous Close arrives from elsewhere), so it
-// needs no lock.
+// is connection-local but still locked: replication streams (internal/ha)
+// drive one conn from a reader and a writer goroutine concurrently.
 type faultConn struct {
 	net.Conn
 	in   *Injector
+	node int
 	fate fate
-	rng  *rand.Rand
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
 
 	moved  atomic.Int64 // bytes moved through this conn (reads + writes)
 	downed atomic.Bool  // severed by cut/reset/crash
@@ -314,12 +423,30 @@ func (c *faultConn) charge(n int) bool {
 	return false
 }
 
-// stall injects one optional delay.
+// stall injects one optional delay. The draw happens under rngMu; the
+// sleep itself does not, so a stalled read never delays a concurrent
+// write's fate draw.
 func (c *faultConn) stall() {
-	if c.fate.delayProb > 0 && c.rng.Float64() < c.fate.delayProb {
-		c.in.delays.Add(1)
-		time.Sleep(time.Duration(1 + c.rng.Int63n(int64(c.fate.maxDelay))))
+	if c.fate.delayProb <= 0 {
+		return
 	}
+	c.rngMu.Lock()
+	var d time.Duration
+	if c.rng.Float64() < c.fate.delayProb {
+		d = time.Duration(1 + c.rng.Int63n(int64(c.fate.maxDelay)))
+	}
+	c.rngMu.Unlock()
+	if d > 0 {
+		c.in.delays.Add(1)
+		time.Sleep(d)
+	}
+}
+
+// Close deregisters the connection from the kill registry before
+// closing it, so KillNode never holds references to gone connections.
+func (c *faultConn) Close() error {
+	c.in.dropLive(c)
+	return c.Conn.Close()
 }
 
 func (c *faultConn) Read(p []byte) (int, error) {

@@ -217,3 +217,97 @@ func TestConcurrentDrawsAreRaceFree(t *testing.T) {
 	}
 	wg.Wait()
 }
+
+func TestKillNodeSeversAndBlocksUntilHeal(t *testing.T) {
+	ln := newLoopListener(t)
+	echoServer(t, ln)
+	in := New(Config{Seed: 7})
+
+	conn, err := in.Dial(context.Background(), 3, ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 4)
+	if _, err := io.ReadFull(conn, buf); err != nil {
+		t.Fatal(err)
+	}
+
+	if n := in.KillNode(3); n != 1 {
+		t.Fatalf("KillNode severed %d conns, want 1", n)
+	}
+	if !in.NodeKilled(3) {
+		t.Fatal("NodeKilled(3) = false after KillNode")
+	}
+	if _, err := conn.Write([]byte("dead")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("write on killed conn: %v, want ErrInjected", err)
+	}
+	if _, err := conn.Read(buf); !errors.Is(err, ErrInjected) {
+		t.Fatalf("read on killed conn: %v, want ErrInjected", err)
+	}
+	if _, err := in.Dial(context.Background(), 3, ln.Addr().String()); !errors.Is(err, ErrInjected) {
+		t.Fatalf("dial from killed node: %v, want ErrInjected", err)
+	}
+	if n := in.KillNode(3); n != 0 {
+		t.Fatalf("second KillNode severed %d conns, want 0", n)
+	}
+
+	in.HealNode(3)
+	if in.NodeKilled(3) {
+		t.Fatal("NodeKilled(3) = true after HealNode")
+	}
+	conn2, err := in.Dial(context.Background(), 3, ln.Addr().String())
+	if err != nil {
+		t.Fatalf("dial after heal: %v", err)
+	}
+	defer conn2.Close()
+	if _, err := conn2.Write([]byte("back")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := io.ReadFull(conn2, buf); err != nil {
+		t.Fatal(err)
+	}
+
+	st := in.Stats()
+	if st.Kills < 2 { // one severed conn + one refused dial
+		t.Fatalf("Stats.Kills = %d, want >= 2", st.Kills)
+	}
+}
+
+func TestKillNodeDeadensAcceptedConns(t *testing.T) {
+	in := New(Config{Seed: 8})
+	raw := newLoopListener(t)
+	ln := in.WrapListener(9, raw)
+	accepted := make(chan net.Conn, 1)
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		accepted <- conn
+	}()
+
+	in.KillNode(9)
+	peer, err := net.Dial("tcp", raw.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer peer.Close()
+	var conn net.Conn
+	select {
+	case conn = <-accepted:
+	case <-time.After(5 * time.Second):
+		t.Fatal("accept did not complete")
+	}
+	defer conn.Close()
+	buf := make([]byte, 1)
+	if _, err := conn.Read(buf); !errors.Is(err, ErrInjected) {
+		t.Fatalf("read on conn accepted by killed node: %v, want ErrInjected", err)
+	}
+	if _, err := conn.Write([]byte("x")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("write on conn accepted by killed node: %v, want ErrInjected", err)
+	}
+}

@@ -1,0 +1,368 @@
+package ha
+
+import (
+	"errors"
+	"math"
+	"net"
+	"sort"
+	"testing"
+	"time"
+
+	"soar/internal/sched"
+	"soar/internal/topology"
+	"soar/internal/wire"
+)
+
+// fastOpts is the aggressive-cadence option set unit tests run under.
+func fastOpts() Options {
+	return Options{
+		Level:      1,
+		Replicas:   2,
+		Heartbeat:  25 * time.Millisecond,
+		MissBudget: 4,
+		Sched:      sched.Config{Capacity: 2},
+	}
+}
+
+// podLoad builds a global dense load confined to shard si: servers on
+// every leaf of the pod, count 1 + (leaf index mod 3).
+func podLoad(p *Partitioning, si int) []int {
+	pod := p.Shards[si].Pod
+	load := make([]int, p.Tree.N())
+	for i, lv := range pod.Tree.Leaves() {
+		load[pod.Global[lv]] = 1 + i%3
+	}
+	return load
+}
+
+func TestPartitionShape(t *testing.T) {
+	tr := topology.CompleteKAry(3, 4)
+	p, err := Partition(tr, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Shards) != 3 {
+		t.Fatalf("partitioned into %d shards, want 3", len(p.Shards))
+	}
+	if p.podOf[tr.Root()] != -1 {
+		t.Fatalf("root assigned to shard %d, want spine", p.podOf[tr.Root()])
+	}
+	covered := 0
+	for v := 0; v < tr.N(); v++ {
+		if p.podOf[v] >= 0 {
+			covered++
+		}
+	}
+	if covered != tr.N()-1 {
+		t.Fatalf("%d switches covered, want all but the root (%d)", covered, tr.N()-1)
+	}
+	// Partitioning at a level holding leaves must be rejected.
+	if _, err := Partition(tr, 4); err == nil {
+		t.Fatal("partition below the leaves accepted")
+	}
+}
+
+func TestShardOfRouting(t *testing.T) {
+	tr := topology.CompleteKAry(3, 3)
+	p, err := Partition(tr, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	load := podLoad(p, 1)
+	si, err := p.ShardOf(load)
+	if err != nil || si != 1 {
+		t.Fatalf("ShardOf = %d, %v; want 1, nil", si, err)
+	}
+	// Spine load rejects.
+	spine := make([]int, tr.N())
+	spine[tr.Root()] = 1
+	if _, err := p.ShardOf(spine); !errors.Is(err, ErrCrossShard) {
+		t.Fatalf("spine load: %v, want ErrCrossShard", err)
+	}
+	// Cross-pod load rejects.
+	cross := podLoad(p, 0)
+	for v, n := range podLoad(p, 2) {
+		cross[v] += n
+	}
+	if _, err := p.ShardOf(cross); !errors.Is(err, ErrCrossShard) {
+		t.Fatalf("cross-pod load: %v, want ErrCrossShard", err)
+	}
+	if _, err := p.ShardOf(make([]int, tr.N())); err == nil {
+		t.Fatal("empty load accepted")
+	}
+}
+
+// TestPartitionMatchesGlobal proves the sharding exactness claim: for
+// a pod-confined load, the shard-local solve (spine capacity 0) is
+// bitwise identical — Φ and blue set — to a global solve with the same
+// availability mask (only the pod's switches leasable).
+func TestPartitionMatchesGlobal(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		tree  *topology.Tree
+		level int
+	}{
+		{"kary-3x4", topology.CompleteKAry(3, 4), 1},
+		{"bt-64", topology.MustBT(64), 2},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			p, err := Partition(tc.tree, tc.level)
+			if err != nil {
+				t.Fatal(err)
+			}
+			const cap = 2
+			for _, spec := range p.Shards {
+				pod := spec.Pod
+				local := sched.New(pod.Tree, sched.Config{Capacities: localCaps(pod, sched.Config{Capacity: cap})})
+				globalCaps := make([]int, tc.tree.N())
+				for _, gv := range pod.Global[pod.Spine:] {
+					globalCaps[gv] = cap
+				}
+				global := sched.New(tc.tree, sched.Config{Capacities: globalCaps})
+
+				for trial := 0; trial < 4; trial++ {
+					gload := podLoad(p, spec.Index)
+					for i := range gload {
+						if gload[i] > 0 {
+							gload[i] += trial % 2
+						}
+					}
+					k := 2 + trial
+					gl, gerr := global.Place(gload, k)
+					ll, lerr := local.Place(p.Localize(spec.Index, gload), k)
+					if (gerr == nil) != (lerr == nil) {
+						t.Fatalf("shard %d trial %d: global err %v, local err %v", spec.Index, trial, gerr, lerr)
+					}
+					if gerr != nil {
+						continue
+					}
+					if math.Float64bits(gl.Phi) != math.Float64bits(ll.Phi) {
+						t.Fatalf("shard %d trial %d: global Φ %x, local Φ %x", spec.Index, trial,
+							math.Float64bits(gl.Phi), math.Float64bits(ll.Phi))
+					}
+					mapped := make([]int, len(ll.Blue))
+					for i, lv := range ll.Blue {
+						mapped[i] = pod.Global[lv]
+					}
+					sort.Ints(mapped)
+					gb := append([]int(nil), gl.Blue...)
+					sort.Ints(gb)
+					if len(gb) != len(mapped) {
+						t.Fatalf("shard %d trial %d: blue sets differ: %v vs %v", spec.Index, trial, gb, mapped)
+					}
+					for i := range gb {
+						if gb[i] != mapped[i] {
+							t.Fatalf("shard %d trial %d: blue sets differ: %v vs %v", spec.Index, trial, gb, mapped)
+						}
+					}
+				}
+				local.Close()
+				global.Close()
+			}
+		})
+	}
+}
+
+func TestGlobalIDRoundTrip(t *testing.T) {
+	for _, tc := range []struct {
+		shard int
+		local int64
+	}{{0, 0}, {1, 1}, {7, 12345}, {1<<15 - 1, 1<<48 - 1}} {
+		id := GlobalID(tc.shard, tc.local)
+		s, l := SplitID(id)
+		if s != tc.shard || l != tc.local {
+			t.Fatalf("GlobalID(%d,%d) → SplitID = (%d,%d)", tc.shard, tc.local, s, l)
+		}
+	}
+}
+
+// waitFor polls until cond holds or the deadline passes.
+func waitFor(t *testing.T, d time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestReplicationCatchUp: a standby attaches, receives the checkpoint
+// and the delta suffix, and its replayed scheduler matches the primary
+// lease for lease.
+func TestReplicationCatchUp(t *testing.T) {
+	tr := topology.CompleteKAry(3, 3)
+	cl, err := NewCluster(tr, fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	p := cl.Partitioning()
+
+	var ids []int64
+	for i := 0; i < 8; i++ {
+		lease, err := cl.Place(podLoad(p, 0), 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, lease.ID)
+	}
+	for _, id := range ids[:3] {
+		if err := cl.Release(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	sh := cl.shards[0]
+	primSeq := sh.scheduler().JournalSeq()
+	var sb *standby
+	waitFor(t, 5*time.Second, "standby caught up", func() bool {
+		sh.mu.Lock()
+		defer sh.mu.Unlock()
+		for _, cand := range sh.standbys {
+			_, seq, journal, _, ok := cand.state()
+			if ok && seq+uint64(len(journal)) >= primSeq {
+				sb = cand
+				return true
+			}
+		}
+		return false
+	})
+
+	ckpt, seq, journal, _, _ := sb.state()
+	replica := sched.New(p.Shards[0].Pod.Tree, sched.Config{Capacities: localCaps(p.Shards[0].Pod, sched.Config{Capacity: 2})})
+	defer replica.Close()
+	if err := replay(replica, ckpt, seq, journal); err != nil {
+		t.Fatal(err)
+	}
+	prim := sh.scheduler()
+	if got, want := replica.Snapshot().Tenants, prim.Snapshot().Tenants; got != want {
+		t.Fatalf("replica has %d tenants, primary %d", got, want)
+	}
+	for _, id := range ids[3:] {
+		_, local := SplitID(id)
+		pl, err := prim.Lookup(local)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rl, err := replica.Lookup(local)
+		if err != nil {
+			t.Fatalf("replica lost lease %d: %v", local, err)
+		}
+		if math.Float64bits(pl.Phi) != math.Float64bits(rl.Phi) || len(pl.Blue) != len(rl.Blue) {
+			t.Fatalf("lease %d diverged: primary %+v, replica %+v", local, pl, rl)
+		}
+	}
+}
+
+// TestFailoverPreservesLeases: crash the primary, wait for promotion,
+// and verify every replicated lease survived with identical placement,
+// the epoch advanced, and the crashed scheduler's late commit fences.
+func TestFailoverPreservesLeases(t *testing.T) {
+	tr := topology.CompleteKAry(3, 3)
+	cl, err := NewCluster(tr, fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	p := cl.Partitioning()
+
+	leases := make(map[int64]*sched.Lease)
+	for i := 0; i < 6; i++ {
+		l, err := cl.Place(podLoad(p, 0), 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		leases[l.ID] = l
+	}
+	// Let replication drain before the crash so every lease survives.
+	primSeq := cl.shards[0].scheduler().JournalSeq()
+	waitFor(t, 5*time.Second, "replication drained", func() bool {
+		cl.shards[0].mu.Lock()
+		defer cl.shards[0].mu.Unlock()
+		for _, sb := range cl.shards[0].standbys {
+			_, seq, journal, _, ok := sb.state()
+			if ok && seq+uint64(len(journal)) >= primSeq {
+				return true
+			}
+		}
+		return false
+	})
+
+	oldSch := cl.CrashPrimary(0)
+	if oldSch == nil {
+		t.Fatal("no primary to crash")
+	}
+	waitFor(t, 10*time.Second, "promotion", func() bool {
+		st := cl.Status()[0]
+		return st.Epoch >= 2 && st.PrimaryNode >= 0
+	})
+
+	for id, want := range leases {
+		got, err := cl.Lookup(id)
+		if err != nil {
+			t.Fatalf("lease %d lost in failover: %v", id, err)
+		}
+		if math.Float64bits(got.Phi) != math.Float64bits(want.Phi) {
+			t.Fatalf("lease %d Φ changed across failover", id)
+		}
+	}
+	if err := cl.Audit(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The crashed incarnation must fence, and an epoch-stale (healed)
+	// incarnation must bump the rejection counter. CrashPrimary fences
+	// via the crashed flag; flip it back to exercise the epoch path.
+	before := cl.Metrics().EpochRejections()
+	if _, err := oldSch.Place(p.Localize(0, podLoad(p, 0)), 2); !errors.Is(err, ErrFenced) {
+		t.Fatalf("crashed primary Place: %v, want ErrFenced", err)
+	}
+	cl.shards[0].mu.Lock()
+	for _, inc := range cl.shards[0].retired {
+		inc.crashed.Store(false)
+	}
+	cl.shards[0].mu.Unlock()
+	if _, err := oldSch.Place(p.Localize(0, podLoad(p, 0)), 2); !errors.Is(err, ErrFenced) {
+		t.Fatalf("stale-epoch primary Place: %v, want ErrFenced", err)
+	}
+	if after := cl.Metrics().EpochRejections(); after <= before {
+		t.Fatalf("epoch rejections %d → %d, want an increase", before, after)
+	}
+
+	// The cluster keeps serving through the new primary.
+	if _, err := cl.Place(podLoad(p, 0), 2); err != nil {
+		t.Fatal(err)
+	}
+	// The replica set refills (the dead slot returns as a standby).
+	waitFor(t, 10*time.Second, "standby refill", func() bool {
+		return cl.Status()[0].Standbys == 2
+	})
+}
+
+// TestStalePrimaryNACK: a hello advertising a higher epoch makes the
+// primary self-depose and stop serving.
+func TestStalePrimaryNACK(t *testing.T) {
+	tr := topology.CompleteKAry(2, 3)
+	opts := fastOpts()
+	opts.Replicas = 1
+	cl, err := NewCluster(tr, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	st := cl.Status()[0]
+	conn, err := net.Dial("tcp", st.PrimaryAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := wire.Write(conn, &wire.Epoch{Shard: 0, Epoch: st.Epoch + 5, Node: 999}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 5*time.Second, "self-depose", func() bool {
+		return cl.shards[0].cur.Load().prim.deposed.Load()
+	})
+}

@@ -1,0 +1,89 @@
+package ha
+
+import (
+	"sync"
+
+	"soar/internal/wire"
+)
+
+// subBuffer is the per-standby frame buffer. A standby that falls this
+// far behind the commit stream is kicked (its channel closed) rather
+// than allowed to stall the dispatcher: it re-attaches and catches up
+// from a fresh checkpoint, which is cheaper than back-pressuring
+// admission for everyone.
+const subBuffer = 2048
+
+// hub fans the primary's frame stream (lease deltas and heartbeats)
+// out to its attached standbys. publish runs on the scheduler's
+// dispatcher goroutine — the journal hook — so it must never block:
+// sends are non-blocking, and a full subscriber is dropped.
+type hub struct {
+	mu     sync.Mutex
+	subs   map[*subscriber]struct{}
+	closed bool
+}
+
+type subscriber struct {
+	ch chan wire.Message
+}
+
+func newHub() *hub {
+	return &hub{subs: make(map[*subscriber]struct{})}
+}
+
+// subscribe registers a new standby stream. Returns nil if the hub is
+// already closed.
+func (h *hub) subscribe() *subscriber {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return nil
+	}
+	sub := &subscriber{ch: make(chan wire.Message, subBuffer)}
+	h.subs[sub] = struct{}{}
+	return sub
+}
+
+// unsubscribe removes a stream and closes its channel (idempotent via
+// map membership).
+func (h *hub) unsubscribe(sub *subscriber) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if _, ok := h.subs[sub]; ok {
+		delete(h.subs, sub)
+		close(sub.ch)
+	}
+}
+
+// publish hands one frame to every subscriber without blocking; a
+// subscriber with a full buffer is kicked (channel closed) so the
+// sender goroutine ends its stream and the standby re-syncs.
+func (h *hub) publish(m wire.Message) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return
+	}
+	for sub := range h.subs {
+		select {
+		case sub.ch <- m:
+		default:
+			delete(h.subs, sub)
+			close(sub.ch)
+		}
+	}
+}
+
+// close kicks every subscriber and refuses new ones.
+func (h *hub) close() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return
+	}
+	h.closed = true
+	for sub := range h.subs {
+		delete(h.subs, sub)
+		close(sub.ch)
+	}
+}

@@ -1,0 +1,131 @@
+// Package ha is the replicated, sharded control plane: it splits a
+// fabric into per-pod subtrees, runs one primary scheduler plus warm
+// standbys per shard, streams checkpoints and per-commit lease deltas
+// to the standbys over internal/wire framing, and promotes the
+// freshest standby — fenced by epochs — when the primary goes silent.
+//
+// The sharding is exact, not approximate. Each shard schedules over the
+// pod tree topology.PodTree extracts: the pod subtree plus the spine
+// chain of ancestors up to the global root, with every per-edge rate
+// preserved. Spine switches are shared infrastructure — no shard may
+// lease them — so their capacity is pinned to zero in every shard's
+// ledger, and under that profile the shard-local solve of a
+// pod-confined load is bitwise identical to the global solve with the
+// same availability mask (TestPartitionMatchesGlobal proves it). Loads
+// that span pods are rejected at the router: SOAR tenants are
+// rack-local in the paper's deployments, and a cross-pod tenant would
+// need the cross-shard coordination this design deliberately avoids.
+package ha
+
+import (
+	"errors"
+	"fmt"
+
+	"soar/internal/topology"
+)
+
+// ErrCrossShard is returned by routing for loads that span pods or
+// place servers on spine switches.
+var ErrCrossShard = errors.New("ha: load spans shards")
+
+// ShardSpec is one shard of a partitioning: a pod and its local tree.
+type ShardSpec struct {
+	// Index is the shard number, dense from 0.
+	Index int
+	// Pod is the shard's view of the fabric (see topology.Pod).
+	Pod *topology.Pod
+}
+
+// Partitioning is a fabric split into pods at one level.
+type Partitioning struct {
+	// Tree is the global fabric.
+	Tree *topology.Tree
+	// Level is the depth the pod roots live at (root = level 0).
+	Level int
+	// Shards lists the pods, in the global BFS order of their roots.
+	Shards []ShardSpec
+
+	// podOf maps each global switch to its shard index, or -1 for the
+	// spine switches above the pod roots.
+	podOf []int
+}
+
+// Partition splits t into one shard per switch at the given level
+// (root = level 0, so level 1 of a k-ary fabric yields k shards).
+// Every switch strictly below the cut belongs to exactly one pod;
+// switches at or above it form the shared spine. A leaf at or above
+// the cut would be unroutable, so such trees are rejected.
+func Partition(t *topology.Tree, level int) (*Partitioning, error) {
+	if level < 0 {
+		return nil, fmt.Errorf("ha: partition level %d < 0", level)
+	}
+	roots := t.NodesAtLevel(level)
+	if len(roots) == 0 {
+		return nil, fmt.Errorf("ha: no switches at level %d", level)
+	}
+	p := &Partitioning{Tree: t, Level: level, podOf: make([]int, t.N())}
+	for i := range p.podOf {
+		p.podOf[i] = -1
+	}
+	for _, r := range roots {
+		pod, err := t.PodTree(r)
+		if err != nil {
+			return nil, err
+		}
+		idx := len(p.Shards)
+		p.Shards = append(p.Shards, ShardSpec{Index: idx, Pod: pod})
+		for _, gv := range pod.Global[pod.Spine:] {
+			p.podOf[gv] = idx
+		}
+	}
+	// Spine switches (podOf -1) must all be internal: a leaf above the
+	// cut could never be placed on.
+	for v, shard := range p.podOf {
+		if shard == -1 && t.IsLeaf(v) {
+			return nil, fmt.Errorf("ha: leaf switch %d sits at or above partition level %d", v, level)
+		}
+	}
+	return p, nil
+}
+
+// ShardOf resolves the shard a global dense load vector belongs to:
+// every switch with load must fall inside one pod. Spine load or load
+// spanning pods returns ErrCrossShard; an all-zero load returns an
+// error too (there is nothing to route on).
+func (p *Partitioning) ShardOf(load []int) (int, error) {
+	if len(load) != p.Tree.N() {
+		return 0, fmt.Errorf("ha: load has %d entries for %d switches", len(load), p.Tree.N())
+	}
+	shard := -1
+	for v, n := range load {
+		if n <= 0 {
+			continue
+		}
+		s := p.podOf[v]
+		if s == -1 {
+			return 0, fmt.Errorf("ha: switch %d is spine: %w", v, ErrCrossShard)
+		}
+		if shard == -1 {
+			shard = s
+		} else if shard != s {
+			return 0, fmt.Errorf("ha: switches in pods %d and %d: %w", shard, s, ErrCrossShard)
+		}
+	}
+	if shard == -1 {
+		return 0, errors.New("ha: empty load")
+	}
+	return shard, nil
+}
+
+// Localize maps a global load vector into shard s's dense local vector
+// (spine entries zero). Callers must have routed the load to s first.
+func (p *Partitioning) Localize(s int, load []int) []int {
+	pod := p.Shards[s].Pod
+	local := make([]int, pod.Tree.N())
+	for v, n := range load {
+		if n > 0 && p.podOf[v] == s {
+			local[pod.Local[v]] = n
+		}
+	}
+	return local
+}

@@ -173,6 +173,44 @@ func (c *Client) ClusterRun(ctx context.Context, id int64) (*ClientClusterResult
 	return &out, nil
 }
 
+// Shards fetches per-shard membership from a sharded daemon (GET
+// /v1/shards). A non-sharded daemon answers 404.
+func (c *Client) Shards(ctx context.Context) ([]ShardInfo, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/shards", nil)
+	if err != nil {
+		return nil, err
+	}
+	var out struct {
+		Shards []ShardInfo `json:"shards"`
+	}
+	if err := c.do(req, http.StatusOK, &out); err != nil {
+		return nil, err
+	}
+	return out.Shards, nil
+}
+
+// Ready probes GET /v1/readyz: true on 200, false on 503, an error on
+// anything else (including an unreachable daemon).
+func (c *Client) Ready(ctx context.Context) (bool, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/readyz", nil)
+	if err != nil {
+		return false, err
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return false, err
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+		return true, nil
+	case http.StatusServiceUnavailable:
+		return false, nil
+	default:
+		return false, fmt.Errorf("naas: HTTP %d", resp.StatusCode)
+	}
+}
+
 // Metrics scrapes GET /metrics and parses the exposition into
 // families (obs.ParseText).
 func (c *Client) Metrics(ctx context.Context) ([]obs.TextFamily, error) {

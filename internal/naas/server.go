@@ -23,6 +23,8 @@ import (
 //	POST   /v1/checkpoint                                   → {"path": ..., "bytes": n} (durable save)
 //	POST   /v1/cluster        {"id": 7}                     → cluster-run JSON (loopback replay)
 //	GET    /v1/trace?n=64                                   → {"spans": [...]} newest first
+//	GET    /v1/healthz                                      → 200 {"status":"ok"} (liveness)
+//	GET    /v1/readyz                                       → 200 ready / 503 not restored or draining
 //	GET    /metrics                                         → Prometheus text exposition
 //
 // All request and response bodies are JSON — except /metrics, which
@@ -66,8 +68,38 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("/v1/checkpoint", s.handleCheckpoint)
 	mux.HandleFunc("/v1/cluster", s.handleCluster)
 	mux.HandleFunc("/v1/trace", s.handleTrace)
+	mux.HandleFunc("/v1/healthz", s.handleHealthz)
+	mux.HandleFunc("/v1/readyz", s.handleReadyz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	return mux
+}
+
+// handleHealthz is the liveness probe: answering at all is the signal,
+// so it never consults service state.
+func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, errors.New("GET only"))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleReadyz is the readiness probe: 200 only when the service has
+// its state in place (restored, for a daemon with a checkpoint) and is
+// not draining toward shutdown.
+func (s *Service) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, errors.New("GET only"))
+		return
+	}
+	switch {
+	case s.Ready():
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+	case s.Draining():
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+	default:
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "not ready"})
+	}
 }
 
 func (s *Service) handleTenants(w http.ResponseWriter, r *http.Request) {

@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"errors"
 	"fmt"
 	"hash"
 	"hash/fnv"
@@ -34,6 +35,7 @@ type ckptSnapshot struct {
 	initial  []int
 	residual []int
 	nextID   int64
+	seq      uint64
 	tenants  []*tenant
 }
 
@@ -48,6 +50,7 @@ func (s *Scheduler) snapshotState() ckptSnapshot {
 		initial:  append([]int(nil), s.ledger.initial...),
 		residual: append([]int(nil), s.ledger.residual...),
 		nextID:   s.nextID,
+		seq:      s.journalSeq,
 		tenants:  make([]*tenant, 0, len(s.leases)),
 	}
 	for _, ten := range s.leases {
@@ -83,9 +86,20 @@ func (c *countingWriter) Write(p []byte) (int, error) {
 // outside the lock. Checkpoint is safe to call concurrently with
 // serving traffic and with other Checkpoints.
 func (s *Scheduler) Checkpoint(w io.Writer) error {
+	_, err := s.CheckpointSeq(w)
+	return err
+}
+
+// CheckpointSeq is Checkpoint returning the journal sequence number the
+// snapshot reflects: every journaled mutation with Seq ≤ the returned
+// value is folded into the stream, every later one is not. The
+// replication layer (internal/ha) offers checkpoints to standbys
+// stamped with this sequence so delta replay starts exactly where the
+// snapshot ends.
+func (s *Scheduler) CheckpointSeq(w io.Writer) (uint64, error) {
 	t0 := time.Now()
 	cw := &countingWriter{w: w}
-	err := s.checkpoint(cw)
+	seq, err := s.checkpoint(cw)
 	d := time.Since(t0)
 	if err == nil {
 		s.met.ckptSaves.Inc()
@@ -98,10 +112,10 @@ func (s *Scheduler) Checkpoint(w io.Writer) error {
 		v2 = 1
 	}
 	s.met.tr.Record(s.met.opCkptEncode, t0, d, cw.n, v2)
-	return err
+	return seq, err
 }
 
-func (s *Scheduler) checkpoint(w io.Writer) error {
+func (s *Scheduler) checkpoint(w io.Writer) (uint64, error) {
 	snap := s.snapshotState()
 	h := fnv.New64a()
 	hw := io.MultiWriter(w, h)
@@ -114,7 +128,7 @@ func (s *Scheduler) checkpoint(w io.Writer) error {
 		TreeSum:  s.t.Fingerprint(),
 	}
 	if err := wire.Write(hw, hdr); err != nil {
-		return fmt.Errorf("sched: checkpoint header: %w", err)
+		return 0, fmt.Errorf("sched: checkpoint header: %w", err)
 	}
 	led := &wire.CkptLedger{
 		Initial:  make([]int32, len(snap.initial)),
@@ -125,7 +139,7 @@ func (s *Scheduler) checkpoint(w io.Writer) error {
 		led.Residual[v] = int32(snap.residual[v])
 	}
 	if err := wire.Write(hw, led); err != nil {
-		return fmt.Errorf("sched: checkpoint ledger: %w", err)
+		return 0, fmt.Errorf("sched: checkpoint ledger: %w", err)
 	}
 	for _, ten := range snap.tenants {
 		tf := &wire.CkptTenant{
@@ -145,16 +159,41 @@ func (s *Scheduler) checkpoint(w io.Writer) error {
 			}
 		}
 		if err := wire.Write(hw, tf); err != nil {
-			return fmt.Errorf("sched: checkpoint tenant %d: %w", ten.id, err)
+			return 0, fmt.Errorf("sched: checkpoint tenant %d: %w", ten.id, err)
 		}
 	}
 	// The footer's checksum covers every byte before the footer; it goes
 	// to w alone so reader and writer hash the same prefix.
 	foot := &wire.CkptFooter{Tenants: uint64(len(snap.tenants)), Sum: h.Sum64()}
 	if err := wire.Write(w, foot); err != nil {
-		return fmt.Errorf("sched: checkpoint footer: %w", err)
+		return 0, fmt.Errorf("sched: checkpoint footer: %w", err)
 	}
-	return nil
+	return snap.seq, nil
+}
+
+// Restore rejection reasons, the label values of the
+// soar_ckpt_restore_reject_total counter family. "frame" is a stream
+// that does not decode (truncation, garbage, wrong frame type);
+// "topology" covers both a switch-count and a fingerprint mismatch;
+// "checksum" covers the footer failing to authenticate the prefix;
+// "ids" covers duplicate or out-of-range tenant ids and switches;
+// "busy" is a restore into a scheduler that already holds leases.
+var restoreRejectReasons = []string{
+	"frame", "version", "topology", "checksum", "ids", "conservation", "busy",
+}
+
+// rejectError carries the rejection reason through the restore error
+// chain so Restore can classify it into the labeled counter.
+type rejectError struct {
+	reason string
+	err    error
+}
+
+func (e *rejectError) Error() string { return e.err.Error() }
+func (e *rejectError) Unwrap() error { return e.err }
+
+func rejectf(reason, format string, args ...any) error {
+	return &rejectError{reason: reason, err: fmt.Errorf(format, args...)}
 }
 
 // readCkpt reads one typed frame through the checksum.
@@ -175,8 +214,17 @@ func readCkpt[M wire.Message](r io.Reader, h hash.Hash64) (M, error) {
 // constructed with: recovery reproduces the crashed instance, config
 // drift and all.
 func (s *Scheduler) Restore(r io.Reader) error {
+	s.met.ckptRestoreAttempts.Inc()
 	if err := s.restore(r); err != nil {
 		s.met.ckptRestoreFail.Inc()
+		reason := "frame"
+		var rej *rejectError
+		if errors.As(err, &rej) {
+			reason = rej.reason
+		}
+		if c := s.met.ckptReject[reason]; c != nil {
+			c.Inc()
+		}
 		return err
 	}
 	s.met.ckptRestores.Inc()
@@ -188,24 +236,24 @@ func (s *Scheduler) restore(r io.Reader) error {
 	h := fnv.New64a()
 	hdr, err := readCkpt[*wire.CkptHeader](r, h)
 	if err != nil {
-		return fmt.Errorf("sched: restore header: %w", err)
+		return rejectf("frame", "sched: restore header: %w", err)
 	}
 	if hdr.Version != wire.CkptVersion {
-		return fmt.Errorf("sched: restore: checkpoint version %d, want %d", hdr.Version, wire.CkptVersion)
+		return rejectf("version", "sched: restore: checkpoint version %d, want %d", hdr.Version, wire.CkptVersion)
 	}
 	n := s.t.N()
 	if int(hdr.Switches) != n {
-		return fmt.Errorf("sched: restore: checkpoint for %d switches, tree has %d", hdr.Switches, n)
+		return rejectf("topology", "sched: restore: checkpoint for %d switches, tree has %d", hdr.Switches, n)
 	}
 	if sum := s.t.Fingerprint(); hdr.TreeSum != sum {
-		return fmt.Errorf("sched: restore: checkpoint topology fingerprint %x, tree is %x", hdr.TreeSum, sum)
+		return rejectf("topology", "sched: restore: checkpoint topology fingerprint %x, tree is %x", hdr.TreeSum, sum)
 	}
 	led, err := readCkpt[*wire.CkptLedger](r, h)
 	if err != nil {
-		return fmt.Errorf("sched: restore ledger: %w", err)
+		return rejectf("frame", "sched: restore ledger: %w", err)
 	}
 	if len(led.Initial) != n {
-		return fmt.Errorf("sched: restore: ledger has %d switches, tree has %d", len(led.Initial), n)
+		return rejectf("topology", "sched: restore: ledger has %d switches, tree has %d", len(led.Initial), n)
 	}
 
 	tenants := make([]*tenant, 0, hdr.Tenants)
@@ -215,7 +263,7 @@ func (s *Scheduler) restore(r io.Reader) error {
 	for i := uint64(0); i < hdr.Tenants; i++ {
 		tf, err := readCkpt[*wire.CkptTenant](r, h)
 		if err != nil {
-			return fmt.Errorf("sched: restore tenant %d/%d: %w", i+1, hdr.Tenants, err)
+			return rejectf("frame", "sched: restore tenant %d/%d: %w", i+1, hdr.Tenants, err)
 		}
 		ten := &tenant{
 			id:     int64(tf.ID),
@@ -226,7 +274,7 @@ func (s *Scheduler) restore(r io.Reader) error {
 			load:   make([]int, n),
 		}
 		if seen[ten.id] {
-			return fmt.Errorf("sched: restore: duplicate tenant id %d", ten.id)
+			return rejectf("ids", "sched: restore: duplicate tenant id %d", ten.id)
 		}
 		seen[ten.id] = true
 		if ten.id > maxID {
@@ -235,10 +283,10 @@ func (s *Scheduler) restore(r io.Reader) error {
 		tenBlue := make(map[uint32]bool, len(tf.Blue))
 		for j, v := range tf.Blue {
 			if int(v) >= n {
-				return fmt.Errorf("sched: restore: tenant %d leases switch %d of %d", ten.id, v, n)
+				return rejectf("ids", "sched: restore: tenant %d leases switch %d of %d", ten.id, v, n)
 			}
 			if tenBlue[v] {
-				return fmt.Errorf("sched: restore: tenant %d leases switch %d twice", ten.id, v)
+				return rejectf("ids", "sched: restore: tenant %d leases switch %d twice", ten.id, v)
 			}
 			tenBlue[v] = true
 			ten.blue[j] = int(v)
@@ -246,7 +294,7 @@ func (s *Scheduler) restore(r io.Reader) error {
 		}
 		for j, v := range tf.LoadV {
 			if int(v) >= n {
-				return fmt.Errorf("sched: restore: tenant %d has load at switch %d of %d", ten.id, v, n)
+				return rejectf("ids", "sched: restore: tenant %d has load at switch %d of %d", ten.id, v, n)
 			}
 			ten.load[v] = int(tf.LoadN[j])
 		}
@@ -256,27 +304,27 @@ func (s *Scheduler) restore(r io.Reader) error {
 	sum := h.Sum64()
 	foot, err := readCkpt[*wire.CkptFooter](r, h)
 	if err != nil {
-		return fmt.Errorf("sched: restore footer: %w", err)
+		return rejectf("frame", "sched: restore footer: %w", err)
 	}
 	if foot.Tenants != hdr.Tenants {
-		return fmt.Errorf("sched: restore: footer counts %d tenants, header %d", foot.Tenants, hdr.Tenants)
+		return rejectf("checksum", "sched: restore: footer counts %d tenants, header %d", foot.Tenants, hdr.Tenants)
 	}
 	if foot.Sum != sum {
-		return fmt.Errorf("sched: restore: checksum %x, stream hashes to %x — checkpoint truncated or corrupted", foot.Sum, sum)
+		return rejectf("checksum", "sched: restore: checksum %x, stream hashes to %x — checkpoint truncated or corrupted", foot.Sum, sum)
 	}
 	// Conservation: the ledger must equal initial minus exactly the
 	// restored leases — nothing double-committed, nothing leaked.
 	for v := 0; v < n; v++ {
 		if led.Residual[v] < 0 || led.Initial[v] < 0 {
-			return fmt.Errorf("sched: restore: negative capacity at switch %d", v)
+			return rejectf("conservation", "sched: restore: negative capacity at switch %d", v)
 		}
 		if int(led.Initial[v])-used[v] != int(led.Residual[v]) {
-			return fmt.Errorf("sched: restore: switch %d conserves nothing: initial %d − %d leased ≠ residual %d",
+			return rejectf("conservation", "sched: restore: switch %d conserves nothing: initial %d − %d leased ≠ residual %d",
 				v, led.Initial[v], used[v], led.Residual[v])
 		}
 	}
 	if nextID := int64(hdr.NextID); nextID <= maxID {
-		return fmt.Errorf("sched: restore: next id %d would reissue live id %d", nextID, maxID)
+		return rejectf("ids", "sched: restore: next id %d would reissue live id %d", nextID, maxID)
 	}
 	// Everything read and proved; what remains is installation. The two
 	// spans split restore latency into its phases.
@@ -286,7 +334,7 @@ func (s *Scheduler) restore(r io.Reader) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if len(s.leases) != 0 {
-		return fmt.Errorf("sched: restore into a scheduler with %d active leases", len(s.leases))
+		return rejectf("busy", "sched: restore into a scheduler with %d active leases", len(s.leases))
 	}
 	for v := 0; v < n; v++ {
 		s.ledger.initial[v] = int(led.Initial[v])

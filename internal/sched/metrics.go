@@ -70,11 +70,13 @@ type metrics struct {
 	repackMoves  *obs.Counter
 	phiRecovered *obs.Gauge
 
-	ckptSaves       *obs.Counter
-	ckptBytes       *obs.Counter
-	ckptSaveSeconds *obs.Histogram
-	ckptRestores    *obs.Counter
-	ckptRestoreFail *obs.Counter
+	ckptSaves           *obs.Counter
+	ckptBytes           *obs.Counter
+	ckptSaveSeconds     *obs.Histogram
+	ckptRestores        *obs.Counter
+	ckptRestoreAttempts *obs.Counter
+	ckptRestoreFail     *obs.Counter
+	ckptReject          map[string]*obs.Counter
 
 	opPlace, opRelease, opBatch, opSolve, opRepack obs.OpID
 	opCkptEncode, opCkptValidate, opCkptInstall    obs.OpID
@@ -129,8 +131,15 @@ func (s *Scheduler) initMetrics(reg *obs.Registry, tr *obs.Trace) {
 		"Checkpoint snapshot-and-encode duration.", nil, obs.LatencyBuckets())
 	m.ckptRestores = reg.Counter("soar_ckpt_restores_total",
 		"Checkpoints restored.", nil)
+	m.ckptRestoreAttempts = reg.Counter("soar_ckpt_restore_attempts_total",
+		"Checkpoint restores attempted (accepted plus rejected).", nil)
 	m.ckptRestoreFail = reg.Counter("soar_ckpt_restore_failures_total",
 		"Checkpoint restores rejected (version, fingerprint, checksum or conservation).", nil)
+	m.ckptReject = make(map[string]*obs.Counter, len(restoreRejectReasons))
+	for _, reason := range restoreRejectReasons {
+		m.ckptReject[reason] = reg.Counter("soar_ckpt_restore_reject_total",
+			"Checkpoint restores rejected, by rejection reason.", obs.Labels{"reason": reason})
+	}
 
 	reg.CounterFunc("soar_sched_rejected_total",
 		"Requests failing validation before reaching the queue.", nil,

@@ -107,7 +107,13 @@ func (s *Scheduler) repack(maxMoves int) (moved int, recovered float64) {
 		newPhi := eng.SolveInto(s.bgBlue)
 
 		s.mu.Lock()
-		if newPhi < oldPhi*(1-s.cfg.Repack.MinGain) && newPhi < oldPhi {
+		fenced := false
+		if s.cfg.Fence != nil && s.cfg.Fence() != nil {
+			// A deposed primary must not migrate: restore the slots and
+			// end the round (every further candidate would fence too).
+			fenced = true
+		}
+		if !fenced && newPhi < oldPhi*(1-s.cfg.Repack.MinGain) && newPhi < oldPhi {
 			moved++
 			recovered += oldPhi - newPhi
 			ten.phi = newPhi
@@ -118,6 +124,7 @@ func (s *Scheduler) repack(maxMoves int) (moved int, recovered float64) {
 					ten.blue = append(ten.blue, v)
 				}
 			}
+			s.journalAppend(JournalMigrate, ten.id, ten)
 		} else {
 			// Not worth the churn: restore the tenant's slots untouched.
 			for _, v := range ten.blue {
@@ -125,6 +132,9 @@ func (s *Scheduler) repack(maxMoves int) (moved int, recovered float64) {
 			}
 		}
 		s.mu.Unlock()
+		if fenced {
+			break
+		}
 	}
 	s.mu.Lock()
 	s.met.noteRepack(moved, recovered)

@@ -155,6 +155,19 @@ type Config struct {
 	BatchSolve bool
 	// Repack tunes the background re-packer.
 	Repack RepackConfig
+	// Journal, when non-nil, receives one JournalEvent per committed
+	// control-plane mutation (place, release, re-packer migration), in
+	// commit order with densely increasing sequence numbers. It runs on
+	// the dispatcher goroutine after the mutation is visible and outside
+	// the commit lock; it must hand off quickly — internal/ha fans events
+	// out to buffered per-standby streams. See journal.go.
+	Journal func(JournalEvent)
+	// Fence, when non-nil, is consulted under the commit lock before
+	// every admission, release and migration commits; a non-nil error
+	// aborts the mutation and is returned to the caller. internal/ha
+	// installs an epoch check here so a deposed primary's late commits
+	// are rejected instead of diverging from the promoted standby.
+	Fence func() error
 	// Obs, when non-nil, is the metrics registry the scheduler registers
 	// its families in (soar_sched_*, soar_memo_*, soar_ckpt_*); nil gets
 	// a private registry. A registry belongs to at most one Scheduler —
@@ -268,11 +281,17 @@ type Scheduler struct {
 	bblue [][]bool
 	bcost []float64
 
-	mu     sync.Mutex //soar:critical guards ledger, leases, nextID, met
+	mu     sync.Mutex //soar:critical guards ledger, leases, nextID, journalSeq, met
 	ledger *Ledger
 	leases map[int64]*tenant
 	nextID int64
 	met    metrics
+
+	// Replication journal state (journal.go): journalSeq is assigned
+	// under mu at each mutation; jbuf is the dispatcher-owned buffer
+	// flushed to Config.Journal outside the lock.
+	journalSeq uint64
+	jbuf       []JournalEvent
 
 	rejected atomic.Uint64 // requests failing validation (pre-queue)
 }
@@ -599,11 +618,13 @@ func (s *Scheduler) runBatch() {
 	}
 	s.met.noteBatch(len(s.batch))
 	s.mu.Unlock()
+	s.flushJournal()
 	// Re-pack rounds solve, so they run outside the lock (repack takes
 	// and drops it around each candidate's ledger edits).
 	for _, r := range s.repacks { //soar:coldpath re-packing is the low-priority slow path
 		rt0 := time.Now()
 		r.moved, r.recovered = s.repack(r.k)
+		s.flushJournal()
 		// Span v2 carries milli-Φ: spans are integer-valued.
 		s.met.tr.Record(s.met.opRepack, rt0, time.Since(rt0), int64(r.moved), int64(r.recovered*1e3))
 	}
@@ -640,6 +661,7 @@ func (s *Scheduler) runBatch() {
 	for _, r := range s.places {
 		s.commit(r)
 	}
+	s.flushJournal()
 	for _, r := range s.places {
 		r.done <- struct{}{}
 	}
@@ -719,6 +741,17 @@ func (s *Scheduler) commit(r *request) {
 	ten.load = append(ten.load[:0], r.load...)
 
 	s.mu.Lock()
+	// The fence runs under the commit lock: internal/ha flips the shard
+	// epoch before the promoted standby serves, so every mutation of a
+	// deposed primary from that point on lands here and is rejected.
+	if s.cfg.Fence != nil {
+		if err := s.cfg.Fence(); err != nil { //soar:coldpath replication fencing enabled
+			s.mu.Unlock()
+			s.tenPool.Put(ten)
+			r.err = err
+			return
+		}
+	}
 	ten.id = s.nextID
 	s.nextID++
 	for v, b := range r.blue {
@@ -728,6 +761,7 @@ func (s *Scheduler) commit(r *request) {
 		}
 	}
 	s.leases[ten.id] = ten
+	s.journalAppend(JournalPlace, ten.id, ten)
 	conflicted := r.conflicted
 	if conflicted {
 		s.met.conflicts.Inc()
@@ -754,10 +788,16 @@ func (s *Scheduler) releaseLocked(id int64) error {
 	if !ok {
 		return ErrNotFound
 	}
+	if s.cfg.Fence != nil {
+		if err := s.cfg.Fence(); err != nil { //soar:coldpath replication fencing enabled
+			return err
+		}
+	}
 	for _, v := range ten.blue {
 		s.ledger.Credit(v)
 	}
 	delete(s.leases, id)
+	s.journalAppend(JournalRelease, id, nil)
 	s.tenPool.Put(ten)
 	return nil
 }

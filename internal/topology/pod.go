@@ -1,0 +1,87 @@
+package topology
+
+import "fmt"
+
+// Pod is the shard-local view of one pod of a fabric: the subtree rooted
+// at the pod root plus the spine chain of ancestors up to the global
+// root, extracted as a self-contained Tree.
+//
+// The construction preserves every per-edge rate and every hop distance
+// to the destination d, so a solve over the pod tree prices traffic
+// exactly as the global tree would. Spine switches carry no pod load and
+// are marked so callers can pin their capacity to zero; under that
+// profile the pod-local optimum is exactly the global optimum restricted
+// to the pod (siblings of the spine are zero-load and contribute nothing
+// to Φ). The control plane (internal/ha) shards a fabric into one
+// scheduler per Pod on this basis.
+type Pod struct {
+	// Tree is the local tree: spine chain first (local ids 0..Spine-1,
+	// global root at 0), then the pod subtree in BFS order.
+	Tree *Tree
+	// Root is the global id of the pod root switch.
+	Root int
+	// Spine is the number of spine-chain switches; local ids < Spine are
+	// ancestors of the pod root (zero in the degenerate whole-tree pod).
+	Spine int
+	// Global maps local switch ids to global ids: Global[lv] = gv.
+	Global []int
+	// Local maps global switch ids to local ids, or -1 for switches
+	// outside this pod's view.
+	Local []int
+}
+
+// PodTree extracts the pod rooted at global switch v: the subtree T_v
+// together with the ancestor chain v→root, as its own Tree.
+//
+// Subtree switches keep their relative BFS order, so child lists agree
+// with the global tree's iteration order and DP merge order — a solve
+// over the pod (with spine capacities pinned to zero) is bitwise
+// identical to the global solve of a load confined to T_v.
+func (t *Tree) PodTree(v int) (*Pod, error) {
+	if v < 0 || v >= t.N() {
+		return nil, fmt.Errorf("topology: pod root %d out of range [0,%d)", v, t.N())
+	}
+	n := t.N()
+	local := make([]int, n)
+	for i := range local {
+		local[i] = -1
+	}
+	// Spine chain: root first, down to v's parent.
+	var global []int
+	for u := v; u != t.root; {
+		u = t.parent[u]
+		global = append(global, u)
+	}
+	for i, j := 0, len(global)-1; i < j; i, j = i+1, j-1 {
+		global[i], global[j] = global[j], global[i]
+	}
+	spine := len(global)
+	// Pod subtree in global BFS order (parents before children, and
+	// children in the same relative order as the global child lists).
+	global = append(global, v)
+	local[v] = spine
+	for i := spine; i < len(global); i++ {
+		for _, c := range t.children[global[i]] {
+			local[c] = len(global)
+			global = append(global, c)
+		}
+	}
+	for i, gv := range global[:spine] {
+		local[gv] = i
+	}
+	parent := make([]int, len(global))
+	omega := make([]float64, len(global))
+	for lv, gv := range global {
+		omega[lv] = 1 / t.rho[gv]
+		if gp := t.parent[gv]; gp == NoParent {
+			parent[lv] = NoParent
+		} else {
+			parent[lv] = local[gp]
+		}
+	}
+	sub, err := New(parent, omega)
+	if err != nil {
+		return nil, fmt.Errorf("topology: pod at %d: %w", v, err)
+	}
+	return &Pod{Tree: sub, Root: v, Spine: spine, Global: global, Local: local}, nil
+}

@@ -1,0 +1,89 @@
+package topology
+
+import "testing"
+
+// TestPodTreeStructure checks the spine-chain + subtree extraction on a
+// complete 3-ary tree: depths, rates and hop costs must match the
+// global tree switch-for-switch.
+func TestPodTreeStructure(t *testing.T) {
+	tr := CompleteKAry(3, 4)
+	for _, v := range tr.NodesAtLevel(1) {
+		pod, err := tr.PodTree(v)
+		if err != nil {
+			t.Fatalf("PodTree(%d): %v", v, err)
+		}
+		if pod.Spine != 1 {
+			t.Fatalf("pod %d: spine = %d, want 1", v, pod.Spine)
+		}
+		if pod.Global[0] != tr.Root() {
+			t.Fatalf("pod %d: local 0 = global %d, want root %d", v, pod.Global[0], tr.Root())
+		}
+		if pod.Global[pod.Spine] != v {
+			t.Fatalf("pod %d: pod root local %d maps to %d", v, pod.Spine, pod.Global[pod.Spine])
+		}
+		for lv, gv := range pod.Global {
+			if pod.Local[gv] != lv {
+				t.Fatalf("pod %d: Local[%d] = %d, want %d", v, gv, pod.Local[gv], lv)
+			}
+			if got, want := pod.Tree.Depth(lv), tr.Depth(gv); got != want {
+				t.Fatalf("pod %d: depth(local %d) = %d, global %d has %d", v, lv, got, gv, want)
+			}
+			if got, want := pod.Tree.Rho(lv), tr.Rho(gv); got != want {
+				t.Fatalf("pod %d: rho(local %d) = %v, global %d has %v", v, lv, got, gv, want)
+			}
+			for l := 0; l <= pod.Tree.Depth(lv); l++ {
+				if got, want := pod.Tree.RhoUp(lv, l), tr.RhoUp(gv, l); got != want {
+					t.Fatalf("pod %d: rhoUp(local %d, %d) = %v, want %v", v, lv, l, got, want)
+				}
+			}
+		}
+		// Outside switches are unmapped.
+		mapped := 0
+		for _, lv := range pod.Local {
+			if lv >= 0 {
+				mapped++
+			}
+		}
+		if mapped != pod.Tree.N() {
+			t.Fatalf("pod %d: %d globals mapped for %d locals", v, mapped, pod.Tree.N())
+		}
+	}
+}
+
+// TestPodTreeDeepSpine extracts a level-2 pod: the spine must be the
+// whole root→parent chain and child order must follow the global BFS.
+func TestPodTreeDeepSpine(t *testing.T) {
+	tr, err := BT(16)
+	if err != nil {
+		t.Fatalf("BT: %v", err)
+	}
+	leavesParent := tr.NodesAtLevel(2)[0]
+	pod, err := tr.PodTree(leavesParent)
+	if err != nil {
+		t.Fatalf("PodTree: %v", err)
+	}
+	if pod.Spine != 2 {
+		t.Fatalf("spine = %d, want 2", pod.Spine)
+	}
+	for lv := 1; lv < pod.Tree.N(); lv++ {
+		gp := tr.Parent(pod.Global[lv])
+		if pod.Global[pod.Tree.Parent(lv)] != gp {
+			t.Fatalf("local %d: parent maps to %d, want %d", lv, pod.Global[pod.Tree.Parent(lv)], gp)
+		}
+	}
+	// Whole-tree pod: rooting at the global root gives an isomorphic copy.
+	whole, err := tr.PodTree(tr.Root())
+	if err != nil {
+		t.Fatalf("PodTree(root): %v", err)
+	}
+	if whole.Spine != 0 || whole.Tree.N() != tr.N() {
+		t.Fatalf("whole-tree pod: spine %d, n %d", whole.Spine, whole.Tree.N())
+	}
+
+	if _, err := tr.PodTree(-1); err == nil {
+		t.Fatal("PodTree(-1) accepted")
+	}
+	if _, err := tr.PodTree(tr.N()); err == nil {
+		t.Fatal("PodTree(N) accepted")
+	}
+}

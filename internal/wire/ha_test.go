@@ -1,0 +1,110 @@
+package wire
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestHeartbeatRoundTrip(t *testing.T) {
+	in := &Heartbeat{Shard: 2, Epoch: 1 << 40, Seq: 987654321}
+	got, ok := roundTrip(t, in).(*Heartbeat)
+	if !ok || *got != *in {
+		t.Fatalf("round trip %+v -> %+v", in, got)
+	}
+}
+
+func TestEpochRoundTrip(t *testing.T) {
+	in := &Epoch{Shard: 1, Epoch: 7, Node: 1003}
+	got, ok := roundTrip(t, in).(*Epoch)
+	if !ok || *got != *in {
+		t.Fatalf("round trip %+v -> %+v", in, got)
+	}
+}
+
+func TestCkptOfferRoundTrip(t *testing.T) {
+	in := &CkptOffer{Shard: 3, Epoch: 2, Seq: 500, Bytes: 1 << 20}
+	got, ok := roundTrip(t, in).(*CkptOffer)
+	if !ok || *got != *in {
+		t.Fatalf("round trip %+v -> %+v", in, got)
+	}
+}
+
+func TestLeaseDeltaRoundTrip(t *testing.T) {
+	in := &LeaseDelta{
+		Shard: 1, Epoch: 3, Seq: 42, Op: DeltaPlace, ID: 9, K: 4,
+		Blue: []uint32{2, 7, 11}, LoadV: []uint32{5, 6}, LoadN: []uint32{10, 1},
+	}
+	in.SetPhi(12.25)
+	in.SetAllRed(99.5)
+	got, ok := roundTrip(t, in).(*LeaseDelta)
+	if !ok {
+		t.Fatalf("round trip returned %T", got)
+	}
+	if got.Shard != in.Shard || got.Epoch != in.Epoch || got.Seq != in.Seq ||
+		got.Op != in.Op || got.ID != in.ID || got.K != in.K ||
+		got.Phi() != 12.25 || got.AllRed() != 99.5 {
+		t.Fatalf("delta scalars differ: %+v vs %+v", in, got)
+	}
+	for i := range in.Blue {
+		if got.Blue[i] != in.Blue[i] {
+			t.Fatalf("blue differs at %d", i)
+		}
+	}
+	for i := range in.LoadV {
+		if got.LoadV[i] != in.LoadV[i] || got.LoadN[i] != in.LoadN[i] {
+			t.Fatalf("load differs at %d", i)
+		}
+	}
+}
+
+func TestLeaseDeltaReleaseRoundTrip(t *testing.T) {
+	// A release carries only identity: no blues, no load.
+	got, ok := roundTrip(t, &LeaseDelta{Seq: 1, Op: DeltaRelease, ID: 5}).(*LeaseDelta)
+	if !ok || got.Op != DeltaRelease || got.ID != 5 || len(got.Blue) != 0 || len(got.LoadV) != 0 {
+		t.Fatalf("release round trip: %+v", got)
+	}
+}
+
+func TestHARejectsMalformedBodies(t *testing.T) {
+	cases := []struct {
+		name string
+		m    Message
+		body []byte
+	}{
+		{"heartbeat short", &Heartbeat{}, make([]byte, 19)},
+		{"heartbeat long", &Heartbeat{}, make([]byte, 21)},
+		{"epoch short", &Epoch{}, make([]byte, 15)},
+		{"offer short", &CkptOffer{}, make([]byte, 27)},
+		{"offer long", &CkptOffer{}, make([]byte, 29)},
+		{"delta short", &LeaseDelta{}, make([]byte, 20)},
+		{"delta zero op", &LeaseDelta{}, make([]byte, 57)},
+		{"delta counts lie", &LeaseDelta{}, func() []byte {
+			b := make([]byte, 57)
+			b[20] = DeltaPlace
+			b[52] = 9 // claims 9 blues, none present
+			return b
+		}()},
+	}
+	for _, tc := range cases {
+		if err := tc.m.parseBody(tc.body); err == nil {
+			t.Errorf("%s: parsed, want error", tc.name)
+		}
+	}
+}
+
+func TestLeaseDeltaUnknownOpRejected(t *testing.T) {
+	b := make([]byte, 57)
+	b[20] = DeltaMigrate + 1
+	if err := (&LeaseDelta{}).parseBody(b); err == nil || !strings.Contains(err.Error(), "unknown") {
+		t.Fatalf("unknown op: %v, want unknown-op error", err)
+	}
+}
+
+func TestLeaseDeltaOversizedCountsRejected(t *testing.T) {
+	b := make([]byte, 57)
+	b[20] = DeltaPlace
+	b[49], b[50], b[51], b[52] = 0xFF, 0xFF, 0xFF, 0xFF // nb
+	if err := (&LeaseDelta{}).parseBody(b); err == nil || !strings.Contains(err.Error(), "too large") {
+		t.Fatalf("oversized blue count: %v, want too-large error", err)
+	}
+}

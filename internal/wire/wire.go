@@ -234,6 +234,14 @@ func Read(r io.Reader) (Message, error) {
 		m = &CkptTenant{}
 	case TypeCkptFooter:
 		m = &CkptFooter{}
+	case TypeHeartbeat:
+		m = &Heartbeat{}
+	case TypeEpoch:
+		m = &Epoch{}
+	case TypeCkptOffer:
+		m = &CkptOffer{}
+	case TypeLeaseDelta:
+		m = &LeaseDelta{}
 	default:
 		return nil, fmt.Errorf("wire: unknown message type %d", hdr[4])
 	}
